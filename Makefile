@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	$(PYTHON) -m repro reproduce --out RESULTS.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

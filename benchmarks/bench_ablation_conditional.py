@@ -1,0 +1,72 @@
+"""Ablation — wrapping pure-only vs. pure+conditional methods.
+
+Section 4.3 (fourth case): conditional failure non-atomic methods become
+atomic for free once their callees are masked, so wrapping them only adds
+checkpointing cost.  This bench masks the RBMap application both ways and
+measures the workload slowdown and checkpoint volume.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.collections import KVPair, RBMap, RBTree, UpdatableCollection
+from repro.collections.rb_tree import RBCell
+from repro.core import Masker, MaskingStats, WrapPolicy
+from repro.core.policy import select_methods_to_wrap
+from repro.experiments import program_by_name, run_app_campaign
+
+from conftest import emit
+
+_CLASSES = (UpdatableCollection, RBMap, RBTree, RBCell, KVPair)
+
+
+def _masked_workload_time(methods) -> tuple:
+    stats = MaskingStats()
+    masker = Masker(methods, stats=stats)
+    program = program_by_name("RBMap")
+    with masker:
+        for cls in _CLASSES:
+            masker.mask_class(cls)
+        start = time.perf_counter()
+        for _ in range(5):
+            program.body()
+        elapsed = time.perf_counter() - start
+    return elapsed, stats
+
+
+def bench_ablation_conditional(benchmark, java_outcomes):
+    outcome = next(o for o in java_outcomes if o.name == "RBMap")
+    pure_only = select_methods_to_wrap(outcome.classification, WrapPolicy())
+    both = select_methods_to_wrap(
+        outcome.classification, WrapPolicy(wrap_conditional=True)
+    )
+    assert set(pure_only) <= set(both)
+
+    time_pure, stats_pure = _masked_workload_time(pure_only)
+    time_both, stats_both = _masked_workload_time(both)
+    emit(
+        "Ablation: conditional-method wrapping (RBMap workload)",
+        f"wrap pure only        : {len(pure_only):2d} methods, "
+        f"{stats_pure.wrapped_calls:4d} wrapped calls, "
+        f"{stats_pure.checkpointed_objects:6d} objects checkpointed, "
+        f"{1000 * time_pure:.1f} ms\n"
+        f"wrap pure+conditional : {len(both):2d} methods, "
+        f"{stats_both.wrapped_calls:4d} wrapped calls, "
+        f"{stats_both.checkpointed_objects:6d} objects checkpointed, "
+        f"{1000 * time_both:.1f} ms",
+    )
+    benchmark.extra_info["pure_only_methods"] = len(pure_only)
+    benchmark.extra_info["both_methods"] = len(both)
+    benchmark.extra_info["pure_only_checkpointed"] = (
+        stats_pure.checkpointed_objects
+    )
+    benchmark.extra_info["both_checkpointed"] = stats_both.checkpointed_objects
+
+    # the paper's point: wrapping conditionals only adds checkpoint volume
+    if len(both) > len(pure_only):
+        assert stats_both.checkpointed_objects > stats_pure.checkpointed_objects
+
+    benchmark.pedantic(
+        lambda: _masked_workload_time(pure_only), rounds=3, iterations=1
+    )

@@ -1,0 +1,81 @@
+"""Microbenchmarks of the core primitives the campaigns are built from.
+
+Not a paper artifact, but the numbers that explain every other bench:
+object-graph capture, graph comparison, checkpoint, restore, and the
+per-call cost of an injection wrapper in each campaign mode.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Analyzer,
+    InjectionCampaign,
+    capture,
+    checkpoint,
+    graphs_equal,
+    make_injection_wrapper,
+)
+
+
+class _Payload:
+    def __init__(self, fanout: int) -> None:
+        self.mapping = {f"key{i}": [i, i + 1] for i in range(fanout)}
+        self.sequence = list(range(fanout))
+        self.label = "payload"
+
+    def touch(self) -> int:
+        self.sequence[0] += 1
+        return self.sequence[0]
+
+
+def bench_capture(benchmark):
+    payload = _Payload(32)
+    graph = benchmark(lambda: capture(payload))
+    assert graph.size() > 64
+
+
+def bench_graph_compare(benchmark):
+    payload = _Payload(32)
+    before = capture(payload)
+    after = capture(payload)
+    assert benchmark(lambda: graphs_equal(before, after))
+
+
+def bench_checkpoint(benchmark):
+    payload = _Payload(32)
+    saved = benchmark(lambda: checkpoint(payload))
+    assert saved.recorded_count > 30
+
+
+def bench_checkpoint_restore(benchmark):
+    payload = _Payload(32)
+    saved = checkpoint(payload)
+
+    def mutate_and_restore():
+        payload.sequence.append(99)
+        saved.restore()
+
+    benchmark(mutate_and_restore)
+    assert payload.sequence == list(range(32))
+
+
+def bench_wrapper_disabled(benchmark):
+    campaign = InjectionCampaign()
+    spec = next(
+        s for s in Analyzer().analyze_class(_Payload) if s.name == "touch"
+    )
+    wrapper = make_injection_wrapper(spec, campaign)
+    payload = _Payload(4)
+    benchmark(lambda: wrapper(payload))
+
+
+def bench_wrapper_detecting(benchmark):
+    campaign = InjectionCampaign()
+    spec = next(
+        s for s in Analyzer().analyze_class(_Payload) if s.name == "touch"
+    )
+    wrapper = make_injection_wrapper(spec, campaign)
+    payload = _Payload(4)
+    campaign.begin_run(10**9)  # never fires: pure instrumentation cost
+    benchmark(lambda: wrapper(payload))
+    campaign.end_run(completed=True, escaped=False)

@@ -1,0 +1,36 @@
+"""Figure 2 — method classification of the C++ (Self*) applications.
+
+Regenerates both panels: (a) percentages of methods defined and used,
+(b) percentages weighted by number of calls.  The paper's shapes checked
+here: the pure failure non-atomic fraction stays small, and the pure
+*call* fraction is far smaller than the method fraction (Section 6.1
+reports < 0.4% of calls for the worst C++ app at their workload scale).
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import CATEGORY_PURE
+from repro.experiments import figure2, program_by_name, run_app_campaign
+
+from conftest import emit
+
+
+def bench_fig2(benchmark, cpp_outcomes):
+    figures = figure2(cpp_outcomes)
+    emit("Figure 2(a): % of methods defined and used (C++)",
+         figures["a"].rendered)
+    emit("Figure 2(b): % of method calls (C++)", figures["b"].rendered)
+    benchmark.extra_info["fig2a"] = figures["a"].rendered
+    benchmark.extra_info["fig2b"] = figures["b"].rendered
+
+    # paper shape: pure methods exist but stay a minority...
+    assert 0.0 < figures["a"].average(CATEGORY_PURE) < 0.35
+    # ...and calls to them are rarer than their method share
+    assert figures["b"].average(CATEGORY_PURE) < figures["a"].average(
+        CATEGORY_PURE
+    )
+
+    program = program_by_name("stdQ")
+    benchmark.pedantic(
+        lambda: run_app_campaign(program, stride=4), rounds=3, iterations=1
+    )

@@ -1,0 +1,32 @@
+"""Figure 4 — class-level distribution (atomic / conditional / pure).
+
+Regenerates both panels and checks the paper's claim that failure
+non-atomic methods are "not confined in just a few classes, but spread
+across a significant proportion of the classes".
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import CATEGORY_ATOMIC
+from repro.experiments import figure4, program_by_name, run_app_campaign
+
+from conftest import emit
+
+
+def bench_fig4(benchmark, cpp_outcomes, java_outcomes):
+    figures = figure4(cpp_outcomes, java_outcomes)
+    emit("Figure 4(a): class distribution (C++)", figures["a"].rendered)
+    emit("Figure 4(b): class distribution (Java)", figures["b"].rendered)
+    benchmark.extra_info["fig4a"] = figures["a"].rendered
+    benchmark.extra_info["fig4b"] = figures["b"].rendered
+
+    # the paper's spread claim: a significant fraction of classes is
+    # failure non-atomic in both language families
+    for key in ("a", "b"):
+        nonatomic_average = 1.0 - figures[key].average(CATEGORY_ATOMIC)
+        assert nonatomic_average > 0.15, (key, nonatomic_average)
+
+    program = program_by_name("RBMap")
+    benchmark.pedantic(
+        lambda: run_app_campaign(program, stride=4), rounds=3, iterations=1
+    )

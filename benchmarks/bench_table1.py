@@ -1,0 +1,31 @@
+"""Table 1 — application statistics (#classes, #methods, #injections).
+
+Regenerates the paper's Table 1 for all sixteen applications and
+benchmarks the cost of one full detection campaign on a representative
+mid-size subject (``LLMap``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import program_by_name, run_app_campaign, table1
+
+from conftest import emit
+
+
+def bench_table1(benchmark, cpp_outcomes, java_outcomes):
+    outcomes = cpp_outcomes + java_outcomes
+    rendered = emit("Table 1: C++ and Java application statistics",
+                    table1(outcomes))
+    benchmark.extra_info["table1"] = rendered
+    for outcome in outcomes:
+        benchmark.extra_info[f"injections[{outcome.name}]"] = (
+            outcome.report.injection_count
+        )
+
+    program = program_by_name("LLMap")
+    result = benchmark.pedantic(
+        lambda: run_app_campaign(program), rounds=3, iterations=1
+    )
+    # sanity: the benchmarked campaign reproduces the table row
+    row = next(o for o in outcomes if o.name == "LLMap")
+    assert result.report.injection_count == row.report.injection_count

@@ -1,0 +1,141 @@
+"""Capstone: a log-processing service hardened end to end.
+
+Combines the substrates the way a real adopter would: log lines are
+parsed with the regexp engine, routed by severity through a Self*
+dataflow graph, and aggregated into a sorted RBMap — then the aggregate
+component is run through ``harden()`` so that a malformed line can never
+leave the statistics half-updated, and a supervisor retries transient
+sink failures safely.
+
+Run:  python examples/log_pipeline.py
+"""
+
+from repro.collections import RBMap
+from repro.core import harden
+from repro.regexp import Regexp
+from repro.selfstar import (
+    Component,
+    ProcessingError,
+    RetryPolicy,
+    RouterAdaptor,
+    Sink,
+    Source,
+    Supervisor,
+)
+
+LOG_LINES = [
+    "2026-07-04 10:00:01 INFO  startup complete",
+    "2026-07-04 10:00:05 WARN  disk usage 81%",
+    "2026-07-04 10:00:09 ERROR connection lost to node-3",
+    "2026-07-04 10:00:09 INFO  retrying node-3",
+    "this line is garbage",
+    "2026-07-04 10:00:12 ERROR connection lost to node-7",
+    "2026-07-04 10:00:15 INFO  node-3 recovered",
+]
+
+_LINE_PATTERN = Regexp(
+    "^(\\d{4}-\\d{2}-\\d{2}) (\\d{2}:\\d{2}:\\d{2}) (INFO|WARN|ERROR) +(.+)$"
+)
+
+
+class LogStatistics(Component):
+    """Aggregates per-level and per-day counts into sorted maps.
+
+    The two-map update is the classic non-atomic shape: a failure between
+    the level update and the day update leaves the totals disagreeing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("stats")
+        self.by_level = RBMap()
+        self.by_day = RBMap()
+        self.rejected = 0
+
+    def process(self, event) -> None:
+        level, day = event["level"], event["day"]
+        self.by_level.put(level, self.by_level.get_or_default(level, 0) + 1)
+        if len(day) != 10:
+            raise ProcessingError(f"bad day field {day!r}")
+        self.by_day.put(day, self.by_day.get_or_default(day, 0) + 1)
+
+
+def parse_line(line):
+    match = _LINE_PATTERN.match(line)
+    if match is None:
+        raise ProcessingError(f"unparseable line: {line!r}")
+    return {
+        "day": match.group(1),
+        "time": match.group(2),
+        "level": match.group(3),
+        "message": match.group(4),
+    }
+
+
+def build_graph(stats):
+    source = Source("lines")
+    router = RouterAdaptor("by-level")
+    errors = Sink("errors")
+    other = Sink("other")
+    router.add_route("errors", lambda e: e["level"] == "ERROR", errors)
+    router.set_fallback(other)
+    source.connect(router)  # severity routing ...
+    source.connect(stats)   # ... and the aggregate, fan-out from the source
+    for component in (source, router, errors, other, stats):
+        component.start()
+    return source, errors, other
+
+
+def workload():
+    """The deterministic campaign workload over the statistics component."""
+    stats = LogStatistics()
+    stats.start()
+    for line in LOG_LINES:
+        try:
+            stats.accept(parse_line(line))
+        except ProcessingError:
+            stats.rejected += 1
+    # the corrupting path: a parsed event with a malformed day field
+    try:
+        stats.accept({"level": "INFO", "day": "not-a-day"})
+    except ProcessingError:
+        pass
+
+
+def main():
+    # 1. harden the aggregate component with a detection campaign
+    result = harden([LogStatistics, Component], workload, name="logstats")
+    print(result.summary())
+    print(result.explain("LogStatistics.process"))
+
+    # 2. run the full dataflow graph with the masked component
+    stats = LogStatistics()
+    source, errors, other = build_graph(stats)
+    supervisor = Supervisor(RetryPolicy(max_attempts=2,
+                                        retry_on=(ProcessingError,)))
+    rejected = 0
+    for line in LOG_LINES:
+        try:
+            supervisor.supervise(lambda l=line: source.push(parse_line(l)))
+        except Exception:
+            rejected += 1
+
+    print(f"\nby level : {stats.by_level.items()}")
+    print(f"by day   : {stats.by_day.items()}")
+    print(f"errors routed: {len(errors.collected)}, "
+          f"other: {len(other.collected)}, rejected lines: {rejected}")
+
+    # 3. the masked statistics survive the corrupting event intact
+    before_level = stats.by_level.items()
+    before_day = stats.by_day.items()
+    try:
+        stats.accept({"level": "INFO", "day": "bad"})
+    except ProcessingError:
+        pass
+    assert stats.by_level.items() == before_level, "level counts corrupted!"
+    assert stats.by_day.items() == before_day
+    print("malformed event rolled back: statistics stay consistent")
+    result.unmask()
+
+
+if __name__ == "__main__":
+    main()

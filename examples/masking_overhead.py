@@ -1,0 +1,36 @@
+"""Measure the masking overhead on your own machine (Figure 5, small).
+
+Prints the overhead grid for a reduced size/ratio grid, plus the
+undo-log ("copy-on-write") ablation the paper suggests for very large
+objects (Section 6.2).
+
+Run:  python examples/masking_overhead.py
+"""
+
+from repro.experiments import (
+    format_overhead_table,
+    measure_overhead,
+    measure_undolog_ablation,
+)
+
+
+def main():
+    print("Masking overhead (rows: checkpointed-object size, "
+          "cols: % of calls wrapped)\n")
+    points = measure_overhead(
+        sizes=(4, 32, 256), ratios=(0.0, 0.01, 0.1, 1.0),
+        calls=1000, repeats=5,
+    )
+    print(format_overhead_table(points))
+
+    print("\nCopy-on-write ablation (100% of calls wrapped):\n")
+    results = measure_undolog_ablation(sizes=(4, 32, 256), calls=600,
+                                       repeats=5)
+    print("eager deep-copy checkpoint:")
+    print(format_overhead_table(results["eager"]))
+    print("\nundo-log checkpoint (cost follows writes, not object size):")
+    print(format_overhead_table(results["undolog"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Quickstart: detect and mask non-atomic exception handling.
+
+A bank account whose ``deposit`` updates the audit trail *before*
+validating the amount — the classic failure non-atomic method.  The
+detection phase finds it automatically; the masking phase makes it
+failure atomic without touching its source.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CallableProgram,
+    Detector,
+    InjectionCampaign,
+    Masker,
+    Weaver,
+    WrapPolicy,
+    capture,
+    classify,
+    graphs_equal,
+    make_injection_wrapper,
+    select_methods_to_wrap,
+)
+
+
+class Account:
+    """A deliberately sloppy account implementation."""
+
+    def __init__(self, balance):
+        self.balance = balance
+        self.audit_trail = []
+
+    def deposit(self, amount):
+        self.audit_trail.append(("deposit", amount))  # mutates first...
+        if amount <= 0:
+            raise ValueError("deposit must be positive")  # ...fails later
+        self.balance += amount
+
+    def withdraw(self, amount):
+        if amount <= 0 or amount > self.balance:
+            raise ValueError("invalid withdrawal")  # validates first: safe
+        self.balance -= amount
+        self.audit_trail.append(("withdraw", amount))
+
+
+def workload():
+    """The deterministic test program the campaign re-executes."""
+    account = Account(100)
+    account.deposit(50)
+    account.withdraw(30)
+    try:
+        account.deposit(-5)  # the genuine error path
+    except ValueError:
+        pass
+
+
+def main():
+    # Step 1-2: analyze + weave injection wrappers into Account
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_class(Account)
+        # Step 3: run once per injection point
+        result = Detector(CallableProgram("bank", workload), campaign).detect()
+
+    # classification (Definition 3)
+    classification = classify(result.log)
+    print(f"injections performed : {result.total_injections}")
+    for key in sorted(classification.methods):
+        mc = classification.methods[key]
+        print(f"  {key:22s} -> {mc.category}")
+
+    # Steps 4-5: mask exactly what needs masking
+    to_wrap = select_methods_to_wrap(classification, WrapPolicy())
+    print(f"\nmasking: {to_wrap}")
+    masker = Masker(to_wrap)
+    with masker:
+        masker.mask_class(Account)
+
+        account = Account(100)
+        before = capture(account)
+        try:
+            account.deposit(-5)
+        except ValueError:
+            pass
+        assert graphs_equal(before, capture(account)), "rollback failed!"
+        print("masked deposit(-5): state fully rolled back "
+              f"(balance={account.balance}, audit={account.audit_trail})")
+
+    # unmasked, the same failure corrupts the audit trail
+    account = Account(100)
+    try:
+        account.deposit(-5)
+    except ValueError:
+        pass
+    print("unmasked deposit(-5): audit trail corrupted -> "
+          f"{account.audit_trail}")
+
+
+if __name__ == "__main__":
+    main()

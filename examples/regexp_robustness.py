@@ -1,0 +1,73 @@
+"""Hardening the regexp engine with detection + masking.
+
+The compile pipeline of the regexp engine (parser -> compiler -> program)
+is a chain of multi-step stateful constructions: interrupted mid-way it
+leaves half-built programs behind.  The campaign finds those methods and
+the masking phase wraps them, so a failing compile leaves the shared
+converter state exactly as it was.
+
+Run:  python examples/regexp_robustness.py
+"""
+
+from repro.core import Masker, WrapPolicy, capture, graphs_equal, render_bars
+from repro.core.policy import select_methods_to_wrap
+from repro.experiments import program_by_name, run_app_campaign
+from repro.regexp import Compiler, Matcher, Parser, Regexp
+from repro.regexp.program import Instruction, Program
+from repro.selfstar import XmlToCConverter
+from repro.xmlmini import parse_document
+
+
+def campaign_summary():
+    outcome = run_app_campaign(program_by_name("RegExp"))
+    print("=== RegExp detection campaign ===")
+    print(f"classes: {outcome.report.class_count}  "
+          f"methods: {outcome.report.method_count}  "
+          f"injections: {outcome.report.injection_count}")
+    print(render_bars(outcome.report.fractions_by_methods()))
+    return outcome
+
+
+def demonstrate_symbol_table_protection():
+    """A ProcessingError mid-conversion must not poison the symbol table."""
+    converter = XmlToCConverter()
+    converter.convert(parse_document("<config><a/></config>"))
+    before = capture(converter)
+
+    masker = Masker({"XmlToCConverter.convert", "XmlToCConverter.mangle"})
+    with masker:
+        masker.mask_class(XmlToCConverter)
+        try:
+            # <struct> mangles to a reserved C keyword: conversion fails
+            converter.convert(parse_document("<struct><b/></struct>"))
+        except Exception as exc:
+            print(f"conversion failed as expected: {exc}")
+        restored = graphs_equal(before, capture(converter))
+        print(f"converter state rolled back: {restored}")
+        assert restored
+        # the converter is still usable afterwards
+        converter.convert(parse_document("<followup/>"))
+        print("follow-up conversion succeeded on the restored state")
+
+
+def demonstrate_matcher_still_correct(outcome):
+    to_wrap = select_methods_to_wrap(outcome.classification, WrapPolicy())
+    masker = Masker(to_wrap)
+    with masker:
+        for cls in (Regexp, Parser, Compiler, Program, Instruction, Matcher):
+            masker.mask_class(cls)
+        regexp = Regexp("(a|b)+c")
+        assert regexp.match("abac").group() == "abac"
+        assert regexp.search("zzabc").span() == (2, 5)
+        print(f"masked engine still matches correctly "
+              f"({masker.stats.wrapped_calls} wrapped calls)")
+
+
+def main():
+    outcome = campaign_summary()
+    demonstrate_symbol_table_protection()
+    demonstrate_matcher_still_correct(outcome)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Self* dataflow pipeline under exception injection and masking.
+
+Builds the paper's ``xml2Cviasc1`` topology (parse -> shared queue ->
+convert -> sink), runs the detection campaign over the framework classes,
+and shows how masking protects a queue hand-off against a failing
+consumer.
+
+Run:  python examples/selfstar_pipeline.py
+"""
+
+from repro.core import Masker, WrapPolicy, render_bars
+from repro.core.policy import select_methods_to_wrap
+from repro.experiments import program_by_name, run_app_campaign
+from repro.selfstar import Component, ProcessingError, Sink, StdQueue
+
+
+def campaign_summary():
+    outcome = run_app_campaign(program_by_name("xml2Cviasc1"))
+    print("=== xml2Cviasc1 detection campaign ===")
+    print(f"classes: {outcome.report.class_count}  "
+          f"methods: {outcome.report.method_count}  "
+          f"injections: {outcome.report.injection_count}")
+    print(render_bars(outcome.report.fractions_by_methods()))
+    pure = outcome.classification.methods_in("pure")
+    print(f"pure failure non-atomic: {pure}\n")
+    return outcome
+
+
+class FlakyConsumer(Component):
+    """A consumer that fails on specific messages."""
+
+    def __init__(self):
+        super().__init__("flaky")
+        self.seen = []
+
+    def process(self, message):
+        if message == "poison":
+            raise ProcessingError("cannot digest poison")
+        self.seen.append(message)
+
+
+def demonstrate_queue_masking(outcome):
+    to_wrap = select_methods_to_wrap(outcome.classification, WrapPolicy())
+    print(f"masking: {to_wrap}")
+    masker = Masker(to_wrap)
+    with masker:
+        masker.mask_class(StdQueue)
+        masker.mask_class(Component)
+
+        queue = StdQueue("jobs", capacity=8)
+        consumer = FlakyConsumer()
+        queue.connect(consumer)
+        queue.start()
+        consumer.start()
+        for message in ("a", "poison", "b"):
+            queue.enqueue(message)
+
+        delivered = 0
+        while queue.depth():
+            try:
+                queue.pump()
+                delivered += 1
+            except ProcessingError:
+                # pump delivers before dequeuing (the at-least-once ordering
+                # the detection campaign certified as conditional, not pure),
+                # so the failed message is still queued: dead-letter it
+                dead = queue.dequeue()
+                print(f"  dead-lettered {dead!r} (queue depth intact: "
+                      f"{queue.depth()})")
+        print(f"delivered {delivered} messages; consumer saw {consumer.seen}")
+        assert consumer.seen == ["a", "b"]
+
+
+def main():
+    outcome = campaign_summary()
+    demonstrate_queue_masking(outcome)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Harden a module you have no source control over (the Java flavor).
+
+The paper's Java infrastructure instruments compiled classes at load
+time, with no access to their source.  This example writes a "third
+party" module to a temporary directory, imports it through the
+LoadTimeWeaver import hook so its classes are instrumented transparently,
+runs the detection campaign, and masks the findings — all without editing
+the module.
+
+Run:  python examples/thirdparty_hardening.py
+"""
+
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.core import (
+    CallableProgram,
+    Detector,
+    InjectionCampaign,
+    LoadTimeWeaver,
+    Masker,
+    WrapPolicy,
+    classify,
+    make_injection_wrapper,
+    select_methods_to_wrap,
+)
+
+THIRD_PARTY_SOURCE = '''
+"""A vendored session cache we cannot edit."""
+
+class SessionCache:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.sessions = {}
+        self.evictions = 0
+
+    def store(self, key, session):
+        if len(self.sessions) >= self.capacity:
+            self.evictions += 1          # counted before the eviction...
+            oldest = next(iter(self.sessions))
+            del self.sessions[oldest]
+        self.sessions[key] = self._validated(session)   # ...which may fail
+
+    def fetch(self, key):
+        return self.sessions[key]
+
+    def _validated(self, session):
+        if not isinstance(session, dict):
+            raise TypeError("sessions must be dicts")
+        return dict(session)
+'''
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        (Path(tmp) / "vendored_cache.py").write_text(
+            textwrap.dedent(THIRD_PARTY_SOURCE)
+        )
+        sys.path.insert(0, tmp)
+        try:
+            campaign = InjectionCampaign()
+            hook = LoadTimeWeaver(
+                lambda spec: make_injection_wrapper(spec, campaign),
+                module_filter=lambda name: name == "vendored_cache",
+            )
+            hook.install()
+            try:
+                import vendored_cache  # woven transparently on import
+            finally:
+                hook.uninstall()
+
+            def workload():
+                cache = vendored_cache.SessionCache(capacity=2)
+                cache.store("a", {"user": 1})
+                cache.store("b", {"user": 2})
+                cache.store("c", {"user": 3})  # forces an eviction
+                cache.fetch("c")
+                try:
+                    cache.store("d", "not-a-dict")
+                except TypeError:
+                    pass
+
+            result = Detector(
+                CallableProgram("cache", workload), campaign
+            ).detect()
+            hook.unweave_all()
+
+            classification = classify(result.log)
+            print("load-time campaign over the vendored module:")
+            for key in sorted(classification.methods):
+                mc = classification.methods[key]
+                print(f"  {mc.category:12s} {key}")
+                if mc.category != "atomic":
+                    print(f"      {classification.explain(key)}")
+
+            to_wrap = select_methods_to_wrap(classification, WrapPolicy())
+            print(f"\nmasking without source access: {to_wrap}")
+            masker = Masker(to_wrap)
+            with masker:
+                masker.mask_class(vendored_cache.SessionCache)
+                cache = vendored_cache.SessionCache(capacity=1)
+                cache.store("a", {"user": 1})
+                try:
+                    cache.store("b", "bad session")  # eviction then failure
+                except TypeError:
+                    pass
+                print(
+                    "after masked failed store: evictions="
+                    f"{cache.evictions}, sessions={list(cache.sessions)}"
+                )
+                assert cache.evictions == 0
+                assert list(cache.sessions) == ["a"]
+                print("rollback preserved the evicted session: OK")
+        finally:
+            sys.path.remove(tmp)
+            sys.modules.pop("vendored_cache", None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — automatic detection and masking of non-atomic exception handling.
+
+A Python reproduction of C. Fetzer, K. Hogstedt, P. Felber, "Automatic
+Detection and Masking of Non-Atomic Exception Handling" (DSN 2003).
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: object graphs, exception
+  injection, atomicity classification, checkpoint/rollback masking.
+* :mod:`repro.collections` — Doug Lea-style container library (the
+  paper's Java test subjects), re-implemented from scratch.
+* :mod:`repro.regexp` — a regular-expression engine (the paper's Jakarta
+  Regexp test subject).
+* :mod:`repro.xmlmini` — minimal XML lexer/parser/DOM/writer substrate.
+* :mod:`repro.net` — in-memory transport with fault injection (the TCP
+  substrate used by the Self* applications).
+* :mod:`repro.selfstar` — component-based dataflow framework and the six
+  C++ evaluation applications rebuilt on it.
+* :mod:`repro.experiments` — test programs, campaign driver, and the
+  generators for every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,295 @@
+"""Command-line interface: run the paper's pipeline from a shell.
+
+The paper exposes programmer decisions (never-wrap, exception-free,
+manual-fix) through a web interface; here they live in a JSON *policy
+file* passed to the relevant subcommands::
+
+    {
+      "never_wrap": ["Stack.push"],
+      "manual_fix": [],
+      "exception_free": ["Stack.size"],
+      "wrap_conditional": false
+    }
+
+Subcommands::
+
+    python -m repro apps                     list the evaluation applications
+    python -m repro detect LinkedList        run one detection campaign
+    python -m repro validate LinkedList      detect -> mask -> re-detect
+    python -m repro table1                   regenerate Table 1
+    python -m repro figure 3                 regenerate Figure 2/3/4
+    python -m repro fig5                     masking overhead grid
+    python -m repro fixes                    the §6.1 LinkedList narrative
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core import WrapPolicy, render_bars
+from repro.core.policy import select_methods_to_wrap
+
+__all__ = ["main", "build_parser", "load_policy"]
+
+
+def load_policy(path: Optional[str]) -> Optional[WrapPolicy]:
+    """Read a policy file (the web-interface stand-in)."""
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    unknown = set(data) - {
+        "never_wrap",
+        "manual_fix",
+        "exception_free",
+        "wrap_conditional",
+    }
+    if unknown:
+        raise ValueError(f"unknown policy keys: {sorted(unknown)}")
+    return WrapPolicy(
+        never_wrap=set(data.get("never_wrap", ())),
+        manual_fix=set(data.get("manual_fix", ())),
+        exception_free=set(data.get("exception_free", ())),
+        wrap_conditional=bool(data.get("wrap_conditional", False)),
+    )
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_PROGRAMS
+
+    for program in ALL_PROGRAMS:
+        print(f"{program.language:4s}  {program.name}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.experiments import program_by_name, run_app_campaign
+
+    policy = load_policy(args.policy)
+    outcome = run_app_campaign(
+        program_by_name(args.app),
+        stride=args.stride,
+        policy=policy,
+        scale=args.scale,
+    )
+    report = outcome.report
+    print(
+        f"{report.name}: {report.class_count} classes, "
+        f"{report.method_count} methods, "
+        f"{report.injection_count} injections"
+    )
+    print(render_bars(report.fractions_by_methods()))
+    print()
+    for key in sorted(outcome.classification.methods):
+        mc = outcome.classification.methods[key]
+        print(f"  {mc.category:12s} {key}  (calls={mc.calls})")
+    to_wrap = select_methods_to_wrap(
+        outcome.classification, policy or WrapPolicy()
+    )
+    print(f"\nmethods the masking phase would wrap: {to_wrap}")
+    if args.save_log:
+        outcome.detection.log.save(args.save_log)
+        print(f"run log written to {args.save_log}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments import program_by_name, validate_masking
+
+    validation = validate_masking(
+        program_by_name(args.app),
+        stride=args.stride,
+        policy=load_policy(args.policy),
+        wrap_conditional=args.wrap_conditional,
+    )
+    print(validation.summary())
+    return 0 if validation.masking_effective else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.htmlreport import render_campaign_html
+    from repro.experiments import program_by_name, run_app_campaign
+
+    outcome = run_app_campaign(
+        program_by_name(args.app),
+        stride=args.stride,
+        policy=load_policy(args.policy),
+    )
+    page = render_campaign_html(outcome.report, log=outcome.detection.log)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(page)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_cpp_campaigns,
+        run_java_campaigns,
+        table1,
+    )
+
+    outcomes = run_cpp_campaigns(stride=args.stride) + run_java_campaigns(
+        stride=args.stride
+    )
+    print(table1(outcomes))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        figure2,
+        figure3,
+        figure4,
+        run_cpp_campaigns,
+        run_java_campaigns,
+    )
+
+    if args.number == 2:
+        figures = figure2(run_cpp_campaigns(stride=args.stride))
+    elif args.number == 3:
+        figures = figure3(run_java_campaigns(stride=args.stride))
+    elif args.number == 4:
+        figures = figure4(
+            run_cpp_campaigns(stride=args.stride),
+            run_java_campaigns(stride=args.stride),
+        )
+    else:
+        print("figure must be 2, 3, or 4 (use the fig5 subcommand)",
+              file=sys.stderr)
+        return 2
+    for panel in sorted(figures):
+        data = figures[panel]
+        print(f"--- {data.title}")
+        print(data.rendered)
+        print()
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import format_overhead_table, measure_overhead
+
+    points = measure_overhead(calls=args.calls, repeats=args.repeats)
+    print(format_overhead_table(points))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import reproduce_all
+
+    report = reproduce_all(
+        stride=args.stride,
+        scale=args.scale,
+        fig5_calls=args.calls,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_fixes(args: argparse.Namespace) -> int:
+    from repro.experiments import compare_linkedlist_fixes
+
+    comparison = compare_linkedlist_fixes(stride=args.stride)
+    print(comparison.summary())
+    print(f"pure before: {comparison.pure_before}")
+    print(f"pure after : {comparison.pure_after}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Detect and mask non-atomic exception handling "
+        "(DSN 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the evaluation applications").set_defaults(
+        func=_cmd_apps
+    )
+
+    detect = sub.add_parser("detect", help="run one detection campaign")
+    detect.add_argument("app", help="application name (see `apps`)")
+    detect.add_argument("--stride", type=int, default=1)
+    detect.add_argument("--scale", type=int, default=1,
+                        help="workload repetitions (quadratic cost)")
+    detect.add_argument("--policy", help="JSON policy file")
+    detect.add_argument("--save-log", help="write the run log (JSON)")
+    detect.set_defaults(func=_cmd_detect)
+
+    validate = sub.add_parser(
+        "validate", help="detect, mask, and re-detect one application"
+    )
+    validate.add_argument("app")
+    validate.add_argument("--stride", type=int, default=1)
+    validate.add_argument("--policy", help="JSON policy file")
+    validate.add_argument("--wrap-conditional", action="store_true")
+    validate.set_defaults(func=_cmd_validate)
+
+    table = sub.add_parser("table1", help="regenerate Table 1")
+    table.add_argument("--stride", type=int, default=1)
+    table.set_defaults(func=_cmd_table1)
+
+    figure = sub.add_parser("figure", help="regenerate Figure 2, 3, or 4")
+    figure.add_argument("number", type=int, choices=(2, 3, 4))
+    figure.add_argument("--stride", type=int, default=1)
+    figure.set_defaults(func=_cmd_figure)
+
+    fig5 = sub.add_parser("fig5", help="masking overhead grid (Figure 5)")
+    fig5.add_argument("--calls", type=int, default=1000)
+    fig5.add_argument("--repeats", type=int, default=5)
+    fig5.set_defaults(func=_cmd_fig5)
+
+    fixes = sub.add_parser(
+        "fixes", help="the Section 6.1 LinkedList before/after comparison"
+    )
+    fixes.add_argument("--stride", type=int, default=1)
+    fixes.set_defaults(func=_cmd_fixes)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate the entire evaluation into one report"
+    )
+    reproduce.add_argument("--out", help="markdown file to write")
+    reproduce.add_argument("--stride", type=int, default=1)
+    reproduce.add_argument("--scale", type=int, default=1)
+    reproduce.add_argument("--calls", type=int, default=1000,
+                           help="Figure 5 loop length")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    report = sub.add_parser(
+        "report", help="write an HTML campaign report (the web-interface view)"
+    )
+    report.add_argument("app")
+    report.add_argument("output", help="path of the HTML file to write")
+    report.add_argument("--stride", type=int, default=1)
+    report.add_argument("--policy", help="JSON policy file")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Container library: the paper's Java test subjects, rebuilt in Python.
+
+Nine containers modeled on Doug Lea's ``collections`` package — the exact
+applications of the paper's Java evaluation (Table 1): CircularList,
+Dynarray, HashedMap, HashedSet, LLMap, LinkedBuffer, LinkedList, RBMap,
+and RBTree.
+
+The implementations are real data structures (probing, chaining,
+red-black rebalancing, chunked buffers) whose update methods keep the
+statement orderings of legacy code: some mutate bookkeeping state before
+a step that may fail.  Those methods are the failure non-atomic subjects
+the detection phase of :mod:`repro.core` is evaluated on; the ``Fixed*``
+variants apply the paper's "trivial modifications" (Section 6.1).
+"""
+
+from .base import FailFastIterator, UpdatableCollection
+from .circular_list import CircularList, CLCell
+from .dynarray import Dynarray
+from .errors import (
+    CapacityError,
+    CollectionsError,
+    CorruptedIterationError,
+    CorruptedStateError,
+    EmptyCollectionError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+from .hashed_map import HashedMap, LLPair
+from .hashed_set import HashedSet
+from .linked_buffer import BufferChunk, LinkedBuffer
+from .linked_list import FixedLinkedList, LinkedList, LLCell
+from .ll_map import LLMap
+from .rb_map import KVPair, RBMap
+from .rb_tree import BLACK, RED, RBCell, RBTree, default_comparator
+
+__all__ = [
+    "UpdatableCollection",
+    "FailFastIterator",
+    "CorruptedIterationError",
+    "CircularList",
+    "CLCell",
+    "Dynarray",
+    "HashedMap",
+    "LLPair",
+    "HashedSet",
+    "LinkedBuffer",
+    "BufferChunk",
+    "LinkedList",
+    "FixedLinkedList",
+    "LLCell",
+    "LLMap",
+    "RBMap",
+    "KVPair",
+    "RBTree",
+    "RBCell",
+    "RED",
+    "BLACK",
+    "default_comparator",
+    "CollectionsError",
+    "NoSuchElementError",
+    "EmptyCollectionError",
+    "CapacityError",
+    "IllegalElementError",
+    "CorruptedStateError",
+]

@@ -1,0 +1,133 @@
+"""Common container protocol, element screening, and version stamps.
+
+Modeled on the interface layer of Doug Lea's ``collections`` package (the
+paper's Java test subject): every updatable collection tracks a *version*
+number bumped on successful mutation, supports an element *screener*
+predicate, and exposes a ``check_implementation`` consistency probe used
+by the test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.core.exceptions import exception_free
+
+from .errors import CorruptedIterationError, IllegalElementError
+
+__all__ = ["UpdatableCollection", "FailFastIterator", "ElementScreener"]
+
+#: Predicate deciding whether an element may enter a collection.
+ElementScreener = Callable[[Any], bool]
+
+
+class UpdatableCollection:
+    """Base class of every container in :mod:`repro.collections`.
+
+    Subclasses must maintain ``_count`` and ``_version`` and implement
+    :meth:`__iter__` plus :meth:`check_implementation`.
+    """
+
+    def __init__(self, screener: Optional[ElementScreener] = None) -> None:
+        self._screener = screener
+        self._count = 0
+        self._version = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @exception_free
+    def size(self) -> int:
+        """Number of elements currently held."""
+        return self._count
+
+    @exception_free
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @exception_free
+    def version(self) -> int:
+        """Mutation stamp: bumped by every successful update."""
+        return self._version
+
+    def can_include(self, element: Any) -> bool:
+        """True if the element passes this collection's screener."""
+        return self._screener is None or bool(self._screener(element))
+
+    def contains(self, element: Any) -> bool:
+        for item in self:
+            if item == element:
+                return True
+        return False
+
+    def occurrences_of(self, element: Any) -> int:
+        return sum(1 for item in self if item == element)
+
+    def to_list(self) -> List[Any]:
+        """Elements in iteration order, as a plain list."""
+        return list(self)
+
+    def iterator(self) -> "FailFastIterator":
+        """A fail-fast iterator: any mutation of the collection after the
+        iterator is created makes its next step raise
+        :class:`CorruptedIterationError` (the version-checked
+        enumerations of the original Java library)."""
+        return FailFastIterator(self)
+
+    # -- helpers for subclasses ------------------------------------------
+
+    def _check_element(self, element: Any) -> None:
+        """Raise IllegalElementError if the screener rejects *element*."""
+        if not self.can_include(element):
+            raise IllegalElementError(f"screener rejected {element!r}")
+
+    @exception_free
+    def _bump_version(self) -> None:
+        # a bare integer increment cannot raise: declared exception-free
+        # so the policy layer discards injections placed here (§4.3)
+        self._version += 1
+
+    # -- contract ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def check_implementation(self) -> None:
+        """Verify internal invariants; raise CorruptedStateError if broken."""
+        raise NotImplementedError
+
+
+class FailFastIterator:
+    """Version-checked iteration over an :class:`UpdatableCollection`.
+
+    Captures the collection's version stamp at creation; every step
+    re-checks it, so a mutation performed mid-iteration — including one
+    caused by an exception handler poking at the collection — surfaces
+    immediately instead of yielding stale or skipped elements.
+    """
+
+    def __init__(self, collection: UpdatableCollection) -> None:
+        self._collection = collection
+        self._expected_version = collection.version()
+        self._inner = iter(collection)
+        self._consumed = 0
+
+    def __iter__(self) -> "FailFastIterator":
+        return self
+
+    def __next__(self) -> Any:
+        if self._collection.version() != self._expected_version:
+            raise CorruptedIterationError(
+                f"collection modified after {self._consumed} element(s) "
+                "were yielded"
+            )
+        value = next(self._inner)
+        self._consumed += 1
+        return value
+
+    @property
+    def consumed(self) -> int:
+        """Number of elements yielded so far."""
+        return self._consumed

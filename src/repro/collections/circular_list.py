@@ -1,0 +1,248 @@
+"""Doubly-linked circular list (the paper's ``CircularList`` subject).
+
+Cells form a closed ring; the list holds one pointer into it.  Like the
+other containers, a few update methods keep the orderings of legacy code
+(mutate, then risk failure), which the detection phase will flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    EmptyCollectionError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["CLCell", "CircularList"]
+
+
+class CLCell:
+    """One cell of a doubly-linked ring."""
+
+    __slots__ = ("element", "prev", "next")
+
+    def __init__(self, element: Any) -> None:
+        self.element = element
+        self.prev = self
+        self.next = self
+
+    def link_after(self, anchor: "CLCell") -> None:
+        """Splice this cell into the ring right after *anchor*."""
+        self.prev = anchor
+        self.next = anchor.next
+        anchor.next.prev = self
+        anchor.next = self
+
+    def unlink(self) -> None:
+        """Remove this cell from its ring (the cell closes on itself)."""
+        self.prev.next = self.next
+        self.next.prev = self.prev
+        self.prev = self
+        self.next = self
+
+
+class CircularList(UpdatableCollection):
+    """A circular doubly-linked list with O(1) rotation."""
+
+    def __init__(self, screener=None) -> None:
+        super().__init__(screener)
+        self._entry: Optional[CLCell] = None  # current head of the ring
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        if self._entry is None:
+            return
+        cell = self._entry
+        for _ in range(self._count):
+            yield cell.element
+            cell = cell.next
+
+    @throws(EmptyCollectionError)
+    def first(self) -> Any:
+        if self._entry is None:
+            raise EmptyCollectionError("first() on empty ring")
+        return self._entry.element
+
+    @throws(EmptyCollectionError)
+    def last(self) -> Any:
+        if self._entry is None:
+            raise EmptyCollectionError("last() on empty ring")
+        return self._entry.prev.element
+
+    @throws(NoSuchElementError)
+    def get_at(self, index: int) -> Any:
+        return self._cell_at(index).element
+
+    def index_of(self, element: Any) -> int:
+        for index, item in enumerate(self):
+            if item == element:
+                return index
+        return -1
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def insert_first(self, element: Any) -> None:
+        """Prepend: splice before the entry point and move the entry."""
+        self._check_element(element)
+        cell = CLCell(element)
+        if self._entry is not None:
+            cell.link_after(self._entry.prev)
+        self._entry = cell
+        self._count += 1
+        self._bump_version()
+
+    @throws(IllegalElementError)
+    def insert_last(self, element: Any) -> None:
+        """Append: splice before the entry point, entry unchanged.
+
+        Legacy ordering: the version stamp is bumped before the cell is
+        allocated, so a failed append still invalidates iterators.
+        """
+        self._check_element(element)
+        self._bump_version()  # legacy: stamped before the fallible splice
+        cell = CLCell(element)
+        if self._entry is None:
+            self._entry = cell
+        else:
+            cell.link_after(self._entry.prev)
+        self._count += 1
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def insert_at(self, index: int, element: Any) -> None:
+        """Insert so the element ends up at position *index*."""
+        if index == 0 or self._entry is None:
+            if index != 0:
+                raise NoSuchElementError(f"index {index} out of range")
+            self.insert_first(element)
+            return
+        self._check_element(element)
+        anchor = self._cell_at(index - 1)
+        cell = CLCell(element)
+        cell.link_after(anchor)
+        self._count += 1
+        self._bump_version()
+
+    @throws(EmptyCollectionError)
+    def remove_first(self) -> Any:
+        """Remove the entry-point element (safe ordering)."""
+        if self._entry is None:
+            raise EmptyCollectionError("remove_first() on empty ring")
+        cell = self._entry
+        element = cell.element
+        if self._count == 1:
+            self._entry = None
+        else:
+            self._entry = cell.next
+            cell.unlink()
+        self._count -= 1
+        self._bump_version()
+        return element
+
+    @throws(EmptyCollectionError)
+    def remove_last(self) -> Any:
+        """Remove the element before the entry point.
+
+        Legacy ordering: the count is decremented before unlinking, which
+        goes through the (fallible) cell constructor-free path but is
+        still interruptible by failures in unlink bookkeeping.
+        """
+        if self._entry is None:
+            raise EmptyCollectionError("remove_last() on empty ring")
+        self._count -= 1  # legacy: decremented first
+        cell = self._entry.prev
+        element = cell.element
+        if self._count == 0:
+            self._entry = None
+        else:
+            cell.unlink()
+        self._bump_version()
+        return element
+
+    @throws(NoSuchElementError)
+    def remove_at(self, index: int) -> Any:
+        if index == 0:
+            return self.remove_first()
+        cell = self._cell_at(index)
+        cell.unlink()
+        self._count -= 1
+        self._bump_version()
+        return cell.element
+
+    def remove_element(self, element: Any) -> bool:
+        cell = self._entry
+        for _ in range(self._count):
+            if cell.element == element:
+                if self._count == 1:
+                    self._entry = None
+                else:
+                    if cell is self._entry:
+                        self._entry = cell.next
+                    cell.unlink()
+                self._count -= 1
+                self._bump_version()
+                return True
+            cell = cell.next
+        return False
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def replace_at(self, index: int, element: Any) -> Any:
+        self._check_element(element)
+        cell = self._cell_at(index)
+        old = cell.element
+        cell.element = element
+        self._bump_version()
+        return old
+
+    @throws(EmptyCollectionError)
+    def rotate(self, steps: int = 1) -> None:
+        """Move the entry point *steps* cells forward (may be negative)."""
+        if self._entry is None:
+            raise EmptyCollectionError("rotate() on empty ring")
+        steps %= self._count
+        for _ in range(steps):
+            self._entry = self._entry.next
+        if steps:
+            self._bump_version()
+
+    def extend(self, elements) -> None:
+        """Append every element (partial progress on failure: pure)."""
+        for element in elements:
+            self.insert_last(element)
+
+    def clear(self) -> None:
+        self._entry = None
+        self._count = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    @throws(NoSuchElementError)
+    def _cell_at(self, index: int) -> CLCell:
+        if index < 0 or index >= self._count or self._entry is None:
+            raise NoSuchElementError(f"index {index} out of range")
+        cell = self._entry
+        for _ in range(index):
+            cell = cell.next
+        return cell
+
+    def check_implementation(self) -> None:
+        """Verify the ring is closed, consistent, and sized correctly."""
+        if self._entry is None:
+            if self._count != 0:
+                raise CorruptedStateError("empty ring with non-zero count")
+            return
+        cell = self._entry
+        for _ in range(self._count):
+            if cell.next.prev is not cell:
+                raise CorruptedStateError("broken prev/next symmetry")
+            cell = cell.next
+        if cell is not self._entry:
+            raise CorruptedStateError("ring does not close after count cells")

@@ -1,0 +1,60 @@
+"""Comparator combinators for the ordered containers.
+
+The red-black tree and map order elements through three-way comparators
+(like the Java originals).  These helpers build and combine them without
+hand-writing comparison boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .rb_tree import Comparator, default_comparator
+
+__all__ = [
+    "default_comparator",
+    "reverse_comparator",
+    "by_key",
+    "chained",
+    "natural",
+]
+
+
+def natural() -> Comparator:
+    """The natural ``<``/``>`` ordering (same as ``default_comparator``)."""
+    return default_comparator
+
+
+def reverse_comparator(inner: Comparator = default_comparator) -> Comparator:
+    """Invert an ordering: largest first."""
+
+    def compare(a: Any, b: Any) -> int:
+        return inner(b, a)
+
+    return compare
+
+
+def by_key(
+    key: Callable[[Any], Any], inner: Comparator = default_comparator
+) -> Comparator:
+    """Order elements by a derived key (like ``sorted(key=...)``)."""
+
+    def compare(a: Any, b: Any) -> int:
+        return inner(key(a), key(b))
+
+    return compare
+
+
+def chained(*comparators: Comparator) -> Comparator:
+    """Lexicographic combination: later comparators break earlier ties."""
+    if not comparators:
+        raise ValueError("chained() needs at least one comparator")
+
+    def compare(a: Any, b: Any) -> int:
+        for comparator in comparators:
+            order = comparator(a, b)
+            if order != 0:
+                return order
+        return 0
+
+    return compare

@@ -1,0 +1,177 @@
+"""Growable array with explicit capacity management (``Dynarray``).
+
+Backed by a fixed-size slot buffer that is reallocated on demand, like
+the Java original.  The growth path runs through helper methods, which is
+exactly what makes callers conditionally failure non-atomic: a failure
+inside ``_ensure_capacity`` interrupts an ``append`` whose bookkeeping
+has already been updated (legacy ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CapacityError,
+    CorruptedStateError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["Dynarray"]
+
+_DEFAULT_CAPACITY = 8
+
+
+class Dynarray(UpdatableCollection):
+    """A growable array of elements with amortized O(1) append."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, screener=None) -> None:
+        super().__init__(screener)
+        if capacity < 1:
+            raise CapacityError("initial capacity must be >= 1")
+        self._data: List[Any] = [None] * capacity
+
+    # -- queries ---------------------------------------------------------
+
+    def capacity(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        for index in range(self._count):
+            yield self._data[index]
+
+    @throws(NoSuchElementError)
+    def get_at(self, index: int) -> Any:
+        self._check_index(index)
+        return self._data[index]
+
+    def index_of(self, element: Any) -> int:
+        for index in range(self._count):
+            if self._data[index] == element:
+                return index
+        return -1
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError, CapacityError)
+    def append(self, element: Any) -> None:
+        """Append an element.
+
+        Legacy ordering: the count is bumped before the (fallible) growth
+        step, so an interrupted growth leaves ``size() == count`` pointing
+        one past the populated region — pure failure non-atomic.
+        """
+        self._check_element(element)
+        self._count += 1  # legacy: counted before capacity is ensured
+        self._ensure_capacity(self._count)
+        self._data[self._count - 1] = element
+        self._bump_version()
+
+    @throws(NoSuchElementError, IllegalElementError, CapacityError)
+    def insert_at(self, index: int, element: Any) -> None:
+        """Insert at *index*, shifting the tail right.
+
+        Legacy ordering: the tail is shifted before the element is
+        screened, so a rejected element leaves a duplicated slot.
+        """
+        if index != self._count:
+            self._check_index(index)
+        self._ensure_capacity(self._count + 1)
+        for position in range(self._count, index, -1):  # legacy: shift first
+            self._data[position] = self._data[position - 1]
+        self._check_element(element)  # legacy: screened after the shift
+        self._data[index] = element
+        self._count += 1
+        self._bump_version()
+
+    @throws(NoSuchElementError)
+    def remove_at(self, index: int) -> Any:
+        """Remove the element at *index*, shifting the tail left (safe)."""
+        self._check_index(index)
+        element = self._data[index]
+        for position in range(index, self._count - 1):
+            self._data[position] = self._data[position + 1]
+        self._data[self._count - 1] = None
+        self._count -= 1
+        self._bump_version()
+        return element
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def replace_at(self, index: int, element: Any) -> Any:
+        self._check_index(index)
+        self._check_element(element)
+        old = self._data[index]
+        self._data[index] = element
+        self._bump_version()
+        return old
+
+    @throws(IllegalElementError, CapacityError)
+    def extend(self, elements: Iterable[Any]) -> None:
+        """Append every element (partial progress on failure: pure)."""
+        for element in elements:
+            self.append(element)
+
+    def remove_element(self, element: Any) -> bool:
+        index = self.index_of(element)
+        if index < 0:
+            return False
+        self.remove_at(index)
+        return True
+
+    def clear(self) -> None:
+        for index in range(self._count):
+            self._data[index] = None
+        self._count = 0
+        self._bump_version()
+
+    @throws(CapacityError)
+    def trim_to_size(self) -> None:
+        """Shrink the backing buffer to exactly the current count."""
+        self._data = self._data[: max(self._count, 1)]
+        self._bump_version()
+
+    def sort(self) -> None:
+        """In-place insertion sort (stable, safe ordering)."""
+        for index in range(1, self._count):
+            value = self._data[index]
+            position = index - 1
+            while position >= 0 and self._data[position] > value:
+                self._data[position + 1] = self._data[position]
+                position -= 1
+            self._data[position + 1] = value
+        if self._count:
+            self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    @throws(CapacityError)
+    def _ensure_capacity(self, needed: int) -> None:
+        """Grow the backing buffer to hold at least *needed* slots.
+
+        The reallocation itself is atomic: a new buffer is fully built
+        before the single rebinding of ``_data``.
+        """
+        if needed <= len(self._data):
+            return
+        new_capacity = max(len(self._data) * 2, needed)
+        new_data = [None] * new_capacity
+        new_data[: self._count] = self._data[: self._count]
+        self._data = new_data
+
+    @throws(NoSuchElementError)
+    def _check_index(self, index: int) -> None:
+        if index < 0 or index >= self._count:
+            raise NoSuchElementError(f"index {index} out of range")
+
+    def check_implementation(self) -> None:
+        if self._count > len(self._data):
+            raise CorruptedStateError("count exceeds capacity")
+        for index in range(self._count, len(self._data)):
+            if self._data[index] is not None:
+                raise CorruptedStateError(
+                    f"unpopulated slot {index} holds a value"
+                )

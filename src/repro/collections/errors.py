@@ -1,0 +1,47 @@
+"""Exception hierarchy of the container library.
+
+Mirrors the checked/unchecked split of the Java collections the paper
+evaluates: operations declare the specific errors they may raise (via
+:func:`repro.core.exceptions.throws`), while any method may additionally
+fail with a generic runtime error injected by the detection phase.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CollectionsError",
+    "NoSuchElementError",
+    "EmptyCollectionError",
+    "CapacityError",
+    "IllegalElementError",
+    "CorruptedStateError",
+    "CorruptedIterationError",
+]
+
+
+class CollectionsError(Exception):
+    """Base class of all container-library errors."""
+
+
+class NoSuchElementError(CollectionsError):
+    """A requested element, key, or index does not exist."""
+
+
+class EmptyCollectionError(NoSuchElementError):
+    """An element was requested from an empty collection."""
+
+
+class CapacityError(CollectionsError):
+    """A bounded collection cannot grow any further."""
+
+
+class IllegalElementError(CollectionsError):
+    """An element violates the collection's element constraint."""
+
+
+class CorruptedStateError(CollectionsError):
+    """An internal consistency check failed."""
+
+
+class CorruptedIterationError(CollectionsError):
+    """The collection was modified while a fail-fast iterator was open."""

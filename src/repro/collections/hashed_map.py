@@ -1,0 +1,186 @@
+"""Chained hash map (``HashedMap``): bucket array of linked pair chains.
+
+The resize path relinks existing pairs into a fresh bucket array and
+consults the (instrumented) ``_bucket_index`` helper per pair — a failure
+mid-relink therefore leaves the map half-migrated, which is precisely the
+kind of rarely-executed, failure non-atomic code path the paper's
+injection campaign is designed to reach (Section 6.1 notes that the
+problematic methods are the infrequently called ones).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["LLPair", "HashedMap"]
+
+_DEFAULT_CAPACITY = 8
+_LOAD_FACTOR = 0.75
+
+
+class LLPair:
+    """A key/value pair in a bucket chain."""
+
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, next_pair: Optional["LLPair"] = None):
+        self.key = key
+        self.value = value
+        self.next = next_pair
+
+
+class HashedMap(UpdatableCollection):
+    """A hash map with separate chaining."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, screener=None) -> None:
+        super().__init__(screener)
+        self._buckets: List[Optional[LLPair]] = [None] * max(capacity, 1)
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.keys())
+
+    def keys(self) -> List[Any]:
+        return [key for key, _ in self.items()]
+
+    def values(self) -> List[Any]:
+        return [value for _, value in self.items()]
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        result = []
+        for chain in self._buckets:
+            pair = chain
+            while pair is not None:
+                result.append((pair.key, pair.value))
+                pair = pair.next
+        return result
+
+    def contains_key(self, key: Any) -> bool:
+        return self._find_pair(key) is not None
+
+    @throws(NoSuchElementError)
+    def get(self, key: Any) -> Any:
+        pair = self._find_pair(key)
+        if pair is None:
+            raise NoSuchElementError(f"no mapping for {key!r}")
+        return pair.value
+
+    def get_or_default(self, key: Any, default: Any = None) -> Any:
+        pair = self._find_pair(key)
+        return default if pair is None else pair.value
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        """Insert or replace a mapping; return the previous value.
+
+        Legacy ordering: on a fresh key the count is bumped before the
+        pair is allocated and before any needed resize, so a failure in
+        either step leaves the size wrong — pure failure non-atomic.
+        """
+        self._check_element(value)
+        pair = self._find_pair(key)
+        if pair is not None:
+            old = pair.value
+            pair.value = value
+            self._bump_version()
+            return old
+        self._count += 1  # legacy: counted before the fallible steps
+        if self._count > _LOAD_FACTOR * len(self._buckets):
+            self._grow()
+        index = self._bucket_index(key, len(self._buckets))
+        self._buckets[index] = LLPair(key, value, self._buckets[index])
+        self._bump_version()
+        return None
+
+    @throws(NoSuchElementError)
+    def remove_key(self, key: Any) -> Any:
+        """Remove a mapping; return its value (safe ordering)."""
+        index = self._bucket_index(key, len(self._buckets))
+        previous = None
+        pair = self._buckets[index]
+        while pair is not None:
+            if pair.key == key:
+                if previous is None:
+                    self._buckets[index] = pair.next
+                else:
+                    previous.next = pair.next
+                self._count -= 1
+                self._bump_version()
+                return pair.value
+            previous = pair
+            pair = pair.next
+        raise NoSuchElementError(f"no mapping for {key!r}")
+
+    @throws(IllegalElementError)
+    def update(self, mapping) -> None:
+        """Put every (key, value) of *mapping* (partial progress: pure)."""
+        for key, value in mapping.items():
+            self.put(key, value)
+
+    def clear(self) -> None:
+        self._buckets = [None] * _DEFAULT_CAPACITY
+        self._count = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_pair(self, key: Any) -> Optional[LLPair]:
+        index = self._bucket_index(key, len(self._buckets))
+        pair = self._buckets[index]
+        while pair is not None:
+            if pair.key == key:
+                return pair
+            pair = pair.next
+        return None
+
+    def _bucket_index(self, key: Any, bucket_count: int) -> int:
+        """Bucket of *key* in a table of *bucket_count* buckets."""
+        return hash(key) % bucket_count
+
+    def _grow(self) -> None:
+        """Double the bucket array, relinking existing pairs.
+
+        The new bucket array is installed *before* the pairs are migrated
+        (legacy ordering): a failure mid-migration loses the un-migrated
+        chains — failure non-atomic, and only reachable on the rare
+        resize path.
+        """
+        old_buckets = self._buckets
+        self._buckets = [None] * (len(old_buckets) * 2)  # legacy: install first
+        for chain in old_buckets:
+            pair = chain
+            while pair is not None:
+                following = pair.next
+                index = self._bucket_index(pair.key, len(self._buckets))
+                pair.next = self._buckets[index]
+                self._buckets[index] = pair
+                pair = following
+
+    def check_implementation(self) -> None:
+        walked = 0
+        for index, chain in enumerate(self._buckets):
+            pair = chain
+            while pair is not None:
+                walked += 1
+                home = self._bucket_index(pair.key, len(self._buckets))
+                if home != index:
+                    raise CorruptedStateError(
+                        f"key {pair.key!r} in bucket {index}, belongs in {home}"
+                    )
+                pair = pair.next
+        if walked != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {walked} reachable pairs"
+            )

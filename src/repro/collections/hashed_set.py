@@ -1,0 +1,179 @@
+"""Open-addressing hash set (``HashedSet``): linear probing.
+
+Uses tombstones for deletion.  The resize path re-probes every live
+element through the instrumented ``_probe`` helper, creating injection
+points in the middle of the migration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["HashedSet"]
+
+_DEFAULT_CAPACITY = 8
+_LOAD_FACTOR = 0.66
+
+
+class _Tombstone:
+    """Marks a slot whose element was deleted (probe chains continue)."""
+
+    def __repr__(self) -> str:
+        return "<deleted>"
+
+
+_DELETED = _Tombstone()
+_EMPTY = None
+
+
+class HashedSet(UpdatableCollection):
+    """A set with open addressing and linear probing."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, screener=None) -> None:
+        super().__init__(screener)
+        self._slots: List[Any] = [_EMPTY] * max(capacity, 2)
+        self._used = 0  # live elements + tombstones
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        for slot in self._slots:
+            if slot is not _EMPTY and slot is not _DELETED:
+                yield slot
+
+    def contains(self, element: Any) -> bool:
+        return self._find_slot(element) >= 0
+
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def add(self, element: Any) -> bool:
+        """Add an element; return True if it was not already present.
+
+        Legacy ordering: the count is bumped before the (fallible) resize
+        and probe steps.
+        """
+        self._check_element(element)
+        if self._find_slot(element) >= 0:
+            return False
+        self._count += 1  # legacy: counted before the fallible steps
+        self._used += 1
+        if self._used > _LOAD_FACTOR * len(self._slots):
+            self._grow()
+        index = self._probe(element, self._slots)
+        self._slots[index] = element
+        self._bump_version()
+        return True
+
+    @throws(NoSuchElementError)
+    def remove(self, element: Any) -> None:
+        """Remove an element, leaving a tombstone (safe ordering)."""
+        index = self._find_slot(element)
+        if index < 0:
+            raise NoSuchElementError(f"{element!r} not in set")
+        self._slots[index] = _DELETED
+        self._count -= 1
+        self._bump_version()
+
+    def discard(self, element: Any) -> bool:
+        """Remove if present; return True if an element was removed."""
+        index = self._find_slot(element)
+        if index < 0:
+            return False
+        self._slots[index] = _DELETED
+        self._count -= 1
+        self._bump_version()
+        return True
+
+    @throws(IllegalElementError)
+    def union_update(self, elements) -> int:
+        """Add every element (partial progress on failure: pure)."""
+        added = 0
+        for element in elements:
+            if self.add(element):
+                added += 1
+        return added
+
+    def intersection_update(self, elements) -> int:
+        """Keep only elements present in *elements* (safe per removal)."""
+        keep = list(elements)
+        removed = 0
+        for element in self.to_list():
+            if element not in keep:
+                self.discard(element)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._slots = [_EMPTY] * _DEFAULT_CAPACITY
+        self._count = 0
+        self._used = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_slot(self, element: Any) -> int:
+        """Index of *element*'s slot, or -1 if absent."""
+        length = len(self._slots)
+        index = hash(element) % length
+        for _ in range(length):
+            slot = self._slots[index]
+            if slot is _EMPTY:
+                return -1
+            if slot is not _DELETED and slot == element:
+                return index
+            index = (index + 1) % length
+        return -1
+
+    def _probe(self, element: Any, slots: List[Any]) -> int:
+        """First free slot for *element* in *slots* (linear probing)."""
+        length = len(slots)
+        index = hash(element) % length
+        for _ in range(length):
+            slot = slots[index]
+            if slot is _EMPTY or slot is _DELETED:
+                return index
+            index = (index + 1) % length
+        raise CorruptedStateError("probe found no free slot")
+
+    def _grow(self) -> None:
+        """Double the table, dropping tombstones.
+
+        Legacy ordering: the new table is installed before the elements
+        are migrated, so a failure mid-migration loses elements.
+        """
+        old_slots = self._slots
+        self._slots = [_EMPTY] * (len(old_slots) * 2)  # legacy: install first
+        self._used = self._count
+        for slot in old_slots:
+            if slot is not _EMPTY and slot is not _DELETED:
+                index = self._probe(slot, self._slots)
+                self._slots[index] = slot
+
+    def check_implementation(self) -> None:
+        live = sum(
+            1
+            for slot in self._slots
+            if slot is not _EMPTY and slot is not _DELETED
+        )
+        if live != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {live} live slots"
+            )
+        for element in self:
+            if self._find_slot(element) < 0:
+                raise CorruptedStateError(
+                    f"{element!r} stored but unreachable by probing"
+                )

@@ -1,0 +1,194 @@
+"""Chunked character buffer (``LinkedBuffer``).
+
+Stores text as a chain of fixed-size chunks, like the Java original used
+for incremental I/O.  Appends that cross a chunk boundary allocate new
+chunks mid-operation — injection points in the middle of a logical write.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    EmptyCollectionError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["BufferChunk", "LinkedBuffer"]
+
+_CHUNK_SIZE = 16
+
+
+class BufferChunk:
+    """A fixed-capacity run of characters."""
+
+    __slots__ = ("data", "used", "next")
+
+    def __init__(self, capacity: int = _CHUNK_SIZE) -> None:
+        self.data = [""] * capacity
+        self.used = 0
+        self.next: Optional["BufferChunk"] = None
+
+    def room(self) -> int:
+        return len(self.data) - self.used
+
+    def put(self, char: str) -> None:
+        self.data[self.used] = char
+        self.used += 1
+
+    def text(self) -> str:
+        return "".join(self.data[: self.used])
+
+
+class LinkedBuffer(UpdatableCollection):
+    """An append-mostly character buffer backed by chained chunks."""
+
+    def __init__(self, chunk_size: int = _CHUNK_SIZE, screener=None) -> None:
+        super().__init__(screener)
+        self._chunk_size = max(chunk_size, 1)
+        self._head: Optional[BufferChunk] = None
+        self._tail: Optional[BufferChunk] = None
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        chunk = self._head
+        while chunk is not None:
+            for index in range(chunk.used):
+                yield chunk.data[index]
+            chunk = chunk.next
+
+    def text(self) -> str:
+        """The whole buffer as one string."""
+        return "".join(self)
+
+    @throws(EmptyCollectionError)
+    def peek(self) -> str:
+        """The first character without removing it."""
+        if self._head is None or self._head.used == 0:
+            raise EmptyCollectionError("peek() on empty buffer")
+        return self._head.data[0]
+
+    def chunk_count(self) -> int:
+        count = 0
+        chunk = self._head
+        while chunk is not None:
+            count += 1
+            chunk = chunk.next
+        return count
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def append_char(self, char: str) -> None:
+        """Append one character.
+
+        Legacy ordering: the length is counted before a new chunk may
+        need to be allocated (the fallible step).
+        """
+        if len(char) != 1:
+            raise IllegalElementError("append_char() takes a single character")
+        self._check_element(char)
+        self._count += 1  # legacy: counted before the fallible allocation
+        if self._tail is None or self._tail.room() == 0:
+            self._add_chunk()
+        self._tail.put(char)
+        self._bump_version()
+
+    @throws(IllegalElementError)
+    def append_text(self, text: str) -> None:
+        """Append a string character by character (partial progress: pure)."""
+        for char in text:
+            self.append_char(char)
+
+    @throws(EmptyCollectionError)
+    def take_char(self) -> str:
+        """Remove and return the first character (safe ordering)."""
+        if self._head is None or self._head.used == 0:
+            raise EmptyCollectionError("take_char() on empty buffer")
+        char = self._head.data[0]
+        self._head.data[: self._head.used - 1] = self._head.data[1 : self._head.used]
+        self._head.used -= 1
+        if self._head.used == 0:
+            self._head = self._head.next
+            if self._head is None:
+                self._tail = None
+        self._count -= 1
+        self._bump_version()
+        return char
+
+    @throws(NoSuchElementError)
+    def take_text(self, length: int) -> str:
+        """Remove and return the first *length* characters.
+
+        Legacy ordering: characters are taken one by one, so failing past
+        the buffer's end loses the characters already taken.
+        """
+        taken = []
+        for _ in range(length):
+            if self._count == 0:  # legacy: checked per character, not up front
+                raise NoSuchElementError(
+                    f"requested {length} characters, buffer exhausted"
+                )
+            taken.append(self.take_char())
+        return "".join(taken)
+
+    def compact(self) -> None:
+        """Re-pack all characters into the fewest chunks (safe ordering).
+
+        A fully new chain is built before a single pointer swap installs
+        it, so a failure mid-build leaves the buffer untouched.
+        """
+        text = self.text()
+        head: Optional[BufferChunk] = None
+        tail: Optional[BufferChunk] = None
+        for start in range(0, len(text), self._chunk_size):
+            chunk = BufferChunk(self._chunk_size)
+            for char in text[start : start + self._chunk_size]:
+                chunk.put(char)
+            if head is None:
+                head = chunk
+            else:
+                tail.next = chunk
+            tail = chunk
+        self._head = head
+        self._tail = tail
+        self._bump_version()
+
+    def clear(self) -> None:
+        self._head = None
+        self._tail = None
+        self._count = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    def _add_chunk(self) -> None:
+        chunk = BufferChunk(self._chunk_size)
+        if self._tail is None:
+            self._head = chunk
+        else:
+            self._tail.next = chunk
+        self._tail = chunk
+
+    def check_implementation(self) -> None:
+        total = 0
+        chunk = self._head
+        last = None
+        while chunk is not None:
+            if chunk.used > len(chunk.data):
+                raise CorruptedStateError("chunk used beyond capacity")
+            total += chunk.used
+            last = chunk
+            chunk = chunk.next
+        if total != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {total} stored characters"
+            )
+        if last is not self._tail:
+            raise CorruptedStateError("tail pointer does not match chain")

@@ -1,0 +1,385 @@
+"""Singly-linked list (the paper's ``LinkedList`` Java test subject).
+
+The implementation deliberately preserves the update orderings found in
+legacy container code: several methods modify bookkeeping state *before*
+the step that may fail (allocation of a cell, screening of an element, a
+partial bulk operation).  Those methods are exactly the pure failure
+non-atomic methods the paper's detection phase flags; Section 6.1 reports
+reducing them from 18 to 3 in ``LinkedList`` by trivial reordering — the
+reordered variants live in :class:`FixedLinkedList`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    EmptyCollectionError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+__all__ = ["LLCell", "LinkedList", "FixedLinkedList"]
+
+
+class LLCell:
+    """One cell of a singly-linked chain."""
+
+    __slots__ = ("element", "next")
+
+    def __init__(self, element: Any, next_cell: Optional["LLCell"] = None) -> None:
+        self.element = element
+        self.next = next_cell
+
+    def nth_next(self, n: int) -> "LLCell":
+        """The cell *n* links further down the chain."""
+        cell = self
+        for _ in range(n):
+            if cell.next is None:
+                raise NoSuchElementError("chain shorter than requested hop")
+            cell = cell.next
+        return cell
+
+
+class LinkedList(UpdatableCollection):
+    """A singly-linked list with head and tail pointers."""
+
+    def __init__(self, screener=None) -> None:
+        super().__init__(screener)
+        self._head: Optional[LLCell] = None
+        self._tail: Optional[LLCell] = None
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        cell = self._head
+        while cell is not None:
+            yield cell.element
+            cell = cell.next
+
+    @throws(EmptyCollectionError)
+    def first(self) -> Any:
+        """The element at the head of the list."""
+        if self._head is None:
+            raise EmptyCollectionError("first() on empty list")
+        return self._head.element
+
+    @throws(EmptyCollectionError)
+    def last(self) -> Any:
+        """The element at the tail of the list."""
+        if self._tail is None:
+            raise EmptyCollectionError("last() on empty list")
+        return self._tail.element
+
+    @throws(NoSuchElementError)
+    def get_at(self, index: int) -> Any:
+        """The element at position *index* (0-based)."""
+        return self._cell_at(index).element
+
+    def index_of(self, element: Any) -> int:
+        """Position of the first occurrence, or -1."""
+        for index, item in enumerate(self):
+            if item == element:
+                return index
+        return -1
+
+    # -- single-element updates -------------------------------------------
+
+    @throws(IllegalElementError)
+    def insert_first(self, element: Any) -> None:
+        """Prepend an element (safe ordering: link, then count)."""
+        self._check_element(element)
+        cell = LLCell(element, self._head)
+        self._head = cell
+        if self._tail is None:
+            self._tail = cell
+        self._count += 1
+        self._bump_version()
+
+    @throws(IllegalElementError)
+    def insert_last(self, element: Any) -> None:
+        """Append an element.
+
+        Legacy ordering: the count is updated *before* the cell is
+        allocated, so a failure during allocation leaves the size wrong —
+        a pure failure non-atomic method.
+        """
+        self._check_element(element)
+        self._count += 1  # legacy: counted before the fallible allocation
+        cell = LLCell(element)
+        if self._tail is None:
+            self._head = cell
+        else:
+            self._tail.next = cell
+        self._tail = cell
+        self._bump_version()
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def insert_at(self, index: int, element: Any) -> None:
+        """Insert so the element ends up at position *index*.
+
+        Legacy ordering: the predecessor is unlinked from its successor
+        before the new cell exists.
+        """
+        self._check_element(element)
+        if index == 0:
+            self.insert_first(element)
+            return
+        predecessor = self._cell_at(index - 1)
+        rest = predecessor.next
+        predecessor.next = None  # legacy: chain broken before allocation
+        cell = LLCell(element, rest)
+        predecessor.next = cell
+        if rest is None:
+            self._tail = cell
+        self._count += 1
+        self._bump_version()
+
+    @throws(EmptyCollectionError)
+    def remove_first(self) -> Any:
+        """Remove and return the head element (safe ordering)."""
+        if self._head is None:
+            raise EmptyCollectionError("remove_first() on empty list")
+        cell = self._head
+        self._head = cell.next
+        if self._head is None:
+            self._tail = None
+        self._count -= 1
+        self._bump_version()
+        return cell.element
+
+    @throws(EmptyCollectionError)
+    def remove_last(self) -> Any:
+        """Remove and return the tail element.
+
+        Legacy ordering: the count is decremented before the O(n) walk to
+        the predecessor, which can fail on a corrupted chain.
+        """
+        if self._tail is None:
+            raise EmptyCollectionError("remove_last() on empty list")
+        self._count -= 1  # legacy: decremented before the fallible walk
+        element = self._tail.element
+        if self._head is self._tail:
+            self._head = None
+            self._tail = None
+        else:
+            predecessor = self._head
+            while predecessor.next is not self._tail:
+                if predecessor.next is None:
+                    raise CorruptedStateError("tail unreachable from head")
+                predecessor = predecessor.next
+            predecessor.next = None
+            self._tail = predecessor
+        self._bump_version()
+        return element
+
+    @throws(NoSuchElementError)
+    def remove_at(self, index: int) -> Any:
+        """Remove and return the element at *index* (safe ordering)."""
+        if index == 0:
+            return self.remove_first()
+        predecessor = self._cell_at(index - 1)
+        target = predecessor.next
+        if target is None:
+            raise NoSuchElementError(f"index {index} out of range")
+        predecessor.next = target.next
+        if target is self._tail:
+            self._tail = predecessor
+        self._count -= 1
+        self._bump_version()
+        return target.element
+
+    def remove_element(self, element: Any) -> bool:
+        """Remove the first occurrence; return True if found."""
+        previous = None
+        cell = self._head
+        while cell is not None:
+            if cell.element == element:
+                if previous is None:
+                    self._head = cell.next
+                else:
+                    previous.next = cell.next
+                if cell is self._tail:
+                    self._tail = previous
+                self._count -= 1
+                self._bump_version()
+                return True
+            previous = cell
+            cell = cell.next
+        return False
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def replace_at(self, index: int, element: Any) -> Any:
+        """Replace the element at *index*; return the old element."""
+        self._check_element(element)
+        cell = self._cell_at(index)
+        old = cell.element
+        cell.element = element
+        self._bump_version()
+        return old
+
+    # -- bulk updates -------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def extend(self, elements: Iterable[Any]) -> None:
+        """Append every element.
+
+        Pure failure non-atomic by construction: each successful append is
+        visible even if a later one fails — the partial progress cannot be
+        reverted by the callees being atomic (Definition 3 discussion).
+        """
+        for element in elements:
+            self.insert_last(element)
+
+    @throws(IllegalElementError)
+    def replace_all(self, old: Any, new: Any) -> int:
+        """Replace every occurrence of *old* with *new*; return the count.
+
+        Legacy ordering: replacement happens cell by cell, screening *new*
+        only when the first occurrence is reached.
+        """
+        replaced = 0
+        cell = self._head
+        while cell is not None:
+            if cell.element == old:
+                self._check_element(new)  # legacy: screened mid-walk
+                cell.element = new
+                replaced += 1
+            cell = cell.next
+        if replaced:
+            self._bump_version()
+        return replaced
+
+    def removed_duplicates(self) -> "LinkedList":
+        """A new list with duplicates removed (this list is unchanged)."""
+        result = LinkedList(self._screener)
+        seen = []
+        for element in self:
+            if element not in seen:
+                seen.append(element)
+                result.insert_last(element)
+        return result
+
+    def reverse(self) -> None:
+        """Reverse the list in place (safe: pointer rotation only)."""
+        previous = None
+        cell = self._head
+        self._tail = self._head
+        while cell is not None:
+            following = cell.next
+            cell.next = previous
+            previous = cell
+            cell = following
+        self._head = previous
+        if self._count:
+            self._bump_version()
+
+    def clear(self) -> None:
+        """Drop every element (safe: single rebinding)."""
+        self._head = None
+        self._tail = None
+        self._count = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    @throws(NoSuchElementError)
+    def _cell_at(self, index: int) -> LLCell:
+        if index < 0 or index >= self._count or self._head is None:
+            raise NoSuchElementError(f"index {index} out of range")
+        return self._head.nth_next(index)
+
+    def check_implementation(self) -> None:
+        """Walk the chain and verify counts and tail linkage."""
+        walked = 0
+        cell = self._head
+        last = None
+        while cell is not None:
+            walked += 1
+            if walked > self._count:
+                raise CorruptedStateError("chain longer than count")
+            last = cell
+            cell = cell.next
+        if walked != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {walked} reachable cells"
+            )
+        if last is not self._tail:
+            raise CorruptedStateError("tail pointer does not match chain")
+
+
+class FixedLinkedList(LinkedList):
+    """The list after the paper's "trivial modifications" (Section 6.1).
+
+    Each override re-orders statements so that all fallible steps precede
+    the first state mutation, turning the pure failure non-atomic methods
+    of :class:`LinkedList` into failure atomic ones without wrappers.
+    """
+
+    @throws(IllegalElementError)
+    def insert_last(self, element: Any) -> None:
+        """Append an element (fixed ordering: allocate, link, then count)."""
+        self._check_element(element)
+        cell = LLCell(element)
+        if self._tail is None:
+            self._head = cell
+        else:
+            self._tail.next = cell
+        self._tail = cell
+        self._count += 1
+        self._bump_version()
+
+    @throws(NoSuchElementError, IllegalElementError)
+    def insert_at(self, index: int, element: Any) -> None:
+        """Insert at *index* (fixed: allocate before relinking)."""
+        self._check_element(element)
+        if index == 0:
+            self.insert_first(element)
+            return
+        predecessor = self._cell_at(index - 1)
+        cell = LLCell(element, predecessor.next)
+        predecessor.next = cell
+        if cell.next is None:
+            self._tail = cell
+        self._count += 1
+        self._bump_version()
+
+    @throws(EmptyCollectionError)
+    def remove_last(self) -> Any:
+        """Remove the tail element (fixed: walk before any mutation)."""
+        if self._tail is None:
+            raise EmptyCollectionError("remove_last() on empty list")
+        element = self._tail.element
+        if self._head is self._tail:
+            self._head = None
+            self._tail = None
+        else:
+            predecessor = self._head
+            while predecessor.next is not self._tail:
+                if predecessor.next is None:
+                    raise CorruptedStateError("tail unreachable from head")
+                predecessor = predecessor.next
+            predecessor.next = None
+            self._tail = predecessor
+        self._count -= 1
+        self._bump_version()
+        return element
+
+    @throws(IllegalElementError)
+    def replace_all(self, old: Any, new: Any) -> int:
+        """Replace occurrences (fixed: screen the new element up front)."""
+        self._check_element(new)
+        replaced = 0
+        cell = self._head
+        while cell is not None:
+            if cell.element == old:
+                cell.element = new
+                replaced += 1
+            cell = cell.next
+        if replaced:
+            self._bump_version()
+        return replaced

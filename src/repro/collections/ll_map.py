@@ -1,0 +1,161 @@
+"""Association-list map (``LLMap``): a linked chain of key/value pairs.
+
+The simplest map in the library; used by the paper's campaign as a small
+subject whose methods call into the shared pair cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+from .hashed_map import LLPair
+
+__all__ = ["LLMap"]
+
+
+class LLMap(UpdatableCollection):
+    """A map backed by an unordered singly-linked list of pairs."""
+
+    def __init__(self, screener=None) -> None:
+        super().__init__(screener)
+        self._head: Optional[LLPair] = None
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        pair = self._head
+        while pair is not None:
+            yield pair.key
+            pair = pair.next
+
+    def keys(self) -> List[Any]:
+        return list(self)
+
+    def values(self) -> List[Any]:
+        return [value for _, value in self.items()]
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        result = []
+        pair = self._head
+        while pair is not None:
+            result.append((pair.key, pair.value))
+            pair = pair.next
+        return result
+
+    def contains_key(self, key: Any) -> bool:
+        return self._find_pair(key) is not None
+
+    @throws(NoSuchElementError)
+    def get(self, key: Any) -> Any:
+        pair = self._find_pair(key)
+        if pair is None:
+            raise NoSuchElementError(f"no mapping for {key!r}")
+        return pair.value
+
+    def get_or_default(self, key: Any, default: Any = None) -> Any:
+        pair = self._find_pair(key)
+        return default if pair is None else pair.value
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        """Insert or replace; return the previous value.
+
+        Legacy ordering: on a fresh key the count is bumped before the
+        pair allocation.
+        """
+        self._check_element(value)
+        pair = self._find_pair(key)
+        if pair is not None:
+            old = pair.value
+            pair.value = value
+            self._bump_version()
+            return old
+        self._count += 1  # legacy: counted before the fallible allocation
+        self._head = LLPair(key, value, self._head)
+        self._bump_version()
+        return None
+
+    @throws(NoSuchElementError)
+    def remove_key(self, key: Any) -> Any:
+        """Remove a mapping; return its value (safe ordering)."""
+        previous = None
+        pair = self._head
+        while pair is not None:
+            if pair.key == key:
+                if previous is None:
+                    self._head = pair.next
+                else:
+                    previous.next = pair.next
+                self._count -= 1
+                self._bump_version()
+                return pair.value
+            previous = pair
+            pair = pair.next
+        raise NoSuchElementError(f"no mapping for {key!r}")
+
+    @throws(IllegalElementError)
+    def update(self, mapping) -> None:
+        """Put every (key, value) (partial progress on failure: pure)."""
+        for key, value in mapping.items():
+            self.put(key, value)
+
+    @throws(IllegalElementError)
+    def replace_values(self, old: Any, new: Any) -> int:
+        """Replace every value equal to *old* with *new*.
+
+        Legacy ordering: the new value is screened only when the first
+        occurrence is found, after earlier pairs may have been rewritten.
+        """
+        replaced = 0
+        pair = self._head
+        while pair is not None:
+            if pair.value == old:
+                self._check_element(new)  # legacy: screened mid-walk
+                pair.value = new
+                replaced += 1
+            pair = pair.next
+        if replaced:
+            self._bump_version()
+        return replaced
+
+    def clear(self) -> None:
+        self._head = None
+        self._count = 0
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_pair(self, key: Any) -> Optional[LLPair]:
+        pair = self._head
+        while pair is not None:
+            if pair.key == key:
+                return pair
+            pair = pair.next
+        return None
+
+    def check_implementation(self) -> None:
+        walked = 0
+        seen_keys = []
+        pair = self._head
+        while pair is not None:
+            walked += 1
+            if walked > self._count:
+                raise CorruptedStateError("chain longer than count")
+            if pair.key in seen_keys:
+                raise CorruptedStateError(f"duplicate key {pair.key!r}")
+            seen_keys.append(pair.key)
+            pair = pair.next
+        if walked != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {walked} reachable pairs"
+            )

@@ -1,0 +1,158 @@
+"""Ordered map on a red-black tree (``RBMap``).
+
+Pairs are stored in an :class:`~repro.collections.rb_tree.RBTree` ordered
+by key.  Map operations therefore *call into* the tree's instrumented
+methods — the textbook source of conditional failure non-atomicity: a
+``put`` that fails because the underlying ``insert`` failed is atomic as
+soon as the insert is masked (Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import IllegalElementError, NoSuchElementError
+from .rb_tree import Comparator, RBTree, default_comparator
+
+__all__ = ["KVPair", "RBMap"]
+
+
+class KVPair:
+    """A key/value pair ordered by key."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: Any, value: Any = None) -> None:
+        self.key = key
+        self.value = value
+
+
+def _pair_comparator(compare_keys: Comparator) -> Comparator:
+    def compare(a: KVPair, b: KVPair) -> int:
+        return compare_keys(a.key, b.key)
+
+    return compare
+
+
+class RBMap(UpdatableCollection):
+    """A sorted map with O(log n) operations."""
+
+    def __init__(
+        self,
+        key_comparator: Optional[Comparator] = None,
+        screener=None,
+    ) -> None:
+        super().__init__(screener)
+        self._compare_keys = key_comparator or default_comparator
+        self._tree = RBTree(_pair_comparator(self._compare_keys))
+
+    # -- queries ---------------------------------------------------------
+
+    def size(self) -> int:
+        return self._tree.size()
+
+    def is_empty(self) -> bool:
+        return self._tree.is_empty()
+
+    def __iter__(self) -> Iterator[Any]:
+        for pair in self._tree:
+            yield pair.key
+
+    def keys(self) -> List[Any]:
+        """All keys in ascending order."""
+        return list(self)
+
+    def values(self) -> List[Any]:
+        return [pair.value for pair in self._tree]
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        return [(pair.key, pair.value) for pair in self._tree]
+
+    def contains_key(self, key: Any) -> bool:
+        return self._find_pair(key) is not None
+
+    @throws(NoSuchElementError)
+    def get(self, key: Any) -> Any:
+        pair = self._find_pair(key)
+        if pair is None:
+            raise NoSuchElementError(f"no mapping for {key!r}")
+        return pair.value
+
+    def get_or_default(self, key: Any, default: Any = None) -> Any:
+        pair = self._find_pair(key)
+        return default if pair is None else pair.value
+
+    @throws(NoSuchElementError)
+    def first_key(self) -> Any:
+        """The smallest key."""
+        if self.is_empty():
+            raise NoSuchElementError("first_key() on empty map")
+        return self._tree.minimum().key
+
+    @throws(NoSuchElementError)
+    def last_key(self) -> Any:
+        """The largest key."""
+        if self.is_empty():
+            raise NoSuchElementError("last_key() on empty map")
+        return self._tree.maximum().key
+
+    # -- updates -----------------------------------------------------------
+
+    @throws(IllegalElementError)
+    def put(self, key: Any, value: Any) -> Optional[Any]:
+        """Insert or replace a mapping; return the previous value.
+
+        Conditionally failure non-atomic: all mutation is delegated to
+        the tree, so masking the tree's methods makes ``put`` atomic.
+        """
+        self._check_element(value)
+        pair = self._find_pair(key)
+        if pair is not None:
+            old = pair.value
+            pair.value = value
+            self._bump_version()
+            return old
+        self._tree.insert(KVPair(key, value))
+        self._bump_version()
+        return None
+
+    @throws(NoSuchElementError)
+    def remove_key(self, key: Any) -> Any:
+        """Remove a mapping; return its value."""
+        pair = self._find_pair(key)
+        if pair is None:
+            raise NoSuchElementError(f"no mapping for {key!r}")
+        self._tree.remove(pair)
+        self._bump_version()
+        return pair.value
+
+    @throws(IllegalElementError)
+    def update(self, mapping) -> None:
+        """Put every (key, value) (partial progress on failure: pure)."""
+        for key, value in mapping.items():
+            self.put(key, value)
+
+    def clear(self) -> None:
+        self._tree.clear()
+        self._bump_version()
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_pair(self, key: Any) -> Optional[KVPair]:
+        probe = KVPair(key)
+        cell = self._tree._find(probe)
+        if cell is self._tree._nil:
+            return None
+        return cell.element
+
+    def check_implementation(self) -> None:
+        self._tree.check_implementation()
+        keys = self.keys()
+        for earlier, later in zip(keys, keys[1:]):
+            if self._compare_keys(earlier, later) >= 0:
+                from .errors import CorruptedStateError
+
+                raise CorruptedStateError("keys not strictly ascending")

@@ -1,0 +1,385 @@
+"""Red-black tree (``RBTree``): a balanced ordered bag of elements.
+
+A CLRS-style red-black tree with parent pointers and a per-tree NIL
+sentinel.  Rebalancing runs through instrumented helper methods
+(rotations, fixups), so the injection campaign can interrupt an insertion
+or deletion *between* structural steps — the situation where a half
+rebalanced tree is reachable from the caller and rollback genuinely
+matters.  ``check_implementation`` verifies all four red-black invariants
+and is used heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.core.exceptions import throws
+
+from .base import UpdatableCollection
+from .errors import (
+    CorruptedStateError,
+    EmptyCollectionError,
+    NoSuchElementError,
+)
+
+__all__ = ["RBCell", "RBTree", "RED", "BLACK"]
+
+RED = True
+BLACK = False
+
+#: Three-way comparator: negative, zero, positive like ``cmp``.
+Comparator = Callable[[Any, Any], int]
+
+
+def default_comparator(a: Any, b: Any) -> int:
+    """Natural ordering via ``<``/``>``."""
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class RBCell:
+    """One node of a red-black tree."""
+
+    __slots__ = ("element", "left", "right", "parent", "color")
+
+    def __init__(self, element: Any) -> None:
+        self.element = element
+        self.left: Optional["RBCell"] = None
+        self.right: Optional["RBCell"] = None
+        self.parent: Optional["RBCell"] = None
+        self.color = RED
+
+
+class RBTree(UpdatableCollection):
+    """An ordered bag of elements balanced as a red-black tree."""
+
+    def __init__(self, comparator: Optional[Comparator] = None, screener=None):
+        super().__init__(screener)
+        self._compare = comparator or default_comparator
+        nil = RBCell(None)
+        nil.color = BLACK
+        nil.left = nil
+        nil.right = nil
+        nil.parent = nil
+        self._nil = nil
+        self._root = nil
+
+    # -- queries ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        """In-order traversal (ascending), iterative to bound stack use."""
+        stack: List[RBCell] = []
+        cell = self._root
+        while stack or cell is not self._nil:
+            while cell is not self._nil:
+                stack.append(cell)
+                cell = cell.left
+            cell = stack.pop()
+            yield cell.element
+            cell = cell.right
+
+    def contains(self, element: Any) -> bool:
+        return self._find(element) is not self._nil
+
+    @throws(EmptyCollectionError)
+    def minimum(self) -> Any:
+        if self._root is self._nil:
+            raise EmptyCollectionError("minimum() on empty tree")
+        return self._subtree_min(self._root).element
+
+    @throws(EmptyCollectionError)
+    def maximum(self) -> Any:
+        if self._root is self._nil:
+            raise EmptyCollectionError("maximum() on empty tree")
+        cell = self._root
+        while cell.right is not self._nil:
+            cell = cell.right
+        return cell.element
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (0 for empty)."""
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            cell, depth = stack.pop()
+            if cell is self._nil:
+                best = max(best, depth)
+                continue
+            stack.append((cell.left, depth + 1))
+            stack.append((cell.right, depth + 1))
+        return best
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, element: Any) -> None:
+        """Insert an element (duplicates allowed, they lean left).
+
+        Legacy ordering: the count is bumped before the cell allocation
+        and the fixup — both fallible — run.
+        """
+        self._check_element(element)
+        self._count += 1  # legacy: counted before the fallible steps
+        cell = RBCell(element)
+        cell.left = self._nil
+        cell.right = self._nil
+        parent = self._nil
+        walk = self._root
+        while walk is not self._nil:
+            parent = walk
+            if self._compare(element, walk.element) <= 0:
+                walk = walk.left
+            else:
+                walk = walk.right
+        cell.parent = parent
+        if parent is self._nil:
+            self._root = cell
+        elif self._compare(element, parent.element) <= 0:
+            parent.left = cell
+        else:
+            parent.right = cell
+        self._insert_fixup(cell)
+        self._bump_version()
+
+    @throws(NoSuchElementError)
+    def remove(self, element: Any) -> None:
+        """Remove one occurrence of *element* (safe ordering up front)."""
+        cell = self._find(element)
+        if cell is self._nil:
+            raise NoSuchElementError(f"{element!r} not in tree")
+        self._delete_cell(cell)
+        self._count -= 1
+        self._bump_version()
+
+    @throws(EmptyCollectionError)
+    def take_minimum(self) -> Any:
+        """Remove and return the smallest element.
+
+        Legacy ordering: the count is decremented before the structural
+        deletion (the fallible fixup path).
+        """
+        if self._root is self._nil:
+            raise EmptyCollectionError("take_minimum() on empty tree")
+        self._count -= 1  # legacy: decremented first
+        cell = self._subtree_min(self._root)
+        self._delete_cell(cell)
+        self._bump_version()
+        return cell.element
+
+    def extend(self, elements) -> None:
+        """Insert every element (partial progress on failure: pure)."""
+        for element in elements:
+            self.insert(element)
+
+    def clear(self) -> None:
+        self._root = self._nil
+        self._count = 0
+        self._bump_version()
+
+    # -- search helpers ------------------------------------------------------
+
+    def _find(self, element: Any) -> RBCell:
+        cell = self._root
+        while cell is not self._nil:
+            order = self._compare(element, cell.element)
+            if order == 0:
+                return cell
+            cell = cell.left if order < 0 else cell.right
+        return self._nil
+
+    def _subtree_min(self, cell: RBCell) -> RBCell:
+        while cell.left is not self._nil:
+            cell = cell.left
+        return cell
+
+    # -- structural helpers ----------------------------------------------------
+
+    def _rotate_left(self, pivot: RBCell) -> None:
+        """Left rotation around *pivot* (pivot.right becomes its parent)."""
+        riser = pivot.right
+        pivot.right = riser.left
+        if riser.left is not self._nil:
+            riser.left.parent = pivot
+        riser.parent = pivot.parent
+        if pivot.parent is self._nil:
+            self._root = riser
+        elif pivot is pivot.parent.left:
+            pivot.parent.left = riser
+        else:
+            pivot.parent.right = riser
+        riser.left = pivot
+        pivot.parent = riser
+
+    def _rotate_right(self, pivot: RBCell) -> None:
+        """Right rotation around *pivot* (mirror of :meth:`_rotate_left`)."""
+        riser = pivot.left
+        pivot.left = riser.right
+        if riser.right is not self._nil:
+            riser.right.parent = pivot
+        riser.parent = pivot.parent
+        if pivot.parent is self._nil:
+            self._root = riser
+        elif pivot is pivot.parent.right:
+            pivot.parent.right = riser
+        else:
+            pivot.parent.left = riser
+        riser.right = pivot
+        pivot.parent = riser
+
+    def _insert_fixup(self, cell: RBCell) -> None:
+        """Restore red-black invariants after inserting a red *cell*."""
+        while cell.parent.color == RED:
+            grandparent = cell.parent.parent
+            if cell.parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle.color == RED:
+                    cell.parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    cell = grandparent
+                else:
+                    if cell is cell.parent.right:
+                        cell = cell.parent
+                        self._rotate_left(cell)
+                    cell.parent.color = BLACK
+                    grandparent.color = RED
+                    self._rotate_right(grandparent)
+            else:
+                uncle = grandparent.left
+                if uncle.color == RED:
+                    cell.parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    cell = grandparent
+                else:
+                    if cell is cell.parent.left:
+                        cell = cell.parent
+                        self._rotate_right(cell)
+                    cell.parent.color = BLACK
+                    grandparent.color = RED
+                    self._rotate_left(grandparent)
+        self._root.color = BLACK
+
+    def _transplant(self, old: RBCell, new: RBCell) -> None:
+        """Replace subtree *old* with subtree *new* in old's parent."""
+        if old.parent is self._nil:
+            self._root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        new.parent = old.parent
+
+    def _delete_cell(self, cell: RBCell) -> None:
+        """CLRS red-black deletion of *cell*, then sentinel cleanup."""
+        removed_color_holder = cell
+        removed_color = cell.color
+        if cell.left is self._nil:
+            successor_child = cell.right
+            self._transplant(cell, cell.right)
+        elif cell.right is self._nil:
+            successor_child = cell.left
+            self._transplant(cell, cell.left)
+        else:
+            successor = self._subtree_min(cell.right)
+            removed_color = successor.color
+            successor_child = successor.right
+            if successor.parent is cell:
+                successor_child.parent = successor
+            else:
+                self._transplant(successor, successor.right)
+                successor.right = cell.right
+                successor.right.parent = successor
+            self._transplant(cell, successor)
+            successor.left = cell.left
+            successor.left.parent = successor
+            successor.color = cell.color
+        if removed_color == BLACK:
+            self._delete_fixup(successor_child)
+        # detach the sentinel from whatever the fixup hung it on, so two
+        # logically equal trees always have equal object graphs
+        self._nil.parent = self._nil
+        del removed_color_holder
+
+    def _delete_fixup(self, cell: RBCell) -> None:
+        """Restore invariants after removing a black cell."""
+        while cell is not self._root and cell.color == BLACK:
+            if cell is cell.parent.left:
+                sibling = cell.parent.right
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    cell.parent.color = RED
+                    self._rotate_left(cell.parent)
+                    sibling = cell.parent.right
+                if sibling.left.color == BLACK and sibling.right.color == BLACK:
+                    sibling.color = RED
+                    cell = cell.parent
+                else:
+                    if sibling.right.color == BLACK:
+                        sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = cell.parent.right
+                    sibling.color = cell.parent.color
+                    cell.parent.color = BLACK
+                    sibling.right.color = BLACK
+                    self._rotate_left(cell.parent)
+                    cell = self._root
+            else:
+                sibling = cell.parent.left
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    cell.parent.color = RED
+                    self._rotate_right(cell.parent)
+                    sibling = cell.parent.left
+                if sibling.right.color == BLACK and sibling.left.color == BLACK:
+                    sibling.color = RED
+                    cell = cell.parent
+                else:
+                    if sibling.left.color == BLACK:
+                        sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = cell.parent.left
+                    sibling.color = cell.parent.color
+                    cell.parent.color = BLACK
+                    sibling.left.color = BLACK
+                    self._rotate_right(cell.parent)
+                    cell = self._root
+        cell.color = BLACK
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_implementation(self) -> None:
+        """Verify the four red-black invariants, ordering, and the count."""
+        if self._root.color != BLACK and self._root is not self._nil:
+            raise CorruptedStateError("root is not black")
+        count = self._check_subtree(self._root, None, None)[1]
+        if count != self._count:
+            raise CorruptedStateError(
+                f"count {self._count} but {count} reachable cells"
+            )
+
+    def _check_subtree(self, cell, low, high):
+        """Return (black_height, node_count) of the subtree at *cell*."""
+        if cell is self._nil:
+            return (1, 0)
+        element = cell.element
+        if low is not None and self._compare(element, low) < 0:
+            raise CorruptedStateError("ordering violated (too small)")
+        if high is not None and self._compare(element, high) > 0:
+            raise CorruptedStateError("ordering violated (too large)")
+        if cell.color == RED:
+            if cell.left.color == RED or cell.right.color == RED:
+                raise CorruptedStateError("red cell with red child")
+        for child in (cell.left, cell.right):
+            if child is not self._nil and child.parent is not cell:
+                raise CorruptedStateError("broken parent pointer")
+        left_black, left_count = self._check_subtree(cell.left, low, element)
+        right_black, right_count = self._check_subtree(cell.right, element, high)
+        if left_black != right_black:
+            raise CorruptedStateError("black heights differ")
+        black = left_black + (1 if cell.color == BLACK else 0)
+        return (black, left_count + right_count + 1)

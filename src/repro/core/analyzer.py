@@ -1,0 +1,197 @@
+"""Method discovery and per-method exception specifications (Step 1).
+
+The paper's Analyzer determines which methods a program calls and, for
+each, the exceptions that may be thrown: every exception *declared* in the
+method's signature plus the generic runtime exceptions any method may
+raise.  From that it derives the injection wrapper with ``n`` potential
+injection points (Listing 1).
+
+Here the Analyzer inspects Python classes and modules directly.  Declared
+exceptions come from the :func:`repro.core.exceptions.throws` decorator;
+the runtime repertoire defaults to
+:data:`repro.core.exceptions.DEFAULT_RUNTIME_EXCEPTIONS`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .exceptions import (
+    DEFAULT_RUNTIME_EXCEPTIONS,
+    declared_exceptions,
+    is_exception_free,
+)
+from .runlog import MethodKey
+
+__all__ = ["MethodSpec", "Analyzer", "method_key"]
+
+#: Kinds of callables the Analyzer distinguishes.
+KIND_METHOD = "method"
+KIND_CONSTRUCTOR = "constructor"
+KIND_STATIC = "staticmethod"
+KIND_CLASSMETHOD = "classmethod"
+KIND_FUNCTION = "function"
+
+
+def method_key(owner: Optional[type], name: str) -> MethodKey:
+    """Build the ``"Class.method"`` key used throughout logs and reports."""
+    if owner is None:
+        return name
+    return f"{owner.__name__}.{name}"
+
+
+@dataclass
+class MethodSpec:
+    """Everything the weaver needs to wrap one method.
+
+    Attributes:
+        owner: defining class, or None for free functions.
+        name: attribute name of the method on its owner.
+        func: the underlying plain function.
+        key: stable identifier (``"Class.method"``).
+        kind: one of method/constructor/staticmethod/classmethod/function.
+        exceptions: the injection repertoire ``E1 ... En`` — declared
+            exceptions first, then the generic runtime exceptions.  Its
+            length is the number of potential injection points in the
+            method's wrapper.
+        exception_free: True if the programmer asserted the method never
+            raises (used by the policy layer, not by detection itself).
+    """
+
+    owner: Optional[type]
+    name: str
+    func: Callable
+    key: MethodKey
+    kind: str
+    exceptions: Tuple[Type[BaseException], ...]
+    exception_free: bool = False
+
+    @property
+    def injection_point_count(self) -> int:
+        return len(self.exceptions)
+
+    @property
+    def has_receiver(self) -> bool:
+        """True if calls carry an instance receiver as first argument."""
+        return self.kind in (KIND_METHOD, KIND_CONSTRUCTOR)
+
+
+#: Dunder methods that are never instrumented.  Wrapping operations the
+#: capture/compare machinery itself relies on (``__repr__``, ``__eq__``,
+#: ``__hash__``, ``__iter__``, ...) would make the observer part of the
+#: experiment; the paper's Java flavor has the same restriction for core
+#: runtime entry points.
+_EXCLUDED_DUNDERS_KEEP = frozenset({"__init__"})
+
+
+class Analyzer:
+    """Discovers methods and derives their injection repertoires.
+
+    Args:
+        runtime_exceptions: generic exception types injected into every
+            method in addition to its declared exceptions.
+        include_private: also instrument ``_underscore`` helpers.  The
+            default is True because internal helpers are exactly where
+            conditional non-atomicity originates.
+        include_dunders: instrument dunder methods other than
+            ``__init__``.  Off by default (see note above).
+    """
+
+    def __init__(
+        self,
+        runtime_exceptions: Sequence[Type[BaseException]] = DEFAULT_RUNTIME_EXCEPTIONS,
+        *,
+        include_private: bool = True,
+        include_dunders: bool = False,
+        exclude: Iterable[str] = (),
+    ) -> None:
+        self.runtime_exceptions = tuple(runtime_exceptions)
+        self.include_private = include_private
+        self.include_dunders = include_dunders
+        #: Methods never instrumented, by name or "Class.method" key — the
+        #: analog of the paper's web-interface exclusions (Section 4.3).
+        self.exclude = frozenset(exclude)
+
+    # -- public API ----------------------------------------------------
+
+    def analyze_class(self, cls: type) -> List[MethodSpec]:
+        """Return specs for every instrumentable method defined by *cls*.
+
+        Only methods defined directly in the class body are returned;
+        inherited methods belong to (and are instrumented on) the class
+        that defines them, exactly as the paper instruments each defining
+        class once and lets inheritance reuse the wrappers.
+        """
+        specs: List[MethodSpec] = []
+        for name, raw in vars(cls).items():
+            spec = self._spec_for_member(cls, name, raw)
+            if spec is not None:
+                specs.append(spec)
+        specs.sort(key=lambda s: s.name)
+        return specs
+
+    def analyze_classes(self, classes: Iterable[type]) -> List[MethodSpec]:
+        specs: List[MethodSpec] = []
+        for cls in classes:
+            specs.extend(self.analyze_class(cls))
+        return specs
+
+    def analyze_function(self, func: Callable, *, name: Optional[str] = None) -> MethodSpec:
+        """Spec for a free function."""
+        fname = name or func.__name__
+        return MethodSpec(
+            owner=None,
+            name=fname,
+            func=func,
+            key=fname,
+            kind=KIND_FUNCTION,
+            exceptions=self._repertoire(func),
+            exception_free=is_exception_free(func),
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _spec_for_member(
+        self, cls: type, name: str, raw: object
+    ) -> Optional[MethodSpec]:
+        if not self._name_allowed(name):
+            return None
+        if name in self.exclude or method_key(cls, name) in self.exclude:
+            return None
+        if isinstance(raw, staticmethod):
+            return self._make_spec(cls, name, raw.__func__, KIND_STATIC)
+        if isinstance(raw, classmethod):
+            return self._make_spec(cls, name, raw.__func__, KIND_CLASSMETHOD)
+        if inspect.isfunction(raw):
+            kind = KIND_CONSTRUCTOR if name == "__init__" else KIND_METHOD
+            return self._make_spec(cls, name, raw, kind)
+        return None  # properties, descriptors, nested classes, class attrs
+
+    def _name_allowed(self, name: str) -> bool:
+        if name.startswith("__") and name.endswith("__"):
+            return name in _EXCLUDED_DUNDERS_KEEP or self.include_dunders
+        if name.startswith("_"):
+            return self.include_private
+        return True
+
+    def _make_spec(
+        self, cls: type, name: str, func: Callable, kind: str
+    ) -> MethodSpec:
+        return MethodSpec(
+            owner=cls,
+            name=name,
+            func=func,
+            key=method_key(cls, name),
+            kind=kind,
+            exceptions=self._repertoire(func),
+            exception_free=is_exception_free(func),
+        )
+
+    def _repertoire(self, func: Callable) -> Tuple[Type[BaseException], ...]:
+        repertoire: List[Type[BaseException]] = list(declared_exceptions(func))
+        for exc in self.runtime_exceptions:
+            if exc not in repertoire:
+                repertoire.append(exc)
+        return tuple(repertoire)

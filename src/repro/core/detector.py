@@ -1,0 +1,172 @@
+"""The detection campaign driver (Step 3 of Figure 1).
+
+The exception injector program is executed repeatedly: the threshold
+``InjectionPoint`` is incremented before each execution so that every run
+injects exactly one exception, at a different point.  The driver first
+performs a *profiling* run (threshold 0, nothing fires) to count the total
+number of potential injection points and to collect per-method call
+counts, then sweeps the threshold over ``1..N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Protocol, runtime_checkable
+
+from .exceptions import InjectionAbort, is_injected
+from .injection import InjectionCampaign
+from .runlog import RunLog
+
+__all__ = ["Program", "Detector", "DetectionResult", "DetectionError"]
+
+
+@runtime_checkable
+class Program(Protocol):
+    """A re-runnable test program.
+
+    Every invocation must execute the same deterministic workload on
+    *fresh* state (construct the objects inside the call), because the
+    detection phase re-executes the program once per injection point.
+    """
+
+    name: str
+
+    def __call__(self) -> None: ...
+
+
+class DetectionError(RuntimeError):
+    """Raised when the test program misbehaves during a campaign."""
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one detection campaign."""
+
+    program: str
+    log: RunLog
+    total_points: int
+    runs_executed: int
+    genuine_failures: List[str] = field(default_factory=list)
+
+    @property
+    def total_injections(self) -> int:
+        """Number of runs in which an exception was injected (Table 1)."""
+        return self.log.total_injections()
+
+
+class Detector:
+    """Runs the injector program once per injection point.
+
+    Args:
+        program: the (already woven) test program.
+        campaign: the campaign whose wrappers instrument the program's
+            classes.
+        stride: sample every *stride*-th injection point instead of all of
+            them.  The paper sweeps every point; a stride > 1 trades
+            completeness for speed and is used by some benchmarks.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        campaign: InjectionCampaign,
+        *,
+        stride: int = 1,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        """
+        Args:
+            progress: optional ``(runs_done, runs_total)`` callback invoked
+                after every run — long campaigns (large workloads, scale >
+                1) are otherwise silent for minutes.
+        """
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.program = program
+        self.campaign = campaign
+        self.stride = stride
+        self.progress = progress
+
+    def profile(self) -> int:
+        """Count injection points and record call counts (no injection)."""
+        self.campaign.begin_profile()
+        try:
+            self.program()
+        except BaseException as exc:
+            raise DetectionError(
+                f"program {self.program.name!r} failed during profiling: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            total = self.campaign.end_profile()
+        return total
+
+    def detect(
+        self,
+        *,
+        injection_points: Optional[Iterable[int]] = None,
+        baseline_run: bool = True,
+    ) -> DetectionResult:
+        """Run the full campaign and return its result.
+
+        Args:
+            injection_points: explicit points to inject at; defaults to
+                every point discovered by the profiling run (optionally
+                thinned by ``stride``).
+            baseline_run: additionally execute the program once with the
+                threshold beyond the last point.  Nothing is injected, but
+                the wrappers still capture and compare state, so methods
+                that raise *genuine* exceptions are marked too (Listing 1
+                intercepts all exceptions, not only injected ones).  Runs
+                that abort at an early injection never reach later genuine
+                failures; the baseline run observes them.
+        """
+        total = self.profile()
+        if injection_points is None:
+            points: List[int] = list(range(1, total + 1, self.stride))
+        else:
+            points = list(injection_points)
+        if baseline_run:
+            points.append(total + 1)
+        genuine_failures: List[str] = []
+        runs = 0
+        for injection_point in points:
+            record = self.campaign.begin_run(injection_point)
+            completed = False
+            escaped = False
+            try:
+                self.program()
+                completed = True
+            except InjectionAbort:
+                pass
+            except BaseException as exc:
+                escaped = is_injected(exc)
+                if not escaped:
+                    # A genuine (non-injected) failure escaping the program
+                    # is a robustness finding of its own; record and go on.
+                    genuine_failures.append(
+                        f"point={injection_point}: {type(exc).__name__}: {exc}"
+                    )
+            finally:
+                self.campaign.end_run(completed=completed, escaped=escaped)
+            runs += 1
+            if self.progress is not None:
+                self.progress(runs, len(points))
+        return DetectionResult(
+            program=self.program.name,
+            log=self.campaign.log,
+            total_points=total,
+            runs_executed=runs,
+            genuine_failures=genuine_failures,
+        )
+
+
+@dataclass
+class CallableProgram:
+    """Adapter turning a plain callable into a :class:`Program`."""
+
+    name: str
+    body: Callable[[], None]
+
+    def __call__(self) -> None:
+        self.body()

@@ -1,0 +1,151 @@
+"""Exception declarations and the injected-exception protocol.
+
+The paper's Analyzer derives, for every method ``m``, the set of exception
+types to inject: the exceptions *declared* in the method's signature
+(``throw(E1, ..., Ek)`` in C++, ``throws`` clauses in Java) plus generic
+*runtime* exceptions that any method may raise (Section 4.1, Step 1).
+
+Python has no exception specifications, so this module supplies the
+declared/runtime split explicitly:
+
+* :func:`throws` — a decorator recording the exceptions a method is
+  declared to raise (the analog of a ``throws`` clause).
+* :func:`exception_free` — marks a method the programmer asserts can never
+  raise (the paper's web-interface annotation, Section 4.3 third case).
+* :data:`DEFAULT_RUNTIME_EXCEPTIONS` — the generic runtime exceptions
+  injected into every method, standing in for ``RuntimeException`` /
+  unchecked C++ exceptions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Type
+
+__all__ = [
+    "InjectedRuntimeError",
+    "ResourceExhaustedError",
+    "InjectionAbort",
+    "throws",
+    "exception_free",
+    "declared_exceptions",
+    "is_exception_free",
+    "make_injected",
+    "is_injected",
+    "DEFAULT_RUNTIME_EXCEPTIONS",
+    "THROWS_ATTR",
+    "EXCEPTION_FREE_ATTR",
+]
+
+THROWS_ATTR = "_repro_throws"
+EXCEPTION_FREE_ATTR = "_repro_exception_free"
+INJECTED_ATTR = "_repro_injected"
+
+
+class InjectedRuntimeError(RuntimeError):
+    """Generic runtime exception injected into undeclared methods.
+
+    Stands in for the unchecked exceptions (``RuntimeException``, C++
+    runtime errors) that the paper injects into every method regardless of
+    its declared signature.
+    """
+
+
+class ResourceExhaustedError(InjectedRuntimeError):
+    """Models resource-depletion failures (memory, handles, buffers)."""
+
+
+class InjectionAbort(BaseException):
+    """Internal control-flow exception for aborting an injection run.
+
+    Derives from :class:`BaseException` so that application-level
+    ``except Exception`` handlers cannot swallow it.  Raised only by the
+    detection driver, never by injection wrappers.
+    """
+
+
+def throws(*exception_types: Type[BaseException]) -> Callable:
+    """Declare the exceptions a function may raise.
+
+    This is the Python analog of a checked ``throws`` clause::
+
+        @throws(KeyError, CapacityError)
+        def insert(self, key, value): ...
+
+    The Analyzer injects each declared type (plus the generic runtime
+    types) at the corresponding injection point of the method's wrapper.
+    """
+    for exc in exception_types:
+        if not (isinstance(exc, type) and issubclass(exc, BaseException)):
+            raise TypeError(f"not an exception type: {exc!r}")
+
+    def decorate(func: Callable) -> Callable:
+        existing: Tuple[type, ...] = getattr(func, THROWS_ATTR, ())
+        merged = list(existing)
+        for exc in exception_types:
+            if exc not in merged:
+                merged.append(exc)
+        setattr(func, THROWS_ATTR, tuple(merged))
+        return func
+
+    return decorate
+
+
+def exception_free(func: Callable) -> Callable:
+    """Assert that *func* can never raise an exception at runtime.
+
+    The detection phase still instruments the method, but the policy layer
+    (Section 4.3) discards runs whose injection occurred inside an
+    exception-free method, re-classifying callers that were non-atomic
+    solely because of such impossible injections.
+    """
+    setattr(func, EXCEPTION_FREE_ATTR, True)
+    return func
+
+
+def declared_exceptions(func: Callable) -> Tuple[Type[BaseException], ...]:
+    """Return the exception types declared on *func* via :func:`throws`."""
+    return tuple(getattr(func, THROWS_ATTR, ()))
+
+
+def is_exception_free(func: Callable) -> bool:
+    """True if *func* was marked with :func:`exception_free`."""
+    return bool(getattr(func, EXCEPTION_FREE_ATTR, False))
+
+
+#: Runtime exceptions injected into every method (undeclared failures).
+DEFAULT_RUNTIME_EXCEPTIONS: Tuple[Type[BaseException], ...] = (
+    InjectedRuntimeError,
+)
+
+
+def make_injected(
+    exc_type: Type[BaseException],
+    *,
+    method: str,
+    injection_point: int,
+) -> BaseException:
+    """Instantiate an exception of *exc_type* tagged as injected.
+
+    The tag lets the detection driver distinguish an injected fault that
+    propagated to the top of the program from a genuine application error.
+    """
+    message = f"[injected@{injection_point}] in {method}"
+    try:
+        exc = exc_type(message)
+    except TypeError:
+        exc = exc_type()
+    try:
+        setattr(exc, INJECTED_ATTR, (method, injection_point))
+    except (AttributeError, TypeError):
+        pass  # exceptions with __slots__: identification falls back to the log
+    return exc
+
+
+def is_injected(exc: BaseException) -> bool:
+    """True if *exc* was created by :func:`make_injected`."""
+    return getattr(exc, INJECTED_ATTR, None) is not None
+
+
+def injected_origin(exc: BaseException) -> Optional[Tuple[str, int]]:
+    """Return ``(method, injection_point)`` for an injected exception."""
+    return getattr(exc, INJECTED_ATTR, None)

@@ -1,0 +1,308 @@
+"""The masking phase: atomicity wrappers (Listing 2, Steps 4 and 5).
+
+An atomicity wrapper checkpoints the receiver's object graph before
+calling the wrapped method; if the method exits with an exception, the
+wrapper restores the checkpointed state *in place* and re-throws.  Callers
+therefore observe failure atomic behavior: either the method completed, or
+the object graph is exactly what it was before the call.
+
+:class:`Masker` drives Steps 4–5: given a classification and a policy, it
+weaves atomicity wrappers for exactly the methods that need them (by
+default the *pure* failure non-atomic ones — conditional methods become
+atomic for free once their callees are masked, Section 4.3).
+
+:func:`failure_atomic` is the standalone decorator form for programmers
+who want the "checkpoint, execute, roll back on exception" idiom directly.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .analyzer import Analyzer, MethodSpec
+from .classify import ClassificationResult
+from .objgraph import is_opaque, is_scalar
+from .policy import WrapPolicy, select_methods_to_wrap
+from .runlog import MethodKey
+from .snapshot import checkpoint
+from .weaver import Weaver
+
+__all__ = [
+    "MaskingStats",
+    "make_atomicity_wrapper",
+    "Masker",
+    "failure_atomic",
+    "atomic_block",
+]
+
+
+@dataclass
+class MaskingStats:
+    """Counters kept by atomicity wrappers (used by the overhead benches)."""
+
+    wrapped_calls: int = 0
+    rollbacks: int = 0
+    checkpointed_objects: int = 0
+    per_method_calls: Dict[MethodKey, int] = field(default_factory=dict)
+    per_method_rollbacks: Dict[MethodKey, int] = field(default_factory=dict)
+
+    def note_call(self, method: MethodKey, recorded: int) -> None:
+        self.wrapped_calls += 1
+        self.checkpointed_objects += recorded
+        self.per_method_calls[method] = self.per_method_calls.get(method, 0) + 1
+
+    def note_rollback(self, method: MethodKey) -> None:
+        self.rollbacks += 1
+        self.per_method_rollbacks[method] = (
+            self.per_method_rollbacks.get(method, 0) + 1
+        )
+
+
+def _mutable_roots(
+    has_receiver: bool,
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    checkpoint_args: bool,
+) -> List[Any]:
+    roots: List[Any] = []
+    positional = args
+    if has_receiver and args:
+        roots.append(args[0])
+        positional = args[1:]
+    if checkpoint_args:
+        for value in positional:
+            if not is_scalar(value) and not is_opaque(value):
+                roots.append(value)
+        for name in sorted(kwargs):
+            value = kwargs[name]
+            if not is_scalar(value) and not is_opaque(value):
+                roots.append(value)
+    return roots
+
+
+def make_atomicity_wrapper(
+    spec: MethodSpec,
+    *,
+    stats: Optional[MaskingStats] = None,
+    checkpoint_args: bool = True,
+    ignore_attrs: Optional[Callable[[str], bool]] = None,
+    max_objects: Optional[int] = None,
+) -> Callable:
+    """Build the atomicity wrapper of Listing 2 for one method.
+
+    Args:
+        max_objects: optional checkpoint budget; a receiver whose
+            reachable state exceeds it fails the call with
+            :class:`~repro.core.snapshot.CheckpointError` *before* the
+            method runs (an explicit bound on the paper's "no upper bound
+            on the size of objects", §6.2).
+    """
+    original = spec.func
+    has_receiver = spec.has_receiver
+
+    @functools.wraps(original)
+    def atomic_m(*args: Any, **kwargs: Any) -> Any:
+        roots = _mutable_roots(has_receiver, args, kwargs, checkpoint_args)
+        saved = checkpoint(
+            *roots, ignore_attrs=ignore_attrs, max_objects=max_objects
+        )
+        if stats is not None:
+            stats.note_call(spec.key, saved.recorded_count)
+        try:
+            return original(*args, **kwargs)
+        except BaseException:
+            saved.restore()
+            if stats is not None:
+                stats.note_rollback(spec.key)
+            raise
+
+    atomic_m._repro_wrapped = original  # type: ignore[attr-defined]
+    atomic_m._repro_spec = spec  # type: ignore[attr-defined]
+    atomic_m._repro_kind = "atomicity"  # type: ignore[attr-defined]
+    return atomic_m
+
+
+class Masker:
+    """Applies the masking phase to a set of classes.
+
+    Args:
+        methods: the methods to wrap, normally the output of
+            :func:`repro.core.policy.select_methods_to_wrap`.
+        stats: optional shared counters.
+        analyzer: method discovery; defaults to a fresh :class:`Analyzer`.
+
+    The masker is a context manager; on exit it unweaves every wrapper,
+    restoring the original classes.
+    """
+
+    def __init__(
+        self,
+        methods: Iterable[MethodKey],
+        *,
+        stats: Optional[MaskingStats] = None,
+        analyzer: Optional[Analyzer] = None,
+        checkpoint_args: bool = True,
+        ignore_attrs: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.methods = set(methods)
+        self.stats = stats if stats is not None else MaskingStats()
+        self._checkpoint_args = checkpoint_args
+        self._ignore_attrs = ignore_attrs
+        self._weaver = Weaver(self._factory, analyzer)
+        self.wrapped: List[MethodKey] = []
+
+    @classmethod
+    def from_classification(
+        cls,
+        classification: ClassificationResult,
+        policy: Optional[WrapPolicy] = None,
+        **kwargs: Any,
+    ) -> "Masker":
+        """Masker for the methods a classification + policy selects."""
+        policy = policy or WrapPolicy()
+        return cls(select_methods_to_wrap(classification, policy), **kwargs)
+
+    def _factory(self, spec: MethodSpec) -> Callable:
+        return make_atomicity_wrapper(
+            spec,
+            stats=self.stats,
+            checkpoint_args=self._checkpoint_args,
+            ignore_attrs=self._ignore_attrs,
+        )
+
+    def mask_class(self, cls: type) -> List[MethodKey]:
+        """Wrap the selected methods that *cls* defines; return their keys."""
+        analyzer = self._weaver._analyzer
+        wanted = [
+            spec.name
+            for spec in analyzer.analyze_class(cls)
+            if spec.key in self.methods
+        ]
+        if not wanted:
+            return []
+        specs = self._weaver.weave_class(cls, methods=wanted)
+        keys = [spec.key for spec in specs]
+        self.wrapped.extend(keys)
+        return keys
+
+    def mask_module_functions(self, module) -> List[MethodKey]:
+        """Wrap the selected module-level functions of *module*."""
+        import inspect as _inspect
+
+        prefix = f"{module.__name__}."
+        wanted = [
+            name
+            for name, value in vars(module).items()
+            if _inspect.isfunction(value) and prefix + name in self.methods
+        ]
+        if not wanted:
+            return []
+        specs = self._weaver.weave_module_functions(module, functions=wanted)
+        keys = [spec.key for spec in specs]
+        self.wrapped.extend(keys)
+        return keys
+
+    def mask_classes(self, classes: Iterable[type]) -> List[MethodKey]:
+        keys: List[MethodKey] = []
+        for cls in classes:
+            keys.extend(self.mask_class(cls))
+        return keys
+
+    def unmask_all(self) -> None:
+        self._weaver.unweave_all()
+        self.wrapped.clear()
+
+    def __enter__(self) -> "Masker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unmask_all()
+
+
+class atomic_block:
+    """Failure atomicity for an arbitrary code block.
+
+    The block form of Listing 2: checkpoint the given objects on entry;
+    if the block exits with an exception, restore them in place and let
+    the exception propagate::
+
+        with atomic_block(account, ledger):
+            account.debit(amount)
+            ledger.append(entry)     # a failure rolls BOTH back
+
+    The checkpoint covers everything reachable from the listed objects,
+    with the same aliasing-preserving in-place restore the method
+    wrappers use.
+    """
+
+    def __init__(
+        self,
+        *objects: Any,
+        ignore_attrs: Optional[Callable[[str], bool]] = None,
+        max_objects: Optional[int] = None,
+    ) -> None:
+        if not objects:
+            raise ValueError("atomic_block needs at least one object")
+        self._objects = objects
+        self._ignore_attrs = ignore_attrs
+        self._max_objects = max_objects
+        self._saved: Optional[Any] = None
+        self.rolled_back = False
+
+    def __enter__(self) -> "atomic_block":
+        self._saved = checkpoint(
+            *self._objects,
+            ignore_attrs=self._ignore_attrs,
+            max_objects=self._max_objects,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self._saved is not None:
+            self._saved.restore()
+            self.rolled_back = True
+        self._saved = None
+        return False  # never swallow the exception
+
+
+def failure_atomic(
+    func: Optional[Callable] = None,
+    *,
+    checkpoint_args: bool = True,
+    ignore_attrs: Optional[Callable[[str], bool]] = None,
+    stats: Optional[MaskingStats] = None,
+) -> Callable:
+    """Decorator form of the atomicity wrapper.
+
+    Makes a method (or any function mutating its arguments) failure
+    atomic::
+
+        class Account:
+            @failure_atomic
+            def transfer(self, other, amount): ...
+
+    With no parentheses it decorates directly; with keyword arguments it
+    returns a configured decorator.
+    """
+
+    def decorate(target: Callable) -> Callable:
+        spec = MethodSpec(
+            owner=None,
+            name=target.__name__,
+            func=target,
+            key=getattr(target, "__qualname__", target.__name__),
+            kind="method",  # first positional argument is the receiver
+            exceptions=(),
+        )
+        return make_atomicity_wrapper(
+            spec,
+            stats=stats,
+            checkpoint_args=checkpoint_args,
+            ignore_attrs=ignore_attrs,
+        )
+
+    if func is not None:
+        return decorate(func)
+    return decorate

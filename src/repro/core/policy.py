@@ -1,0 +1,113 @@
+"""Wrap-or-not policies ("To Wrap or Not To Wrap", Section 4.3).
+
+The paper enumerates four situations in which a failure non-atomic method
+should *not* receive an atomicity wrapper:
+
+1. The non-atomic behavior is intentional — wrapping would change the
+   method's semantics (``never_wrap``).
+2. The programmer prefers to fix the method by hand, because a manual fix
+   (reordering statements, temporary variables) is cheaper than a wrapper
+   (``manual_fix``).
+3. The method was classified non-atomic solely because of exceptions
+   injected into methods the programmer knows to be exception-free;
+   discarding those impossible runs re-classifies it
+   (``exception_free`` + :func:`filter_log`).
+4. The method is *conditional* failure non-atomic: once its callees are
+   masked it is atomic by definition, so wrapping it would only add cost
+   (``wrap_conditional`` defaults to False).
+
+The paper exposes these choices through a web interface; here they are a
+plain policy object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set
+
+from .analyzer import MethodSpec
+from .classify import (
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+    ClassificationResult,
+    classify,
+)
+from .runlog import MethodKey, RunLog
+
+__all__ = ["WrapPolicy", "filter_log", "reclassify", "select_methods_to_wrap"]
+
+
+@dataclass
+class WrapPolicy:
+    """Programmer-supplied wrapping decisions.
+
+    Attributes:
+        never_wrap: methods whose non-atomic behavior is intended.
+        manual_fix: methods the programmer will rewrite by hand instead.
+        exception_free: methods asserted to never raise; injection runs
+            that fired inside them are discarded before classification.
+        wrap_conditional: also wrap conditional failure non-atomic
+            methods.  Off by default (case 4 above); turning it on is the
+            ablation measured by ``bench_ablation_conditional``.
+    """
+
+    never_wrap: Set[MethodKey] = field(default_factory=set)
+    manual_fix: Set[MethodKey] = field(default_factory=set)
+    exception_free: Set[MethodKey] = field(default_factory=set)
+    wrap_conditional: bool = False
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[MethodSpec]) -> "WrapPolicy":
+        """Build a policy whose exception-free set comes from
+        :func:`repro.core.exceptions.exception_free` annotations."""
+        return cls(
+            exception_free={s.key for s in specs if s.exception_free}
+        )
+
+    def merged_with(self, other: "WrapPolicy") -> "WrapPolicy":
+        return WrapPolicy(
+            never_wrap=self.never_wrap | other.never_wrap,
+            manual_fix=self.manual_fix | other.manual_fix,
+            exception_free=self.exception_free | other.exception_free,
+            wrap_conditional=self.wrap_conditional or other.wrap_conditional,
+        )
+
+
+def filter_log(log: RunLog, policy: WrapPolicy) -> RunLog:
+    """Drop runs whose injection fired inside an exception-free method.
+
+    Discarding those runs implements the paper's re-classification: any
+    method that was non-atomic *solely* because of impossible injections
+    loses all its non-atomic marks and becomes atomic again.
+    """
+    if not policy.exception_free:
+        return log
+    filtered = RunLog()
+    filtered.call_counts = dict(log.call_counts)
+    filtered.methods_seen = list(log.methods_seen)
+    filtered.runs = [
+        run
+        for run in log.runs
+        if run.injected_method not in policy.exception_free
+    ]
+    return filtered
+
+
+def reclassify(log: RunLog, policy: WrapPolicy) -> ClassificationResult:
+    """Classify after applying the policy's exception-free filtering."""
+    return classify(filter_log(log, policy))
+
+
+def select_methods_to_wrap(
+    classification: ClassificationResult, policy: WrapPolicy
+) -> List[MethodKey]:
+    """The methods the masking phase should wrap, per the policy."""
+    categories = {CATEGORY_PURE}
+    if policy.wrap_conditional:
+        categories.add(CATEGORY_CONDITIONAL)
+    excluded = policy.never_wrap | policy.manual_fix
+    return sorted(
+        key
+        for key, mc in classification.methods.items()
+        if mc.category in categories and key not in excluded
+    )

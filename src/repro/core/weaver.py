@@ -1,0 +1,322 @@
+"""Code weaving: route calls to wrappers instead of original methods.
+
+The paper implements Step 2 (and Step 5) with two technologies:
+
+* **Source code transformation** (C++): AspectC++ weaves wrapper aspects
+  into the program source, so every call site reaches the wrapper.  The
+  Python analog is weaving applied where the class is defined — the
+  :func:`weave_with` class decorator.
+* **Binary code transformation** (Java): the Java Wrapper Generator
+  instruments class bytecode *at load time* using BCEL, requiring no
+  source access.  The Python analog is :class:`LoadTimeWeaver`, an import
+  hook that instruments every class of a module the moment the module is
+  loaded.
+
+Both flavors funnel into :class:`Weaver`, which replaces methods on
+classes with wrapper functions and can undo the replacement.  Like the
+JVM, CPython refuses attribute assignment on builtin/extension types; the
+weaver surfaces this as :class:`WeavingError`, mirroring the paper's
+core-class limitation (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.abc
+import importlib.machinery
+import importlib.util
+import sys
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .analyzer import (
+    KIND_CLASSMETHOD,
+    KIND_STATIC,
+    Analyzer,
+    MethodSpec,
+)
+
+__all__ = [
+    "WeavingError",
+    "Weaver",
+    "weave_with",
+    "LoadTimeWeaver",
+    "WrapperFactory",
+]
+
+#: A wrapper factory receives a :class:`MethodSpec` and returns the plain
+#: function that should replace the original method.
+WrapperFactory = Callable[[MethodSpec], Callable]
+
+
+class WeavingError(RuntimeError):
+    """Raised when a class cannot be instrumented (e.g. builtin types)."""
+
+
+#: CPython marks classes created at runtime (from Python code) as "heap
+#: types"; builtin and C-extension types lack the flag and reject method
+#: replacement — the analog of the JVM's uninstrumentable core classes.
+_Py_TPFLAGS_HEAPTYPE = 1 << 9
+
+
+@dataclass
+class _Replacement:
+    cls: type
+    name: str
+    original: object
+
+
+class Weaver:
+    """Replaces methods on classes with wrappers, reversibly.
+
+    Args:
+        wrapper_factory: builds the replacement function for each method
+            spec.  The detection phase passes an injection-wrapper
+            factory, the masking phase an atomicity-wrapper factory.
+        analyzer: discovers the methods of each class; a default
+            :class:`Analyzer` is used if omitted.
+
+    A weaver is also a context manager: on exit it restores every
+    replaced method, which keeps instrumentation hermetic in test suites.
+    """
+
+    def __init__(
+        self,
+        wrapper_factory: WrapperFactory,
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self._factory = wrapper_factory
+        self._analyzer = analyzer or Analyzer()
+        self._replacements: List[_Replacement] = []
+        self._woven_specs: List[MethodSpec] = []
+
+    # -- weaving -------------------------------------------------------
+
+    def weave_class(
+        self, cls: type, *, methods: Optional[Sequence[str]] = None
+    ) -> List[MethodSpec]:
+        """Instrument *cls*; return the specs of the woven methods.
+
+        Args:
+            methods: restrict weaving to these method names (the masking
+                phase weaves only the failure non-atomic methods selected
+                by the policy).
+        """
+        if not (cls.__flags__ & _Py_TPFLAGS_HEAPTYPE):
+            raise WeavingError(
+                f"cannot instrument {cls.__name__!r}: core/builtin classes "
+                "cannot be woven at runtime (the paper's Java flavor has "
+                "the same limitation for core classes, Section 5.2)"
+            )
+        specs = self._analyzer.analyze_class(cls)
+        if methods is not None:
+            wanted = set(methods)
+            specs = [s for s in specs if s.name in wanted]
+            missing = wanted - {s.name for s in specs}
+            if missing:
+                raise WeavingError(
+                    f"{cls.__name__} has no instrumentable methods "
+                    f"{sorted(missing)}"
+                )
+        for spec in specs:
+            self._replace(cls, spec)
+        return specs
+
+    def weave_classes(self, classes: Iterable[type]) -> List[MethodSpec]:
+        specs: List[MethodSpec] = []
+        for cls in classes:
+            specs.extend(self.weave_class(cls))
+        return specs
+
+    def weave_module_functions(
+        self, module, *, functions: Optional[Sequence[str]] = None
+    ) -> List[MethodSpec]:
+        """Instrument module-level functions (Python has them; Java not).
+
+        Only functions *defined in* the module are woven; re-exported
+        imports are skipped.  Callers that bound the function earlier
+        (``from mod import f``) bypass the wrapper — the usual
+        monkey-patching caveat, same as for the paper's call-site
+        rewriting when a function pointer escaped.
+        """
+        import inspect as _inspect
+
+        specs: List[MethodSpec] = []
+        names = (
+            functions
+            if functions is not None
+            else [
+                name
+                for name, value in vars(module).items()
+                if _inspect.isfunction(value)
+                and value.__module__ == module.__name__
+                and not name.startswith("__")
+            ]
+        )
+        for name in names:
+            func = getattr(module, name)
+            if not _inspect.isfunction(func):
+                raise WeavingError(
+                    f"{module.__name__}.{name} is not a plain function"
+                )
+            spec = self._analyzer.analyze_function(
+                func, name=f"{module.__name__}.{name}"
+            )
+            wrapper = self._factory(spec)
+            self._replacements.append(_Replacement(module, name, func))
+            setattr(module, name, wrapper)
+            self._woven_specs.append(spec)
+            specs.append(spec)
+        return specs
+
+    def _replace(self, cls: type, spec: MethodSpec) -> None:
+        wrapper = self._factory(spec)
+        replacement: object = wrapper
+        if spec.kind == KIND_STATIC:
+            replacement = staticmethod(wrapper)
+        elif spec.kind == KIND_CLASSMETHOD:
+            replacement = classmethod(wrapper)
+        original = vars(cls)[spec.name]
+        try:
+            setattr(cls, spec.name, replacement)
+        except TypeError as exc:
+            raise WeavingError(
+                f"cannot instrument {cls!r}: core/builtin classes cannot "
+                "be woven at runtime (the paper's Java flavor has the same "
+                "limitation for core classes, Section 5.2)"
+            ) from exc
+        self._replacements.append(_Replacement(cls, spec.name, original))
+        self._woven_specs.append(spec)
+
+    # -- unweaving -----------------------------------------------------
+
+    def unweave_all(self) -> None:
+        """Restore every method this weaver replaced (LIFO order)."""
+        while self._replacements:
+            repl = self._replacements.pop()
+            setattr(repl.cls, repl.name, repl.original)
+        self._woven_specs.clear()
+
+    @property
+    def woven_specs(self) -> List[MethodSpec]:
+        return list(self._woven_specs)
+
+    def __enter__(self) -> "Weaver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unweave_all()
+
+
+def weave_with(
+    wrapper_factory: WrapperFactory, analyzer: Optional[Analyzer] = None
+) -> Callable[[type], type]:
+    """Class decorator applying weaving where the class is defined.
+
+    This is the "source code transformation" flavor: the instrumentation
+    is visible in the source, next to the class, and is applied exactly
+    once at definition time::
+
+        @weave_with(lambda spec: make_injection_wrapper(spec, campaign))
+        class Account: ...
+    """
+
+    def decorate(cls: type) -> type:
+        Weaver(wrapper_factory, analyzer).weave_class(cls)
+        return cls
+
+    return decorate
+
+
+class _WeavingLoader(importlib.abc.Loader):
+    """Wraps a module loader; weaves the module's classes after exec."""
+
+    def __init__(self, inner: importlib.abc.Loader, hook: "LoadTimeWeaver") -> None:
+        self._inner = inner
+        self._hook = hook
+
+    def create_module(self, spec):  # noqa: D102 - delegating loader
+        create = getattr(self._inner, "create_module", None)
+        return create(spec) if create is not None else None
+
+    def exec_module(self, module) -> None:  # noqa: D102 - delegating loader
+        self._inner.exec_module(module)
+        self._hook._weave_module(module)
+
+
+class LoadTimeWeaver(importlib.abc.MetaPathFinder):
+    """Instrument classes at module load time, without source access.
+
+    The Python analog of the paper's Java Wrapper Generator: a meta-path
+    import hook that intercepts the loading of selected modules and weaves
+    every class they define.  Modules already imported are untouched —
+    exactly like JVM load-time instrumentation.
+
+    Usage::
+
+        hook = LoadTimeWeaver(factory, module_filter=lambda n: n == "bank")
+        hook.install()
+        import bank          # classes in bank are woven transparently
+        ...
+        hook.uninstall()     # future imports are untouched
+        hook.unweave_all()   # undo instrumentation of loaded classes
+    """
+
+    def __init__(
+        self,
+        wrapper_factory: WrapperFactory,
+        *,
+        module_filter: Callable[[str], bool],
+        analyzer: Optional[Analyzer] = None,
+    ) -> None:
+        self._weaver = Weaver(wrapper_factory, analyzer)
+        self._module_filter = module_filter
+        self._resolving = False
+        self.woven_modules: List[str] = []
+
+    # -- MetaPathFinder ------------------------------------------------
+
+    def find_spec(self, fullname: str, path=None, target=None):
+        if self._resolving or not self._module_filter(fullname):
+            return None
+        self._resolving = True
+        try:
+            spec = importlib.machinery.PathFinder.find_spec(fullname, path)
+        finally:
+            self._resolving = False
+        if spec is None or spec.loader is None:
+            return None
+        spec.loader = _WeavingLoader(spec.loader, self)
+        return spec
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> None:
+        if self not in sys.meta_path:
+            sys.meta_path.insert(0, self)
+
+    def uninstall(self) -> None:
+        if self in sys.meta_path:
+            sys.meta_path.remove(self)
+
+    def unweave_all(self) -> None:
+        self._weaver.unweave_all()
+
+    def __enter__(self) -> "LoadTimeWeaver":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+        self.unweave_all()
+
+    # -- internals -------------------------------------------------------
+
+    def _weave_module(self, module) -> None:
+        woven_any = False
+        for value in list(vars(module).values()):
+            if isinstance(value, type) and value.__module__ == module.__name__:
+                self._weaver.weave_class(value)
+                woven_any = True
+        if woven_any:
+            self.woven_modules.append(module.__name__)

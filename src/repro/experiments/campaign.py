@@ -1,0 +1,192 @@
+"""Campaign driver: run the full detection pipeline on one application.
+
+Glues the pieces of Figure 1 together for an :class:`AppProgram`:
+analyze + weave (Steps 1–2), inject (Step 3), classify, and build the
+report rows the paper's tables and figures are made of.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import (
+    Analyzer,
+    AppReport,
+    ClassificationResult,
+    DetectionResult,
+    Detector,
+    InjectionCampaign,
+    WrapPolicy,
+    build_app_report,
+    make_injection_wrapper,
+    reclassify,
+)
+from repro.core.weaver import Weaver
+
+from .programs import ALL_PROGRAMS, AppProgram
+
+__all__ = [
+    "CampaignOutcome",
+    "run_app_campaign",
+    "run_programs",
+    "library_wide_classification",
+    "save_outcome",
+    "load_outcome",
+]
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished campaign produced for one application."""
+
+    program: AppProgram
+    detection: DetectionResult
+    classification: ClassificationResult
+    report: AppReport
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def run_app_campaign(
+    program: AppProgram,
+    *,
+    stride: int = 1,
+    policy: Optional[WrapPolicy] = None,
+    capture_args: bool = True,
+    scale: int = 1,
+) -> CampaignOutcome:
+    """Run detection + classification for one application.
+
+    Args:
+        program: the evaluation application (see
+            :mod:`repro.experiments.programs`).
+        stride: inject at every *stride*-th point (1 = the paper's full
+            sweep).
+        policy: optional wrap policy; its exception-free set filters runs
+            before classification (Section 4.3).
+        scale: workload repetitions per execution; larger values approach
+            the paper's injection counts at quadratically growing cost.
+    """
+    if scale > 1:
+        program = program.scaled(scale * program.rounds)
+    analyzer = Analyzer(exclude=program.exclude)
+    campaign = InjectionCampaign(capture_args=capture_args)
+    weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    )
+    with weaver:
+        specs = weaver.weave_classes(program.classes)
+        # AppProgram satisfies the Program protocol (name + __call__ with
+        # scaling applied), so it is the detector's test program directly
+        detector = Detector(program, campaign, stride=stride)
+        detection = detector.detect()
+    # the programmer-declared exception-free annotations always apply
+    # (§4.3 third case); a caller-supplied policy is merged on top
+    effective = WrapPolicy.from_specs(specs)
+    if policy is not None:
+        effective = effective.merged_with(policy)
+    classification = reclassify(detection.log, effective)
+    report = build_app_report(program.name, detection, classification)
+    return CampaignOutcome(
+        program=program,
+        detection=detection,
+        classification=classification,
+        report=report,
+    )
+
+
+def library_wide_classification(
+    outcomes: List[CampaignOutcome],
+    *,
+    policy: Optional[WrapPolicy] = None,
+) -> ClassificationResult:
+    """Worst-case classification of every method across all campaigns.
+
+    The paper's applications share classes (``UpdatableCollection``, the
+    Self\\* framework); this merges the campaign logs (see
+    :func:`repro.core.runlog.merge_logs`) so a method that is non-atomic
+    under *any* application's workload is reported non-atomic overall —
+    the verdict that matters when hardening the shared library once.
+
+    Args:
+        policy: optional wrap policy whose exception-free set filters the
+            merged runs before classification (same semantics as the
+            per-campaign classification).
+    """
+    from repro.core.runlog import merge_logs
+
+    merged = merge_logs([o.detection.log for o in outcomes])
+    return reclassify(merged, policy or WrapPolicy())
+
+
+def save_outcome(outcome: CampaignOutcome, directory: str) -> None:
+    """Persist a campaign for offline processing (the paper's log files).
+
+    Writes three files into *directory*: ``runlog.json`` (every run and
+    mark), ``classification.json`` (the derived verdicts), and
+    ``meta.json`` (the Table-1 row).
+    """
+    os.makedirs(directory, exist_ok=True)
+    outcome.detection.log.save(os.path.join(directory, "runlog.json"))
+    with open(
+        os.path.join(directory, "classification.json"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(outcome.classification.to_json())
+    meta = {
+        "program": outcome.program.name,
+        "language": outcome.program.language,
+        "total_points": outcome.detection.total_points,
+        "runs_executed": outcome.detection.runs_executed,
+        "injections": outcome.report.injection_count,
+        "classes": outcome.report.class_count,
+        "methods": outcome.report.method_count,
+    }
+    with open(
+        os.path.join(directory, "meta.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+
+
+def load_outcome(directory: str) -> "Tuple[Dict, RunLog, ClassificationResult]":
+    """Load a saved campaign: ``(meta, run log, classification)``.
+
+    The classification can also be recomputed from the run log (with a
+    different policy) via :func:`repro.core.reclassify` — exactly the
+    paper's offline re-processing workflow.
+    """
+    from repro.core.runlog import RunLog
+
+    with open(os.path.join(directory, "meta.json"), encoding="utf-8") as handle:
+        meta = json.load(handle)
+    log = RunLog.load(os.path.join(directory, "runlog.json"))
+    with open(
+        os.path.join(directory, "classification.json"), encoding="utf-8"
+    ) as handle:
+        classification = ClassificationResult.from_json(handle.read())
+    return meta, log, classification
+
+
+def run_programs(
+    programs: Optional[List[AppProgram]] = None,
+    *,
+    stride: int = 1,
+    capture_args: bool = True,
+    scale: int = 1,
+) -> List[CampaignOutcome]:
+    """Run campaigns for several applications (default: all sixteen)."""
+    outcomes = []
+    for program in programs if programs is not None else ALL_PROGRAMS:
+        outcomes.append(
+            run_app_campaign(
+                program,
+                stride=stride,
+                capture_args=capture_args,
+                scale=scale,
+            )
+        )
+    return outcomes

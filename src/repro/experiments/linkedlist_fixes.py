@@ -1,0 +1,120 @@
+"""The Section 6.1 narrative: trivial fixes to ``LinkedList``.
+
+The paper reports reducing the pure failure non-atomic methods of the
+Java LinkedList application "from 18 (representing 7.8% of the calls) to
+3 (less than 0.2% of the calls) with just trivial modifications to the
+code, and by identifying methods that never throw exceptions".
+
+This experiment reproduces the shape: run the detection campaign on the
+legacy :class:`~repro.collections.LinkedList`, then on
+:class:`~repro.collections.FixedLinkedList` (statement reordering and
+temporary variables only), and compare the pure method counts and the
+fraction of calls going to pure methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.collections import (
+    EmptyCollectionError,
+    FixedLinkedList,
+    LinkedList,
+    LLCell,
+    NoSuchElementError,
+    UpdatableCollection,
+)
+from repro.core.classify import CATEGORY_PURE
+
+from .campaign import CampaignOutcome, run_app_campaign
+from .programs import LANGUAGE_JAVA, AppProgram
+
+__all__ = ["FixComparison", "compare_linkedlist_fixes"]
+
+
+def _workload(list_class: Callable[[], LinkedList]) -> Callable[[], None]:
+    def body() -> None:
+        lst = list_class()
+        lst.extend([3, 1, 2])
+        lst.insert_first(0)
+        lst.insert_at(2, 9)
+        for index in range(lst.size()):
+            lst.get_at(index)
+        for _ in range(3):
+            lst.contains(9)
+            lst.size()
+            lst.is_empty()
+        lst.index_of(9)
+        lst.first()
+        lst.last()
+        lst.replace_at(0, 5)
+        lst.replace_all(9, 7)
+        lst.remove_at(2)
+        lst.remove_element(7)
+        lst.remove_first()
+        lst.remove_last()
+        lst.extend([4, 5])
+        lst.reverse()
+        try:
+            lst.get_at(99)
+        except NoSuchElementError:
+            pass
+        try:
+            list_class().remove_last()
+        except EmptyCollectionError:
+            pass
+        lst.clear()
+
+    return body
+
+
+@dataclass
+class FixComparison:
+    """Before/after numbers of the Section 6.1 experiment."""
+
+    before: CampaignOutcome
+    after: CampaignOutcome
+
+    @property
+    def pure_before(self) -> List[str]:
+        return self.before.classification.methods_in(CATEGORY_PURE)
+
+    @property
+    def pure_after(self) -> List[str]:
+        return self.after.classification.methods_in(CATEGORY_PURE)
+
+    @property
+    def pure_call_fraction_before(self) -> float:
+        return self.before.report.pure_call_fraction()
+
+    @property
+    def pure_call_fraction_after(self) -> float:
+        return self.after.report.pure_call_fraction()
+
+    def summary(self) -> str:
+        return (
+            f"pure methods: {len(self.pure_before)} -> {len(self.pure_after)}; "
+            f"pure calls: {100 * self.pure_call_fraction_before:.2f}% -> "
+            f"{100 * self.pure_call_fraction_after:.2f}%"
+        )
+
+
+def compare_linkedlist_fixes(*, stride: int = 1) -> FixComparison:
+    """Run the before/after campaigns and return the comparison."""
+    legacy = AppProgram(
+        name="LinkedList",
+        language=LANGUAGE_JAVA,
+        classes=[UpdatableCollection, LinkedList, LLCell],
+        body=_workload(LinkedList),
+    )
+    fixed = AppProgram(
+        name="LinkedList(fixed)",
+        language=LANGUAGE_JAVA,
+        classes=[UpdatableCollection, LinkedList, FixedLinkedList, LLCell],
+        body=_workload(FixedLinkedList),
+    )
+    return FixComparison(
+        before=run_app_campaign(legacy, stride=stride),
+        after=run_app_campaign(fixed, stride=stride),
+    )

@@ -1,0 +1,119 @@
+"""One-shot reproduction: every table and figure into a markdown report.
+
+``python -m repro reproduce --out RESULTS.md`` regenerates the entire
+evaluation — Table 1, Figures 2–5, the §6.1 narrative, the validation
+loop, and the ablations — and writes a self-contained markdown report,
+so a referee can diff two runs or compare against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.classify import CATEGORY_PURE
+
+from .fig5 import format_overhead_table, measure_overhead, measure_undolog_ablation
+from .linkedlist_fixes import compare_linkedlist_fixes
+from .synthetic import GROUND_TRUTH, synthetic_program
+from .tables import figure2, figure3, figure4, run_cpp_campaigns, run_java_campaigns, table1
+from .validation import validate_masking
+
+__all__ = ["reproduce_all"]
+
+
+def _section(lines: List[str], title: str, body: str) -> None:
+    lines.append(f"## {title}\n")
+    lines.append("```")
+    lines.append(body)
+    lines.append("```\n")
+
+
+def reproduce_all(
+    *,
+    stride: int = 1,
+    scale: int = 1,
+    fig5_calls: int = 1000,
+    fig5_repeats: int = 5,
+    progress=print,
+) -> str:
+    """Run the full evaluation; return the markdown report text."""
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        f"stride={stride}, scale={scale} "
+        "(see EXPERIMENTS.md for the paper-vs-measured discussion)",
+        "",
+    ]
+
+    progress("running the 6 C++ campaigns ...")
+    cpp = run_cpp_campaigns(stride=stride, scale=scale)
+    progress("running the 10 Java campaigns ...")
+    java = run_java_campaigns(stride=stride, scale=scale)
+
+    _section(lines, "Table 1 — application statistics", table1(cpp + java))
+
+    f2 = figure2(cpp)
+    _section(lines, "Figure 2(a) — C++ methods", f2["a"].rendered)
+    _section(lines, "Figure 2(b) — C++ calls", f2["b"].rendered)
+    f3 = figure3(java)
+    _section(lines, "Figure 3(a) — Java methods", f3["a"].rendered)
+    _section(lines, "Figure 3(b) — Java calls", f3["b"].rendered)
+    f4 = figure4(cpp, java)
+    _section(lines, "Figure 4(a) — C++ classes", f4["a"].rendered)
+    _section(lines, "Figure 4(b) — Java classes", f4["b"].rendered)
+
+    lines.append("## Averages\n")
+    lines.append(
+        f"- pure non-atomic methods: C++ {100 * f2['a'].average(CATEGORY_PURE):.1f}%, "
+        f"Java {100 * f3['a'].average(CATEGORY_PURE):.1f}% (paper: small vs ~20%)"
+    )
+    lines.append(
+        f"- pure non-atomic calls: C++ {100 * f2['b'].average(CATEGORY_PURE):.1f}%, "
+        f"Java {100 * f3['b'].average(CATEGORY_PURE):.1f}%\n"
+    )
+
+    progress("running the §6.1 LinkedList comparison ...")
+    fixes = compare_linkedlist_fixes(stride=stride)
+    _section(
+        lines,
+        "Section 6.1 — LinkedList trivial fixes (paper: 18 -> 3)",
+        fixes.summary()
+        + f"\npure before: {fixes.pure_before}\npure after : {fixes.pure_after}",
+    )
+
+    progress("validating detection (ground truth) and masking ...")
+    from .campaign import run_app_campaign
+
+    # ground truth needs the full sweep (sampling would drop the very
+    # injection points that prove purity); it is tiny, so always stride 1
+    synthetic_outcome = run_app_campaign(synthetic_program())
+    mismatches = {
+        key: (expected, synthetic_outcome.classification.category_of(key))
+        for key, expected in GROUND_TRUTH.items()
+        if synthetic_outcome.classification.category_of(key) != expected
+    }
+    validation = validate_masking(synthetic_program())
+    _section(
+        lines,
+        "Validation — synthetic ground truth + re-detection",
+        ("ground truth: EXACT MATCH" if not mismatches else f"MISMATCHES: {mismatches}")
+        + "\n"
+        + validation.summary(),
+    )
+
+    progress("measuring Figure 5 (masking overhead) ...")
+    points = measure_overhead(calls=fig5_calls, repeats=fig5_repeats)
+    _section(lines, "Figure 5 — masking overhead", format_overhead_table(points))
+
+    progress("measuring the copy-on-write ablation ...")
+    ablation = measure_undolog_ablation(calls=max(fig5_calls // 2, 100),
+                                        repeats=fig5_repeats)
+    _section(
+        lines,
+        "Ablation — eager vs undo-log checkpoint (100% wrapped calls)",
+        "eager:\n"
+        + format_overhead_table(ablation["eager"])
+        + "\nundo-log:\n"
+        + format_overhead_table(ablation["undolog"]),
+    )
+    return "\n".join(lines)

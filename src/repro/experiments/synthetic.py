@@ -1,0 +1,190 @@
+"""Synthetic benchmark applications with known ground truth.
+
+The paper's evaluation starts with "a set of synthetic 'benchmark'
+applications [that] contain the various combinations of
+(pure/conditional) failure (non-)atomic methods that may be encountered
+in real applications", used to make sure the system correctly detects
+failure non-atomic methods and effectively masks them (Section 6).
+
+This module is that benchmark suite: every method of the subject classes
+is built to land in a *known* category, recorded in
+:data:`GROUND_TRUTH`.  The test suite asserts the detector reproduces the
+ground truth exactly, and the masking validation proves the wrapped
+methods come back atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+)
+from repro.core.exceptions import exception_free, throws
+
+from .programs import AppProgram
+
+__all__ = ["Ledger", "Auditor", "GROUND_TRUTH", "synthetic_program"]
+
+
+class SyntheticError(Exception):
+    """The declared failure of the synthetic suite."""
+
+
+class Ledger:
+    """The leaf subject: a balance plus an entry log."""
+
+    def __init__(self) -> None:
+        self.balance = 0
+        self.entries: List[int] = []
+
+    # -- failure atomic methods -------------------------------------------
+
+    def read_balance(self) -> int:
+        """Atomic: reads only."""
+        return self.balance
+
+    @throws(SyntheticError)
+    def guarded_update(self, amount: int) -> None:
+        """Atomic: every fallible step precedes the first mutation."""
+        if amount == 0:
+            raise SyntheticError("zero amount")
+        entry = int(amount)
+        self.balance += entry
+        self.entries.append(entry)
+
+    @exception_free
+    def stamp(self) -> None:
+        """Atomic and declared exception-free: a bare increment."""
+        self.balance += 0
+
+    # -- pure failure non-atomic methods --------------------------------------
+
+    @throws(SyntheticError)
+    def count_then_validate(self, amount: int) -> None:
+        """Pure: the entry is logged before the validation can fail."""
+        self.entries.append(amount)
+        if amount < 0:
+            raise SyntheticError("negative amount")
+        self.balance += amount
+
+    def mutate_then_call(self) -> None:
+        """Pure: mutates, then calls a method that may fail.
+
+        Even if :meth:`read_balance` were failure atomic, its failure
+        would leave the appended entry behind — non-atomicity is this
+        method's own (Definition 3).
+        """
+        self.entries.append(-1)
+        self.read_balance()
+        self.entries.pop()
+
+    def bulk_update(self, amounts: List[int]) -> None:
+        """Pure: element-wise progress cannot be reverted by callees."""
+        for amount in amounts:
+            self.guarded_update(amount)
+
+
+class Auditor:
+    """The caller subject: delegates to a Ledger it owns."""
+
+    def __init__(self) -> None:
+        self.ledger = Ledger()
+        self.checks = 0
+
+    # -- failure atomic -----------------------------------------------------
+
+    def peek(self) -> int:
+        """Atomic: delegates to an atomic read, mutates nothing."""
+        return self.ledger.read_balance()
+
+    @throws(SyntheticError)
+    def checked_update(self, amount: int) -> None:
+        """Atomic: delegation first, own mutation last."""
+        self.ledger.guarded_update(amount)
+        self.checks += 1
+
+    # -- conditional failure non-atomic -----------------------------------------
+
+    def audit_risky(self, amount: int) -> None:
+        """Conditional: non-atomic only through its callee.
+
+        It mutates nothing before or after the delegation, so whenever it
+        is marked non-atomic, the callee was marked first — it would be
+        atomic if ``count_then_validate`` were (Definition 3).
+        """
+        self.ledger.count_then_validate(amount)
+
+    # -- pure failure non-atomic -------------------------------------------------
+
+    def check_then_delegate(self, amount: int) -> None:
+        """Pure: own counter bumped before the fallible delegation."""
+        self.checks += 1
+        self.ledger.guarded_update(amount)
+
+
+#: method key -> expected category, the detector must reproduce exactly.
+GROUND_TRUTH: Dict[str, str] = {
+    "Ledger.__init__": CATEGORY_ATOMIC,
+    "Ledger.read_balance": CATEGORY_ATOMIC,
+    "Ledger.guarded_update": CATEGORY_ATOMIC,
+    "Ledger.stamp": CATEGORY_ATOMIC,
+    "Ledger.count_then_validate": CATEGORY_PURE,
+    "Ledger.mutate_then_call": CATEGORY_PURE,
+    "Ledger.bulk_update": CATEGORY_PURE,
+    "Auditor.__init__": CATEGORY_ATOMIC,
+    "Auditor.peek": CATEGORY_ATOMIC,
+    "Auditor.checked_update": CATEGORY_ATOMIC,
+    "Auditor.audit_risky": CATEGORY_CONDITIONAL,
+    "Auditor.check_then_delegate": CATEGORY_PURE,
+}
+
+
+def _synthetic_body() -> None:
+    """Deterministic workload covering every method and error path.
+
+    The genuine error paths run *last*: a genuine non-atomic failure early
+    in a run would be the run's first mark and would hide the purity of
+    every later-marked method (the paper's first-marked heuristic is
+    order-sensitive; keeping fault demonstrations at the tail keeps each
+    injection run single-fault).
+    """
+    ledger = Ledger()
+    ledger.read_balance()
+    ledger.guarded_update(10)
+    ledger.stamp()
+    ledger.mutate_then_call()
+    ledger.bulk_update([1, 2, 3])
+    ledger.count_then_validate(7)
+
+    auditor = Auditor()
+    auditor.peek()
+    auditor.checked_update(4)
+    auditor.check_then_delegate(2)
+    auditor.audit_risky(3)
+
+    # genuine error paths (exercised by the baseline run)
+    try:
+        ledger.guarded_update(0)
+    except SyntheticError:
+        pass
+    try:
+        ledger.count_then_validate(-5)
+    except SyntheticError:
+        pass
+    try:
+        auditor.audit_risky(-1)
+    except SyntheticError:
+        pass
+
+
+def synthetic_program() -> AppProgram:
+    """The synthetic benchmark as a campaign-ready application."""
+    return AppProgram(
+        name="synthetic",
+        language="n/a",
+        classes=[Ledger, Auditor],
+        body=_synthetic_body,
+    )

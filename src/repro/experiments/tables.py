@@ -1,0 +1,113 @@
+"""Generators for Table 1 and Figures 2–4 of the paper.
+
+Each generator takes the campaign outcomes (or runs them) and returns
+both structured data and the formatted text the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import (
+    format_class_distribution,
+    format_method_classification,
+    format_table1,
+)
+
+from .campaign import CampaignOutcome, run_programs
+from .programs import CPP_PROGRAMS, JAVA_PROGRAMS
+
+__all__ = [
+    "table1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "FigureData",
+    "run_cpp_campaigns",
+    "run_java_campaigns",
+]
+
+
+def run_cpp_campaigns(stride: int = 1, scale: int = 1) -> List[CampaignOutcome]:
+    """Campaigns for the six C++ (Self\\*) applications."""
+    return run_programs(CPP_PROGRAMS, stride=stride, scale=scale)
+
+
+def run_java_campaigns(stride: int = 1, scale: int = 1) -> List[CampaignOutcome]:
+    """Campaigns for the ten Java (collections + Regexp) applications."""
+    return run_programs(JAVA_PROGRAMS, stride=stride, scale=scale)
+
+
+def table1(outcomes: List[CampaignOutcome]) -> str:
+    """Render the paper's Table 1 for the given campaign outcomes."""
+    return format_table1([outcome.report for outcome in outcomes])
+
+
+@dataclass
+class FigureData:
+    """Structured data behind one figure: per-app category fractions."""
+
+    title: str
+    #: app name -> {category -> fraction}
+    series: Dict[str, Dict[str, float]]
+    rendered: str
+
+    def fractions(self, app: str) -> Dict[str, float]:
+        return self.series[app]
+
+    def average(self, category: str) -> float:
+        if not self.series:
+            return 0.0
+        return sum(f[category] for f in self.series.values()) / len(self.series)
+
+
+def _method_figure(
+    outcomes: List[CampaignOutcome], title: str
+) -> Dict[str, FigureData]:
+    reports = [outcome.report for outcome in outcomes]
+    by_methods = FigureData(
+        title=f"{title}(a): % of methods defined and used",
+        series={r.name: r.fractions_by_methods() for r in reports},
+        rendered=format_method_classification(reports),
+    )
+    by_calls = FigureData(
+        title=f"{title}(b): % of method calls",
+        series={r.name: r.fractions_by_calls() for r in reports},
+        rendered=format_method_classification(reports, weighted_by_calls=True),
+    )
+    return {"a": by_methods, "b": by_calls}
+
+
+def figure2(outcomes: Optional[List[CampaignOutcome]] = None) -> Dict[str, FigureData]:
+    """Figure 2: method classification of the C++ applications."""
+    if outcomes is None:
+        outcomes = run_cpp_campaigns()
+    return _method_figure(outcomes, "Figure 2")
+
+
+def figure3(outcomes: Optional[List[CampaignOutcome]] = None) -> Dict[str, FigureData]:
+    """Figure 3: method classification of the Java applications."""
+    if outcomes is None:
+        outcomes = run_java_campaigns()
+    return _method_figure(outcomes, "Figure 3")
+
+
+def figure4(
+    cpp: Optional[List[CampaignOutcome]] = None,
+    java: Optional[List[CampaignOutcome]] = None,
+) -> Dict[str, FigureData]:
+    """Figure 4: class-level distribution for both application sets."""
+    if cpp is None:
+        cpp = run_cpp_campaigns()
+    if java is None:
+        java = run_java_campaigns()
+    result = {}
+    for key, outcomes, label in (("a", cpp, "C++"), ("b", java, "Java")):
+        reports = [outcome.report for outcome in outcomes]
+        result[key] = FigureData(
+            title=f"Figure 4({key}): class distribution ({label})",
+            series={r.name: r.class_fractions() for r in reports},
+            rendered=format_class_distribution(reports),
+        )
+    return result

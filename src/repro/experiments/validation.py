@@ -1,0 +1,129 @@
+"""Validate the masking phase with the detector itself.
+
+The paper closes its loop in two places: Section 4.3 ("the programmer
+... can re-run the detection phase to test the modifications") and the
+masking phase's whole premise that the corrected program ``P_C`` is
+failure atomic.  This module re-runs the injection campaign *on the
+masked program*: atomicity wrappers are woven first (innermost), then
+injection wrappers on top, so every injected or genuine exception passes
+through the rollback before the detector compares object graphs.
+
+The expected verdict — asserted by tests and reported by the harness —
+is that every method that was wrapped is classified failure atomic in
+the second campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import (
+    Analyzer,
+    InjectionCampaign,
+    Masker,
+    MaskingStats,
+    WrapPolicy,
+    make_injection_wrapper,
+    reclassify,
+)
+from repro.core.classify import CATEGORY_ATOMIC, ClassificationResult
+from repro.core.detector import Detector
+from repro.core.policy import select_methods_to_wrap
+from repro.core.runlog import MethodKey
+from repro.core.weaver import Weaver
+
+from .campaign import CampaignOutcome, run_app_campaign
+from .programs import AppProgram
+
+__all__ = ["MaskingValidation", "validate_masking"]
+
+
+@dataclass
+class MaskingValidation:
+    """Outcome of the detect → mask → re-detect loop for one app."""
+
+    program_name: str
+    first: CampaignOutcome
+    wrapped: List[MethodKey]
+    second_classification: ClassificationResult
+    masking_stats: MaskingStats
+
+    @property
+    def still_nonatomic(self) -> List[MethodKey]:
+        """Wrapped methods the second campaign still flags (must be [])."""
+        return [
+            method
+            for method in self.wrapped
+            if method in self.second_classification.methods
+            and self.second_classification.category_of(method)
+            != CATEGORY_ATOMIC
+        ]
+
+    @property
+    def masking_effective(self) -> bool:
+        return not self.still_nonatomic
+
+    def summary(self) -> str:
+        verdict = "EFFECTIVE" if self.masking_effective else "INEFFECTIVE"
+        return (
+            f"{self.program_name}: masked {len(self.wrapped)} methods, "
+            f"{self.masking_stats.rollbacks} rollbacks during re-detection, "
+            f"masking {verdict}"
+            + (
+                f" (still non-atomic: {self.still_nonatomic})"
+                if self.still_nonatomic
+                else ""
+            )
+        )
+
+
+def validate_masking(
+    program: AppProgram,
+    *,
+    stride: int = 1,
+    policy: Optional[WrapPolicy] = None,
+    wrap_conditional: bool = False,
+) -> MaskingValidation:
+    """Detect, mask, and re-detect; return both campaigns' verdicts.
+
+    Args:
+        program: the evaluation application.
+        stride: injection-point stride for both campaigns.
+        policy: extra wrap policy merged into the first campaign's.
+        wrap_conditional: also wrap conditional methods (§4.3 says this
+            is unnecessary — the validation proves it, since conditional
+            methods come back atomic once their pure callees are masked).
+    """
+    first = run_app_campaign(program, stride=stride, policy=policy)
+    selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
+    if policy is not None:
+        selection_policy = selection_policy.merged_with(policy)
+    to_wrap = select_methods_to_wrap(first.classification, selection_policy)
+
+    stats = MaskingStats()
+    analyzer = Analyzer(exclude=program.exclude)
+    masker = Masker(to_wrap, stats=stats, analyzer=analyzer)
+    campaign = InjectionCampaign()
+    injection_weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    )
+    with masker:
+        # innermost: the atomicity wrappers (the corrected program P_C)
+        masker.mask_classes(program.classes)
+        with injection_weaver:
+            # outermost: the injection wrappers observing P_C
+            specs = injection_weaver.weave_classes(program.classes)
+            detector = Detector(program, campaign, stride=stride)
+            detection = detector.detect()
+        effective = WrapPolicy.from_specs(specs)
+        if policy is not None:
+            effective = effective.merged_with(policy)
+        second = reclassify(detection.log, effective)
+    return MaskingValidation(
+        program_name=program.name,
+        first=first,
+        wrapped=to_wrap,
+        second_classification=second,
+        masking_stats=stats,
+    )

@@ -1,0 +1,30 @@
+"""In-memory transport substrate (the TCP stand-in for the Self\\* apps).
+
+Deterministic by construction: links are in-process queues and fault
+injection is seeded, so the detection campaign can re-execute a workload
+once per injection point and observe identical behavior.
+"""
+
+from .errors import (
+    ChannelClosedError,
+    DeliveryError,
+    EmptyChannelError,
+    FramingError,
+    TransportError,
+)
+from .framing import FrameDecoder, encode_frame
+from .transport import ChannelEnd, FaultPolicy, FaultyLink, Link
+
+__all__ = [
+    "ChannelEnd",
+    "Link",
+    "FaultPolicy",
+    "FaultyLink",
+    "FrameDecoder",
+    "encode_frame",
+    "TransportError",
+    "ChannelClosedError",
+    "EmptyChannelError",
+    "FramingError",
+    "DeliveryError",
+]

@@ -1,0 +1,31 @@
+"""Errors of the in-memory transport substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TransportError",
+    "ChannelClosedError",
+    "EmptyChannelError",
+    "FramingError",
+    "DeliveryError",
+]
+
+
+class TransportError(Exception):
+    """Base class of all transport errors."""
+
+
+class ChannelClosedError(TransportError):
+    """The peer closed the channel."""
+
+
+class EmptyChannelError(TransportError):
+    """A receive was attempted with no message pending."""
+
+
+class FramingError(TransportError):
+    """A byte stream could not be split into messages."""
+
+
+class DeliveryError(TransportError):
+    """The (simulated) network failed to deliver a message."""

@@ -1,0 +1,77 @@
+"""Length-prefixed message framing over byte streams.
+
+``xml2Ctcp`` sends serialized records over a byte-oriented link; the
+framer turns messages into length-prefixed byte frames and reassembles
+them from arbitrarily fragmented chunks.  The decoder keeps a partial
+buffer between calls — stateful, multi-step processing that the
+injection campaign exercises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.exceptions import throws
+
+from .errors import FramingError
+
+__all__ = ["encode_frame", "FrameDecoder"]
+
+_HEADER_SIZE = 4
+_MAX_FRAME = 1 << 20
+
+
+@throws(FramingError)
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix *payload* with its 4-byte big-endian length."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise FramingError("payload must be bytes")
+    if len(payload) > _MAX_FRAME:
+        raise FramingError(f"frame too large ({len(payload)} bytes)")
+    return len(payload).to_bytes(_HEADER_SIZE, "big") + bytes(payload)
+
+
+class FrameDecoder:
+    """Reassembles frames from fragmented byte chunks."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    @throws(FramingError)
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb *chunk*; return every frame completed by it.
+
+        Legacy ordering: the chunk joins the buffer before the declared
+        lengths are validated, so an oversized frame poisons the stream
+        (the buffer keeps the bad header after the exception).
+        """
+        if not isinstance(chunk, (bytes, bytearray)):
+            raise FramingError("chunk must be bytes")
+        self._buffer.extend(chunk)  # legacy: buffered before length checks
+        frames: List[bytes] = []
+        while True:
+            frame = self._try_decode_one()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_decode_one(self):
+        if len(self._buffer) < _HEADER_SIZE:
+            return None
+        length = int.from_bytes(self._buffer[:_HEADER_SIZE], "big")
+        if length > _MAX_FRAME:
+            raise FramingError(f"declared frame length {length} too large")
+        if len(self._buffer) < _HEADER_SIZE + length:
+            return None
+        frame = bytes(self._buffer[_HEADER_SIZE : _HEADER_SIZE + length])
+        del self._buffer[: _HEADER_SIZE + length]
+        self.frames_decoded += 1
+        return frame
+
+    def reset(self) -> None:
+        """Drop any partial frame."""
+        self._buffer.clear()

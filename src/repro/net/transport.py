@@ -1,0 +1,176 @@
+"""In-memory message transport with deterministic fault injection.
+
+Stands in for the TCP links of the paper's ``xml2Ctcp`` application.  A
+:class:`Link` is a pair of connected :class:`ChannelEnd` objects backed
+by in-process queues; :class:`FaultPolicy` + :class:`FaultyLink` simulate
+lossy/corrupting networks deterministically (seeded), so experiments are
+reproducible run to run — a requirement of the injection campaign, which
+re-executes the program once per injection point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.core.exceptions import throws
+
+from .errors import (
+    ChannelClosedError,
+    DeliveryError,
+    EmptyChannelError,
+)
+
+__all__ = ["ChannelEnd", "Link", "FaultPolicy", "FaultyLink"]
+
+
+class ChannelEnd:
+    """One endpoint of a bidirectional link."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inbox: List[Any] = []
+        self._peer: Optional["ChannelEnd"] = None
+        self.closed = False
+        self.sent_count = 0
+        self.received_count = 0
+
+    def _connect(self, peer: "ChannelEnd") -> None:
+        self._peer = peer
+
+    # -- sending ----------------------------------------------------------
+
+    @throws(ChannelClosedError)
+    def send(self, message: Any) -> None:
+        """Deliver *message* to the peer's inbox (checks before counting)."""
+        if self.closed:
+            raise ChannelClosedError(f"{self.name}: send on closed channel")
+        if self._peer is None or self._peer.closed:
+            raise ChannelClosedError(f"{self.name}: peer is closed")
+        self._peer._inbox.append(message)
+        self.sent_count += 1
+
+    # -- receiving -----------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of messages waiting in this end's inbox."""
+        return len(self._inbox)
+
+    @throws(EmptyChannelError, ChannelClosedError)
+    def receive(self) -> Any:
+        """Pop the oldest pending message (safe ordering)."""
+        if self.closed:
+            raise ChannelClosedError(f"{self.name}: receive on closed channel")
+        if not self._inbox:
+            raise EmptyChannelError(f"{self.name}: no message pending")
+        message = self._inbox.pop(0)
+        self.received_count += 1
+        return message
+
+    def receive_all(self) -> List[Any]:
+        """Drain the inbox (partial progress on failure: pure)."""
+        messages = []
+        while self.pending():
+            messages.append(self.receive())
+        return messages
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class Link:
+    """A connected pair of channel ends."""
+
+    def __init__(self, name: str = "link") -> None:
+        self.name = name
+        self.a = ChannelEnd(f"{name}.a")
+        self.b = ChannelEnd(f"{name}.b")
+        self.a._connect(self.b)
+        self.b._connect(self.a)
+
+    def ends(self) -> Tuple[ChannelEnd, ChannelEnd]:
+        return (self.a, self.b)
+
+    def close(self) -> None:
+        self.a.close()
+        self.b.close()
+
+
+class FaultPolicy:
+    """Deterministic, seeded fault decisions per message index.
+
+    Args:
+        seed: RNG seed; the same seed reproduces the same fault sequence.
+        drop_rate: probability a message is silently dropped.
+        error_rate: probability a send raises :class:`DeliveryError`.
+        duplicate_rate: probability a message is delivered twice.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop_rate: float = 0.0,
+        error_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+    ) -> None:
+        for rate in (drop_rate, error_rate, duplicate_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be within [0, 1]")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.error_rate = error_rate
+        self.duplicate_rate = duplicate_rate
+
+    def decide(self, message_index: int) -> str:
+        """Return 'deliver', 'drop', 'error', or 'duplicate'."""
+        rng = random.Random(f"{self.seed}:{message_index}")
+        roll = rng.random()
+        if roll < self.error_rate:
+            return "error"
+        roll -= self.error_rate
+        if roll < self.drop_rate:
+            return "drop"
+        roll -= self.drop_rate
+        if roll < self.duplicate_rate:
+            return "duplicate"
+        return "deliver"
+
+
+class FaultyLink:
+    """A link whose ``a -> b`` direction passes through a fault policy."""
+
+    def __init__(self, policy: FaultPolicy, name: str = "faulty") -> None:
+        self.policy = policy
+        self.link = Link(name)
+        self.message_index = 0
+        self.dropped = 0
+        self.errored = 0
+        self.duplicated = 0
+
+    @throws(DeliveryError, ChannelClosedError)
+    def send(self, message: Any) -> None:
+        """Send from ``a`` to ``b`` subject to the fault policy.
+
+        Legacy ordering: the message index advances before the fault
+        decision, so a raised DeliveryError leaves the index changed.
+        """
+        index = self.message_index
+        self.message_index += 1  # legacy: advanced before the decision
+        outcome = self.policy.decide(index)
+        if outcome == "error":
+            self.errored += 1
+            raise DeliveryError(f"message {index} failed to send")
+        if outcome == "drop":
+            self.dropped += 1
+            return
+        self.link.a.send(message)
+        if outcome == "duplicate":
+            self.duplicated += 1
+            self.link.a.send(message)
+
+    def receiver(self) -> ChannelEnd:
+        return self.link.b
+
+    def close(self) -> None:
+        self.link.close()

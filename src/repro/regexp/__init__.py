@@ -1,0 +1,142 @@
+"""Regular-expression engine (the paper's ``RegExp`` Java test subject).
+
+A complete pipeline built from scratch: recursive-descent
+:mod:`parser <repro.regexp.parser>` → :mod:`AST <repro.regexp.nodes>` →
+:mod:`compiler <repro.regexp.compiler>` →
+:mod:`backtracking VM <repro.regexp.matcher>`.  The :class:`Regexp` facade
+mirrors the Jakarta Regexp API surface (compile once, then match / search
+/ findall / substitute / split).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from .compiler import Compiler, compile_pattern
+from .errors import CompileError, RegexpError, RegexpSyntaxError
+from .matcher import Matcher, MatchResult
+from .nodes import Node
+from .parser import Parser, parse
+from .pikevm import PikeMatcher
+from .program import Instruction, Program
+
+__all__ = [
+    "Regexp",
+    "Parser",
+    "parse",
+    "Compiler",
+    "compile_pattern",
+    "Program",
+    "Instruction",
+    "Matcher",
+    "PikeMatcher",
+    "MatchResult",
+    "RegexpError",
+    "RegexpSyntaxError",
+    "CompileError",
+    "Node",
+]
+
+#: Execution engines selectable on :class:`Regexp`.
+ENGINES = {
+    "backtracking": Matcher,
+    "pike": PikeMatcher,
+}
+
+
+class Regexp:
+    """A compiled regular expression.
+
+    The constructor parses and compiles the pattern through the mutable
+    :class:`Program` builder — a multi-step construction that the
+    injection campaign can interrupt, making the constructor itself a
+    detection subject.
+
+    Args:
+        engine: ``"backtracking"`` (default; depth-first with a step
+            budget) or ``"pike"`` (lockstep NFA simulation, linear time,
+            immune to pathological backtracking).  Both run the same
+            compiled program and agree on every match.
+    """
+
+    def __init__(self, pattern: str, engine: str = "backtracking") -> None:
+        self.pattern = pattern
+        if engine not in ENGINES:
+            raise RegexpError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            )
+        self.engine = engine
+        parser = Parser(pattern)
+        root = parser.parse()
+        self.group_count = parser.group_count
+        self.program = Compiler(parser.group_count).compile(root)
+        self._matcher = ENGINES[engine](self.program)
+
+    # -- matching ------------------------------------------------------------
+
+    def match(self, text: str, position: int = 0) -> Optional[MatchResult]:
+        """Match anchored at *position* (like ``re.match`` at an offset)."""
+        return self._matcher.match_at(text, position)
+
+    def search(self, text: str, start: int = 0) -> Optional[MatchResult]:
+        """Leftmost match at or after *start* (like ``re.search``)."""
+        return self._matcher.search(text, start)
+
+    def fullmatch(self, text: str) -> Optional[MatchResult]:
+        """Match consuming the entire text."""
+        result = self.match(text, 0)
+        if result is not None and result.end == len(text):
+            return result
+        return None
+
+    def findall(self, text: str) -> List[str]:
+        """All non-overlapping match texts, left to right."""
+        return [m.group() for m in self.finditer(text)]
+
+    def finditer(self, text: str) -> List[MatchResult]:
+        """All non-overlapping matches, left to right."""
+        results: List[MatchResult] = []
+        position = 0
+        while position <= len(text):
+            result = self.search(text, position)
+            if result is None:
+                break
+            results.append(result)
+            # empty matches advance by one to guarantee progress
+            position = result.end if result.end > result.start else result.end + 1
+        return results
+
+    def substitute(
+        self, text: str, replacement: Union[str, Callable[[MatchResult], str]]
+    ) -> str:
+        """Replace every match with *replacement* (string or callable)."""
+        pieces: List[str] = []
+        last = 0
+        for result in self.finditer(text):
+            pieces.append(text[last : result.start])
+            if callable(replacement):
+                pieces.append(replacement(result))
+            else:
+                pieces.append(replacement)
+            last = result.end
+        pieces.append(text[last:])
+        return "".join(pieces)
+
+    def split(self, text: str) -> List[str]:
+        """Split *text* around every match."""
+        pieces: List[str] = []
+        last = 0
+        for result in self.finditer(text):
+            pieces.append(text[last : result.start])
+            last = result.end
+        pieces.append(text[last:])
+        return pieces
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def dump_program(self) -> str:
+        """Instruction listing of the compiled program."""
+        return self.program.dump()
+
+    def __repr__(self) -> str:
+        return f"Regexp({self.pattern!r})"

@@ -1,0 +1,162 @@
+"""Lowering of regexp ASTs to instruction programs.
+
+Uses the classic Thompson-style encoding: alternation and repetition
+become SPLIT instructions whose priority order implements greediness.
+Counted repetitions are expanded structurally (``a{2,4}`` becomes
+``aaa?a?``), which keeps the matcher simple at the cost of program size.
+"""
+
+from __future__ import annotations
+
+from .errors import CompileError
+from .nodes import (
+    Alternate,
+    Anchor,
+    AnyChar,
+    CharClass,
+    Concat,
+    Empty,
+    Group,
+    Literal,
+    Node,
+    Repeat,
+    WordBoundary,
+)
+from .parser import Parser
+from .program import (
+    OP_ANY,
+    OP_BOL,
+    OP_CHAR,
+    OP_CLASS,
+    OP_EOL,
+    OP_JUMP,
+    OP_MARK,
+    OP_MATCH,
+    OP_PROGRESS,
+    OP_SAVE,
+    OP_SPLIT,
+    OP_WORDB,
+    Instruction,
+    Program,
+)
+
+__all__ = ["Compiler", "compile_pattern"]
+
+#: Guard against structurally exploding counted repetitions.
+_MAX_EXPANSION = 1000
+
+
+class Compiler:
+    """Compiles one AST into a :class:`Program`."""
+
+    def __init__(self, group_count: int) -> None:
+        self.program = Program(group_count)
+
+    def compile(self, root: Node) -> Program:
+        """Emit ``save(0) <root> save(1) match`` and seal the program."""
+        self.program.emit(Instruction(OP_SAVE, slot=0))
+        self._emit_node(root)
+        self.program.emit(Instruction(OP_SAVE, slot=1))
+        self.program.emit(Instruction(OP_MATCH))
+        self.program.seal()
+        return self.program
+
+    # -- node dispatch -----------------------------------------------------
+
+    def _emit_node(self, node: Node) -> None:
+        if isinstance(node, Empty):
+            return
+        if isinstance(node, Literal):
+            self.program.emit(Instruction(OP_CHAR, char=node.char))
+        elif isinstance(node, AnyChar):
+            self.program.emit(Instruction(OP_ANY))
+        elif isinstance(node, CharClass):
+            self.program.emit(
+                Instruction(OP_CLASS, ranges=node.ranges, negated=node.negated)
+            )
+        elif isinstance(node, Anchor):
+            op = OP_BOL if node.kind == Anchor.START else OP_EOL
+            self.program.emit(Instruction(op))
+        elif isinstance(node, WordBoundary):
+            self.program.emit(Instruction(OP_WORDB, negated=node.negated))
+        elif isinstance(node, Concat):
+            for part in node.parts:
+                self._emit_node(part)
+        elif isinstance(node, Alternate):
+            self._emit_alternate(node)
+        elif isinstance(node, Group):
+            self.program.emit(Instruction(OP_SAVE, slot=2 * node.index))
+            self._emit_node(node.body)
+            self.program.emit(Instruction(OP_SAVE, slot=2 * node.index + 1))
+        elif isinstance(node, Repeat):
+            self._emit_repeat(node)
+        else:
+            raise CompileError(f"unknown node {node.describe()}")
+
+    def _emit_alternate(self, node: Alternate) -> None:
+        split = self.program.emit(Instruction(OP_SPLIT))
+        self.program.patch(split, target=len(self.program))
+        self._emit_node(node.left)
+        jump = self.program.emit(Instruction(OP_JUMP))
+        self.program.patch(split, alt=len(self.program))
+        self._emit_node(node.right)
+        self.program.patch(jump, target=len(self.program))
+
+    def _emit_repeat(self, node: Repeat) -> None:
+        minimum, maximum = node.minimum, node.maximum
+        if (maximum or minimum) > _MAX_EXPANSION:
+            raise CompileError(
+                f"counted repetition too large (> {_MAX_EXPANSION})"
+            )
+        for _ in range(minimum):
+            self._emit_node(node.body)
+        if maximum is None:
+            self._emit_star(node.body, node.greedy)
+        else:
+            self._emit_optionals(node.body, maximum - minimum, node.greedy)
+
+    def _emit_star(self, body: Node, greedy: bool) -> None:
+        """``e*``: split / mark / body / progress / jump-back.
+
+        The MARK/PROGRESS pair fails the looping branch when an iteration
+        consumed no input, so stars over empty-matching bodies (``(a?)*``)
+        terminate by falling out to the exit alternative.
+        """
+        mark = self.program.new_mark()
+        split = self.program.emit(Instruction(OP_SPLIT))
+        body_start = len(self.program)
+        self.program.emit(Instruction(OP_MARK, slot=mark))
+        self._emit_node(body)
+        self.program.emit(Instruction(OP_PROGRESS, slot=mark))
+        self.program.emit(Instruction(OP_JUMP, target=split))
+        after = len(self.program)
+        if greedy:
+            self.program.patch(split, target=body_start, alt=after)
+        else:
+            self.program.patch(split, target=after, alt=body_start)
+
+    def _emit_optionals(self, body: Node, count: int, greedy: bool) -> None:
+        """``e{0,count}``: nested optional copies (all-or-prefix)."""
+        splits = []
+        for _ in range(count):
+            split = self.program.emit(Instruction(OP_SPLIT))
+            body_start = len(self.program)
+            if greedy:
+                self.program.patch(split, target=body_start)
+            else:
+                self.program.patch(split, alt=body_start)
+            self._emit_node(body)
+            splits.append(split)
+        after = len(self.program)
+        for split in splits:
+            if greedy:
+                self.program.patch(split, alt=after)
+            else:
+                self.program.patch(split, target=after)
+
+
+def compile_pattern(pattern: str) -> Program:
+    """Parse and compile *pattern* into a sealed program."""
+    parser = Parser(pattern)
+    root = parser.parse()
+    return Compiler(parser.group_count).compile(root)

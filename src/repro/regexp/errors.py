@@ -1,0 +1,21 @@
+"""Errors of the regular-expression engine."""
+
+from __future__ import annotations
+
+__all__ = ["RegexpError", "RegexpSyntaxError", "CompileError"]
+
+
+class RegexpError(Exception):
+    """Base class of all regexp-engine errors."""
+
+
+class RegexpSyntaxError(RegexpError):
+    """The pattern text is not a valid regular expression."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class CompileError(RegexpError):
+    """The AST could not be lowered to a program."""

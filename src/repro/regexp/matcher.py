@@ -1,0 +1,199 @@
+"""The backtracking matcher (virtual machine) for compiled programs.
+
+A depth-first backtracking interpreter with an explicit stack of
+alternatives.  Capture slots are carried as immutable tuples so that
+abandoning a branch restores them for free.  A step budget bounds
+pathological backtracking (``(a*)*`` style patterns), turning potential
+non-termination into a :class:`RegexpError` — the matcher is a test
+subject of the injection campaign and must always return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import RegexpError
+from .program import (
+    OP_ANY,
+    OP_BOL,
+    OP_CHAR,
+    OP_CLASS,
+    OP_EOL,
+    OP_JUMP,
+    OP_MARK,
+    OP_MATCH,
+    OP_PROGRESS,
+    OP_SAVE,
+    OP_SPLIT,
+    OP_WORDB,
+    Program,
+)
+
+__all__ = ["MatchResult", "Matcher"]
+
+_DEFAULT_STEP_BUDGET = 1_000_000
+
+
+def _is_word(char: str) -> bool:
+    """Word characters for ``\\b``: letters, digits, underscore."""
+    return char.isalnum() or char == "_"
+
+
+class MatchResult:
+    """A successful match: the whole span plus every group span."""
+
+    def __init__(self, text: str, slots: Tuple[Optional[int], ...]) -> None:
+        self._text = text
+        self._slots = slots
+
+    @property
+    def start(self) -> int:
+        return self._slots[0]
+
+    @property
+    def end(self) -> int:
+        return self._slots[1]
+
+    def group(self, index: int = 0) -> Optional[str]:
+        """Text of group *index* (0 = whole match), or None if unset."""
+        low = self._slots[2 * index] if 2 * index < len(self._slots) else None
+        high = (
+            self._slots[2 * index + 1]
+            if 2 * index + 1 < len(self._slots)
+            else None
+        )
+        if low is None or high is None:
+            return None
+        return self._text[low:high]
+
+    def span(self, index: int = 0) -> Optional[Tuple[int, int]]:
+        low = self._slots[2 * index] if 2 * index < len(self._slots) else None
+        high = (
+            self._slots[2 * index + 1]
+            if 2 * index + 1 < len(self._slots)
+            else None
+        )
+        if low is None or high is None:
+            return None
+        return (low, high)
+
+    def groups(self) -> List[Optional[str]]:
+        """All group texts (1..n), like ``re.Match.groups()``."""
+        count = len(self._slots) // 2 - 1
+        return [self.group(index) for index in range(1, count + 1)]
+
+    def __repr__(self) -> str:
+        return f"<MatchResult span=({self.start}, {self.end}) {self.group()!r}>"
+
+
+class Matcher:
+    """Executes a program against input text.
+
+    The matcher keeps per-run statistics (steps consumed, deepest stack)
+    as instance state — realistic mutable bookkeeping for the atomicity
+    experiments.
+    """
+
+    def __init__(self, program: Program, step_budget: int = _DEFAULT_STEP_BUDGET):
+        self.program = program
+        self.step_budget = step_budget
+        self.steps_used = 0
+        self.max_stack_depth = 0
+        self.runs = 0
+
+    def match_at(self, text: str, position: int) -> Optional[MatchResult]:
+        """Match anchored at *position*; return the result or None."""
+        if not self.program.sealed:
+            raise RegexpError("program was not sealed before matching")
+        self.runs += 1
+        slots: Tuple[Optional[int], ...] = (None,) * self.program.slot_count
+        marks: Tuple[int, ...] = (-1,) * self.program.mark_count
+        stack = [(0, position, slots, marks)]
+        steps = 0
+        instructions = self.program.instructions
+        while stack:
+            self.max_stack_depth = max(self.max_stack_depth, len(stack))
+            pc, pos, slots, marks = stack.pop()
+            while True:
+                steps += 1
+                if steps > self.step_budget:
+                    self.steps_used += steps
+                    raise RegexpError(
+                        f"step budget exceeded ({self.step_budget}): "
+                        "pattern backtracks excessively"
+                    )
+                instruction = instructions[pc]
+                op = instruction.op
+                if op == OP_CHAR:
+                    if pos < len(text) and text[pos] == instruction.char:
+                        pc += 1
+                        pos += 1
+                        continue
+                    break
+                if op == OP_CLASS:
+                    if pos < len(text) and instruction.class_matches(text[pos]):
+                        pc += 1
+                        pos += 1
+                        continue
+                    break
+                if op == OP_ANY:
+                    if pos < len(text):
+                        pc += 1
+                        pos += 1
+                        continue
+                    break
+                if op == OP_SPLIT:
+                    stack.append((instruction.alt, pos, slots, marks))
+                    pc = instruction.target
+                    continue
+                if op == OP_JUMP:
+                    pc = instruction.target
+                    continue
+                if op == OP_SAVE:
+                    updated = list(slots)
+                    updated[instruction.slot] = pos
+                    slots = tuple(updated)
+                    pc += 1
+                    continue
+                if op == OP_MARK:
+                    updated_marks = list(marks)
+                    updated_marks[instruction.slot] = pos
+                    marks = tuple(updated_marks)
+                    pc += 1
+                    continue
+                if op == OP_PROGRESS:
+                    if pos > marks[instruction.slot]:
+                        pc += 1
+                        continue
+                    break  # empty iteration: abandon the looping branch
+                if op == OP_WORDB:
+                    before = pos > 0 and _is_word(text[pos - 1])
+                    after = pos < len(text) and _is_word(text[pos])
+                    if (before != after) != instruction.negated:
+                        pc += 1
+                        continue
+                    break
+                if op == OP_BOL:
+                    if pos == 0:
+                        pc += 1
+                        continue
+                    break
+                if op == OP_EOL:
+                    if pos == len(text):
+                        pc += 1
+                        continue
+                    break
+                if op == OP_MATCH:
+                    self.steps_used += steps
+                    return MatchResult(text, slots)
+                raise RegexpError(f"unknown opcode {op!r}")  # pragma: no cover
+        self.steps_used += steps
+        return None
+
+    def search(self, text: str, start: int = 0) -> Optional[MatchResult]:
+        """Leftmost match at or after *start*, or None."""
+        for position in range(start, len(text) + 1):
+            result = self.match_at(text, position)
+            if result is not None:
+                return result
+        return None

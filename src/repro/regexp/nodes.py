@@ -1,0 +1,157 @@
+"""AST node classes of the regular-expression engine.
+
+The parser produces a tree of these nodes; the compiler lowers them to a
+linear instruction program.  Nodes are immutable after construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "Empty",
+    "Literal",
+    "AnyChar",
+    "CharClass",
+    "Concat",
+    "Alternate",
+    "Repeat",
+    "Group",
+    "Anchor",
+    "WordBoundary",
+]
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    def children(self) -> List["Node"]:
+        return []
+
+    def describe(self) -> str:
+        """One-line structural description (used in error messages)."""
+        return type(self).__name__
+
+
+class Empty(Node):
+    """Matches the empty string."""
+
+
+class Literal(Node):
+    """Matches one specific character."""
+
+    def __init__(self, char: str) -> None:
+        self.char = char
+
+    def describe(self) -> str:
+        return f"Literal({self.char!r})"
+
+
+class AnyChar(Node):
+    """Matches any single character (``.``)."""
+
+
+class CharClass(Node):
+    """Matches one character from a set of ranges (``[a-z0-9]``)."""
+
+    def __init__(self, ranges: List[Tuple[str, str]], negated: bool = False):
+        self.ranges = list(ranges)
+        self.negated = negated
+
+    def matches(self, char: str) -> bool:
+        inside = any(low <= char <= high for low, high in self.ranges)
+        return inside != self.negated
+
+    def describe(self) -> str:
+        parts = "".join(
+            low if low == high else f"{low}-{high}" for low, high in self.ranges
+        )
+        prefix = "^" if self.negated else ""
+        return f"CharClass([{prefix}{parts}])"
+
+
+class Concat(Node):
+    """Matches a sequence of sub-patterns."""
+
+    def __init__(self, parts: List[Node]) -> None:
+        self.parts = list(parts)
+
+    def children(self) -> List[Node]:
+        return list(self.parts)
+
+
+class Alternate(Node):
+    """Matches either branch (``a|b``)."""
+
+    def __init__(self, left: Node, right: Node) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> List[Node]:
+        return [self.left, self.right]
+
+
+class Repeat(Node):
+    """Matches a sub-pattern repeated between *minimum* and *maximum* times.
+
+    ``maximum is None`` means unbounded.  ``greedy`` selects whether the
+    repetition prefers more (default) or fewer iterations.
+    """
+
+    def __init__(
+        self,
+        body: Node,
+        minimum: int,
+        maximum: Optional[int],
+        greedy: bool = True,
+    ) -> None:
+        self.body = body
+        self.minimum = minimum
+        self.maximum = maximum
+        self.greedy = greedy
+
+    def children(self) -> List[Node]:
+        return [self.body]
+
+    def describe(self) -> str:
+        bound = "" if self.maximum is None else str(self.maximum)
+        suffix = "" if self.greedy else "?"
+        return f"Repeat{{{self.minimum},{bound}}}{suffix}"
+
+
+class Group(Node):
+    """A capturing group ``( ... )`` with a 1-based index."""
+
+    def __init__(self, index: int, body: Node) -> None:
+        self.index = index
+        self.body = body
+
+    def children(self) -> List[Node]:
+        return [self.body]
+
+    def describe(self) -> str:
+        return f"Group({self.index})"
+
+
+class Anchor(Node):
+    """Start (``^``) or end (``$``) of input."""
+
+    START = "start"
+    END = "end"
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+
+    def describe(self) -> str:
+        return f"Anchor({self.kind})"
+
+
+class WordBoundary(Node):
+    """``\\b`` (or ``\\B`` when negated): a word/non-word transition."""
+
+    def __init__(self, negated: bool = False) -> None:
+        self.negated = negated
+
+    def describe(self) -> str:
+        return "WordBoundary(\\B)" if self.negated else "WordBoundary(\\b)"

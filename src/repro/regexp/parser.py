@@ -1,0 +1,255 @@
+"""Recursive-descent parser for the regular-expression dialect.
+
+Supported syntax (a practical subset of the Jakarta Regexp dialect the
+paper tested):
+
+* literals, ``.``, escapes ``\\d \\D \\w \\W \\s \\S`` and escaped
+  metacharacters,
+* character classes ``[a-z0-9_]`` with negation ``[^...]`` and ranges,
+* grouping ``( ... )`` (capturing, numbered left to right),
+* alternation ``|``,
+* repetition ``* + ?`` and counted ``{m}``, ``{m,}``, ``{m,n}``, each
+  with an optional non-greedy ``?`` suffix,
+* anchors ``^`` and ``$``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import RegexpSyntaxError
+from .nodes import (
+    Alternate,
+    Anchor,
+    AnyChar,
+    CharClass,
+    Concat,
+    Empty,
+    Group,
+    Literal,
+    Node,
+    Repeat,
+    WordBoundary,
+)
+
+__all__ = ["Parser", "parse"]
+
+_METACHARS = set("()[]{}|*+?.^$\\")
+
+_ESCAPE_CLASSES = {
+    "d": ([("0", "9")], False),
+    "D": ([("0", "9")], True),
+    "w": ([("a", "z"), ("A", "Z"), ("0", "9"), ("_", "_")], False),
+    "W": ([("a", "z"), ("A", "Z"), ("0", "9"), ("_", "_")], True),
+    "s": ([(" ", " "), ("\t", "\t"), ("\n", "\n"), ("\r", "\r"), ("\f", "\f"), ("\v", "\v")], False),
+    "S": ([(" ", " "), ("\t", "\t"), ("\n", "\n"), ("\r", "\r"), ("\f", "\f"), ("\v", "\v")], True),
+}
+
+_ESCAPE_LITERALS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+
+class Parser:
+    """Parses one pattern string into an AST."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.position = 0
+        self.group_count = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.pattern):
+            return self.pattern[self.position]
+        return None
+
+    def _next(self) -> str:
+        char = self._peek()
+        if char is None:
+            raise RegexpSyntaxError("unexpected end of pattern", self.position)
+        self.position += 1
+        return char
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise RegexpSyntaxError(f"expected {char!r}", self.position)
+        self.position += 1
+
+    def _error(self, message: str) -> RegexpSyntaxError:
+        return RegexpSyntaxError(message, self.position)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Node:
+        """``pattern := alternation`` (must consume all input)."""
+        node = self._alternation()
+        if self.position != len(self.pattern):
+            raise self._error(f"unexpected {self._peek()!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        node = self._concat()
+        while self._peek() == "|":
+            self._next()
+            node = Alternate(node, self._concat())
+        return node
+
+    def _concat(self) -> Node:
+        parts: List[Node] = []
+        while True:
+            char = self._peek()
+            if char is None or char in ")|":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(parts)
+
+    def _repetition(self) -> Node:
+        atom = self._atom()
+        char = self._peek()
+        if char == "*":
+            self._next()
+            return Repeat(atom, 0, None, greedy=self._greedy())
+        if char == "+":
+            self._next()
+            return Repeat(atom, 1, None, greedy=self._greedy())
+        if char == "?":
+            self._next()
+            return Repeat(atom, 0, 1, greedy=self._greedy())
+        if char == "{":
+            return self._counted(atom)
+        return atom
+
+    def _greedy(self) -> bool:
+        if self._peek() == "?":
+            self._next()
+            return False
+        return True
+
+    def _counted(self, atom: Node) -> Node:
+        start = self.position
+        self._expect("{")
+        minimum = self._number()
+        maximum: Optional[int] = minimum
+        if self._peek() == ",":
+            self._next()
+            if self._peek() == "}":
+                maximum = None
+            else:
+                maximum = self._number()
+        self._expect("}")
+        if maximum is not None and maximum < minimum:
+            raise RegexpSyntaxError("repeat bounds out of order", start)
+        return Repeat(atom, minimum, maximum, greedy=self._greedy())
+
+    def _number(self) -> int:
+        digits = []
+        while (char := self._peek()) is not None and char.isdigit():
+            digits.append(self._next())
+        if not digits:
+            raise self._error("expected a number")
+        return int("".join(digits))
+
+    def _atom(self) -> Node:
+        char = self._peek()
+        if char == "(":
+            self._next()
+            self.group_count += 1
+            index = self.group_count
+            body = self._alternation()
+            self._expect(")")
+            return Group(index, body)
+        if char == "[":
+            return self._char_class()
+        if char == ".":
+            self._next()
+            return AnyChar()
+        if char == "^":
+            self._next()
+            return Anchor(Anchor.START)
+        if char == "$":
+            self._next()
+            return Anchor(Anchor.END)
+        if char == "\\":
+            return self._escape()
+        if char in "*+?{":
+            raise self._error(f"nothing to repeat with {char!r}")
+        if char in ")|" or char is None:
+            raise self._error("expected an atom")
+        return Literal(self._next())
+
+    def _escape(self) -> Node:
+        self._expect("\\")
+        char = self._next()
+        if char == "b":
+            return WordBoundary()
+        if char == "B":
+            return WordBoundary(negated=True)
+        if char in _ESCAPE_CLASSES:
+            ranges, negated = _ESCAPE_CLASSES[char]
+            return CharClass(ranges, negated)
+        if char in _ESCAPE_LITERALS:
+            return Literal(_ESCAPE_LITERALS[char])
+        if char in _METACHARS:
+            return Literal(char)
+        raise RegexpSyntaxError(f"unknown escape \\{char}", self.position - 1)
+
+    def _char_class(self) -> Node:
+        start = self.position
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            self._next()
+            negated = True
+        ranges: List[Tuple[str, str]] = []
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise RegexpSyntaxError("unterminated character class", start)
+            if char == "]" and not first:
+                self._next()
+                break
+            first = False
+            low = self._class_char()
+            if self._peek() == "-" and self._lookahead(1) not in (None, "]"):
+                self._next()
+                high = self._class_char()
+                if high < low:
+                    raise RegexpSyntaxError("range out of order", self.position)
+                ranges.append((low, high))
+            else:
+                ranges.append((low, low))
+        if not ranges:
+            raise RegexpSyntaxError("empty character class", start)
+        return CharClass(ranges, negated)
+
+    def _class_char(self) -> str:
+        char = self._next()
+        if char != "\\":
+            return char
+        escaped = self._next()
+        if escaped in _ESCAPE_LITERALS:
+            return _ESCAPE_LITERALS[escaped]
+        return escaped
+
+    def _lookahead(self, offset: int) -> Optional[str]:
+        index = self.position + offset
+        if index < len(self.pattern):
+            return self.pattern[index]
+        return None
+
+
+def parse(pattern: str) -> Node:
+    """Parse *pattern*; return the AST root."""
+    return Parser(pattern).parse()

@@ -1,0 +1,165 @@
+"""Pike VM: lockstep NFA simulation with capture groups.
+
+An alternative execution engine for the same compiled programs as
+:mod:`repro.regexp.matcher`: all live threads advance over the input in
+lockstep, so matching is O(len(text) × len(program)) regardless of the
+pattern — the pathological backtracking cases (``(a|aa)+b`` on a long
+non-match) run in linear time.
+
+Thread priority (list order) encodes the same greedy/leftmost preferences
+the backtracking engine explores depth-first, so both engines agree on
+the selected match.  The MARK/PROGRESS loop guards of the compiler are
+no-ops here: the per-position visited set already breaks empty-iteration
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from .errors import RegexpError
+from .matcher import MatchResult
+from .program import (
+    OP_ANY,
+    OP_BOL,
+    OP_CHAR,
+    OP_CLASS,
+    OP_EOL,
+    OP_JUMP,
+    OP_MARK,
+    OP_MATCH,
+    OP_PROGRESS,
+    OP_SAVE,
+    OP_SPLIT,
+    OP_WORDB,
+    Program,
+)
+
+__all__ = ["PikeMatcher"]
+
+
+def _is_word(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class _Thread:
+    __slots__ = ("pc", "slots")
+
+    def __init__(self, pc: int, slots: Tuple[Optional[int], ...]) -> None:
+        self.pc = pc
+        self.slots = slots
+
+
+class PikeMatcher:
+    """Executes compiled programs by breadth-first thread simulation."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.runs = 0
+        self.max_threads = 0
+
+    # -- the epsilon closure ------------------------------------------------
+
+    def _add_thread(
+        self,
+        threads: List[_Thread],
+        visited: Set[int],
+        pc: int,
+        pos: int,
+        text: str,
+        slots: Tuple[Optional[int], ...],
+    ) -> None:
+        """Add *pc* (and its epsilon closure) in priority order."""
+        stack = [(pc, slots)]
+        instructions = self.program.instructions
+        while stack:
+            current_pc, current_slots = stack.pop()
+            if current_pc in visited:
+                continue
+            visited.add(current_pc)
+            instruction = instructions[current_pc]
+            op = instruction.op
+            if op == OP_JUMP:
+                stack.append((instruction.target, current_slots))
+            elif op == OP_SPLIT:
+                # preserve priority: target first, alt second — push alt
+                # onto a recursive call so ordering matches depth-first
+                self._add_thread(
+                    threads, visited, instruction.target, pos, text,
+                    current_slots,
+                )
+                stack.append((instruction.alt, current_slots))
+            elif op == OP_SAVE:
+                updated = list(current_slots)
+                updated[instruction.slot] = pos
+                stack.append((current_pc + 1, tuple(updated)))
+            elif op in (OP_MARK, OP_PROGRESS):
+                stack.append((current_pc + 1, current_slots))
+            elif op == OP_BOL:
+                if pos == 0:
+                    stack.append((current_pc + 1, current_slots))
+            elif op == OP_EOL:
+                if pos == len(text):
+                    stack.append((current_pc + 1, current_slots))
+            elif op == OP_WORDB:
+                before = pos > 0 and _is_word(text[pos - 1])
+                after = pos < len(text) and _is_word(text[pos])
+                if (before != after) != instruction.negated:
+                    stack.append((current_pc + 1, current_slots))
+            else:
+                threads.append(_Thread(current_pc, current_slots))
+
+    # -- matching -------------------------------------------------------------
+
+    def match_at(self, text: str, position: int) -> Optional[MatchResult]:
+        """Match anchored at *position* (same contract as Matcher)."""
+        if not self.program.sealed:
+            raise RegexpError("program was not sealed before matching")
+        self.runs += 1
+        instructions = self.program.instructions
+        slots: Tuple[Optional[int], ...] = (None,) * self.program.slot_count
+        current: List[_Thread] = []
+        self._add_thread(current, set(), 0, position, text, slots)
+        matched: Optional[Tuple[Optional[int], ...]] = None
+        pos = position
+        while current:
+            self.max_threads = max(self.max_threads, len(current))
+            following: List[_Thread] = []
+            visited: Set[int] = set()
+            char = text[pos] if pos < len(text) else None
+            for thread in current:
+                instruction = instructions[thread.pc]
+                op = instruction.op
+                if op == OP_MATCH:
+                    # record and cut every *lower*-priority thread; the
+                    # surviving (already-advanced) threads have higher
+                    # priority and may still yield the match the
+                    # depth-first engine would prefer — later matches
+                    # therefore overwrite this one
+                    matched = thread.slots
+                    break
+                if char is None:
+                    continue
+                advanced = (
+                    (op == OP_CHAR and char == instruction.char)
+                    or (op == OP_CLASS and instruction.class_matches(char))
+                    or op == OP_ANY
+                )
+                if advanced:
+                    self._add_thread(
+                        following, visited, thread.pc + 1, pos + 1, text,
+                        thread.slots,
+                    )
+            current = following
+            pos += 1
+        if matched is not None:
+            return MatchResult(text, matched)
+        return None
+
+    def search(self, text: str, start: int = 0) -> Optional[MatchResult]:
+        """Leftmost match at or after *start*, or None."""
+        for position in range(start, len(text) + 1):
+            result = self.match_at(text, position)
+            if result is not None:
+                return result
+        return None

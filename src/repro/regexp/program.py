@@ -1,0 +1,187 @@
+"""Compiled regexp programs: a linear instruction encoding.
+
+A program is a sequence of simple instructions executed by the
+backtracking matcher.  The compiler builds programs incrementally through
+:meth:`Program.emit` / :meth:`Program.patch`, which gives the compilation
+path observable intermediate state — the kind of multi-step construction
+the paper's injection campaign interrupts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import CompileError
+
+__all__ = [
+    "Instruction",
+    "Program",
+    "OP_CHAR",
+    "OP_CLASS",
+    "OP_ANY",
+    "OP_SPLIT",
+    "OP_JUMP",
+    "OP_SAVE",
+    "OP_MATCH",
+    "OP_BOL",
+    "OP_EOL",
+    "OP_MARK",
+    "OP_PROGRESS",
+    "OP_WORDB",
+]
+
+OP_CHAR = "char"      # match one specific character
+OP_CLASS = "class"    # match one character from ranges
+OP_ANY = "any"        # match any one character
+OP_SPLIT = "split"    # try target, on failure try alt
+OP_JUMP = "jump"      # unconditional jump to target
+OP_SAVE = "save"      # record current position into a capture slot
+OP_MATCH = "match"    # accept
+OP_BOL = "bol"        # assert beginning of input
+OP_EOL = "eol"        # assert end of input
+OP_MARK = "mark"      # record current position into a loop mark
+OP_PROGRESS = "progress"  # fail the branch if the loop made no progress
+OP_WORDB = "wordb"    # assert a word boundary (negated: non-boundary)
+
+_OPS = frozenset(
+    {
+        OP_CHAR,
+        OP_CLASS,
+        OP_ANY,
+        OP_SPLIT,
+        OP_JUMP,
+        OP_SAVE,
+        OP_MATCH,
+        OP_BOL,
+        OP_EOL,
+        OP_MARK,
+        OP_PROGRESS,
+        OP_WORDB,
+    }
+)
+
+
+class Instruction:
+    """One program instruction.
+
+    Fields (used depending on ``op``):
+        char: the character for OP_CHAR.
+        ranges / negated: the class for OP_CLASS.
+        target / alt: jump targets for OP_SPLIT / OP_JUMP.
+        slot: capture slot index for OP_SAVE.
+    """
+
+    __slots__ = ("op", "char", "ranges", "negated", "target", "alt", "slot")
+
+    def __init__(
+        self,
+        op: str,
+        *,
+        char: Optional[str] = None,
+        ranges: Optional[List[Tuple[str, str]]] = None,
+        negated: bool = False,
+        target: int = -1,
+        alt: int = -1,
+        slot: int = -1,
+    ) -> None:
+        if op not in _OPS:
+            raise CompileError(f"unknown opcode {op!r}")
+        self.op = op
+        self.char = char
+        self.ranges = ranges
+        self.negated = negated
+        self.target = target
+        self.alt = alt
+        self.slot = slot
+
+    def class_matches(self, char: str) -> bool:
+        inside = any(low <= char <= high for low, high in self.ranges)
+        return inside != self.negated
+
+    def describe(self) -> str:
+        if self.op == OP_CHAR:
+            return f"char {self.char!r}"
+        if self.op == OP_CLASS:
+            parts = "".join(
+                low if low == high else f"{low}-{high}" for low, high in self.ranges
+            )
+            return f"class [{'^' if self.negated else ''}{parts}]"
+        if self.op == OP_SPLIT:
+            return f"split -> {self.target}, {self.alt}"
+        if self.op == OP_JUMP:
+            return f"jump -> {self.target}"
+        if self.op == OP_SAVE:
+            return f"save slot {self.slot}"
+        if self.op in (OP_MARK, OP_PROGRESS):
+            return f"{self.op} {self.slot}"
+        if self.op == OP_WORDB:
+            return "wordb (negated)" if self.negated else "wordb"
+        return self.op
+
+
+class Program:
+    """A growable instruction sequence with back-patching support."""
+
+    def __init__(self, group_count: int = 0) -> None:
+        self.instructions: List[Instruction] = []
+        self.group_count = group_count
+        self.mark_count = 0  # loop marks used by OP_MARK/OP_PROGRESS
+        self.sealed = False
+
+    def new_mark(self) -> int:
+        """Allocate a fresh loop-progress mark; return its id."""
+        if self.sealed:
+            raise CompileError("cannot allocate marks in a sealed program")
+        mark = self.mark_count
+        self.mark_count += 1
+        return mark
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def slot_count(self) -> int:
+        """Capture slots: two per group plus two for the whole match."""
+        return 2 * (self.group_count + 1)
+
+    def emit(self, instruction: Instruction) -> int:
+        """Append an instruction; return its address."""
+        if self.sealed:
+            raise CompileError("cannot emit into a sealed program")
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def patch(self, address: int, *, target: Optional[int] = None, alt: Optional[int] = None) -> None:
+        """Back-patch the jump fields of the instruction at *address*."""
+        if self.sealed:
+            raise CompileError("cannot patch a sealed program")
+        instruction = self.instructions[address]
+        if target is not None:
+            instruction.target = target
+        if alt is not None:
+            instruction.alt = alt
+
+    def seal(self) -> None:
+        """Finish construction; verify every jump target is in range."""
+        for address, instruction in enumerate(self.instructions):
+            if instruction.op in (OP_SPLIT, OP_JUMP):
+                if not 0 <= instruction.target <= len(self.instructions):
+                    raise CompileError(
+                        f"instruction {address}: target {instruction.target} "
+                        "out of range"
+                    )
+                if instruction.op == OP_SPLIT and not (
+                    0 <= instruction.alt <= len(self.instructions)
+                ):
+                    raise CompileError(
+                        f"instruction {address}: alt {instruction.alt} out of range"
+                    )
+        self.sealed = True
+
+    def dump(self) -> str:
+        """Human-readable listing of the program."""
+        lines = [
+            f"{address:4d}  {instruction.describe()}"
+            for address, instruction in enumerate(self.instructions)
+        ]
+        return "\n".join(lines)

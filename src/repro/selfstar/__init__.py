@@ -1,0 +1,67 @@
+"""Self\\* component framework: dataflow components, adaptors, queues.
+
+A re-creation of the component-based, dataflow-oriented C++ framework the
+paper evaluates (Fetzer & Högstedt, WORDS 2003): components exchange
+messages through connected ports, adaptors transform streams, and bounded
+queues decouple producers from consumers.  The six evaluation
+applications live in :mod:`repro.selfstar.apps`.
+"""
+
+from .adaptors import (
+    BatchAdaptor,
+    FilterAdaptor,
+    MapAdaptor,
+    RouterAdaptor,
+    Sink,
+    Source,
+    SplitAdaptor,
+    TagAdaptor,
+)
+from .component import CREATED, STARTED, STOPPED, Component
+from .errors import (
+    ComponentStateError,
+    PortError,
+    ProcessingError,
+    QueueEmptyError,
+    QueueFullError,
+    SelfStarError,
+)
+from .pipeline import Pipeline
+from .stdq import StdQueue
+from .supervision import (
+    RetryPolicy,
+    SupervisedComponent,
+    Supervisor,
+    SupervisionError,
+    TransientFault,
+)
+from .xml2c import XmlToCConverter
+
+__all__ = [
+    "Component",
+    "CREATED",
+    "STARTED",
+    "STOPPED",
+    "Source",
+    "Sink",
+    "MapAdaptor",
+    "FilterAdaptor",
+    "BatchAdaptor",
+    "SplitAdaptor",
+    "RouterAdaptor",
+    "TagAdaptor",
+    "StdQueue",
+    "Pipeline",
+    "XmlToCConverter",
+    "SelfStarError",
+    "ComponentStateError",
+    "PortError",
+    "ProcessingError",
+    "QueueFullError",
+    "QueueEmptyError",
+    "Supervisor",
+    "SupervisedComponent",
+    "RetryPolicy",
+    "SupervisionError",
+    "TransientFault",
+]

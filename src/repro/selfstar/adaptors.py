@@ -1,0 +1,215 @@
+"""Adaptors: stateless and stateful message transformers.
+
+Adaptors are the workhorse components of Self\\* dataflow graphs: they
+map, filter, batch, split, and collect messages.  ``BatchAdaptor`` is the
+interesting detection subject — it buffers messages across calls, so a
+failure during a flush loses or duplicates part of a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.exceptions import throws
+
+from .component import Component
+from .errors import ProcessingError
+
+__all__ = [
+    "Source",
+    "Sink",
+    "MapAdaptor",
+    "FilterAdaptor",
+    "BatchAdaptor",
+    "SplitAdaptor",
+    "RouterAdaptor",
+    "TagAdaptor",
+]
+
+
+class Source(Component):
+    """Entry point: pushes externally supplied messages into the graph."""
+
+    def __init__(self, name: str = "source") -> None:
+        super().__init__(name)
+        self.pushed_count = 0
+
+    def push(self, message: Any) -> None:
+        """Inject one message into the graph (counted after delivery)."""
+        self.emit(message)
+        self.pushed_count += 1
+
+    def push_all(self, messages) -> None:
+        """Inject a sequence (partial progress on failure: pure)."""
+        for message in messages:
+            self.push(message)
+
+    def process(self, message: Any) -> None:
+        self.emit(message)  # sources pass through if used mid-graph
+
+
+class Sink(Component):
+    """Exit point: collects every received message."""
+
+    def __init__(self, name: str = "sink") -> None:
+        super().__init__(name)
+        self.collected: List[Any] = []
+
+    def process(self, message: Any) -> None:
+        self.collected.append(message)
+
+    def drain(self) -> List[Any]:
+        """Return and clear the collected messages."""
+        messages = self.collected
+        self.collected = []
+        return messages
+
+
+class MapAdaptor(Component):
+    """Applies a function to every message."""
+
+    def __init__(self, name: str, transform: Callable[[Any], Any]) -> None:
+        super().__init__(name)
+        self._transform = transform
+
+    @throws(ProcessingError)
+    def process(self, message: Any) -> None:
+        try:
+            result = self._transform(message)
+        except Exception as exc:
+            raise ProcessingError(f"{self.name}: transform failed: {exc}") from exc
+        self.emit(result)
+
+
+class FilterAdaptor(Component):
+    """Forwards only messages satisfying a predicate."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool]) -> None:
+        super().__init__(name)
+        self._predicate = predicate
+        self.dropped_count = 0
+
+    def process(self, message: Any) -> None:
+        if self._predicate(message):
+            self.emit(message)
+        else:
+            self.dropped_count += 1
+
+
+class BatchAdaptor(Component):
+    """Groups messages into fixed-size batches.
+
+    Written with failure atomicity in mind (the "temporary variable"
+    idiom of the paper, Section 6.1): the batch to emit is assembled in a
+    local first, so a failing downstream delivery leaves the buffer — and
+    therefore the batch — intact and retryable.
+    """
+
+    def __init__(self, name: str, batch_size: int) -> None:
+        super().__init__(name)
+        if batch_size < 1:
+            raise ProcessingError(f"{name}: batch size must be >= 1")
+        self.batch_size = batch_size
+        self.buffer: List[Any] = []
+
+    def process(self, message: Any) -> None:
+        if len(self.buffer) + 1 >= self.batch_size:
+            batch = self.buffer + [message]  # temporary: emit before mutate
+            self.emit(batch)
+            self.buffer.clear()
+        else:
+            self.buffer.append(message)
+
+    def flush(self) -> None:
+        """Emit the buffered messages as one batch (emit before clear)."""
+        if not self.buffer:
+            return
+        self.emit(list(self.buffer))
+        self.buffer.clear()
+
+    def on_stop(self) -> None:
+        self.flush()
+
+
+class SplitAdaptor(Component):
+    """Splits list messages back into individual messages."""
+
+    @throws(ProcessingError)
+    def process(self, message: Any) -> None:
+        if not isinstance(message, (list, tuple)):
+            raise ProcessingError(f"{self.name}: expected a batch, got "
+                                  f"{type(message).__name__}")
+        for item in message:
+            self.emit(item)
+
+
+class RouterAdaptor(Component):
+    """Routes each message to one named route by predicate.
+
+    Routes are tried in registration order; the first matching predicate
+    receives the message.  Messages matching no route go to the fallback
+    (if any) or raise — an unroutable message is a configuration error,
+    not something to drop silently.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._routes: List[Any] = []  # (route name, predicate, consumer)
+        self._fallback: Optional[Component] = None
+        self.routed_counts: dict = {}
+
+    @throws(ProcessingError)
+    def add_route(self, route_name: str, predicate: Callable[[Any], bool],
+                  consumer: Component) -> "RouterAdaptor":
+        """Register a route; returns self for chaining."""
+        if any(existing == route_name for existing, _, _ in self._routes):
+            raise ProcessingError(f"{self.name}: duplicate route {route_name!r}")
+        self.connect(consumer)
+        self._routes.append((route_name, predicate, consumer))
+        self.routed_counts[route_name] = 0
+        return self
+
+    def set_fallback(self, consumer: Component) -> "RouterAdaptor":
+        self.connect(consumer)
+        self._fallback = consumer
+        return self
+
+    @throws(ProcessingError)
+    def process(self, message: Any) -> None:
+        for route_name, predicate, consumer in self._routes:
+            if predicate(message):
+                consumer.accept(message)
+                self.routed_counts[route_name] += 1
+                return
+        if self._fallback is not None:
+            self._fallback.accept(message)
+            return
+        raise ProcessingError(f"{self.name}: no route for {message!r}")
+
+
+class TagAdaptor(Component):
+    """Annotates dict messages with a constant key/value tag.
+
+    Emits a tagged *copy* of the message: the incoming message is never
+    mutated, so a failure anywhere downstream cannot leave a half-tagged
+    record behind (the paper's "temporary variable" fix).
+    """
+
+    def __init__(self, name: str, key: str, value: Any,
+                 required_field: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.key = key
+        self.value = value
+        self.required_field = required_field
+
+    @throws(ProcessingError)
+    def process(self, message: Any) -> None:
+        if not isinstance(message, dict):
+            raise ProcessingError(f"{self.name}: expected a dict message")
+        if self.required_field is not None and self.required_field not in message:
+            raise ProcessingError(
+                f"{self.name}: message lacks {self.required_field!r}"
+            )
+        tagged = dict(message)
+        tagged[self.key] = self.value
+        self.emit(tagged)

@@ -1,0 +1,17 @@
+"""The six Self\\* evaluation applications (paper Table 1, C++ side)."""
+
+from .adaptor_chain import AdaptorChainApp
+from .std_q import StdQApp
+from .xml2c_tcp import Xml2CTcpApp
+from .xml2c_viasc import Xml2CViaSc1App, Xml2CViaSc2App
+from .xml2xml import Xml2XmlApp, XmlTransformer
+
+__all__ = [
+    "AdaptorChainApp",
+    "StdQApp",
+    "Xml2CTcpApp",
+    "Xml2CViaSc1App",
+    "Xml2CViaSc2App",
+    "Xml2XmlApp",
+    "XmlTransformer",
+]

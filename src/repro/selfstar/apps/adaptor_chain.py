@@ -1,0 +1,83 @@
+"""``adaptorChain``: a linear graph of adaptors over record messages.
+
+The workload tags, normalizes, filters, batches, and re-splits a stream
+of record dicts, exercising both stateless and stateful adaptors plus the
+framework lifecycle — the first C++ application of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..adaptors import (
+    BatchAdaptor,
+    FilterAdaptor,
+    MapAdaptor,
+    Sink,
+    Source,
+    SplitAdaptor,
+    TagAdaptor,
+)
+from ..component import Component
+from ..errors import ProcessingError
+from ..pipeline import Pipeline
+from .samples import RECORDS
+
+__all__ = ["AdaptorChainApp"]
+
+
+def _normalize(record: Dict[str, object]) -> Dict[str, object]:
+    normalized = dict(record)
+    normalized["value"] = int(normalized.get("value", 0)) * 2
+    return normalized
+
+
+class AdaptorChainApp:
+    """Builds and runs the adaptor chain on a record stream."""
+
+    def __init__(self, batch_size: int = 3) -> None:
+        self.batch_size = batch_size
+        self.pipeline = Pipeline("adaptorChain")
+        self.source = Source("records")
+        self.sink = Sink("collector")
+        self._build()
+
+    def _build(self) -> None:
+        self.pipeline.add_stage(self.source)
+        self.pipeline.add_stage(TagAdaptor("tagger", "origin", "chain"))
+        self.pipeline.add_stage(MapAdaptor("normalizer", _normalize))
+        self.pipeline.add_stage(
+            FilterAdaptor("readings", lambda r: r.get("kind") == "reading")
+        )
+        self.pipeline.add_stage(BatchAdaptor("batcher", self.batch_size))
+        self.pipeline.add_stage(SplitAdaptor("splitter"))
+        self.pipeline.add_stage(self.sink)
+
+    def run(self, records=None) -> List[Dict[str, object]]:
+        """Process *records* (defaults to the sample stream); return output."""
+        records = RECORDS if records is None else records
+        self.pipeline.start()
+        for record in records:
+            self.source.push(dict(record))
+        # a malformed message exercises the error path; the framework
+        # reports it and the workload continues
+        try:
+            self.source.push("not a record")
+        except ProcessingError:
+            pass
+        self.pipeline.stop()  # flushes the final partial batch
+        return self.sink.collected
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        return [
+            Component,
+            Source,
+            Sink,
+            TagAdaptor,
+            MapAdaptor,
+            FilterAdaptor,
+            BatchAdaptor,
+            SplitAdaptor,
+            Pipeline,
+        ]

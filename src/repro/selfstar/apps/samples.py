@@ -1,0 +1,42 @@
+"""Deterministic sample inputs shared by the Self\\* applications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["XML_DOCUMENTS", "RECORDS", "make_records"]
+
+#: Small, well-formed documents exercising attributes, nesting, entities,
+#: self-closing tags, and comments.
+XML_DOCUMENTS: List[str] = [
+    '<?xml version="1.0"?><config><server port="80" host="alpha">web'
+    "</server><server port="
+    '"443" host="beta">tls</server></config>',
+    "<note><to>ops</to><from>dev</from><body>deploy &amp; verify</body></note>",
+    '<inventory count="3"><item id="a1"/><item id="a2"/><item id="a3">last'
+    "</item></inventory>",
+    "<!-- prologue --><root attr='single'>text <child>nested</child> tail</root>",
+]
+
+#: Record messages flowing through the adaptor-chain and queue apps.
+RECORDS: List[Dict[str, object]] = [
+    {"id": 1, "kind": "reading", "value": 17},
+    {"id": 2, "kind": "reading", "value": 4},
+    {"id": 3, "kind": "control", "value": 0},
+    {"id": 4, "kind": "reading", "value": 25},
+    {"id": 5, "kind": "reading", "value": 9},
+    {"id": 6, "kind": "control", "value": 1},
+    {"id": 7, "kind": "reading", "value": 12},
+]
+
+
+def make_records(count: int) -> List[Dict[str, object]]:
+    """Deterministic record stream of arbitrary length."""
+    return [
+        {
+            "id": index,
+            "kind": "reading" if index % 3 else "control",
+            "value": (index * 7) % 29,
+        }
+        for index in range(1, count + 1)
+    ]

@@ -1,0 +1,75 @@
+"""``stdQ``: producer/consumer decoupling through a bounded queue.
+
+A producer bursts records into a :class:`StdQueue`; a consumer pumps them
+out in smaller batches.  Overflow and underflow error paths are exercised
+deliberately — they are the queue's interesting exception behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..adaptors import MapAdaptor, Sink, Source
+from ..component import Component
+from ..errors import QueueEmptyError, QueueFullError
+from ..pipeline import Pipeline
+from ..stdq import StdQueue
+from .samples import make_records
+
+__all__ = ["StdQApp"]
+
+
+class StdQApp:
+    """Runs a burst/drain workload over a bounded queue."""
+
+    def __init__(self, capacity: int = 4, burst: int = 3) -> None:
+        self.capacity = capacity
+        self.burst = burst
+        self.pipeline = Pipeline("stdQ")
+        self.source = Source("producer")
+        self.queue = StdQueue("buffer", capacity)
+        self.sink = Sink("consumer")
+        self._build()
+
+    def _build(self) -> None:
+        self.pipeline.add_stage(self.source)
+        self.pipeline.add_stage(self.queue)
+        # the queue does not auto-forward: its downstream is fed by pump()
+        self.queue.connect(
+            MapAdaptor("stamper", lambda r: {**r, "consumed": True})
+        )
+        self.queue.downstream[0].connect(self.sink)
+
+    def run(self, record_count: int = 10) -> List[Dict[str, object]]:
+        """Burst records in, drain in batches; return consumed records."""
+        records = make_records(record_count)
+        self.pipeline.start()
+        self.queue.downstream[0].start()
+        self.sink.start()
+        pending = list(records)
+        while pending or self.queue.depth():
+            # fill until the burst is in or the queue is full
+            while pending and not self.queue.is_full():
+                self.source.push(pending.pop(0))
+            if pending:
+                # demonstrate the overflow error path once per fill cycle
+                try:
+                    self.queue.enqueue({"overflow": True})
+                except QueueFullError:
+                    pass
+            # drain a burst
+            for _ in range(self.burst):
+                if self.queue.depth() == 0:
+                    break
+                self.queue.pump()
+        # underflow error path
+        try:
+            self.queue.dequeue()
+        except QueueEmptyError:
+            pass
+        self.pipeline.stop()
+        return self.sink.collected
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        return [Component, Source, Sink, MapAdaptor, StdQueue, Pipeline]

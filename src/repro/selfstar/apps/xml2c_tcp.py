@@ -1,0 +1,92 @@
+"""``xml2Ctcp``: XML → C conversion shipped over a (faulty) TCP stand-in.
+
+Documents are parsed, converted to C source, framed, and sent across an
+in-memory link whose a→b direction injects deterministic delivery
+failures; the sender retries.  The receiver reassembles frames from
+fragmented chunks and verifies the generated code arrived intact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net import (
+    DeliveryError,
+    FaultPolicy,
+    FaultyLink,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.xmlmini import XmlParser
+
+from ..errors import ProcessingError
+from ..xml2c import XmlToCConverter
+from .samples import XML_DOCUMENTS
+
+__all__ = ["Xml2CTcpApp"]
+
+_MAX_RETRIES = 5
+
+
+class Xml2CTcpApp:
+    """Converts documents and ships them over the faulty link."""
+
+    def __init__(self, error_rate: float = 0.25, seed: int = 11) -> None:
+        self.converter = XmlToCConverter()
+        self.link = FaultyLink(FaultPolicy(seed, error_rate=error_rate), "xml2c")
+        self.decoder = FrameDecoder()
+        self.retries = 0
+
+    def send_with_retry(self, payload: bytes) -> None:
+        """Send one frame, retrying transient delivery failures."""
+        for attempt in range(_MAX_RETRIES):
+            try:
+                self.link.send(payload)
+                return
+            except DeliveryError:
+                self.retries += 1
+        raise ProcessingError(
+            f"delivery failed after {_MAX_RETRIES} attempts"
+        )
+
+    def run(self, documents=None) -> List[str]:
+        """Convert and ship *documents*; return the received C sources."""
+        documents = XML_DOCUMENTS if documents is None else documents
+        for text in documents:
+            parser = XmlParser(text)
+            document = parser.parse()
+            source = self.converter.convert(document)
+            self.send_with_retry(encode_frame(source.encode("utf-8")))
+        received: List[str] = []
+        receiver = self.link.receiver()
+        while receiver.pending():
+            chunk = receiver.receive()
+            # deliver in split halves to exercise reassembly
+            middle = len(chunk) // 2
+            for part in (chunk[:middle], chunk[middle:]):
+                for frame in self.decoder.feed(part):
+                    received.append(frame.decode("utf-8"))
+        if len(received) != len(documents):
+            raise ProcessingError(
+                f"expected {len(documents)} frames, received {len(received)}"
+            )
+        return received
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        from repro.net.transport import ChannelEnd, FaultPolicy, FaultyLink, Link
+        from repro.xmlmini.dom import Document, Element
+        from repro.xmlmini.parser import XmlParser
+
+        return [
+            Xml2CTcpApp,
+            XmlToCConverter,
+            FaultyLink,
+            FaultPolicy,
+            Link,
+            ChannelEnd,
+            FrameDecoder,
+            XmlParser,
+            Element,
+            Document,
+        ]

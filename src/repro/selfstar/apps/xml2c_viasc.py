@@ -1,0 +1,180 @@
+"""``xml2Cviasc1`` / ``xml2Cviasc2``: XML → C via shared channels.
+
+Both variants route documents through Self\\* component graphs whose
+stages communicate over :class:`StdQueue` "shared channels" (the *sc* in
+the application names):
+
+* **Variant 1** — a single queue between the parse stage and the convert
+  stage; documents are pumped one at a time.
+* **Variant 2** — two queues and a batching stage: parsed documents are
+  batched, converted per batch, and the generated sources flow through a
+  second queue before collection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlmini import XmlParser
+
+from ..adaptors import BatchAdaptor, Sink, SplitAdaptor
+from ..component import Component
+from ..errors import ProcessingError
+from ..pipeline import Pipeline
+from ..stdq import StdQueue
+from ..xml2c import XmlToCConverter
+from .samples import XML_DOCUMENTS
+
+__all__ = ["Xml2CViaSc1App", "Xml2CViaSc2App"]
+
+
+class _ParseStage(Component):
+    """Parses XML text messages into Document messages."""
+
+    def __init__(self, name: str = "parse") -> None:
+        super().__init__(name)
+        self.parsed_count = 0
+
+    def process(self, message) -> None:
+        document = XmlParser(message).parse()
+        self.emit(document)  # deliver before counting: stats stay honest
+        self.parsed_count += 1
+
+
+class _ConvertStage(Component):
+    """Converts Document messages into C source strings."""
+
+    def __init__(self, name: str = "convert") -> None:
+        super().__init__(name)
+        self.converter = XmlToCConverter()
+
+    def process(self, message) -> None:
+        self.emit(self.converter.convert(message))
+
+
+class _BatchConvertStage(Component):
+    """Converts a *batch* of documents into one combined C source."""
+
+    def __init__(self, name: str = "batch-convert") -> None:
+        super().__init__(name)
+        self.converter = XmlToCConverter()
+        self.batches_converted = 0
+
+    def process(self, message) -> None:
+        if not isinstance(message, list):
+            raise ProcessingError(f"{self.name}: expected a batch")
+        sources = [self.converter.convert(document) for document in message]
+        self.emit(sources)
+        self.batches_converted += 1
+
+
+class Xml2CViaSc1App:
+    """Variant 1: parse → queue → convert → sink."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.pipeline = Pipeline("xml2Cviasc1")
+        self.parse = _ParseStage()
+        self.queue = StdQueue("shared-channel", capacity)
+        self.convert = _ConvertStage()
+        self.sink = Sink("sources")
+        self.pipeline.add_stage(self.parse)
+        self.pipeline.add_stage(self.queue)
+        self.convert.connect(self.sink)
+        self.queue.connect(self.convert)
+
+    def run(self, documents=None) -> List[str]:
+        documents = XML_DOCUMENTS if documents is None else documents
+        self.pipeline.start()
+        self.convert.start()
+        self.sink.start()
+        for text in documents:
+            self.pipeline.feed(text)
+            self.queue.pump()  # hand over through the shared channel
+        self.pipeline.stop()
+        if len(self.sink.collected) != len(documents):
+            raise ProcessingError("document count mismatch after conversion")
+        return self.sink.collected
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        from repro.xmlmini.dom import Document, Element
+
+        return [
+            Component,
+            Pipeline,
+            StdQueue,
+            _ParseStage,
+            _ConvertStage,
+            Sink,
+            XmlToCConverter,
+            XmlParser,
+            Element,
+            Document,
+        ]
+
+
+class Xml2CViaSc2App:
+    """Variant 2: parse → queue → batch → convert → queue → split → sink."""
+
+    def __init__(self, capacity: int = 8, batch_size: int = 2) -> None:
+        self.pipeline = Pipeline("xml2Cviasc2")
+        self.parse = _ParseStage()
+        self.in_queue = StdQueue("channel-in", capacity)
+        self.batcher = BatchAdaptor("batcher", batch_size)
+        self.convert = _BatchConvertStage()
+        self.out_queue = StdQueue("channel-out", capacity)
+        self.splitter = SplitAdaptor("splitter")
+        self.sink = Sink("sources")
+        self.pipeline.add_stage(self.parse)
+        self.pipeline.add_stage(self.in_queue)
+        for upstream, downstream in (
+            (self.in_queue, self.batcher),
+            (self.batcher, self.convert),
+            (self.convert, self.out_queue),
+            (self.out_queue, self.splitter),
+            (self.splitter, self.sink),
+        ):
+            upstream.connect(downstream)
+
+    def _start_all(self) -> None:
+        for component in (
+            self.sink,
+            self.splitter,
+            self.out_queue,
+            self.convert,
+            self.batcher,
+        ):
+            component.start()
+        self.pipeline.start()
+
+    def run(self, documents=None) -> List[str]:
+        documents = XML_DOCUMENTS if documents is None else documents
+        self._start_all()
+        for text in documents:
+            self.pipeline.feed(text)
+        self.in_queue.pump_all()
+        self.batcher.flush()  # flush the trailing partial batch
+        self.out_queue.pump_all()
+        self.pipeline.stop()
+        if len(self.sink.collected) != len(documents):
+            raise ProcessingError("document count mismatch after conversion")
+        return self.sink.collected
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        from repro.xmlmini.dom import Document, Element
+
+        return [
+            Component,
+            Pipeline,
+            StdQueue,
+            BatchAdaptor,
+            SplitAdaptor,
+            _ParseStage,
+            _BatchConvertStage,
+            Sink,
+            XmlToCConverter,
+            XmlParser,
+            Element,
+            Document,
+        ]

@@ -1,0 +1,96 @@
+"""``xml2xml1``: XML → transformed XML, round-tripped through the writer.
+
+Parses documents, applies a structural transformation (tag renaming,
+attribute normalization, metadata stamping), serializes the result, and
+re-parses it to verify the round trip — the classic transform pipeline of
+the Self\\* evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.exceptions import throws
+
+from repro.xmlmini import Document, Element, XmlParser, XmlWriter
+
+from ..errors import ProcessingError
+from .samples import XML_DOCUMENTS
+
+__all__ = ["XmlTransformer", "Xml2XmlApp"]
+
+
+class XmlTransformer:
+    """Applies an in-place tag-rename + attribute normalization."""
+
+    def __init__(self, renames: Dict[str, str]) -> None:
+        self.renames = dict(renames)
+        self.elements_touched = 0
+
+    @throws(ProcessingError)
+    def transform(self, document: Document) -> Document:
+        """Rewrite *document* in place and stamp the root.
+
+        The walk mutates the tree element by element, so a failure mid
+        walk leaves a half-transformed document — the transformation as a
+        whole is pure failure non-atomic.
+        """
+        for element in document.root.iter():
+            self.transform_element(element)
+        document.root.set_attribute("transformed", "yes")
+        return document
+
+    def transform_element(self, element: Element) -> None:
+        """Rename the tag and lowercase the attribute names of one element."""
+        element.tag = self.renames.get(element.tag, element.tag)
+        if any(name != name.lower() for name in element.attributes):
+            normalized = {
+                name.lower(): value for name, value in element.attributes.items()
+            }
+            if len(normalized) != len(element.attributes):
+                raise ProcessingError(
+                    "attribute names collide after normalization"
+                )
+            element.attributes.clear()
+            element.attributes.update(normalized)
+        self.elements_touched += 1
+
+
+class Xml2XmlApp:
+    """Transform documents and verify the serialize/parse round trip."""
+
+    def __init__(self, indent: int = 0) -> None:
+        self.transformer = XmlTransformer(
+            {"server": "node", "item": "entry", "note": "memo"}
+        )
+        self.writer = XmlWriter(indent)
+        self.round_trips = 0
+
+    def run(self, documents=None) -> List[str]:
+        """Process *documents*; return the serialized transformed texts."""
+        documents = XML_DOCUMENTS if documents is None else documents
+        outputs: List[str] = []
+        for text in documents:
+            document = XmlParser(text).parse()
+            before_count = document.element_count()
+            transformed = self.transformer.transform(document)
+            serialized = self.writer.write(transformed)
+            reparsed = XmlParser(serialized).parse()
+            if reparsed.element_count() != before_count:
+                raise ProcessingError("round trip changed the element count")
+            if reparsed.root.get_attribute("transformed") != "yes":
+                raise ProcessingError("transformation stamp lost in round trip")
+            outputs.append(serialized)
+            self.round_trips += 1
+        return outputs
+
+    @staticmethod
+    def involved_classes() -> List[type]:
+        return [
+            Xml2XmlApp,
+            XmlTransformer,
+            XmlWriter,
+            XmlParser,
+            Element,
+            Document,
+        ]

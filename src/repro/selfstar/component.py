@@ -1,0 +1,121 @@
+"""Components: the unit of composition of the Self\\* framework.
+
+A component receives messages on its input, processes them, and emits
+results to the components connected downstream.  Components carry
+lifecycle state (created → started → stopped) and processing statistics,
+exactly the kind of multi-field mutable state whose consistency the
+paper's detection phase checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.exceptions import throws
+
+from .errors import ComponentStateError, PortError, ProcessingError
+
+__all__ = ["Component", "CREATED", "STARTED", "STOPPED"]
+
+CREATED = "created"
+STARTED = "started"
+STOPPED = "stopped"
+
+
+class Component:
+    """Base class of every Self\\* component.
+
+    Subclasses override :meth:`process`; they receive each message and
+    call :meth:`emit` zero or more times to forward results downstream.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = CREATED
+        self.downstream: List["Component"] = []
+        self.processed_count = 0
+        self.emitted_count = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    @throws(PortError)
+    def connect(self, consumer: "Component") -> "Component":
+        """Connect this component's output to *consumer*; returns consumer."""
+        if consumer is self:
+            raise PortError(f"{self.name}: cannot connect to itself")
+        if consumer in self.downstream:
+            raise PortError(f"{self.name}: already connected to {consumer.name}")
+        self.downstream.append(consumer)
+        return consumer
+
+    @throws(PortError)
+    def disconnect(self, consumer: "Component") -> None:
+        if consumer not in self.downstream:
+            raise PortError(f"{self.name}: not connected to {consumer.name}")
+        self.downstream.remove(consumer)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @throws(ComponentStateError)
+    def start(self) -> None:
+        """Move to STARTED (only valid from CREATED or STOPPED)."""
+        if self.state == STARTED:
+            raise ComponentStateError(f"{self.name}: already started")
+        self.on_start()  # a failing hook leaves the component unstarted
+        self.state = STARTED
+
+    @throws(ComponentStateError)
+    def stop(self) -> None:
+        """Move to STOPPED; flushes any buffered work first.
+
+        Careful ordering: the flush runs while the component is still
+        started, so a failing flush leaves the component running and
+        retryable.
+        """
+        if self.state != STARTED:
+            raise ComponentStateError(f"{self.name}: not started")
+        self.on_stop()
+        self.state = STOPPED
+
+    def on_start(self) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    def on_stop(self) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    # -- dataflow ---------------------------------------------------------------
+
+    @throws(ComponentStateError, ProcessingError)
+    def accept(self, message: Any) -> None:
+        """Receive one message.
+
+        Careful ordering: the counter reflects only completed work, so a
+        failing :meth:`process` leaves the statistics consistent.
+        """
+        if self.state != STARTED:
+            raise ComponentStateError(
+                f"{self.name}: accept() while {self.state}"
+            )
+        self.process(message)
+        self.processed_count += 1
+
+    def process(self, message: Any) -> None:
+        """Handle one message (override in subclasses)."""
+        raise ProcessingError(f"{self.name}: process() not implemented")
+
+    def emit(self, message: Any) -> None:
+        """Forward *message* to every connected downstream component."""
+        for consumer in self.downstream:
+            consumer.accept(message)
+        self.emitted_count += 1
+
+    def statistics(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "processed": self.processed_count,
+            "emitted": self.emitted_count,
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} [{self.state}]>"

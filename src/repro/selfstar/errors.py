@@ -1,0 +1,36 @@
+"""Errors of the Self\\* component framework."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SelfStarError",
+    "ComponentStateError",
+    "PortError",
+    "ProcessingError",
+    "QueueFullError",
+    "QueueEmptyError",
+]
+
+
+class SelfStarError(Exception):
+    """Base class of all framework errors."""
+
+
+class ComponentStateError(SelfStarError):
+    """A lifecycle operation was invalid in the component's state."""
+
+
+class PortError(SelfStarError):
+    """A connection operation was invalid."""
+
+
+class ProcessingError(SelfStarError):
+    """A component failed while processing a message."""
+
+
+class QueueFullError(SelfStarError):
+    """A bounded queue cannot accept another message."""
+
+
+class QueueEmptyError(SelfStarError):
+    """A dequeue was attempted on an empty queue."""

@@ -1,0 +1,71 @@
+"""Pipelines: linear composition and lifecycle management of components."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.core.exceptions import throws
+
+from .component import STARTED, Component
+from .errors import ComponentStateError, PortError
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """A linear chain of components with collective lifecycle control."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stages: List[Component] = []
+
+    @throws(PortError)
+    def add_stage(self, component: Component) -> Component:
+        """Append a stage, connecting it to the previous one.
+
+        Careful ordering: the connection is made first, so a failed
+        connect leaves the stage list untouched.
+        """
+        if self.stages:
+            self.stages[-1].connect(component)
+        self.stages.append(component)
+        return component
+
+    def head(self) -> Component:
+        if not self.stages:
+            raise PortError(f"{self.name}: pipeline is empty")
+        return self.stages[0]
+
+    def tail(self) -> Component:
+        if not self.stages:
+            raise PortError(f"{self.name}: pipeline is empty")
+        return self.stages[-1]
+
+    @throws(ComponentStateError)
+    def start(self) -> None:
+        """Start every stage, downstream first (consumers before producers)."""
+        for component in reversed(self.stages):
+            if component.state != STARTED:
+                component.start()
+
+    @throws(ComponentStateError)
+    def stop(self) -> None:
+        """Stop every stage, upstream first (producers before consumers)."""
+        for component in self.stages:
+            if component.state == STARTED:
+                component.stop()
+
+    def feed(self, message: Any) -> None:
+        """Deliver one message to the head stage."""
+        self.head().accept(message)
+
+    def feed_all(self, messages: Iterable[Any]) -> int:
+        """Deliver a sequence of messages; return how many were fed."""
+        fed = 0
+        for message in messages:
+            self.feed(message)
+            fed += 1
+        return fed
+
+    def statistics(self) -> List[dict]:
+        return [component.statistics() for component in self.stages]

@@ -1,0 +1,98 @@
+"""Bounded FIFO queue component (``stdQ``).
+
+Decouples producers from consumers in a Self\\* graph: upstream
+components enqueue, a pump drains the queue into the downstream graph.
+Carries high-water statistics and a drop policy for overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.exceptions import exception_free, throws
+
+from .component import Component
+from .errors import QueueEmptyError, QueueFullError
+
+__all__ = ["StdQueue"]
+
+
+class StdQueue(Component):
+    """A bounded in-order queue with explicit pump control.
+
+    Messages accepted from upstream are buffered; :meth:`pump` (or
+    :meth:`pump_all`) forwards them downstream in FIFO order.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        super().__init__(name)
+        if capacity < 1:
+            raise QueueFullError(f"{name}: capacity must be >= 1")
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self.high_water = 0
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+
+    # -- queue operations ---------------------------------------------------
+
+    @throws(QueueFullError)
+    def enqueue(self, message: Any) -> None:
+        """Add a message at the tail (careful ordering: check first)."""
+        if len(self.items) >= self.capacity:
+            raise QueueFullError(
+                f"{self.name}: capacity {self.capacity} reached"
+            )
+        self.items.append(message)
+        self.enqueued_total += 1
+        self.high_water = max(self.high_water, len(self.items))
+
+    @throws(QueueEmptyError)
+    def dequeue(self) -> Any:
+        """Remove and return the head message (safe ordering)."""
+        if not self.items:
+            raise QueueEmptyError(f"{self.name}: queue is empty")
+        message = self.items.pop(0)
+        self.dequeued_total += 1
+        return message
+
+    @exception_free
+    def depth(self) -> int:
+        return len(self.items)
+
+    @exception_free
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # -- component integration -------------------------------------------------
+
+    def process(self, message: Any) -> None:
+        """Upstream delivery buffers into the queue."""
+        self.enqueue(message)
+
+    @throws(QueueEmptyError)
+    def pump(self) -> Any:
+        """Deliver the head message downstream, then dequeue it.
+
+        Careful ordering (at-least-once): the message leaves the queue
+        only after the downstream delivery succeeded, so a failing
+        consumer can be retried without losing the message.
+        """
+        if not self.items:
+            raise QueueEmptyError(f"{self.name}: queue is empty")
+        message = self.items[0]
+        self.emit(message)
+        self.items.pop(0)
+        self.dequeued_total += 1
+        return message
+
+    def pump_all(self) -> int:
+        """Pump until empty; return the number of messages forwarded."""
+        forwarded = 0
+        while self.depth() > 0:
+            self.pump()
+            forwarded += 1
+        return forwarded
+
+    def on_stop(self) -> None:
+        self.pump_all()

@@ -1,0 +1,160 @@
+"""Retry-based recovery: why failure atomicity matters.
+
+The paper's motivation (Section 1): "Recovery is often based on retrying
+failed methods ... However, for a retry to succeed, a failed method also
+has to leave changed objects in a consistent state."  This module is that
+recovery layer for the Self\\* framework: a :class:`Supervisor` retries
+failed operations under a :class:`RetryPolicy`, and a
+:class:`SupervisedComponent` applies the same discipline to message
+processing.
+
+The pairing with the masking phase is the point: retrying a failure
+*atomic* operation is safe by construction, while retrying a failure
+non-atomic one compounds the corruption — the tests demonstrate both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+from repro.core.exceptions import throws
+
+from .component import Component
+from .errors import SelfStarError
+
+__all__ = [
+    "SupervisionError",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisedComponent",
+    "TransientFault",
+]
+
+
+class SupervisionError(SelfStarError):
+    """An operation kept failing after every permitted retry."""
+
+    def __init__(self, message: str, attempts: int, last: BaseException):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and on which exceptions to retry.
+
+    Attributes:
+        max_attempts: total attempts including the first one.
+        retry_on: exception types that trigger a retry; anything else
+            propagates immediately.
+    """
+
+    max_attempts: int = 3
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        return attempt < self.max_attempts and isinstance(exc, self.retry_on)
+
+
+@dataclass
+class Supervisor:
+    """Executes operations with retries and records the outcomes."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    operations: int = 0
+    retries: int = 0
+    failures: int = 0
+
+    @throws(SupervisionError)
+    def supervise(self, operation: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Run *operation* until it succeeds or the policy gives up."""
+        self.operations += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return operation(*args, **kwargs)
+            except BaseException as exc:
+                if not self.policy.should_retry(exc, attempt):
+                    self.failures += 1
+                    if isinstance(exc, self.policy.retry_on):
+                        raise SupervisionError(
+                            f"operation failed after {attempt} attempt(s): "
+                            f"{type(exc).__name__}: {exc}",
+                            attempts=attempt,
+                            last=exc,
+                        ) from exc
+                    raise
+                self.retries += 1
+
+
+class SupervisedComponent(Component):
+    """Wraps an inner component, retrying its failing deliveries.
+
+    The inner component's ``accept`` is the retried unit.  Whether the
+    retry is *safe* depends entirely on the inner component's failure
+    atomicity — mask it first.
+    """
+
+    def __init__(
+        self,
+        inner: Component,
+        policy: Optional[RetryPolicy] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"supervised({inner.name})")
+        self.inner = inner
+        self.supervisor = Supervisor(policy or RetryPolicy())
+        self.dead_letters: List[Any] = []
+
+    def on_start(self) -> None:
+        if self.inner.state != "started":
+            self.inner.start()
+
+    def on_stop(self) -> None:
+        if self.inner.state == "started":
+            self.inner.stop()
+
+    def process(self, message: Any) -> None:
+        try:
+            self.supervisor.supervise(self.inner.accept, message)
+        except SupervisionError:
+            # exhausted: keep the message for offline handling instead of
+            # poisoning the stream
+            self.dead_letters.append(message)
+        else:
+            self.emit(message)
+
+
+class TransientFault:
+    """A callable wrapper that fails the first *fail_times* invocations.
+
+    Deterministic stand-in for transient runtime error conditions (the
+    paper's retry scenario: "the program might first try to correct the
+    runtime error condition to increase the probability of success").
+    """
+
+    def __init__(
+        self,
+        operation: Callable,
+        fail_times: int,
+        exc_factory: Callable[[], BaseException] = lambda: SelfStarError(
+            "transient fault"
+        ),
+    ) -> None:
+        self.operation = operation
+        self.fail_times = fail_times
+        self.exc_factory = exc_factory
+        self.invocations = 0
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.invocations += 1
+        if self.invocations <= self.fail_times:
+            raise self.exc_factory()
+        return self.operation(*args, **kwargs)

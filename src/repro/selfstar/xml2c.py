@@ -1,0 +1,108 @@
+"""XML-to-C conversion: the transform behind the ``xml2C*`` applications.
+
+Turns an XML document into C source: one struct definition per distinct
+element shape plus a static initializer tree.  The converter keeps a
+symbol table and an output buffer across elements — multi-step mutable
+state whose consistency under exceptions the campaign checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.exceptions import throws
+
+from repro.xmlmini import Document, Element
+
+from .errors import ProcessingError
+
+__all__ = ["XmlToCConverter"]
+
+_C_KEYWORDS = frozenset(
+    "auto break case char const continue default do double else enum extern "
+    "float for goto if int long register return short signed sizeof static "
+    "struct switch typedef union unsigned void volatile while".split()
+)
+
+
+class XmlToCConverter:
+    """Converts documents to C declarations, one document at a time."""
+
+    def __init__(self) -> None:
+        self.symbols: Dict[str, int] = {}
+        self.lines: List[str] = []
+        self.documents_converted = 0
+
+    # -- naming ----------------------------------------------------------
+
+    @throws(ProcessingError)
+    def mangle(self, name: str) -> str:
+        """Turn an XML name into a unique, valid C identifier.
+
+        Legacy ordering: the symbol table is updated before the keyword
+        check, so a rejected name still consumes a symbol slot.
+        """
+        base = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+        if not base or base[0].isdigit():
+            base = "_" + base
+        occurrence = self.symbols.get(base, 0)
+        self.symbols[base] = occurrence + 1  # legacy: reserved before check
+        if base in _C_KEYWORDS:
+            raise ProcessingError(f"element name {name!r} is a C keyword")
+        if occurrence == 0:
+            return base
+        return f"{base}_{occurrence}"
+
+    # -- conversion -----------------------------------------------------------
+
+    @throws(ProcessingError)
+    def convert(self, document: Document) -> str:
+        """Convert one document; return the generated C source."""
+        start = len(self.lines)
+        self.lines.append(f"/* generated from <{document.root.tag}> */")
+        struct_name = self._emit_struct(document.root)
+        self._emit_initializer(document.root, struct_name)
+        self.documents_converted += 1
+        return "\n".join(self.lines[start:])
+
+    def _emit_struct(self, element: Element) -> str:
+        """Emit the struct definition for *element*'s subtree."""
+        child_types = [self._emit_struct(child) for child in element.children]
+        name = self.mangle(element.tag)
+        fields = [f"    const char *{self.mangle(attr)};"
+                  for attr in element.attributes]
+        fields.append("    const char *text;")
+        for child, child_type in zip(element.children, child_types):
+            fields.append(f"    struct {child_type} {self.mangle(child.tag)};")
+        body = "\n".join(fields)
+        self.lines.append(f"struct {name} {{\n{body}\n}};")
+        return name
+
+    def _emit_initializer(self, element: Element, struct_name: str) -> None:
+        literal = self._initializer_literal(element)
+        self.lines.append(
+            f"static const struct {struct_name} {struct_name}_value = {literal};"
+        )
+
+    def _initializer_literal(self, element: Element) -> str:
+        parts = [_c_string(value) for value in element.attributes.values()]
+        parts.append(_c_string(element.text))
+        for child in element.children:
+            parts.append(self._initializer_literal(child))
+        return "{ " + ", ".join(parts) + " }"
+
+    # -- maintenance --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all symbols and output (start a fresh translation unit)."""
+        self.symbols.clear()
+        self.lines.clear()
+
+    def output(self) -> str:
+        """Everything generated since the last reset."""
+        return "\n".join(self.lines)
+
+
+def _c_string(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'

@@ -1,0 +1,23 @@
+"""Minimal XML substrate: parser, DOM, and writer.
+
+Stands in for the XML tooling the paper's Self\\* applications consume
+(``xml2Ctcp``, ``xml2Cviasc``, ``xml2xml``).  Supports plain element
+trees with attributes, text, comments, and the five predefined entities.
+"""
+
+from .dom import Document, Element
+from .errors import XmlError, XmlStructureError, XmlSyntaxError
+from .parser import XmlParser, parse_document
+from .writer import XmlWriter, write_document
+
+__all__ = [
+    "Document",
+    "Element",
+    "XmlParser",
+    "parse_document",
+    "XmlWriter",
+    "write_document",
+    "XmlError",
+    "XmlSyntaxError",
+    "XmlStructureError",
+]

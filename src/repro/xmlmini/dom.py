@@ -1,0 +1,144 @@
+"""A small mutable DOM: elements with attributes, children, and text.
+
+The Self\\* XML applications build and transform these trees; element
+mutation methods are multi-step (attribute dict + child list + parent
+backlinks), which makes them natural detection subjects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .errors import XmlStructureError
+
+__all__ = ["Element", "Document"]
+
+
+class Element:
+    """One XML element: tag, attributes, text, and child elements."""
+
+    def __init__(self, tag: str, text: str = "") -> None:
+        if not tag or not _valid_name(tag):
+            raise XmlStructureError(f"invalid tag name {tag!r}")
+        self.tag = tag
+        self.text = text
+        self.attributes: Dict[str, str] = {}
+        self.children: List["Element"] = []
+        self.parent: Optional["Element"] = None
+
+    # -- attributes --------------------------------------------------------
+
+    def set_attribute(self, name: str, value: str) -> None:
+        if not _valid_name(name):
+            raise XmlStructureError(f"invalid attribute name {name!r}")
+        self.attributes[name] = str(value)
+
+    def get_attribute(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attributes.get(name, default)
+
+    def remove_attribute(self, name: str) -> None:
+        if name not in self.attributes:
+            raise XmlStructureError(f"no attribute {name!r} on <{self.tag}>")
+        del self.attributes[name]
+
+    # -- children -----------------------------------------------------------
+
+    def append_child(self, child: "Element") -> "Element":
+        """Attach *child* as the last child; returns the child.
+
+        Legacy ordering: the child is linked into the list before the
+        cycle check runs, so a rejected append leaves a dangling link.
+        """
+        self.children.append(child)  # legacy: linked before validation
+        ancestor: Optional[Element] = self
+        while ancestor is not None:
+            if ancestor is child:
+                raise XmlStructureError("appending an ancestor creates a cycle")
+            ancestor = ancestor.parent
+        child.parent = self
+        return child
+
+    def remove_child(self, child: "Element") -> None:
+        try:
+            self.children.remove(child)
+        except ValueError:
+            raise XmlStructureError("not a child of this element") from None
+        child.parent = None
+
+    def new_child(self, tag: str, text: str = "") -> "Element":
+        """Create, attach, and return a new child element."""
+        return self.append_child(Element(tag, text))
+
+    # -- queries ----------------------------------------------------------------
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child with the given tag, or None."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> List["Element"]:
+        """All direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    def iter(self) -> Iterator["Element"]:
+        """This element and every descendant, document order."""
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.children))
+
+    def total_text(self) -> str:
+        """Concatenated text of this element and all descendants."""
+        return "".join(element.text for element in self.iter())
+
+    def depth(self) -> int:
+        depth = 0
+        ancestor = self.parent
+        while ancestor is not None:
+            depth += 1
+            ancestor = ancestor.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+class Document:
+    """An XML document: a single root element plus a version stamp."""
+
+    def __init__(self, root: Element) -> None:
+        self.root = root
+        self.declaration = {"version": "1.0", "encoding": "utf-8"}
+
+    def element_count(self) -> int:
+        return sum(1 for _ in self.root.iter())
+
+    def find_by_path(self, path: str) -> Optional[Element]:
+        """Resolve a simple ``a/b/c`` child path from the root.
+
+        The first segment must match the root tag.
+        """
+        segments = [s for s in path.split("/") if s]
+        if not segments or segments[0] != self.root.tag:
+            return None
+        element = self.root
+        for segment in segments[1:]:
+            element = element.find(segment)
+            if element is None:
+                return None
+        return element
+
+    def __repr__(self) -> str:
+        return f"<Document root={self.root.tag} elements={self.element_count()}>"
+
+
+def _valid_name(name: str) -> bool:
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(c.isalnum() or c in "_-.:" for c in name)

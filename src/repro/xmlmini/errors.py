@@ -1,0 +1,21 @@
+"""Errors of the minimal XML substrate."""
+
+from __future__ import annotations
+
+__all__ = ["XmlError", "XmlSyntaxError", "XmlStructureError"]
+
+
+class XmlError(Exception):
+    """Base class of all XML errors."""
+
+
+class XmlSyntaxError(XmlError):
+    """The document text is not well-formed."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class XmlStructureError(XmlError):
+    """A DOM operation violates document structure."""

@@ -1,0 +1,217 @@
+"""A small well-formedness-checking XML parser.
+
+Supports elements, attributes, text content, self-closing tags, comments,
+processing declarations, and the five predefined entities.  No DTDs,
+namespaces, or CDATA — the Self\\* applications only need plain element
+trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .dom import Document, Element
+from .errors import XmlSyntaxError
+
+__all__ = ["XmlParser", "parse_document"]
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+class XmlParser:
+    """Parses one document string (single use)."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[str]:
+        index = self.position + ahead
+        if index < len(self.text):
+            return self.text[index]
+        return None
+
+    def _advance(self, count: int = 1) -> None:
+        self.position += count
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self.position)
+
+    def _skip_whitespace(self) -> None:
+        while (c := self._peek()) is not None and c.isspace():
+            self._advance()
+
+    def _starts_with(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.position)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Document:
+        """Parse the whole text into a Document."""
+        self._skip_whitespace()
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_whitespace()
+        self._skip_comments()
+        if self.position != len(self.text):
+            raise self._error("content after the root element")
+        return Document(root)
+
+    def _skip_prolog(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._starts_with("<?"):
+                end = self.text.find("?>", self.position)
+                if end < 0:
+                    raise self._error("unterminated declaration")
+                self.position = end + 2
+            elif self._starts_with("<!--"):
+                self._skip_one_comment()
+            else:
+                return
+
+    def _skip_comments(self) -> None:
+        while self._starts_with("<!--"):
+            self._skip_one_comment()
+            self._skip_whitespace()
+
+    def _skip_one_comment(self) -> None:
+        end = self.text.find("-->", self.position)
+        if end < 0:
+            raise self._error("unterminated comment")
+        self.position = end + 3
+
+    def _parse_element(self) -> Element:
+        if self._peek() != "<":
+            raise self._error("expected '<'")
+        self._advance()
+        tag = self._parse_name()
+        element = Element(tag)
+        self._parse_attributes(element)
+        self._skip_whitespace()
+        if self._starts_with("/>"):
+            self._advance(2)
+            return element
+        if self._peek() != ">":
+            raise self._error("expected '>'")
+        self._advance()
+        self._parse_content(element)
+        self._expect_closing_tag(tag)
+        return element
+
+    def _parse_attributes(self, element: Element) -> None:
+        while True:
+            self._skip_whitespace()
+            c = self._peek()
+            if c is None:
+                raise self._error("unterminated start tag")
+            if c in (">", "/"):
+                return
+            name = self._parse_name()
+            self._skip_whitespace()
+            if self._peek() != "=":
+                raise self._error("expected '=' after attribute name")
+            self._advance()
+            self._skip_whitespace()
+            element.set_attribute(name, self._parse_quoted())
+
+    def _parse_quoted(self) -> str:
+        quote = self._peek()
+        if quote not in ('"', "'"):
+            raise self._error("expected a quoted attribute value")
+        self._advance()
+        chars = []
+        while True:
+            c = self._peek()
+            if c is None:
+                raise self._error("unterminated attribute value")
+            if c == quote:
+                self._advance()
+                return "".join(chars)
+            if c == "&":
+                chars.append(self._parse_entity())
+            else:
+                chars.append(c)
+                self._advance()
+
+    def _parse_content(self, element: Element) -> None:
+        text_parts = []
+        while True:
+            c = self._peek()
+            if c is None:
+                raise self._error(f"unterminated element <{element.tag}>")
+            if c == "<":
+                if self._starts_with("<!--"):
+                    self._skip_one_comment()
+                    continue
+                if self._starts_with("<![CDATA["):
+                    text_parts.append(self._parse_cdata())
+                    continue
+                if self._starts_with("</"):
+                    element.text = "".join(text_parts).strip()
+                    return
+                element.append_child(self._parse_element())
+            elif c == "&":
+                text_parts.append(self._parse_entity())
+            else:
+                text_parts.append(c)
+                self._advance()
+
+    def _expect_closing_tag(self, tag: str) -> None:
+        if not self._starts_with("</"):
+            raise self._error(f"expected closing tag for <{tag}>")
+        self._advance(2)
+        closing = self._parse_name()
+        if closing != tag:
+            raise self._error(
+                f"mismatched closing tag </{closing}> for <{tag}>"
+            )
+        self._skip_whitespace()
+        if self._peek() != ">":
+            raise self._error("expected '>' in closing tag")
+        self._advance()
+
+    def _parse_name(self) -> str:
+        start = self.position
+        c = self._peek()
+        if c is None or not (c.isalpha() or c == "_"):
+            raise self._error("expected a name")
+        while (c := self._peek()) is not None and (c.isalnum() or c in "_-.:"):
+            self._advance()
+        return self.text[start : self.position]
+
+    def _parse_cdata(self) -> str:
+        """``<![CDATA[ ... ]]>``: literal text, no entity processing."""
+        start = self.position
+        self._advance(len("<![CDATA["))
+        end = self.text.find("]]>", self.position)
+        if end < 0:
+            raise XmlSyntaxError("unterminated CDATA section", start)
+        content = self.text[self.position : end]
+        self.position = end + 3
+        return content
+
+    def _parse_entity(self) -> str:
+        if self._peek() != "&":
+            raise self._error("expected '&'")
+        end = self.text.find(";", self.position)
+        if end < 0:
+            raise self._error("unterminated entity")
+        name = self.text[self.position + 1 : end]
+        if name not in _ENTITIES:
+            raise self._error(f"unknown entity &{name};")
+        self.position = end + 1
+        return _ENTITIES[name]
+
+
+def parse_document(text: str) -> Document:
+    """Parse *text*; return the Document."""
+    return XmlParser(text).parse()

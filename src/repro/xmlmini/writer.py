@@ -1,0 +1,84 @@
+"""Serialization of DOM trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dom import Document, Element
+
+__all__ = ["XmlWriter", "write_document"]
+
+_ESCAPES = [
+    ("&", "&amp;"),
+    ("<", "&lt;"),
+    (">", "&gt;"),
+]
+_ATTR_ESCAPES = _ESCAPES + [('"', "&quot;")]
+
+
+def _escape_text(text: str) -> str:
+    for raw, escaped in _ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _escape_attr(text: str) -> str:
+    for raw, escaped in _ATTR_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+class XmlWriter:
+    """Serializes documents, optionally pretty-printed.
+
+    The writer accumulates output in an internal buffer across calls —
+    mutable state that makes serialization methods detection subjects.
+    """
+
+    def __init__(self, indent: int = 0) -> None:
+        self.indent = indent
+        self._pieces: List[str] = []
+
+    def write(self, document: Document) -> str:
+        """Serialize *document*; return the XML text."""
+        self._pieces = []
+        declaration = document.declaration
+        self._pieces.append(
+            f'<?xml version="{declaration["version"]}" '
+            f'encoding="{declaration["encoding"]}"?>'
+        )
+        if self.indent:
+            self._pieces.append("\n")
+        self._write_element(document.root, 0)
+        return "".join(self._pieces)
+
+    def write_fragment(self, element: Element) -> str:
+        """Serialize a single element subtree without a declaration."""
+        self._pieces = []
+        self._write_element(element, 0)
+        return "".join(self._pieces)
+
+    def _write_element(self, element: Element, depth: int) -> None:
+        pad = " " * (self.indent * depth) if self.indent else ""
+        newline = "\n" if self.indent else ""
+        attrs = "".join(
+            f' {name}="{_escape_attr(value)}"'
+            for name, value in element.attributes.items()
+        )
+        if not element.children and not element.text:
+            self._pieces.append(f"{pad}<{element.tag}{attrs}/>{newline}")
+            return
+        self._pieces.append(f"{pad}<{element.tag}{attrs}>")
+        if element.text:
+            self._pieces.append(_escape_text(element.text))
+        if element.children:
+            self._pieces.append(newline)
+            for child in element.children:
+                self._write_element(child, depth + 1)
+            self._pieces.append(pad)
+        self._pieces.append(f"</{element.tag}>{newline}")
+
+
+def write_document(document: Document, indent: int = 0) -> str:
+    """Serialize *document* with an optional pretty-print indent."""
+    return XmlWriter(indent).write(document)

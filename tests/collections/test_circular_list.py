@@ -1,0 +1,174 @@
+"""Functional tests for CircularList."""
+
+import pytest
+
+from repro.collections import (
+    CircularList,
+    EmptyCollectionError,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+
+def make(elements=()):
+    ring = CircularList()
+    ring.extend(elements)
+    return ring
+
+
+def test_empty_ring():
+    ring = make()
+    assert ring.is_empty()
+    assert ring.to_list() == []
+    ring.check_implementation()
+    with pytest.raises(EmptyCollectionError):
+        ring.first()
+    with pytest.raises(EmptyCollectionError):
+        ring.last()
+    with pytest.raises(EmptyCollectionError):
+        ring.rotate()
+
+
+def test_insert_first_and_last():
+    ring = make()
+    ring.insert_last(2)
+    ring.insert_first(1)
+    ring.insert_last(3)
+    assert ring.to_list() == [1, 2, 3]
+    assert ring.first() == 1
+    assert ring.last() == 3
+    ring.check_implementation()
+
+
+def test_ring_closure():
+    ring = make([1, 2, 3])
+    # walking count cells returns to the entry
+    ring.check_implementation()
+    assert ring.get_at(0) == 1
+    assert ring.get_at(2) == 3
+
+
+def test_insert_at():
+    ring = make([1, 3])
+    ring.insert_at(1, 2)
+    assert ring.to_list() == [1, 2, 3]
+    ring.insert_at(0, 0)
+    assert ring.to_list() == [0, 1, 2, 3]
+    ring.insert_at(4, 9)
+    assert ring.to_list() == [0, 1, 2, 3, 9]
+    ring.check_implementation()
+
+
+def test_insert_at_out_of_range():
+    ring = make()
+    with pytest.raises(NoSuchElementError):
+        ring.insert_at(1, "x")
+
+
+def test_rotate():
+    ring = make([1, 2, 3, 4])
+    ring.rotate()
+    assert ring.to_list() == [2, 3, 4, 1]
+    ring.rotate(2)
+    assert ring.to_list() == [4, 1, 2, 3]
+    ring.rotate(-1)
+    assert ring.to_list() == [3, 4, 1, 2]
+    ring.rotate(4)  # full turn: no change
+    assert ring.to_list() == [3, 4, 1, 2]
+    ring.check_implementation()
+
+
+def test_remove_first_and_last():
+    ring = make([1, 2, 3])
+    assert ring.remove_first() == 1
+    assert ring.to_list() == [2, 3]
+    assert ring.remove_last() == 3
+    assert ring.to_list() == [2]
+    assert ring.remove_first() == 2
+    assert ring.is_empty()
+    ring.check_implementation()
+
+
+def test_remove_last_single_element():
+    ring = make([7])
+    assert ring.remove_last() == 7
+    assert ring.is_empty()
+    ring.check_implementation()
+
+
+def test_remove_at():
+    ring = make([1, 2, 3, 4])
+    assert ring.remove_at(2) == 3
+    assert ring.to_list() == [1, 2, 4]
+    assert ring.remove_at(0) == 1
+    assert ring.to_list() == [2, 4]
+    ring.check_implementation()
+    with pytest.raises(NoSuchElementError):
+        ring.remove_at(5)
+
+
+def test_remove_element():
+    ring = make([1, 2, 3])
+    assert ring.remove_element(2)
+    assert ring.to_list() == [1, 3]
+    assert not ring.remove_element(9)
+    assert ring.remove_element(1)  # the entry cell itself
+    assert ring.to_list() == [3]
+    assert ring.remove_element(3)
+    assert ring.is_empty()
+    ring.check_implementation()
+
+
+def test_replace_at():
+    ring = make([1, 2])
+    assert ring.replace_at(1, 5) == 2
+    assert ring.to_list() == [1, 5]
+
+
+def test_index_of_and_get_at():
+    ring = make(["a", "b", "c"])
+    assert ring.index_of("b") == 1
+    assert ring.index_of("z") == -1
+    with pytest.raises(NoSuchElementError):
+        ring.get_at(3)
+
+
+def test_clear():
+    ring = make([1, 2])
+    ring.clear()
+    assert ring.is_empty()
+    ring.check_implementation()
+
+
+def test_screener():
+    ring = CircularList(screener=lambda e: e > 0)
+    ring.insert_last(1)
+    with pytest.raises(IllegalElementError):
+        ring.insert_last(-1)
+    with pytest.raises(IllegalElementError):
+        ring.insert_first(0)
+    assert ring.to_list() == [1]
+
+
+def test_cell_splicing():
+    from repro.collections import CLCell
+
+    a = CLCell("a")
+    b = CLCell("b")
+    b.link_after(a)
+    assert a.next is b and b.prev is a
+    assert b.next is a and a.prev is b
+    c = CLCell("c")
+    c.link_after(b)
+    assert [a.next.element, a.next.next.element] == ["b", "c"]
+    b.unlink()
+    assert a.next is c and c.prev is a
+    assert b.next is b and b.prev is b
+
+
+def test_rotation_preserves_membership():
+    ring = make(list(range(10)))
+    for _ in range(3):
+        ring.rotate(3)
+    assert sorted(ring.to_list()) == list(range(10))
+    ring.check_implementation()

@@ -1,0 +1,66 @@
+"""Tests for comparator combinators."""
+
+import pytest
+
+from repro.collections import RBMap, RBTree
+from repro.collections.comparators import (
+    by_key,
+    chained,
+    default_comparator,
+    natural,
+    reverse_comparator,
+)
+
+
+def test_natural_is_default():
+    assert natural() is default_comparator
+    assert default_comparator(1, 2) < 0
+    assert default_comparator(2, 1) > 0
+    assert default_comparator(1, 1) == 0
+
+
+def test_reverse():
+    compare = reverse_comparator()
+    assert compare(1, 2) > 0
+    assert compare(2, 1) < 0
+    assert compare(1, 1) == 0
+
+
+def test_by_key():
+    compare = by_key(len)
+    assert compare("ab", "xyz") < 0
+    assert compare("abc", "xy") > 0
+    assert compare("ab", "cd") == 0
+
+
+def test_chained_breaks_ties():
+    compare = chained(by_key(len), default_comparator)
+    assert compare("ab", "xyz") < 0  # shorter first
+    assert compare("b", "a") > 0  # same length: natural order
+
+
+def test_chained_requires_comparators():
+    with pytest.raises(ValueError):
+        chained()
+
+
+def test_tree_with_reverse_comparator():
+    tree = RBTree(comparator=reverse_comparator())
+    tree.extend([1, 3, 2])
+    assert tree.to_list() == [3, 2, 1]
+    tree.check_implementation()
+
+
+def test_tree_with_by_key():
+    tree = RBTree(comparator=by_key(abs))
+    tree.extend([-3, 1, 2])
+    assert tree.to_list() == [1, 2, -3]
+    tree.check_implementation()
+
+
+def test_map_with_chained_keys():
+    mapping = RBMap(key_comparator=chained(by_key(len), default_comparator))
+    for key in ("bb", "a", "ccc", "ab"):
+        mapping.put(key, key.upper())
+    assert mapping.keys() == ["a", "ab", "bb", "ccc"]
+    mapping.check_implementation()

@@ -1,0 +1,163 @@
+"""Functional tests for Dynarray."""
+
+import pytest
+
+from repro.collections import (
+    CapacityError,
+    Dynarray,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+
+def make(elements=(), **kwargs):
+    array = Dynarray(**kwargs)
+    array.extend(elements)
+    return array
+
+
+def test_empty():
+    array = make()
+    assert array.is_empty()
+    assert array.capacity() >= 1
+    array.check_implementation()
+
+
+def test_invalid_capacity():
+    with pytest.raises(CapacityError):
+        Dynarray(capacity=0)
+
+
+def test_append_and_get():
+    array = make([1, 2, 3])
+    assert array.size() == 3
+    assert array.get_at(0) == 1
+    assert array.get_at(2) == 3
+    assert array.to_list() == [1, 2, 3]
+    array.check_implementation()
+
+
+def test_growth_preserves_elements():
+    array = make(capacity=2)
+    for value in range(50):
+        array.append(value)
+    assert array.to_list() == list(range(50))
+    assert array.capacity() >= 50
+    array.check_implementation()
+
+
+def test_get_at_out_of_range():
+    array = make([1])
+    with pytest.raises(NoSuchElementError):
+        array.get_at(1)
+    with pytest.raises(NoSuchElementError):
+        array.get_at(-1)
+
+
+def test_insert_at_shifts_right():
+    array = make([1, 3])
+    array.insert_at(1, 2)
+    assert array.to_list() == [1, 2, 3]
+    array.insert_at(0, 0)
+    assert array.to_list() == [0, 1, 2, 3]
+    array.insert_at(4, 9)  # insert at end == append position
+    assert array.to_list() == [0, 1, 2, 3, 9]
+    array.check_implementation()
+
+
+def test_insert_at_out_of_range():
+    array = make([1])
+    with pytest.raises(NoSuchElementError):
+        array.insert_at(5, "x")
+
+
+def test_remove_at_shifts_left():
+    array = make([1, 2, 3, 4])
+    assert array.remove_at(1) == 2
+    assert array.to_list() == [1, 3, 4]
+    assert array.remove_at(2) == 4
+    assert array.to_list() == [1, 3]
+    array.check_implementation()
+
+
+def test_remove_element():
+    array = make([1, 2, 3, 2])
+    assert array.remove_element(2)
+    assert array.to_list() == [1, 3, 2]
+    assert not array.remove_element(99)
+
+
+def test_replace_at():
+    array = make([1, 2])
+    assert array.replace_at(0, 9) == 1
+    assert array.to_list() == [9, 2]
+    with pytest.raises(NoSuchElementError):
+        array.replace_at(9, 0)
+
+
+def test_index_of_and_contains():
+    array = make(["a", "b"])
+    assert array.index_of("b") == 1
+    assert array.index_of("z") == -1
+    assert array.contains("a")
+
+
+def test_clear_resets_slots():
+    array = make([1, 2, 3])
+    array.clear()
+    assert array.is_empty()
+    array.check_implementation()
+
+
+def test_trim_to_size():
+    array = make(list(range(20)), capacity=4)
+    array.trim_to_size()
+    assert array.capacity() == 20
+    assert array.to_list() == list(range(20))
+    array.check_implementation()
+
+
+def test_trim_empty_array_keeps_minimum_capacity():
+    array = make()
+    array.trim_to_size()
+    assert array.capacity() >= 1
+    array.check_implementation()
+
+
+def test_sort():
+    array = make([3, 1, 2, 1])
+    array.sort()
+    assert array.to_list() == [1, 1, 2, 3]
+    array.check_implementation()
+
+
+def test_sort_empty_and_single():
+    array = make()
+    array.sort()
+    array.append(1)
+    array.sort()
+    assert array.to_list() == [1]
+
+
+def test_screener():
+    array = Dynarray(screener=lambda e: e is not None)
+    array.append(1)
+    with pytest.raises(IllegalElementError):
+        array.append(None)
+    assert array.to_list() == [1]
+
+
+def test_legacy_insert_at_screen_after_shift():
+    """The legacy ordering: a rejected element leaves a duplicated slot.
+
+    This is a genuine (non-injected) failure non-atomicity that the
+    detection phase's baseline run observes.
+    """
+    array = Dynarray(screener=lambda e: isinstance(e, int))
+    array.extend([1, 2, 3])
+    with pytest.raises(IllegalElementError):
+        array.insert_at(1, "rejected")
+    # the shift already happened: slot 2 was duplicated into slot 3
+    assert array.size() == 3
+    with pytest.raises(Exception):
+        array.check_implementation()

@@ -1,0 +1,135 @@
+"""Functional tests for HashedMap."""
+
+import pytest
+
+from repro.collections import (
+    HashedMap,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+
+def make(items=None, **kwargs):
+    mapping = HashedMap(**kwargs)
+    for key, value in (items or {}).items():
+        mapping.put(key, value)
+    return mapping
+
+
+def test_empty():
+    mapping = make()
+    assert mapping.is_empty()
+    assert mapping.keys() == []
+    mapping.check_implementation()
+
+
+def test_put_and_get():
+    mapping = make({"a": 1, "b": 2})
+    assert mapping.get("a") == 1
+    assert mapping.get("b") == 2
+    assert mapping.size() == 2
+    mapping.check_implementation()
+
+
+def test_put_replaces_and_returns_old():
+    mapping = make({"a": 1})
+    assert mapping.put("a", 9) == 1
+    assert mapping.get("a") == 9
+    assert mapping.size() == 1
+
+
+def test_put_fresh_returns_none():
+    mapping = make()
+    assert mapping.put("k", "v") is None
+
+
+def test_get_missing_raises():
+    mapping = make()
+    with pytest.raises(NoSuchElementError):
+        mapping.get("missing")
+
+
+def test_get_or_default():
+    mapping = make({"a": 1})
+    assert mapping.get_or_default("a") == 1
+    assert mapping.get_or_default("z", 42) == 42
+
+
+def test_contains_key():
+    mapping = make({"a": 1})
+    assert mapping.contains_key("a")
+    assert not mapping.contains_key("b")
+
+
+def test_remove_key():
+    mapping = make({"a": 1, "b": 2})
+    assert mapping.remove_key("a") == 1
+    assert not mapping.contains_key("a")
+    assert mapping.size() == 1
+    with pytest.raises(NoSuchElementError):
+        mapping.remove_key("a")
+    mapping.check_implementation()
+
+
+def test_remove_from_chain_middle():
+    # force collisions with a tiny table
+    mapping = HashedMap(capacity=1)
+    for key in range(5):
+        mapping.put(key, key * 10)
+    assert mapping.remove_key(2) == 20
+    assert sorted(mapping.keys()) == [0, 1, 3, 4]
+    mapping.check_implementation()
+
+
+def test_growth_rehashes_correctly():
+    mapping = HashedMap(capacity=2)
+    for key in range(100):
+        mapping.put(f"key{key}", key)
+    assert mapping.size() == 100
+    for key in range(100):
+        assert mapping.get(f"key{key}") == key
+    mapping.check_implementation()
+
+
+def test_items_keys_values_consistent():
+    mapping = make({"a": 1, "b": 2, "c": 3})
+    items = dict(mapping.items())
+    assert items == {"a": 1, "b": 2, "c": 3}
+    assert sorted(mapping.keys()) == ["a", "b", "c"]
+    assert sorted(mapping.values()) == [1, 2, 3]
+
+
+def test_update_bulk():
+    mapping = make({"a": 1})
+    mapping.update({"b": 2, "a": 9})
+    assert dict(mapping.items()) == {"a": 9, "b": 2}
+
+
+def test_clear():
+    mapping = make({"a": 1})
+    mapping.clear()
+    assert mapping.is_empty()
+    assert not mapping.contains_key("a")
+    mapping.check_implementation()
+
+
+def test_iteration_yields_keys():
+    mapping = make({"a": 1, "b": 2})
+    assert sorted(mapping) == ["a", "b"]
+
+
+def test_screener_applies_to_values():
+    mapping = HashedMap(screener=lambda v: v is not None)
+    mapping.put("k", 1)
+    with pytest.raises(IllegalElementError):
+        mapping.put("k2", None)
+    assert mapping.size() == 1
+
+
+def test_integer_and_tuple_keys():
+    mapping = make()
+    mapping.put(42, "int")
+    mapping.put((1, 2), "tuple")
+    assert mapping.get(42) == "int"
+    assert mapping.get((1, 2)) == "tuple"
+    mapping.check_implementation()

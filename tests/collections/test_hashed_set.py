@@ -1,0 +1,130 @@
+"""Functional tests for HashedSet (open addressing with tombstones)."""
+
+import pytest
+
+from repro.collections import (
+    HashedSet,
+    IllegalElementError,
+    NoSuchElementError,
+)
+
+
+def make(elements=(), **kwargs):
+    hashed = HashedSet(**kwargs)
+    hashed.union_update(elements)
+    return hashed
+
+
+def test_empty():
+    hashed = make()
+    assert hashed.is_empty()
+    hashed.check_implementation()
+
+
+def test_add_and_contains():
+    hashed = make()
+    assert hashed.add(1)
+    assert not hashed.add(1)  # already present
+    assert hashed.contains(1)
+    assert not hashed.contains(2)
+    assert hashed.size() == 1
+    hashed.check_implementation()
+
+
+def test_remove():
+    hashed = make([1, 2])
+    hashed.remove(1)
+    assert not hashed.contains(1)
+    assert hashed.size() == 1
+    with pytest.raises(NoSuchElementError):
+        hashed.remove(1)
+    hashed.check_implementation()
+
+
+def test_discard():
+    hashed = make([1])
+    assert hashed.discard(1)
+    assert not hashed.discard(1)
+    hashed.check_implementation()
+
+
+def test_tombstone_probing_continues():
+    # force a probe chain with a tiny table, then delete from its middle
+    hashed = HashedSet(capacity=4)
+    # integers hash to themselves: 0, 4 collide in a table of 4... the
+    # table grows, so use enough elements to create real chains
+    for value in (0, 4, 8):
+        hashed.add(value)
+    hashed.remove(4)
+    assert hashed.contains(8), "probe chain must continue past tombstone"
+    assert hashed.contains(0)
+    hashed.check_implementation()
+
+
+def test_growth_preserves_membership():
+    hashed = HashedSet(capacity=2)
+    for value in range(200):
+        hashed.add(value)
+    assert hashed.size() == 200
+    for value in range(200):
+        assert hashed.contains(value)
+    hashed.check_implementation()
+
+
+def test_growth_drops_tombstones():
+    hashed = HashedSet(capacity=4)
+    for value in range(3):
+        hashed.add(value)
+    hashed.remove(1)
+    for value in range(10, 30):
+        hashed.add(value)  # triggers growth
+    assert not hashed.contains(1)
+    assert hashed.contains(0)
+    hashed.check_implementation()
+
+
+def test_union_update_counts_additions():
+    hashed = make([1, 2])
+    assert hashed.union_update([2, 3, 4]) == 2
+    assert hashed.size() == 4
+
+
+def test_intersection_update():
+    hashed = make([1, 2, 3, 4])
+    removed = hashed.intersection_update([2, 4, 9])
+    assert removed == 2
+    assert sorted(hashed.to_list()) == [2, 4]
+    hashed.check_implementation()
+
+
+def test_readding_after_removal():
+    hashed = make([5])
+    hashed.remove(5)
+    assert hashed.add(5)
+    assert hashed.contains(5)
+    assert hashed.size() == 1
+    hashed.check_implementation()
+
+
+def test_clear():
+    hashed = make([1, 2])
+    hashed.clear()
+    assert hashed.is_empty()
+    assert not hashed.contains(1)
+    hashed.check_implementation()
+
+
+def test_screener():
+    hashed = HashedSet(screener=lambda e: isinstance(e, str))
+    hashed.add("ok")
+    with pytest.raises(IllegalElementError):
+        hashed.add(42)
+    assert hashed.size() == 1
+
+
+def test_string_elements():
+    hashed = make(["alpha", "beta", "gamma"])
+    assert hashed.contains("beta")
+    hashed.remove("beta")
+    assert sorted(hashed.to_list()) == ["alpha", "gamma"]
+    hashed.check_implementation()

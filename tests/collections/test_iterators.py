@@ -1,0 +1,148 @@
+"""Tests for the fail-fast iterators."""
+
+import pytest
+
+from repro.collections import (
+    CircularList,
+    CorruptedIterationError,
+    Dynarray,
+    HashedMap,
+    HashedSet,
+    LinkedList,
+    LLMap,
+    RBTree,
+)
+
+
+def make_list(values):
+    lst = LinkedList()
+    lst.extend(values)
+    return lst
+
+
+def test_iterator_yields_all_elements():
+    lst = make_list([1, 2, 3])
+    assert list(lst.iterator()) == [1, 2, 3]
+
+
+def test_iterator_on_empty_collection():
+    assert list(LinkedList().iterator()) == []
+
+
+def test_iterator_consumed_counter():
+    iterator = make_list([1, 2, 3]).iterator()
+    next(iterator)
+    next(iterator)
+    assert iterator.consumed == 2
+
+
+def test_mutation_mid_iteration_raises():
+    lst = make_list([1, 2, 3])
+    iterator = lst.iterator()
+    next(iterator)
+    lst.insert_last(4)
+    with pytest.raises(CorruptedIterationError, match="1 element"):
+        next(iterator)
+
+
+def test_removal_mid_iteration_raises():
+    lst = make_list([1, 2, 3])
+    iterator = lst.iterator()
+    next(iterator)
+    lst.remove_first()
+    with pytest.raises(CorruptedIterationError):
+        next(iterator)
+
+
+def test_clear_mid_iteration_raises():
+    lst = make_list([1, 2])
+    iterator = lst.iterator()
+    lst.clear()
+    with pytest.raises(CorruptedIterationError):
+        next(iterator)
+
+
+def test_mutation_after_exhaustion_is_fine():
+    lst = make_list([1])
+    iterator = lst.iterator()
+    assert list(iterator) == [1]
+    lst.insert_last(2)  # iterator already exhausted: no error possible
+
+
+def test_read_operations_do_not_invalidate():
+    lst = make_list([1, 2, 3])
+    iterator = lst.iterator()
+    next(iterator)
+    lst.contains(2)
+    lst.size()
+    lst.get_at(0)
+    assert next(iterator) == 2
+
+
+def test_two_independent_iterators():
+    lst = make_list([1, 2])
+    first = lst.iterator()
+    second = lst.iterator()
+    assert next(first) == 1
+    assert next(second) == 1
+    assert next(first) == 2
+
+
+@pytest.mark.parametrize(
+    "factory,mutate",
+    [
+        (lambda: make_list([1, 2, 3]), lambda c: c.insert_first(0)),
+        (
+            lambda: _filled(CircularList(), [1, 2, 3]),
+            lambda c: c.insert_last(4),
+        ),
+        (lambda: _filled(Dynarray(), [1, 2, 3]), lambda c: c.append(4)),
+        (lambda: _rb([3, 1, 2]), lambda c: c.insert(4)),
+        (lambda: _set([1, 2, 3]), lambda c: c.add(9)),
+        (lambda: _map(HashedMap(), {"a": 1}), lambda c: c.put("b", 2)),
+        (lambda: _map(LLMap(), {"a": 1}), lambda c: c.put("b", 2)),
+    ],
+    ids=[
+        "LinkedList",
+        "CircularList",
+        "Dynarray",
+        "RBTree",
+        "HashedSet",
+        "HashedMap",
+        "LLMap",
+    ],
+)
+def test_fail_fast_across_containers(factory, mutate):
+    collection = factory()
+    iterator = collection.iterator()
+    next(iterator)
+    mutate(collection)
+    with pytest.raises(CorruptedIterationError):
+        next(iterator)
+
+
+def _filled(collection, values):
+    for value in values:
+        if hasattr(collection, "insert_last"):
+            collection.insert_last(value)
+        else:
+            collection.append(value)
+    return collection
+
+
+def _rb(values):
+    tree = RBTree()
+    tree.extend(values)
+    return tree
+
+
+def _set(values):
+    hashed = HashedSet()
+    hashed.union_update(values)
+    return hashed
+
+
+def _map(mapping, items):
+    for key, value in items.items():
+        mapping.put(key, value)
+    return mapping

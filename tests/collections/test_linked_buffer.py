@@ -1,0 +1,139 @@
+"""Functional tests for LinkedBuffer (chunked character buffer)."""
+
+import pytest
+
+from repro.collections import (
+    EmptyCollectionError,
+    IllegalElementError,
+    LinkedBuffer,
+    NoSuchElementError,
+)
+
+
+def make(text="", **kwargs):
+    buffer = LinkedBuffer(**kwargs)
+    buffer.append_text(text)
+    return buffer
+
+
+def test_empty():
+    buffer = make()
+    assert buffer.is_empty()
+    assert buffer.text() == ""
+    assert buffer.chunk_count() == 0
+    buffer.check_implementation()
+    with pytest.raises(EmptyCollectionError):
+        buffer.peek()
+    with pytest.raises(EmptyCollectionError):
+        buffer.take_char()
+
+
+def test_append_char_and_text():
+    buffer = make()
+    buffer.append_char("h")
+    buffer.append_text("ello")
+    assert buffer.text() == "hello"
+    assert buffer.size() == 5
+    buffer.check_implementation()
+
+
+def test_append_char_rejects_multichar():
+    buffer = make()
+    with pytest.raises(IllegalElementError):
+        buffer.append_char("ab")
+    with pytest.raises(IllegalElementError):
+        buffer.append_char("")
+
+
+def test_chunk_boundaries():
+    buffer = make(chunk_size=4)
+    buffer.append_text("abcdefghij")
+    assert buffer.text() == "abcdefghij"
+    assert buffer.chunk_count() == 3  # 4 + 4 + 2
+    buffer.check_implementation()
+
+
+def test_peek_and_take_char():
+    buffer = make("abc")
+    assert buffer.peek() == "a"
+    assert buffer.take_char() == "a"
+    assert buffer.take_char() == "b"
+    assert buffer.text() == "c"
+    buffer.check_implementation()
+
+
+def test_take_drains_chunks():
+    buffer = make(chunk_size=2)
+    buffer.append_text("abcd")
+    assert buffer.take_text(3) == "abc"
+    assert buffer.text() == "d"
+    assert buffer.size() == 1
+    buffer.check_implementation()
+
+
+def test_take_text_past_end_loses_prefix():
+    """The legacy per-character check: the taken prefix is lost on failure."""
+    buffer = make("ab")
+    with pytest.raises(NoSuchElementError):
+        buffer.take_text(5)
+    assert buffer.text() == ""  # both characters were consumed before failing
+
+
+def test_take_everything_then_append():
+    buffer = make(chunk_size=2)
+    buffer.append_text("abcd")
+    buffer.take_text(4)
+    assert buffer.is_empty()
+    buffer.append_char("z")
+    assert buffer.text() == "z"
+    buffer.check_implementation()
+
+
+def test_compact_repacks_chunks():
+    buffer = make(chunk_size=4)
+    buffer.append_text("abcdefgh")
+    buffer.take_text(3)  # leaves partially-used chunks
+    before = buffer.text()
+    buffer.compact()
+    assert buffer.text() == before
+    assert buffer.chunk_count() == 2  # 5 chars in chunks of 4
+    buffer.check_implementation()
+
+
+def test_compact_empty():
+    buffer = make()
+    buffer.compact()
+    assert buffer.text() == ""
+    buffer.check_implementation()
+
+
+def test_clear():
+    buffer = make("abc")
+    buffer.clear()
+    assert buffer.is_empty()
+    assert buffer.text() == ""
+    buffer.check_implementation()
+
+
+def test_iteration_yields_characters():
+    buffer = make(chunk_size=2)
+    buffer.append_text("xyz")
+    assert list(buffer) == ["x", "y", "z"]
+
+
+def test_screener():
+    buffer = LinkedBuffer(screener=lambda c: c.isalpha())
+    buffer.append_char("a")
+    with pytest.raises(IllegalElementError):
+        buffer.append_char("1")
+    assert buffer.text() == "a"
+
+
+def test_large_roundtrip():
+    text = "the quick brown fox jumps over the lazy dog " * 20
+    buffer = make(chunk_size=7)
+    buffer.append_text(text)
+    assert buffer.text() == text
+    assert buffer.take_text(len(text)) == text
+    assert buffer.is_empty()
+    buffer.check_implementation()

@@ -1,0 +1,216 @@
+"""Functional tests for LinkedList and FixedLinkedList."""
+
+import pytest
+
+from repro.collections import (
+    EmptyCollectionError,
+    FixedLinkedList,
+    IllegalElementError,
+    LinkedList,
+    NoSuchElementError,
+)
+
+
+@pytest.fixture(params=[LinkedList, FixedLinkedList], ids=["legacy", "fixed"])
+def make_list(request):
+    return request.param
+
+
+def test_empty_list(make_list):
+    lst = make_list()
+    assert lst.is_empty()
+    assert lst.size() == 0
+    assert lst.to_list() == []
+    lst.check_implementation()
+
+
+def test_insert_first_and_last(make_list):
+    lst = make_list()
+    lst.insert_last(2)
+    lst.insert_first(1)
+    lst.insert_last(3)
+    assert lst.to_list() == [1, 2, 3]
+    assert lst.first() == 1
+    assert lst.last() == 3
+    lst.check_implementation()
+
+
+def test_insert_at(make_list):
+    lst = make_list()
+    lst.extend([1, 3])
+    lst.insert_at(1, 2)
+    assert lst.to_list() == [1, 2, 3]
+    lst.insert_at(0, 0)
+    assert lst.to_list() == [0, 1, 2, 3]
+    lst.insert_at(3, 2.5)
+    assert lst.to_list() == [0, 1, 2, 2.5, 3]
+    lst.check_implementation()
+
+
+def test_insert_at_out_of_range(make_list):
+    lst = make_list()
+    with pytest.raises(NoSuchElementError):
+        lst.insert_at(2, "x")
+
+
+def test_get_at_and_index_of(make_list):
+    lst = make_list()
+    lst.extend(["a", "b", "c"])
+    assert lst.get_at(0) == "a"
+    assert lst.get_at(2) == "c"
+    assert lst.index_of("b") == 1
+    assert lst.index_of("missing") == -1
+    with pytest.raises(NoSuchElementError):
+        lst.get_at(3)
+    with pytest.raises(NoSuchElementError):
+        lst.get_at(-1)
+
+
+def test_remove_first_and_last(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 3])
+    assert lst.remove_first() == 1
+    assert lst.remove_last() == 3
+    assert lst.to_list() == [2]
+    assert lst.remove_last() == 2
+    assert lst.is_empty()
+    lst.check_implementation()
+
+
+def test_remove_on_empty_raises(make_list):
+    lst = make_list()
+    with pytest.raises(EmptyCollectionError):
+        lst.remove_first()
+    with pytest.raises(EmptyCollectionError):
+        lst.remove_last()
+    with pytest.raises(EmptyCollectionError):
+        lst.first()
+    with pytest.raises(EmptyCollectionError):
+        lst.last()
+
+
+def test_remove_at(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 3, 4])
+    assert lst.remove_at(1) == 2
+    assert lst.to_list() == [1, 3, 4]
+    assert lst.remove_at(2) == 4
+    assert lst.last() == 3
+    lst.check_implementation()
+    with pytest.raises(NoSuchElementError):
+        lst.remove_at(5)
+
+
+def test_remove_element(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 3, 2])
+    assert lst.remove_element(2)
+    assert lst.to_list() == [1, 3, 2]
+    assert not lst.remove_element(99)
+    assert lst.remove_element(2)
+    assert lst.to_list() == [1, 3]
+    lst.check_implementation()
+
+
+def test_remove_element_updates_tail(make_list):
+    lst = make_list()
+    lst.extend([1, 2])
+    lst.remove_element(2)
+    assert lst.last() == 1
+    lst.insert_last(9)
+    assert lst.to_list() == [1, 9]
+    lst.check_implementation()
+
+
+def test_replace_at_and_replace_all(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 1])
+    assert lst.replace_at(1, 5) == 2
+    assert lst.to_list() == [1, 5, 1]
+    assert lst.replace_all(1, 7) == 2
+    assert lst.to_list() == [7, 5, 7]
+    assert lst.replace_all("missing", 0) == 0
+
+
+def test_reverse(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 3])
+    lst.reverse()
+    assert lst.to_list() == [3, 2, 1]
+    assert lst.first() == 3
+    assert lst.last() == 1
+    lst.check_implementation()
+
+
+def test_reverse_empty_and_single(make_list):
+    lst = make_list()
+    lst.reverse()
+    assert lst.to_list() == []
+    lst.insert_last(1)
+    lst.reverse()
+    assert lst.to_list() == [1]
+    lst.check_implementation()
+
+
+def test_clear(make_list):
+    lst = make_list()
+    lst.extend([1, 2])
+    lst.clear()
+    assert lst.is_empty()
+    lst.check_implementation()
+
+
+def test_contains_and_occurrences(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 2, 3])
+    assert lst.contains(2)
+    assert not lst.contains(9)
+    assert lst.occurrences_of(2) == 2
+
+
+def test_removed_duplicates(make_list):
+    lst = make_list()
+    lst.extend([1, 2, 1, 3, 2])
+    deduped = lst.removed_duplicates()
+    assert deduped.to_list() == [1, 2, 3]
+    assert lst.to_list() == [1, 2, 1, 3, 2]  # original unchanged
+
+
+def test_screener_rejects_elements(make_list):
+    lst = make_list(screener=lambda e: isinstance(e, int))
+    lst.insert_last(1)
+    with pytest.raises(IllegalElementError):
+        lst.insert_first("not an int")
+    with pytest.raises(IllegalElementError):
+        lst.replace_at(0, "nope")
+    assert lst.to_list() == [1]
+
+
+def test_version_bumped_on_mutation(make_list):
+    lst = make_list()
+    v0 = lst.version()
+    lst.insert_last(1)
+    assert lst.version() > v0
+
+
+def test_legacy_insert_last_nonatomic_on_screener_failure():
+    # The legacy ordering bug made observable without injection: the
+    # screener is checked first, so this particular path is fine — the
+    # non-atomicity needs a failure *after* the count bump, which the
+    # injection campaign provides.  Here we just pin the orderings apart.
+    import inspect
+
+    legacy = inspect.getsource(LinkedList.insert_last)
+    fixed = inspect.getsource(FixedLinkedList.insert_last)
+    assert legacy.index("_count += 1") < legacy.index("LLCell(")
+    assert fixed.index("LLCell(") < fixed.index("_count += 1")
+
+
+def test_cell_nth_next():
+    from repro.collections import LLCell
+
+    chain = LLCell(1, LLCell(2, LLCell(3)))
+    assert chain.nth_next(0) is chain
+    assert chain.nth_next(2).element == 3
+    with pytest.raises(NoSuchElementError):
+        chain.nth_next(3)

@@ -1,0 +1,112 @@
+"""Functional tests for LLMap (association list)."""
+
+import pytest
+
+from repro.collections import IllegalElementError, LLMap, NoSuchElementError
+
+
+def make(items=None, **kwargs):
+    mapping = LLMap(**kwargs)
+    for key, value in (items or {}).items():
+        mapping.put(key, value)
+    return mapping
+
+
+def test_empty():
+    mapping = make()
+    assert mapping.is_empty()
+    mapping.check_implementation()
+
+
+def test_put_get_replace():
+    mapping = make()
+    assert mapping.put("a", 1) is None
+    assert mapping.put("a", 2) == 1
+    assert mapping.get("a") == 2
+    assert mapping.size() == 1
+    mapping.check_implementation()
+
+
+def test_get_missing():
+    with pytest.raises(NoSuchElementError):
+        make().get("x")
+
+
+def test_get_or_default():
+    mapping = make({"a": 1})
+    assert mapping.get_or_default("a", 0) == 1
+    assert mapping.get_or_default("b", 0) == 0
+
+
+def test_remove_key():
+    mapping = make({"a": 1, "b": 2, "c": 3})
+    assert mapping.remove_key("b") == 2
+    assert sorted(mapping.keys()) == ["a", "c"]
+    with pytest.raises(NoSuchElementError):
+        mapping.remove_key("b")
+    mapping.check_implementation()
+
+
+def test_remove_head_key():
+    mapping = make({"a": 1, "b": 2})
+    # head of the chain is the most recently inserted pair
+    head_key = mapping.keys()[0]
+    mapping.remove_key(head_key)
+    assert mapping.size() == 1
+    mapping.check_implementation()
+
+
+def test_items_and_values():
+    mapping = make({"a": 1, "b": 2})
+    assert dict(mapping.items()) == {"a": 1, "b": 2}
+    assert sorted(mapping.values()) == [1, 2]
+
+
+def test_contains_key():
+    mapping = make({"a": 1})
+    assert mapping.contains_key("a")
+    assert not mapping.contains_key("z")
+
+
+def test_update():
+    mapping = make({"a": 1})
+    mapping.update({"a": 5, "b": 6})
+    assert dict(mapping.items()) == {"a": 5, "b": 6}
+
+
+def test_replace_values():
+    mapping = make({"a": 1, "b": 1, "c": 2})
+    assert mapping.replace_values(1, 9) == 2
+    assert sorted(mapping.values()) == [2, 9, 9]
+    assert mapping.replace_values("missing", 0) == 0
+
+
+def test_replace_values_screener_mid_walk():
+    mapping = LLMap(screener=lambda v: isinstance(v, int))
+    mapping.put("a", 1)
+    with pytest.raises(IllegalElementError):
+        mapping.replace_values(1, "not int")
+    assert mapping.get("a") == 1
+
+
+def test_clear():
+    mapping = make({"a": 1})
+    mapping.clear()
+    assert mapping.is_empty()
+    mapping.check_implementation()
+
+
+def test_screener_on_put():
+    mapping = LLMap(screener=lambda v: v != "bad")
+    mapping.put("k", "good")
+    with pytest.raises(IllegalElementError):
+        mapping.put("k2", "bad")
+    assert mapping.size() == 1
+
+
+def test_duplicate_keys_never_stored():
+    mapping = make()
+    for _ in range(3):
+        mapping.put("k", "v")
+    assert mapping.size() == 1
+    mapping.check_implementation()

@@ -1,0 +1,237 @@
+"""Property-based model testing: containers vs. Python reference types."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collections import (
+    CircularList,
+    Dynarray,
+    HashedMap,
+    HashedSet,
+    LinkedList,
+    LLMap,
+    RBMap,
+    RBTree,
+)
+
+elements = st.integers(-100, 100)
+keys = st.integers(0, 30)
+
+
+# -- sequences ---------------------------------------------------------------
+
+seq_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert_first"), elements),
+        st.tuples(st.just("insert_last"), elements),
+        st.tuples(st.just("remove_first"), st.just(None)),
+        st.tuples(st.just("remove_last"), st.just(None)),
+        st.tuples(st.just("remove_element"), elements),
+    ),
+    max_size=40,
+)
+
+
+def run_sequence(container, ops):
+    model = []
+    for op, arg in ops:
+        if op == "insert_first":
+            container.insert_first(arg)
+            model.insert(0, arg)
+        elif op == "insert_last":
+            container.insert_last(arg)
+            model.append(arg)
+        elif op == "remove_first" and model:
+            assert container.remove_first() == model.pop(0)
+        elif op == "remove_last" and model:
+            assert container.remove_last() == model.pop()
+        elif op == "remove_element":
+            expected = arg in model
+            if expected:
+                model.remove(arg)
+            assert container.remove_element(arg) == expected
+        assert container.size() == len(model)
+    return model
+
+
+@given(seq_ops)
+@settings(max_examples=60)
+def test_linked_list_matches_model(ops):
+    lst = LinkedList()
+    model = run_sequence(lst, ops)
+    assert lst.to_list() == model
+    lst.check_implementation()
+
+
+@given(seq_ops)
+@settings(max_examples=60)
+def test_circular_list_matches_model(ops):
+    ring = CircularList()
+    model = run_sequence(ring, ops)
+    assert ring.to_list() == model
+    ring.check_implementation()
+
+
+@given(st.lists(elements, max_size=50), st.lists(st.integers(0, 60), max_size=10))
+@settings(max_examples=60)
+def test_dynarray_matches_list(values, removals):
+    array = Dynarray(capacity=2)
+    model = []
+    for value in values:
+        array.append(value)
+        model.append(value)
+    for index in removals:
+        if index < len(model):
+            assert array.remove_at(index) == model.pop(index)
+    assert array.to_list() == model
+    array.check_implementation()
+
+
+# -- maps ---------------------------------------------------------------------
+
+map_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, elements),
+        st.tuples(st.just("remove"), keys, st.just(None)),
+        st.tuples(st.just("get"), keys, st.just(None)),
+    ),
+    max_size=50,
+)
+
+
+def run_map(container, ops):
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            expected = model.get(key)
+            model[key] = value
+            assert container.put(key, value) == expected
+        elif op == "remove":
+            if key in model:
+                assert container.remove_key(key) == model.pop(key)
+            else:
+                assert not container.contains_key(key)
+        elif op == "get":
+            assert container.get_or_default(key, "missing") == model.get(
+                key, "missing"
+            )
+        assert container.size() == len(model)
+    return model
+
+
+@given(map_ops)
+@settings(max_examples=60)
+def test_hashed_map_matches_dict(ops):
+    mapping = HashedMap(capacity=2)
+    model = run_map(mapping, ops)
+    assert dict(mapping.items()) == model
+    mapping.check_implementation()
+
+
+@given(map_ops)
+@settings(max_examples=60)
+def test_ll_map_matches_dict(ops):
+    mapping = LLMap()
+    model = run_map(mapping, ops)
+    assert dict(mapping.items()) == model
+    mapping.check_implementation()
+
+
+@given(map_ops)
+@settings(max_examples=60)
+def test_rb_map_matches_dict_and_stays_sorted(ops):
+    mapping = RBMap()
+    model = run_map(mapping, ops)
+    assert dict(mapping.items()) == model
+    assert mapping.keys() == sorted(model)
+    mapping.check_implementation()
+
+
+# -- sets -----------------------------------------------------------------------
+
+set_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), elements),
+        st.tuples(st.just("discard"), elements),
+    ),
+    max_size=60,
+)
+
+
+@given(set_ops)
+@settings(max_examples=60)
+def test_hashed_set_matches_set(ops):
+    hashed = HashedSet(capacity=2)
+    model = set()
+    for op, value in ops:
+        if op == "add":
+            assert hashed.add(value) == (value not in model)
+            model.add(value)
+        else:
+            assert hashed.discard(value) == (value in model)
+            model.discard(value)
+        assert hashed.size() == len(model)
+    assert sorted(hashed.to_list()) == sorted(model)
+    hashed.check_implementation()
+
+
+# -- ordered bag -------------------------------------------------------------------
+
+@given(st.lists(elements, max_size=60), st.data())
+@settings(max_examples=60)
+def test_rb_tree_matches_sorted_multiset(values, data):
+    tree = RBTree()
+    model = []
+    for value in values:
+        tree.insert(value)
+        model.append(value)
+    removals = data.draw(
+        st.lists(st.sampled_from(model), max_size=len(model), unique_by=id)
+        if model
+        else st.just([])
+    )
+    for value in removals:
+        tree.remove(value)
+        model.remove(value)
+    assert tree.to_list() == sorted(model)
+    tree.check_implementation()
+
+
+# -- character buffer --------------------------------------------------------
+
+buffer_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.text(alphabet="abcde", max_size=6)),
+        st.tuples(st.just("take"), st.integers(0, 8)),
+        st.tuples(st.just("compact"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+@given(st.integers(1, 7), buffer_ops)
+@settings(max_examples=60)
+def test_linked_buffer_matches_string(chunk_size, ops):
+    from repro.collections import LinkedBuffer, NoSuchElementError
+
+    buffer = LinkedBuffer(chunk_size=chunk_size)
+    model = ""
+    for op, arg in ops:
+        if op == "append":
+            buffer.append_text(arg)
+            model += arg
+        elif op == "take":
+            if arg <= len(model):
+                assert buffer.take_text(arg) == model[:arg]
+                model = model[arg:]
+            else:
+                with pytest.raises(NoSuchElementError):
+                    buffer.take_text(arg)
+                model = ""  # the legacy per-char take drained everything
+                buffer.clear()
+        elif op == "compact":
+            buffer.compact()
+        assert buffer.size() == len(model)
+    assert buffer.text() == model
+    buffer.check_implementation()

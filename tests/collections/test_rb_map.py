@@ -1,0 +1,126 @@
+"""Functional tests for RBMap (sorted map over the red-black tree)."""
+
+import pytest
+
+from repro.collections import (
+    IllegalElementError,
+    NoSuchElementError,
+    RBMap,
+)
+
+
+def make(items=None, **kwargs):
+    mapping = RBMap(**kwargs)
+    for key, value in (items or {}).items():
+        mapping.put(key, value)
+    return mapping
+
+
+def test_empty():
+    mapping = make()
+    assert mapping.is_empty()
+    assert mapping.keys() == []
+    mapping.check_implementation()
+    with pytest.raises(NoSuchElementError):
+        mapping.first_key()
+    with pytest.raises(NoSuchElementError):
+        mapping.last_key()
+
+
+def test_put_get():
+    mapping = make({"b": 2, "a": 1})
+    assert mapping.get("a") == 1
+    assert mapping.get("b") == 2
+    assert mapping.size() == 2
+    mapping.check_implementation()
+
+
+def test_keys_sorted():
+    mapping = make({"delta": 4, "alpha": 1, "charlie": 3, "bravo": 2})
+    assert mapping.keys() == ["alpha", "bravo", "charlie", "delta"]
+    assert mapping.values() == [1, 2, 3, 4]
+    assert mapping.items()[0] == ("alpha", 1)
+
+
+def test_put_replaces():
+    mapping = make({"a": 1})
+    assert mapping.put("a", 9) == 1
+    assert mapping.get("a") == 9
+    assert mapping.size() == 1
+    mapping.check_implementation()
+
+
+def test_first_and_last_key():
+    mapping = make({"m": 1, "a": 2, "z": 3})
+    assert mapping.first_key() == "a"
+    assert mapping.last_key() == "z"
+
+
+def test_remove_key():
+    mapping = make({"a": 1, "b": 2})
+    assert mapping.remove_key("a") == 1
+    assert mapping.keys() == ["b"]
+    with pytest.raises(NoSuchElementError):
+        mapping.remove_key("a")
+    mapping.check_implementation()
+
+
+def test_get_missing():
+    with pytest.raises(NoSuchElementError):
+        make().get("x")
+
+
+def test_get_or_default():
+    mapping = make({"a": 1})
+    assert mapping.get_or_default("a", 0) == 1
+    assert mapping.get_or_default("z", 7) == 7
+
+
+def test_contains_key():
+    mapping = make({"a": 1})
+    assert mapping.contains_key("a")
+    assert not mapping.contains_key("b")
+
+
+def test_update_bulk():
+    mapping = make({"a": 1})
+    mapping.update({"b": 2, "c": 3})
+    assert mapping.keys() == ["a", "b", "c"]
+
+
+def test_clear():
+    mapping = make({"a": 1, "b": 2})
+    mapping.clear()
+    assert mapping.is_empty()
+    mapping.check_implementation()
+
+
+def test_many_keys_stay_sorted():
+    mapping = make()
+    import random
+
+    rng = random.Random(3)
+    keys = list(range(200))
+    rng.shuffle(keys)
+    for key in keys:
+        mapping.put(key, key * 2)
+        mapping.check_implementation()
+    assert mapping.keys() == list(range(200))
+    for key in range(0, 200, 17):
+        assert mapping.remove_key(key) == key * 2
+    mapping.check_implementation()
+
+
+def test_custom_key_comparator():
+    mapping = RBMap(key_comparator=lambda a, b: (a > b) - (a < b))
+    mapping.put("b", 2)
+    mapping.put("a", 1)
+    assert mapping.keys() == ["a", "b"]
+
+
+def test_screener_on_values():
+    mapping = RBMap(screener=lambda v: v is not None)
+    mapping.put("k", 1)
+    with pytest.raises(IllegalElementError):
+        mapping.put("k2", None)
+    assert mapping.size() == 1

@@ -1,0 +1,138 @@
+"""Functional and invariant tests for the red-black tree."""
+
+import random
+
+import pytest
+
+from repro.collections import (
+    EmptyCollectionError,
+    NoSuchElementError,
+    RBTree,
+)
+
+
+def make(elements=()):
+    tree = RBTree()
+    tree.extend(elements)
+    return tree
+
+
+def test_empty():
+    tree = make()
+    assert tree.is_empty()
+    assert tree.to_list() == []
+    tree.check_implementation()
+    with pytest.raises(EmptyCollectionError):
+        tree.minimum()
+    with pytest.raises(EmptyCollectionError):
+        tree.maximum()
+    with pytest.raises(EmptyCollectionError):
+        tree.take_minimum()
+
+
+def test_insert_sorted_iteration():
+    tree = make([5, 1, 3, 2, 4])
+    assert tree.to_list() == [1, 2, 3, 4, 5]
+    assert tree.size() == 5
+    tree.check_implementation()
+
+
+def test_duplicates_allowed():
+    tree = make([2, 1, 2, 2])
+    assert tree.to_list() == [1, 2, 2, 2]
+    assert tree.occurrences_of(2) == 3
+    tree.check_implementation()
+
+
+def test_minimum_maximum():
+    tree = make([5, 1, 9])
+    assert tree.minimum() == 1
+    assert tree.maximum() == 9
+
+
+def test_contains():
+    tree = make([1, 2, 3])
+    assert tree.contains(2)
+    assert not tree.contains(9)
+
+
+def test_remove():
+    tree = make([3, 1, 4, 1, 5, 9, 2, 6])
+    tree.remove(4)
+    assert tree.to_list() == [1, 1, 2, 3, 5, 6, 9]
+    tree.check_implementation()
+    with pytest.raises(NoSuchElementError):
+        tree.remove(42)
+
+
+def test_remove_one_duplicate_only():
+    tree = make([2, 2, 2])
+    tree.remove(2)
+    assert tree.to_list() == [2, 2]
+    tree.check_implementation()
+
+
+def test_remove_root_repeatedly():
+    tree = make(range(20))
+    while not tree.is_empty():
+        tree.remove(tree._root.element)
+        tree.check_implementation()
+
+
+def test_take_minimum_drains_in_order():
+    tree = make([3, 1, 2])
+    assert tree.take_minimum() == 1
+    assert tree.take_minimum() == 2
+    assert tree.take_minimum() == 3
+    assert tree.is_empty()
+    tree.check_implementation()
+
+
+def test_height_is_logarithmic():
+    tree = make(range(1024))
+    # red-black height bound: 2*log2(n+1)
+    assert tree.height() <= 2 * 11
+
+
+def test_sequential_insert_keeps_invariants():
+    tree = make()
+    for value in range(100):
+        tree.insert(value)
+        tree.check_implementation()
+
+
+def test_random_insert_delete_keeps_invariants():
+    rng = random.Random(7)
+    tree = make()
+    shadow = []
+    for _ in range(300):
+        if shadow and rng.random() < 0.4:
+            value = rng.choice(shadow)
+            shadow.remove(value)
+            tree.remove(value)
+        else:
+            value = rng.randrange(50)
+            shadow.append(value)
+            tree.insert(value)
+        tree.check_implementation()
+        assert tree.to_list() == sorted(shadow)
+
+
+def test_custom_comparator_reverses_order():
+    tree = RBTree(comparator=lambda a, b: (a < b) - (a > b))
+    tree.extend([1, 3, 2])
+    assert tree.to_list() == [3, 2, 1]
+    assert tree.minimum() == 3  # "minimum" under the reversed order
+    tree.check_implementation()
+
+
+def test_clear():
+    tree = make([1, 2])
+    tree.clear()
+    assert tree.is_empty()
+    tree.check_implementation()
+
+
+def test_iteration_is_nonrecursive():
+    tree = make(range(3000))
+    assert tree.to_list() == list(range(3000))

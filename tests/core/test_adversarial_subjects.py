@@ -1,0 +1,106 @@
+"""The observer must never fail the experiment: adversarial subjects.
+
+Capture, checkpoint, and the wrappers run inside the application under
+test; a hostile ``__repr__``, ``__eq__``, or property must not abort a
+campaign with an unrelated error.
+"""
+
+import pytest
+
+from repro.core import (
+    CallableProgram,
+    Detector,
+    InjectionCampaign,
+    capture,
+    checkpoint,
+    classify,
+    graphs_equal,
+    make_injection_wrapper,
+)
+from repro.core.weaver import Weaver
+
+
+class HostileRepr:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __hash__(self):
+        return hash(self.tag)
+
+    def __eq__(self, other):
+        return isinstance(other, HostileRepr) and self.tag == other.tag
+
+    def __repr__(self):
+        raise RuntimeError("repr is booby-trapped")
+
+
+class PropertyTrap:
+    def __init__(self):
+        self._hidden = 1
+
+    @property
+    def exploding(self):
+        raise RuntimeError("property accessed")
+
+
+def test_capture_survives_hostile_repr_in_set():
+    holder = {HostileRepr("a"), HostileRepr("b")}
+    graph = capture(holder)
+    assert graph.size() > 1
+    assert graphs_equal(graph, capture({HostileRepr("a"), HostileRepr("b")}))
+
+
+def test_capture_does_not_trigger_properties():
+    trap = PropertyTrap()
+    graph = capture(trap)  # reads __dict__ directly, never the descriptor
+    assert graph.size() >= 2
+
+
+def test_checkpoint_does_not_trigger_properties():
+    trap = PropertyTrap()
+    saved = checkpoint(trap)
+    trap._hidden = 2
+    saved.restore()
+    assert trap._hidden == 1
+
+
+def test_campaign_over_hostile_class():
+    class Registry:
+        def __init__(self):
+            self.members = set()
+
+        def enroll(self, tag):
+            self.members.add(HostileRepr(tag))
+            if tag == "reject":
+                raise ValueError("rejected after enrollment")
+
+    def program():
+        registry = Registry()
+        registry.enroll("a")
+        try:
+            registry.enroll("reject")
+        except ValueError:
+            pass
+
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_class(Registry)
+        result = Detector(CallableProgram("hostile", program), campaign).detect()
+    classification = classify(result.log)
+    # the genuine failure after mutation is still detected, repr traps
+    # notwithstanding
+    assert classification.category_of("Registry.enroll") == "pure"
+
+
+def test_exception_with_slots_still_injectable():
+    class SlottedError(Exception):
+        __slots__ = ()
+
+    from repro.core.exceptions import is_injected, make_injected
+
+    exc = make_injected(SlottedError, method="C.m", injection_point=1)
+    assert isinstance(exc, SlottedError)
+    # tagging may fail on slotted exceptions; identification degrades
+    # gracefully rather than crashing
+    assert is_injected(exc) in (True, False)

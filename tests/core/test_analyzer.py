@@ -1,0 +1,160 @@
+"""Tests for method discovery and injection repertoires (Step 1)."""
+
+import pytest
+
+from repro.core.analyzer import (
+    KIND_CLASSMETHOD,
+    KIND_CONSTRUCTOR,
+    KIND_FUNCTION,
+    KIND_METHOD,
+    KIND_STATIC,
+    Analyzer,
+    method_key,
+)
+from repro.core.exceptions import (
+    InjectedRuntimeError,
+    exception_free,
+    throws,
+)
+
+
+class Sample:
+    def __init__(self):
+        self.x = 0
+
+    def plain(self):
+        return self.x
+
+    @throws(ValueError)
+    def declared(self):
+        raise ValueError
+
+    @exception_free
+    def harmless(self):
+        return 1
+
+    def _helper(self):
+        return 2
+
+    @staticmethod
+    def static_one():
+        return 3
+
+    @classmethod
+    def class_one(cls):
+        return 4
+
+    def __repr__(self):
+        return "Sample()"
+
+    attribute = 42
+
+
+class Child(Sample):
+    def extra(self):
+        return 5
+
+
+def specs_by_name(specs):
+    return {spec.name: spec for spec in specs}
+
+
+def test_discovers_methods_and_constructor():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert "__init__" in specs
+    assert specs["__init__"].kind == KIND_CONSTRUCTOR
+    assert specs["plain"].kind == KIND_METHOD
+    assert specs["static_one"].kind == KIND_STATIC
+    assert specs["class_one"].kind == KIND_CLASSMETHOD
+
+
+def test_dunders_excluded_by_default():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert "__repr__" not in specs
+
+
+def test_dunders_included_on_request():
+    specs = specs_by_name(Analyzer(include_dunders=True).analyze_class(Sample))
+    assert "__repr__" in specs
+
+
+def test_private_methods_included_by_default():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert "_helper" in specs
+
+
+def test_private_methods_excludable():
+    specs = specs_by_name(
+        Analyzer(include_private=False).analyze_class(Sample)
+    )
+    assert "_helper" not in specs
+
+
+def test_non_callables_skipped():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert "attribute" not in specs
+
+
+def test_inherited_methods_not_rediscovered():
+    specs = specs_by_name(Analyzer().analyze_class(Child))
+    assert set(specs) == {"extra"}
+
+
+def test_repertoire_declared_then_runtime():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert specs["declared"].exceptions == (ValueError, InjectedRuntimeError)
+    assert specs["plain"].exceptions == (InjectedRuntimeError,)
+
+
+def test_repertoire_custom_runtime_set():
+    analyzer = Analyzer(runtime_exceptions=(MemoryError,))
+    specs = specs_by_name(analyzer.analyze_class(Sample))
+    assert specs["plain"].exceptions == (MemoryError,)
+
+
+def test_injection_point_count():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert specs["declared"].injection_point_count == 2
+    assert specs["plain"].injection_point_count == 1
+
+
+def test_exception_free_flag_carried():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert specs["harmless"].exception_free
+    assert not specs["plain"].exception_free
+
+
+def test_method_keys():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert specs["plain"].key == "Sample.plain"
+    assert method_key(None, "free_func") == "free_func"
+
+
+def test_has_receiver():
+    specs = specs_by_name(Analyzer().analyze_class(Sample))
+    assert specs["plain"].has_receiver
+    assert specs["__init__"].has_receiver
+    assert not specs["static_one"].has_receiver
+
+
+def test_analyze_function():
+    @throws(KeyError)
+    def lookup(table, key):
+        return table[key]
+
+    spec = Analyzer().analyze_function(lookup)
+    assert spec.kind == KIND_FUNCTION
+    assert spec.key == "lookup"
+    assert spec.exceptions[0] is KeyError
+
+
+def test_analyze_classes_multiple():
+    specs = Analyzer().analyze_classes([Sample, Child])
+    keys = {spec.key for spec in specs}
+    assert "Sample.plain" in keys
+    assert "Child.extra" in keys
+
+
+def test_specs_sorted_by_name():
+    names = [spec.name for spec in Analyzer().analyze_class(Sample)]
+    assert names == sorted(names)

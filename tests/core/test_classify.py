@@ -1,0 +1,166 @@
+"""Tests for atomic/conditional/pure classification (Definition 3)."""
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+    class_of_method,
+    classify,
+)
+from repro.core.runlog import ATOMIC, NONATOMIC, RunLog
+
+
+def build_log(runs, call_counts=None):
+    """runs: list of lists of (method, verdict) in propagation order."""
+    log = RunLog()
+    for method, count in (call_counts or {}).items():
+        for _ in range(count):
+            log.record_call(method)
+    for index, marks in enumerate(runs, start=1):
+        record = log.begin_run(index)
+        record.injected_method = "?"
+        for method, verdict in marks:
+            record.add_mark(method, verdict)
+    return log
+
+
+def test_never_marked_is_atomic():
+    log = build_log([[]], call_counts={"C.m": 3})
+    result = classify(log)
+    assert result.category_of("C.m") == CATEGORY_ATOMIC
+
+
+def test_only_atomic_marks_is_atomic():
+    log = build_log([[("C.m", ATOMIC)], [("C.m", ATOMIC)]])
+    assert classify(log).category_of("C.m") == CATEGORY_ATOMIC
+
+
+def test_first_nonatomic_is_pure():
+    log = build_log([[("C.m", NONATOMIC)]])
+    assert classify(log).category_of("C.m") == CATEGORY_PURE
+
+
+def test_never_first_is_conditional():
+    # callee marked first in every run where caller is nonatomic
+    log = build_log(
+        [
+            [("Inner.x", NONATOMIC), ("Outer.y", NONATOMIC)],
+            [("Inner.x", NONATOMIC), ("Outer.y", NONATOMIC)],
+        ]
+    )
+    result = classify(log)
+    assert result.category_of("Inner.x") == CATEGORY_PURE
+    assert result.category_of("Outer.y") == CATEGORY_CONDITIONAL
+
+
+def test_pure_if_first_in_any_single_run():
+    log = build_log(
+        [
+            [("Inner.x", NONATOMIC), ("Outer.y", NONATOMIC)],
+            [("Outer.y", NONATOMIC)],  # here Outer.y is first: pure
+        ]
+    )
+    assert classify(log).category_of("Outer.y") == CATEGORY_PURE
+
+
+def test_atomic_marks_do_not_block_purity():
+    # an atomic mark earlier in the run does not make the first
+    # non-atomic mark any less "first"
+    log = build_log([[("A.a", ATOMIC), ("B.b", NONATOMIC)]])
+    result = classify(log)
+    assert result.category_of("A.a") == CATEGORY_ATOMIC
+    assert result.category_of("B.b") == CATEGORY_PURE
+
+
+def test_mixed_verdicts_across_runs_nonatomic_wins():
+    log = build_log([[("C.m", ATOMIC)], [("C.m", NONATOMIC)]])
+    result = classify(log)
+    assert result.methods["C.m"].atomic_marks == 1
+    assert result.methods["C.m"].nonatomic_marks == 1
+    assert result.category_of("C.m") == CATEGORY_PURE
+
+
+def test_pure_evidence_lists_injection_points():
+    log = build_log([[("C.m", NONATOMIC)], [], [("C.m", NONATOMIC)]])
+    assert classify(log).methods["C.m"].pure_evidence == [1, 3]
+
+
+def test_counts_by_methods_and_calls():
+    log = build_log(
+        [[("C.bad", NONATOMIC)]],
+        call_counts={"C.bad": 2, "C.good": 8},
+    )
+    result = classify(log)
+    assert result.counts_by_methods() == {
+        CATEGORY_ATOMIC: 1,
+        CATEGORY_CONDITIONAL: 0,
+        CATEGORY_PURE: 1,
+    }
+    assert result.counts_by_calls()[CATEGORY_PURE] == 2
+    assert result.fractions_by_calls()[CATEGORY_PURE] == 0.2
+    assert result.fractions_by_methods()[CATEGORY_ATOMIC] == 0.5
+
+
+def test_fractions_empty_log():
+    result = classify(RunLog())
+    assert result.fractions_by_methods()[CATEGORY_ATOMIC] == 0.0
+
+
+def test_class_rollup_worst_category_wins():
+    log = build_log(
+        [
+            [("List.add", NONATOMIC)],
+            [("Map._rehash", NONATOMIC), ("Map.put", NONATOMIC)],
+        ],
+        call_counts={"List.add": 1, "List.size": 5, "Map.put": 1, "Set.add": 2},
+    )
+    categories = classify(log).class_categories()
+    assert categories["List"] == CATEGORY_PURE
+    assert categories["Map"] == CATEGORY_PURE  # contains pure _rehash
+    assert categories["Set"] == CATEGORY_ATOMIC
+
+
+def test_class_rollup_conditional_class():
+    log = build_log(
+        [[("Helper.fail", NONATOMIC), ("Facade.run", NONATOMIC)]],
+        call_counts={"Facade.run": 1, "Facade.other": 1},
+    )
+    categories = classify(log).class_categories()
+    assert categories["Facade"] == CATEGORY_CONDITIONAL
+    assert categories["Helper"] == CATEGORY_PURE
+
+
+def test_class_counts_and_fractions():
+    log = build_log(
+        [[("A.m", NONATOMIC)]],
+        call_counts={"A.m": 1, "B.m": 1},
+    )
+    result = classify(log)
+    assert result.class_counts() == {
+        CATEGORY_ATOMIC: 1,
+        CATEGORY_CONDITIONAL: 0,
+        CATEGORY_PURE: 1,
+    }
+    assert result.class_fractions()[CATEGORY_PURE] == 0.5
+
+
+def test_class_of_method_default():
+    assert class_of_method("Stack.push") == "Stack"
+    assert class_of_method("free_function") == "free_function"
+    assert class_of_method("pkg.Class.method") == "pkg.Class"
+
+
+def test_methods_in_category_sorted():
+    log = build_log([[("B.z", NONATOMIC)], [("A.a", NONATOMIC)]])
+    assert classify(log).methods_in(CATEGORY_PURE) == ["A.a", "B.z"]
+
+
+def test_marked_but_never_profiled_method_included():
+    # a method observed only through marks (e.g. called only on the error
+    # path) still gets classified
+    log = RunLog()
+    record = log.begin_run(1)
+    record.add_mark("Ghost.m", NONATOMIC)
+    result = classify(log)
+    assert result.category_of("Ghost.m") == CATEGORY_PURE
+    assert result.methods["Ghost.m"].calls == 0

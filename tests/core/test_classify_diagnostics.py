@@ -1,0 +1,108 @@
+"""Tests for blame tracking, explanations, and classification JSON."""
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+    ClassificationResult,
+    classify,
+)
+from repro.core.runlog import ATOMIC, NONATOMIC, RunLog
+
+
+def build_log(runs, call_counts=None):
+    log = RunLog()
+    for method, count in (call_counts or {}).items():
+        for _ in range(count):
+            log.record_call(method)
+    for index, marks in enumerate(runs, start=1):
+        record = log.begin_run(index)
+        record.injected_method = "?"
+        for method, verdict in marks:
+            record.add_mark(method, verdict)
+    return log
+
+
+def test_blamed_callees_follow_propagation_order():
+    log = build_log(
+        [[("Leaf.m", NONATOMIC), ("Mid.n", NONATOMIC), ("Top.o", NONATOMIC)]]
+    )
+    result = classify(log)
+    assert result.methods["Leaf.m"].blamed_callees == []
+    assert result.methods["Mid.n"].blamed_callees == ["Leaf.m"]
+    assert result.methods["Top.o"].blamed_callees == ["Mid.n"]
+
+
+def test_blame_accumulates_across_runs_without_duplicates():
+    log = build_log(
+        [
+            [("A.a", NONATOMIC), ("C.c", NONATOMIC)],
+            [("B.b", NONATOMIC), ("C.c", NONATOMIC)],
+            [("A.a", NONATOMIC), ("C.c", NONATOMIC)],
+        ]
+    )
+    assert classify(log).methods["C.c"].blamed_callees == ["A.a", "B.b"]
+
+
+def test_atomic_marks_break_blame_chain_not():
+    # an interleaved atomic mark does not change who is blamed
+    log = build_log(
+        [[("Leaf.m", NONATOMIC), ("Other.x", ATOMIC), ("Top.o", NONATOMIC)]]
+    )
+    assert classify(log).methods["Top.o"].blamed_callees == ["Leaf.m"]
+
+
+def test_explain_atomic():
+    log = build_log([[("A.a", ATOMIC)]], call_counts={"A.a": 2})
+    text = classify(log).explain("A.a")
+    assert "failure atomic" in text
+    assert "1 atomic mark" in text
+
+
+def test_explain_pure_mentions_injection_points():
+    log = build_log([[("A.a", NONATOMIC)]])
+    text = classify(log).explain("A.a")
+    assert "pure" in text
+    assert "1" in text  # injection point of the evidence run
+
+
+def test_explain_conditional_names_culprits():
+    log = build_log(
+        [
+            [("Leaf.m", NONATOMIC), ("Top.o", NONATOMIC)],
+            [("Leaf.m", NONATOMIC), ("Top.o", NONATOMIC)],
+        ]
+    )
+    result = classify(log)
+    assert result.category_of("Top.o") == CATEGORY_CONDITIONAL
+    text = result.explain("Top.o")
+    assert "conditional" in text
+    assert "Leaf.m" in text
+
+
+def test_json_roundtrip():
+    log = build_log(
+        [[("Leaf.m", NONATOMIC), ("Top.o", NONATOMIC)], [("A.a", ATOMIC)]],
+        call_counts={"A.a": 3, "Leaf.m": 1, "Top.o": 1},
+    )
+    original = classify(log)
+    restored = ClassificationResult.from_json(original.to_json())
+    assert set(restored.methods) == set(original.methods)
+    for key in original.methods:
+        a, b = original.methods[key], restored.methods[key]
+        assert a.category == b.category
+        assert a.calls == b.calls
+        assert a.blamed_callees == b.blamed_callees
+    assert restored.category_of("Top.o") == CATEGORY_CONDITIONAL
+    assert restored.category_of("A.a") == CATEGORY_ATOMIC
+
+
+def test_blame_on_real_campaign():
+    from repro.experiments import run_app_campaign, synthetic_program
+
+    outcome = run_app_campaign(synthetic_program())
+    conditional = outcome.classification.methods["Auditor.audit_risky"]
+    assert conditional.category == CATEGORY_CONDITIONAL
+    assert "Ledger.count_then_validate" in conditional.blamed_callees
+    explanation = outcome.classification.explain("Auditor.audit_risky")
+    assert "Ledger.count_then_validate" in explanation

@@ -1,0 +1,154 @@
+"""Tests for the undo-log (copy-on-write) checkpoint extension."""
+
+import pytest
+
+from repro.core.cow import (
+    UndoLog,
+    failure_atomic_undolog,
+    install_write_barrier,
+    remove_write_barrier,
+)
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+        self.history = 0
+
+    def bump_then_fail(self, amount):
+        self.value += amount
+        self.history += 1
+        if amount < 0:
+            raise ValueError("negative")
+
+
+@pytest.fixture
+def barriered():
+    install_write_barrier(Counter)
+    yield
+    remove_write_barrier(Counter)
+
+
+def test_undo_log_rollback(barriered):
+    counter = Counter()
+    log = UndoLog()
+    with log:
+        counter.value = 42
+        counter.extra = "new"
+    assert log.recorded_writes == 2
+    log.rollback()
+    assert counter.value == 0
+    assert not hasattr(counter, "extra")
+
+
+def test_undo_log_first_write_wins(barriered):
+    counter = Counter()
+    log = UndoLog()
+    with log:
+        counter.value = 1
+        counter.value = 2
+        counter.value = 3
+    assert log.recorded_writes == 1
+    log.rollback()
+    assert counter.value == 0
+
+
+def test_writes_outside_log_not_recorded(barriered):
+    counter = Counter()
+    counter.value = 5  # no active log
+    log = UndoLog()
+    with log:
+        pass
+    assert log.recorded_writes == 0
+    assert counter.value == 5
+
+
+def test_nested_logs_innermost_records(barriered):
+    counter = Counter()
+    outer = UndoLog()
+    inner = UndoLog()
+    with outer:
+        counter.value = 1
+        with inner:
+            counter.value = 2
+        inner.rollback()
+        assert counter.value == 1
+    outer.rollback()
+    assert counter.value == 0
+
+
+def test_failure_atomic_undolog_wrapper(barriered):
+    wrapped = failure_atomic_undolog(Counter.bump_then_fail)
+    counter = Counter()
+    wrapped(counter, 5)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        wrapped(counter, -1)
+    assert counter.value == 5
+    assert counter.history == 1
+
+
+def test_undolog_wrapper_success_keeps_changes(barriered):
+    wrapped = failure_atomic_undolog(Counter.bump_then_fail)
+    counter = Counter()
+    wrapped(counter, 1)
+    wrapped(counter, 2)
+    assert counter.value == 3
+    assert counter.history == 2
+
+
+def test_barrier_install_idempotent():
+    install_write_barrier(Counter)
+    first = Counter.__setattr__
+    install_write_barrier(Counter)
+    assert Counter.__setattr__ is first
+    remove_write_barrier(Counter)
+    remove_write_barrier(Counter)  # also idempotent
+
+
+def test_barrier_removal_restores_plain_setattr():
+    install_write_barrier(Counter)
+    remove_write_barrier(Counter)
+    counter = Counter()
+    log = UndoLog()
+    with log:
+        counter.value = 9
+    assert log.recorded_writes == 0  # barrier gone
+
+
+def test_container_mutations_not_covered(barriered):
+    """Documented limitation: container mutation bypasses the barrier."""
+
+    class Holder:
+        def __init__(self):
+            self.items = []
+
+    install_write_barrier(Holder)
+    try:
+        holder = Holder()
+        log = UndoLog()
+        with log:
+            holder.items.append(1)  # not an attribute write
+        log.rollback()
+        assert holder.items == [1]  # rollback cannot undo it
+    finally:
+        remove_write_barrier(Holder)
+
+
+def test_undo_log_records_deletes(barriered):
+    counter = Counter()
+    log = UndoLog()
+    with log:
+        del counter.value
+    log.rollback()
+    assert counter.value == 0
+
+
+def test_barrier_removal_restores_delattr():
+    install_write_barrier(Counter)
+    remove_write_barrier(Counter)
+    counter = Counter()
+    log = UndoLog()
+    with log:
+        del counter.value  # barrier gone: unrecorded
+    assert log.recorded_writes == 0

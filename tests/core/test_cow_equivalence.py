@@ -1,0 +1,99 @@
+"""Property tests: undo-log rollback ≡ eager-checkpoint rollback.
+
+For attribute-only state (the undo log's supported domain), both
+checkpointing mechanisms must produce exactly the same post-rollback
+object graph, for any sequence of attribute writes and deletes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import capture, checkpoint, graphs_equal
+from repro.core.cow import (
+    UndoLog,
+    install_write_barrier,
+    remove_write_barrier,
+)
+
+_FIELDS = ("alpha", "beta", "gamma", "delta")
+
+
+class Cell:
+    def __init__(self):
+        self.alpha = 0
+        self.beta = "b"
+        self.gamma = None
+
+
+@pytest.fixture(scope="module", autouse=True)
+def barrier():
+    install_write_barrier(Cell)
+    yield
+    remove_write_barrier(Cell)
+
+
+write_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "delete"]),
+        st.sampled_from(_FIELDS),
+        st.one_of(st.integers(-5, 5), st.text(max_size=3), st.none()),
+    ),
+    max_size=12,
+)
+
+
+def apply_ops(cell, ops):
+    for op, field, value in ops:
+        if op == "set":
+            setattr(cell, field, value)
+        elif op == "delete" and hasattr(cell, field):
+            delattr(cell, field)
+
+
+@given(write_ops)
+@settings(max_examples=80)
+def test_undolog_equals_eager_rollback(ops):
+    eager_cell = Cell()
+    undo_cell = Cell()
+    reference = capture(Cell())
+
+    saved = checkpoint(eager_cell)
+    apply_ops(eager_cell, ops)
+    saved.restore()
+
+    log = UndoLog()
+    with log:
+        apply_ops(undo_cell, ops)
+    log.rollback()
+
+    assert graphs_equal(capture(eager_cell), reference)
+    assert graphs_equal(capture(undo_cell), reference)
+    assert graphs_equal(capture(eager_cell), capture(undo_cell))
+
+
+@given(write_ops, write_ops)
+@settings(max_examples=60)
+def test_undolog_rollback_is_exact_inverse(first, second):
+    """Writes before the log opened must survive; writes inside must not."""
+    cell = Cell()
+    apply_ops(cell, first)
+    before = capture(cell)
+    log = UndoLog()
+    with log:
+        apply_ops(cell, second)
+    log.rollback()
+    assert graphs_equal(before, capture(cell))
+
+
+@given(write_ops)
+@settings(max_examples=60)
+def test_undolog_noop_without_rollback(ops):
+    """Not rolling back keeps every write (the success path is free)."""
+    logged = Cell()
+    plain = Cell()
+    log = UndoLog()
+    with log:
+        apply_ops(logged, ops)
+    apply_ops(plain, ops)
+    assert graphs_equal(capture(logged), capture(plain))

@@ -1,0 +1,182 @@
+"""Tests for the detection campaign driver (Step 3)."""
+
+import pytest
+
+from repro.core.detector import CallableProgram, DetectionError, Detector
+from repro.core.exceptions import InjectedRuntimeError
+from repro.core.injection import InjectionCampaign, make_injection_wrapper
+from repro.core.weaver import Weaver
+
+
+class Stack:
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        self.items.append(item)
+
+    def pop(self):
+        return self.items.pop()
+
+    def broken_pop_two(self):
+        first = self.items.pop()
+        second = self.items.pop()  # fails on 1-element stack, first is lost
+        return first, second
+
+
+def stack_program():
+    s = Stack()
+    s.push(1)
+    s.push(2)
+    s.pop()
+    try:
+        s.broken_pop_two()  # only one element left: genuine IndexError
+    except IndexError:
+        pass
+
+
+@pytest.fixture
+def woven_campaign():
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    weaver.weave_class(Stack)
+    yield campaign
+    weaver.unweave_all()
+
+
+def make_detector(campaign, **kwargs):
+    return Detector(
+        CallableProgram("stack", stack_program), campaign, **kwargs
+    )
+
+
+def test_profile_counts_points(woven_campaign):
+    total = make_detector(woven_campaign).profile()
+    # 5 wrapped calls (init, push, push, pop, broken_pop_two), 1 point each
+    assert total == 5
+
+
+def test_detect_runs_once_per_point_plus_baseline(woven_campaign):
+    result = make_detector(woven_campaign).detect()
+    assert result.total_points == 5
+    assert result.runs_executed == 6  # 5 injection runs + baseline
+    assert result.total_injections == 5
+
+
+def test_detect_without_baseline(woven_campaign):
+    result = make_detector(woven_campaign).detect(baseline_run=False)
+    assert result.runs_executed == 5
+    assert result.total_injections == 5
+
+
+def test_baseline_run_observes_genuine_failures(woven_campaign):
+    result = make_detector(woven_campaign).detect()
+    baseline = result.log.runs[-1]
+    assert baseline.injected_method is None
+    nonatomic = baseline.nonatomic_methods()
+    assert "Stack.broken_pop_two" in nonatomic
+
+
+def test_explicit_injection_points(woven_campaign):
+    result = make_detector(woven_campaign).detect(
+        injection_points=[2, 4], baseline_run=False
+    )
+    assert result.runs_executed == 2
+    assert [run.injection_point for run in result.log.runs] == [2, 4]
+
+
+def test_stride_thins_points(woven_campaign):
+    result = make_detector(woven_campaign).detect(baseline_run=False)
+    campaign2 = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign2))
+    # Stack is currently unwoven? No: fixture still active. Use the same
+    # campaign object with a strided detector instead.
+    del weaver
+    strided = make_detector(woven_campaign, stride=2)
+    strided_result = strided.detect(baseline_run=False)
+    assert strided_result.runs_executed < result.runs_executed
+
+
+def test_stride_must_be_positive(woven_campaign):
+    with pytest.raises(ValueError):
+        make_detector(woven_campaign, stride=0)
+
+
+def test_failing_program_raises_detection_error():
+    campaign = InjectionCampaign()
+
+    def bad_program():
+        raise RuntimeError("program itself is broken")
+
+    detector = Detector(CallableProgram("bad", bad_program), campaign)
+    with pytest.raises(DetectionError):
+        detector.profile()
+
+
+def test_campaign_disabled_after_detect(woven_campaign):
+    make_detector(woven_campaign).detect()
+    assert not woven_campaign.enabled
+    s = Stack()
+    s.push(1)  # wrappers transparent again
+    assert s.items == [1]
+
+
+def test_escaped_flag_set_for_escaping_injections(woven_campaign):
+    result = make_detector(woven_campaign).detect(baseline_run=False)
+    # The stack program has no try/except around push/pop/init, so all
+    # injections except those inside the caught broken_pop_two escape.
+    escaped = [run.escaped for run in result.log.runs]
+    assert any(escaped)
+
+
+def test_injection_caught_by_program_marks_completed():
+    class Safe:
+        def work(self):
+            return 1
+
+    def program():
+        s = Safe()
+        try:
+            s.work()
+        except InjectedRuntimeError:
+            pass
+
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_class(Safe)
+        result = Detector(CallableProgram("safe", program), campaign).detect(
+            baseline_run=False
+        )
+    assert all(run.completed for run in result.log.runs)
+
+
+def test_genuine_failures_reported():
+    class Fragile:
+        def work(self):
+            raise OSError("disk on fire")  # escapes the program
+
+    def program():
+        Fragile().work()
+
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_class(Fragile)
+        detector = Detector(CallableProgram("fragile", program), campaign)
+        with pytest.raises(DetectionError):
+            # profiling already fails: the program is not runnable
+            detector.detect()
+
+
+def test_progress_callback_invoked(woven_campaign):
+    events = []
+    detector = Detector(
+        CallableProgram("stack", stack_program),
+        woven_campaign,
+        progress=lambda done, total: events.append((done, total)),
+    )
+    result = detector.detect()
+    assert len(events) == result.runs_executed
+    assert events[-1] == (result.runs_executed, result.runs_executed)
+    assert [done for done, _ in events] == list(range(1, len(events) + 1))

@@ -1,0 +1,94 @@
+"""Tests for exception declarations and the injected-exception protocol."""
+
+import pytest
+
+from repro.core.exceptions import (
+    DEFAULT_RUNTIME_EXCEPTIONS,
+    InjectedRuntimeError,
+    InjectionAbort,
+    ResourceExhaustedError,
+    declared_exceptions,
+    exception_free,
+    injected_origin,
+    is_exception_free,
+    is_injected,
+    make_injected,
+    throws,
+)
+
+
+def test_throws_records_types():
+    @throws(ValueError, KeyError)
+    def f():
+        pass
+
+    assert declared_exceptions(f) == (ValueError, KeyError)
+
+
+def test_throws_stacking_merges_without_duplicates():
+    @throws(KeyError)
+    @throws(ValueError, KeyError)
+    def f():
+        pass
+
+    assert declared_exceptions(f) == (ValueError, KeyError)
+
+
+def test_throws_rejects_non_exceptions():
+    with pytest.raises(TypeError):
+        throws(int)
+
+    with pytest.raises(TypeError):
+        throws("ValueError")
+
+
+def test_undeclared_function_has_empty_declarations():
+    def f():
+        pass
+
+    assert declared_exceptions(f) == ()
+
+
+def test_exception_free_marker():
+    @exception_free
+    def f():
+        pass
+
+    def g():
+        pass
+
+    assert is_exception_free(f)
+    assert not is_exception_free(g)
+
+
+def test_make_injected_tags_instance():
+    exc = make_injected(ValueError, method="C.m", injection_point=7)
+    assert isinstance(exc, ValueError)
+    assert is_injected(exc)
+    assert injected_origin(exc) == ("C.m", 7)
+    assert "C.m" in str(exc)
+
+
+def test_make_injected_no_arg_constructor_fallback():
+    class Fussy(Exception):
+        def __init__(self):
+            super().__init__("fixed")
+
+    exc = make_injected(Fussy, method="C.m", injection_point=1)
+    assert isinstance(exc, Fussy)
+    assert is_injected(exc)
+
+
+def test_genuine_exception_is_not_injected():
+    assert not is_injected(ValueError("real"))
+
+
+def test_runtime_exception_hierarchy():
+    assert issubclass(InjectedRuntimeError, RuntimeError)
+    assert issubclass(ResourceExhaustedError, InjectedRuntimeError)
+    assert InjectedRuntimeError in DEFAULT_RUNTIME_EXCEPTIONS
+
+
+def test_injection_abort_not_catchable_as_exception():
+    assert not issubclass(InjectionAbort, Exception)
+    assert issubclass(InjectionAbort, BaseException)

@@ -1,0 +1,66 @@
+"""Tests for multi-difference graph reporting."""
+
+from repro.core import capture, graph_diff, graph_diff_all
+
+
+class Record:
+    def __init__(self, a, b, c):
+        self.a = a
+        self.b = b
+        self.c = c
+
+
+def test_equal_graphs_no_differences():
+    r = Record(1, [2], {"k": 3})
+    assert graph_diff_all(capture(r), capture(r)) == []
+
+
+def test_single_difference():
+    r = Record(1, 2, 3)
+    before = capture(r)
+    r.a = 9
+    diffs = graph_diff_all(before, capture(r))
+    assert len(diffs) == 1
+    assert "attr='a'" in diffs[0].path
+
+
+def test_multiple_independent_differences():
+    r = Record(1, [2, 2], 3)
+    before = capture(r)
+    r.a = 9
+    r.b.append(4)
+    r.c = "changed"
+    diffs = graph_diff_all(before, capture(r))
+    paths = " | ".join(d.path for d in diffs)
+    assert len(diffs) >= 3
+    assert "attr='a'" in paths
+    assert "attr='b'" in paths
+    assert "attr='c'" in paths
+
+
+def test_limit_respected():
+    r = Record(1, 2, 3)
+    before = capture(r)
+    r.a, r.b, r.c = 7, 8, 9
+    diffs = graph_diff_all(before, capture(r), limit=2)
+    assert len(diffs) == 2
+
+
+def test_graph_diff_is_first_of_all():
+    r = Record(1, 2, 3)
+    before = capture(r)
+    r.a = 9
+    r.b = 8
+    single = graph_diff(before, capture(r))
+    every = graph_diff_all(before, capture(r))
+    assert str(single) == str(every[0])
+
+
+def test_mismatching_subtree_not_descended():
+    # when the kind differs, children are not compared (one report per
+    # corrupted region, not per leaf)
+    before = capture({"k": [1, 2, 3]})
+    after = capture({"k": (1, 2, 9)})
+    diffs = graph_diff_all(before, capture({"k": (1, 2, 9)}))
+    assert len(diffs) == 1
+    assert "kind" in diffs[0].reason

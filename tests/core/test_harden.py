@@ -1,0 +1,157 @@
+"""Tests for the one-call hardening facade."""
+
+import pytest
+
+from repro.core import WrapPolicy, capture, graphs_equal, harden
+from repro.core.classify import CATEGORY_PURE
+
+
+class Stack:
+    def __init__(self):
+        self.items = []
+        self.pushes = 0
+
+    def push(self, item):
+        self.pushes += 1  # counted before the fallible step
+        self.items.append(self._validated(item))
+
+    def pop(self):
+        return self.items.pop()
+
+    def _validated(self, item):
+        if item is None:
+            raise ValueError("None not allowed")
+        return item
+
+
+def workload():
+    stack = Stack()
+    stack.push(1)
+    stack.push(2)
+    stack.pop()
+    try:
+        stack.push(None)
+    except ValueError:
+        pass
+
+
+@pytest.fixture
+def result():
+    outcome = harden([Stack], workload)
+    yield outcome
+    outcome.unmask()
+
+
+def test_harden_detects_and_masks(result):
+    assert result.classification.category_of("Stack.push") == CATEGORY_PURE
+    assert "Stack.push" in result.wrapped
+    assert getattr(Stack.push, "_repro_kind", None) == "atomicity"
+
+
+def test_hardened_class_is_failure_atomic(result):
+    stack = Stack()
+    stack.push("a")
+    before = capture(stack)
+    with pytest.raises(ValueError):
+        stack.push(None)
+    assert graphs_equal(before, capture(stack))
+    assert stack.pushes == 1
+
+
+def test_summary_and_explain(result):
+    text = result.summary()
+    assert "masked" in text
+    assert "Stack.push" in text
+    assert "pure" in result.explain("Stack.push")
+
+
+def test_unmask_restores_original():
+    outcome = harden([Stack], workload)
+    outcome.unmask()
+    assert not hasattr(Stack.push, "_repro_kind")
+    stack = Stack()
+    try:
+        stack.push(None)
+    except ValueError:
+        pass
+    assert stack.pushes == 1  # raw non-atomic behavior is back
+
+
+def test_context_manager_unmasks():
+    with harden([Stack], workload):
+        assert getattr(Stack.push, "_repro_kind", None) == "atomicity"
+    assert not hasattr(Stack.push, "_repro_kind")
+
+
+def test_policy_never_wrap_respected():
+    outcome = harden(
+        [Stack], workload, policy=WrapPolicy(never_wrap={"Stack.push"})
+    )
+    try:
+        assert "Stack.push" not in outcome.wrapped
+        assert not hasattr(Stack.push, "_repro_kind")
+    finally:
+        outcome.unmask()
+
+
+def test_exclude_respected():
+    outcome = harden([Stack], workload, exclude={"_validated"})
+    try:
+        assert "Stack._validated" not in outcome.classification.methods
+    finally:
+        outcome.unmask()
+
+
+def test_stride_accepted():
+    outcome = harden([Stack], workload, stride=2)
+    try:
+        assert outcome.detection.runs_executed >= 1
+    finally:
+        outcome.unmask()
+
+
+def test_workload_untouched_after_harden(result):
+    # the workload still runs under masking (transparency)
+    workload()
+    assert result.stats.wrapped_calls > 0
+
+
+def test_harden_with_module_functions(tmp_path, monkeypatch):
+    import sys
+    import textwrap
+
+    (tmp_path / "ops_mod.py").write_text(textwrap.dedent('''
+        def transfer(ledger, amount):
+            ledger["pending"] = ledger.get("pending", 0) + amount
+            if amount < 0:
+                raise ValueError("negative")
+            ledger["balance"] = ledger.get("balance", 0) + amount
+            del ledger["pending"]
+    '''))
+    monkeypatch.syspath_prepend(str(tmp_path))
+    module = __import__("ops_mod")
+    try:
+        def wl():
+            ledger = {"balance": 0}
+            module.transfer(ledger, 5)
+            try:
+                module.transfer(ledger, -1)
+            except ValueError:
+                pass
+
+        result = harden([], wl, modules=[module])
+        try:
+            assert "ops_mod.transfer" in result.wrapped
+            ledger = {"balance": 10}
+            with pytest.raises(ValueError):
+                module.transfer(ledger, -3)
+            assert ledger == {"balance": 10}  # rolled back
+        finally:
+            result.unmask()
+        # unmasked: raw corruption returns
+        ledger = {"balance": 10}
+        with pytest.raises(ValueError):
+            module.transfer(ledger, -3)
+        assert "pending" in ledger
+    finally:
+        sys.modules.pop("ops_mod", None)

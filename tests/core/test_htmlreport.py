@@ -1,0 +1,104 @@
+"""Tests for the HTML campaign report (the web-interface view)."""
+
+import json
+import re
+
+from repro.core.classify import classify
+from repro.core.detector import DetectionResult
+from repro.core.htmlreport import policy_template, render_campaign_html
+from repro.core.report import build_app_report
+from repro.core.runlog import ATOMIC, NONATOMIC, RunLog
+
+
+def make_report():
+    log = RunLog()
+    for method, count in [("Stack.push", 5), ("Stack.pop", 2), ("Q.take", 1)]:
+        for _ in range(count):
+            log.record_call(method)
+    run = log.begin_run(1)
+    run.injected_method = "Stack.pop"
+    run.add_mark("Q.take", NONATOMIC, "at /attr='items': child count 2 != 1")
+    run2 = log.begin_run(2)
+    run2.injected_method = "Q.take"
+    run2.add_mark("Stack.push", ATOMIC)
+    classification = classify(log)
+    result = DetectionResult(program="demo", log=log, total_points=2,
+                             runs_executed=2)
+    return build_app_report("demo", result, classification), log
+
+
+def test_renders_complete_page():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    assert page.startswith("<!DOCTYPE html>")
+    assert page.endswith("</html>")
+    assert "Failure atomicity report" in page
+
+
+def test_summary_row_present():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    assert f"<td>{report.method_count}</td>" in page
+    assert f"<td>{report.injection_count}</td>" in page
+
+
+def test_methods_table_lists_every_method():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    for method in ("Stack.push", "Stack.pop", "Q.take"):
+        assert method in page
+
+
+def test_nonatomic_difference_evidence_included():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    assert "child count 2 != 1" in page
+
+
+def test_html_escaping():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log, title="<script>alert(1)</script>")
+    assert "<script>alert" not in page
+    assert "&lt;script&gt;" in page
+
+
+def test_masking_candidates_section():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    assert "Masking candidates" in page
+    assert "<code>Q.take</code>" in page
+
+
+def test_policy_template_embedded_and_valid():
+    report, log = make_report()
+    page = render_campaign_html(report, log=log)
+    match = re.search(r"<pre>(.*?)</pre>", page, re.S)
+    assert match
+    import html as html_module
+
+    payload = json.loads(html_module.unescape(match.group(1)))
+    assert payload["wrap_conditional"] is False
+    assert "Q.take" in payload["_candidates"]["pure"]
+
+
+def test_policy_template_shape():
+    report, _ = make_report()
+    template = policy_template(report.classification)
+    assert set(template) == {
+        "never_wrap",
+        "manual_fix",
+        "exception_free",
+        "wrap_conditional",
+        "_candidates",
+    }
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+
+    output = tmp_path / "report.html"
+    code = main(["report", "LLMap", str(output), "--stride", "4"])
+    assert code == 0
+    page = output.read_text()
+    assert "LLMap" in page
+    assert "Masking candidates" in page

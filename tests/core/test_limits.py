@@ -1,0 +1,83 @@
+"""Tests for the capture/checkpoint resource budgets."""
+
+import pytest
+
+from repro.core.objgraph import CaptureLimitError, capture, capture_frame
+from repro.core.snapshot import CheckpointError, checkpoint
+
+
+class Node:
+    def __init__(self, value, next_node=None):
+        self.value = value
+        self.next = next_node
+
+
+def chain(length):
+    head = None
+    for value in range(length):
+        head = Node(value, head)
+    return head
+
+
+def test_capture_within_budget():
+    graph = capture(chain(10), max_nodes=1000)
+    assert graph.size() > 10
+
+
+def test_capture_exceeding_budget_raises():
+    with pytest.raises(CaptureLimitError, match="exceeds 20 nodes"):
+        capture(chain(100), max_nodes=20)
+
+
+def test_capture_unlimited_by_default():
+    graph = capture(chain(500))
+    assert graph.size() > 500
+
+
+def test_capture_frame_budget():
+    with pytest.raises(CaptureLimitError):
+        capture_frame([("self", chain(100))], max_nodes=10)
+
+
+def test_checkpoint_within_budget():
+    saved = checkpoint(chain(10), max_objects=100)
+    assert saved.recorded_count == 10
+
+
+def test_checkpoint_exceeding_budget_raises():
+    with pytest.raises(CheckpointError, match="exceeds 5 objects"):
+        checkpoint(chain(50), max_objects=5)
+
+
+def test_checkpoint_unlimited_by_default():
+    saved = checkpoint(chain(300))
+    assert saved.recorded_count == 300
+
+
+def test_budget_failure_leaves_target_untouched():
+    head = chain(50)
+    snapshot_of_value = head.value
+    with pytest.raises(CheckpointError):
+        checkpoint(head, max_objects=5)
+    assert head.value == snapshot_of_value  # capture never mutates
+
+
+def test_atomicity_wrapper_budget():
+    from repro.core.analyzer import Analyzer
+    from repro.core.masking import make_atomicity_wrapper
+
+    class Fat:
+        def __init__(self):
+            self.blobs = [[i] for i in range(50)]
+
+        def touch(self):
+            self.blobs.append([])
+
+    spec = next(
+        s for s in Analyzer().analyze_class(Fat) if s.name == "touch"
+    )
+    wrapper = make_atomicity_wrapper(spec, max_objects=10)
+    fat = Fat()
+    with pytest.raises(CheckpointError):
+        wrapper(fat)
+    assert len(fat.blobs) == 50  # the method never ran

@@ -1,0 +1,299 @@
+"""Tests for atomicity wrappers and the Masker (Listing 2)."""
+
+import pytest
+
+from repro.core.analyzer import Analyzer
+from repro.core.masking import (
+    Masker,
+    MaskingStats,
+    failure_atomic,
+    make_atomicity_wrapper,
+)
+from repro.core.objgraph import capture, graphs_equal
+
+
+class Ledger:
+    def __init__(self):
+        self.entries = []
+        self.total = 0
+
+    def add(self, amount):
+        self.entries.append(amount)  # mutation before the guard
+        if amount < 0:
+            raise ValueError("negative amount")
+        self.total += amount
+
+    def merge(self, other):
+        self.entries.extend(other.entries)
+        other.entries.clear()  # mutates the argument too
+        raise RuntimeError("merge always fails (for testing)")
+
+    def ok(self):
+        return self.total
+
+
+def spec_for(name):
+    specs = {s.name: s for s in Analyzer().analyze_class(Ledger)}
+    return specs[name]
+
+
+def test_wrapper_rolls_back_receiver_on_exception():
+    wrapper = make_atomicity_wrapper(spec_for("add"))
+    ledger = Ledger()
+    wrapper(ledger, 5)
+    before = capture(ledger)
+    with pytest.raises(ValueError):
+        wrapper(ledger, -1)
+    assert graphs_equal(before, capture(ledger))
+
+
+def test_wrapper_transparent_on_success():
+    wrapper = make_atomicity_wrapper(spec_for("add"))
+    ledger = Ledger()
+    wrapper(ledger, 5)
+    assert ledger.total == 5
+    assert ledger.entries == [5]
+
+
+def test_wrapper_rethrows_original_exception():
+    wrapper = make_atomicity_wrapper(spec_for("add"))
+    ledger = Ledger()
+    with pytest.raises(ValueError, match="negative"):
+        wrapper(ledger, -1)
+
+
+def test_wrapper_rolls_back_mutable_arguments():
+    wrapper = make_atomicity_wrapper(spec_for("merge"))
+    a, b = Ledger(), Ledger()
+    b.entries.append(7)
+    with pytest.raises(RuntimeError):
+        wrapper(a, b)
+    assert b.entries == [7]
+    assert a.entries == []
+
+
+def test_wrapper_checkpoint_args_disabled():
+    wrapper = make_atomicity_wrapper(spec_for("merge"), checkpoint_args=False)
+    a, b = Ledger(), Ledger()
+    b.entries.append(7)
+    with pytest.raises(RuntimeError):
+        wrapper(a, b)
+    assert a.entries == []  # receiver restored
+    assert b.entries == []  # argument NOT restored
+
+
+def test_stats_counters():
+    stats = MaskingStats()
+    wrapper = make_atomicity_wrapper(spec_for("add"), stats=stats)
+    ledger = Ledger()
+    wrapper(ledger, 1)
+    with pytest.raises(ValueError):
+        wrapper(ledger, -1)
+    assert stats.wrapped_calls == 2
+    assert stats.rollbacks == 1
+    assert stats.per_method_calls["Ledger.add"] == 2
+    assert stats.per_method_rollbacks["Ledger.add"] == 1
+    assert stats.checkpointed_objects > 0
+
+
+def test_masker_wraps_selected_methods_only():
+    masker = Masker({"Ledger.add"})
+    with masker:
+        wrapped = masker.mask_class(Ledger)
+        assert wrapped == ["Ledger.add"]
+        assert getattr(Ledger.add, "_repro_kind", None) == "atomicity"
+        assert not hasattr(Ledger.ok, "_repro_kind")
+    assert not hasattr(Ledger.add, "_repro_kind")  # unweaved on exit
+
+
+def test_masker_end_to_end_rollback():
+    masker = Masker({"Ledger.add"})
+    with masker:
+        masker.mask_class(Ledger)
+        ledger = Ledger()
+        ledger.add(4)
+        with pytest.raises(ValueError):
+            ledger.add(-1)
+        assert ledger.entries == [4]
+        assert ledger.total == 4
+    # after unmasking, the raw non-atomic behavior is back
+    ledger = Ledger()
+    with pytest.raises(ValueError):
+        ledger.add(-1)
+    assert ledger.entries == [-1]
+
+
+def test_masker_class_without_selected_methods():
+    class Unrelated:
+        def work(self):
+            return 1
+
+    masker = Masker({"Ledger.add"})
+    with masker:
+        assert masker.mask_class(Unrelated) == []
+
+
+def test_masker_from_classification():
+    from repro.core.classify import classify
+    from repro.core.runlog import NONATOMIC, RunLog
+
+    log = RunLog()
+    record = log.begin_run(1)
+    record.injected_method = "X"
+    record.add_mark("Ledger.add", NONATOMIC)
+    masker = Masker.from_classification(classify(log))
+    assert masker.methods == {"Ledger.add"}
+
+
+def test_nested_masked_calls():
+    class Outer:
+        def __init__(self):
+            self.ledger = Ledger()
+            self.count = 0
+
+        def record(self, amount):
+            self.count += 1
+            self.ledger.add(amount)  # may raise after count changed
+
+    masker = Masker({"Ledger.add", "Outer.record"})
+    with masker:
+        masker.mask_class(Ledger)
+        masker.mask_class(Outer)
+        outer = Outer()
+        outer.record(3)
+        before = capture(outer)
+        with pytest.raises(ValueError):
+            outer.record(-1)
+        assert graphs_equal(before, capture(outer))
+        assert outer.count == 1
+
+
+def test_failure_atomic_decorator_on_method():
+    class Box:
+        def __init__(self):
+            self.items = []
+
+        @failure_atomic
+        def put_two(self, a, b):
+            self.items.append(a)
+            if b is None:
+                raise ValueError("b required")
+            self.items.append(b)
+
+    box = Box()
+    box.put_two(1, 2)
+    with pytest.raises(ValueError):
+        box.put_two(3, None)
+    assert box.items == [1, 2]
+
+
+def test_failure_atomic_decorator_with_options():
+    stats = MaskingStats()
+
+    class Box:
+        def __init__(self):
+            self.items = []
+
+        @failure_atomic(stats=stats)
+        def fill(self, values):
+            for value in values:
+                self.items.append(value)
+                if value < 0:
+                    raise ValueError("negative")
+
+    box = Box()
+    with pytest.raises(ValueError):
+        box.fill([1, 2, -3])
+    assert box.items == []
+    assert stats.rollbacks == 1
+
+
+def test_failure_atomic_on_free_function_mutating_argument():
+    @failure_atomic
+    def drain(queue):
+        while queue:
+            item = queue.pop()
+            if item == "poison":
+                raise RuntimeError("poison item")
+
+    queue = ["poison", "b", "a"]
+    with pytest.raises(RuntimeError):
+        drain(queue)
+    assert queue == ["poison", "b", "a"]
+
+
+def test_masked_method_preserves_return_value():
+    masker = Masker({"Ledger.ok"})
+    with masker:
+        masker.mask_class(Ledger)
+        ledger = Ledger()
+        assert ledger.ok() == 0
+
+
+def test_atomic_block_rolls_back_on_exception():
+    from repro.core.masking import atomic_block
+
+    a, b = Ledger(), Ledger()
+    a.add(1)
+    with pytest.raises(ValueError):
+        with atomic_block(a, b) as block:
+            a.add(2)
+            b.add(3)
+            raise ValueError("fail after both mutations")
+    assert a.entries == [1]
+    assert b.entries == []
+    assert block.rolled_back
+
+
+def test_atomic_block_keeps_changes_on_success():
+    from repro.core.masking import atomic_block
+
+    ledger = Ledger()
+    with atomic_block(ledger) as block:
+        ledger.add(5)
+    assert ledger.entries == [5]
+    assert not block.rolled_back
+
+
+def test_atomic_block_requires_objects():
+    from repro.core.masking import atomic_block
+
+    with pytest.raises(ValueError):
+        atomic_block()
+
+
+def test_atomic_block_never_swallows_exception():
+    from repro.core.masking import atomic_block
+
+    ledger = Ledger()
+    with pytest.raises(KeyError):
+        with atomic_block(ledger):
+            raise KeyError("must propagate")
+
+
+def test_atomic_block_respects_max_objects():
+    from repro.core.masking import atomic_block
+    from repro.core.snapshot import CheckpointError
+
+    deep = Ledger()
+    deep.entries.extend(range(100))
+    wide = [[i] for i in range(100)]
+    deep.wide = wide
+    with pytest.raises(CheckpointError):
+        with atomic_block(deep, max_objects=5):
+            pass
+
+
+def test_atomic_block_nested():
+    from repro.core.masking import atomic_block
+
+    ledger = Ledger()
+    with atomic_block(ledger):
+        ledger.add(1)
+        with pytest.raises(ValueError):
+            with atomic_block(ledger):
+                ledger.add(2)
+                raise ValueError("inner")
+        assert ledger.entries == [1]  # inner rollback only
+        ledger.add(3)
+    assert ledger.entries == [1, 3]

@@ -1,0 +1,159 @@
+"""Tests for weaving module-level functions."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import (
+    CallableProgram,
+    Detector,
+    InjectionCampaign,
+    classify,
+    make_injection_wrapper,
+)
+from repro.core.classify import CATEGORY_PURE
+from repro.core.weaver import Weaver, WeavingError
+
+_MODULE = '''
+"""Free functions over a shared registry."""
+
+REGISTRY = {}
+
+def register(name, value):
+    REGISTRY[name] = "pending"      # placeholder first
+    value = validate(value)
+    REGISTRY[name] = value
+
+def validate(value):
+    if value is None:
+        raise ValueError("None is not registrable")
+    return value
+
+def lookup(name):
+    return REGISTRY.get(name)
+
+def _internal_helper():
+    return 1
+'''
+
+
+@pytest.fixture
+def registry_module(tmp_path, monkeypatch):
+    (tmp_path / "registry_mod.py").write_text(textwrap.dedent(_MODULE))
+    monkeypatch.syspath_prepend(str(tmp_path))
+    module = __import__("registry_mod")
+    yield module
+    sys.modules.pop("registry_mod", None)
+
+
+def tracing_factory(calls):
+    def factory(spec):
+        def wrapper(*args, **kwargs):
+            calls.append(spec.key)
+            return spec.func(*args, **kwargs)
+
+        return wrapper
+
+    return factory
+
+
+def test_weave_module_functions(registry_module):
+    calls = []
+    weaver = Weaver(tracing_factory(calls))
+    with weaver:
+        specs = weaver.weave_module_functions(registry_module)
+        names = {spec.key for spec in specs}
+        assert "registry_mod.register" in names
+        assert "registry_mod.validate" in names
+        assert "registry_mod._internal_helper" in names
+        registry_module.register("k", 1)
+        assert registry_module.lookup("k") == 1
+    # internal call (register -> validate) went through the wrapper too
+    assert "registry_mod.validate" in calls
+    # unweaved afterwards
+    calls.clear()
+    registry_module.register("k2", 2)
+    assert calls == []
+
+
+def test_weave_selected_functions_only(registry_module):
+    calls = []
+    weaver = Weaver(tracing_factory(calls))
+    with weaver:
+        weaver.weave_module_functions(registry_module, functions=["lookup"])
+        registry_module.register("k", 1)
+        registry_module.lookup("k")
+    assert calls == ["registry_mod.lookup"]
+
+
+def test_weave_non_function_rejected(registry_module):
+    weaver = Weaver(tracing_factory([]))
+    with pytest.raises(WeavingError):
+        weaver.weave_module_functions(registry_module, functions=["REGISTRY"])
+    weaver.unweave_all()
+
+
+def test_detection_campaign_over_module_functions(registry_module):
+    """A full campaign over free functions.
+
+    Scope semantics pinned here: ``register`` corrupts a *module-global*
+    dict before ``validate`` can fail.  Globals are not receivers and not
+    arguments, so they are outside Definition 2's object graph — the
+    method is reported atomic.  This is the free-function analog of the
+    paper's external-side-effect limitation (Section 4.4): state not
+    reachable from the receiver or the arguments is invisible.
+    """
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_module_functions(registry_module)
+
+        def program():
+            registry_module.REGISTRY.clear()
+            registry_module.register("a", 1)
+            registry_module.lookup("a")
+            try:
+                registry_module.register("b", None)
+            except ValueError:
+                pass
+
+        result = Detector(
+            CallableProgram("registry", program), campaign
+        ).detect()
+    classification = classify(result.log)
+    assert classification.category_of("registry_mod.register") == "atomic"
+    assert classification.category_of("registry_mod.lookup") == "atomic"
+    # the corruption is real, just out of scope — the raw module shows it
+    assert registry_module.REGISTRY.get("b") == "pending"
+
+
+def test_explicit_state_argument_is_in_scope(registry_module):
+    """Passing the shared state *as an argument* brings it into the
+    object graph, and the placeholder-first corruption is detected."""
+
+    def register_into(registry, name, value):
+        registry[name] = "pending"
+        validated = registry_module.validate(value)
+        registry[name] = validated
+
+    campaign = InjectionCampaign()
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    with weaver:
+        weaver.weave_module_functions(registry_module, functions=["validate"])
+        spec = weaver._analyzer.analyze_function(register_into)
+        wrapped = make_injection_wrapper(spec, campaign)
+
+        def program():
+            registry = {}
+            wrapped(registry, "a", 1)
+            try:
+                wrapped(registry, "b", None)
+            except ValueError:
+                pass
+
+        result = Detector(
+            CallableProgram("explicit", program), campaign
+        ).detect()
+    classification = classify(result.log)
+    assert classification.category_of("register_into") == CATEGORY_PURE

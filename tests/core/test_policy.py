@@ -1,0 +1,136 @@
+"""Tests for wrap-or-not policies (Section 4.3)."""
+
+from repro.core.analyzer import Analyzer
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+    classify,
+)
+from repro.core.exceptions import exception_free
+from repro.core.policy import (
+    WrapPolicy,
+    filter_log,
+    reclassify,
+    select_methods_to_wrap,
+)
+from repro.core.runlog import NONATOMIC, RunLog
+
+
+def build_log(runs):
+    log = RunLog()
+    for index, (injected_method, marks) in enumerate(runs, start=1):
+        record = log.begin_run(index)
+        record.injected_method = injected_method
+        for method, verdict in marks:
+            record.add_mark(method, verdict)
+    return log
+
+
+def test_filter_log_drops_exception_free_runs():
+    log = build_log(
+        [
+            ("Safe.never_raises", [("Caller.run", NONATOMIC)]),
+            ("Other.m", [("Caller.run", NONATOMIC)]),
+        ]
+    )
+    policy = WrapPolicy(exception_free={"Safe.never_raises"})
+    filtered = filter_log(log, policy)
+    assert len(filtered.runs) == 1
+    assert filtered.runs[0].injected_method == "Other.m"
+
+
+def test_filter_log_noop_without_exception_free():
+    log = build_log([("A.m", [("B.n", NONATOMIC)])])
+    assert filter_log(log, WrapPolicy()) is log
+
+
+def test_filter_log_preserves_call_counts():
+    log = build_log([("A.m", [])])
+    log.record_call("A.m")
+    policy = WrapPolicy(exception_free={"A.m"})
+    filtered = filter_log(log, policy)
+    assert filtered.call_counts == {"A.m": 1}
+    assert filtered.methods_seen == ["A.m"]
+
+
+def test_reclassify_restores_atomicity():
+    # Caller.run is non-atomic solely because of injections inside the
+    # exception-free method: after filtering it must be atomic again.
+    log = build_log(
+        [("Safe.never_raises", [("Caller.run", NONATOMIC)])]
+    )
+    log.record_call("Caller.run")
+    assert classify(log).category_of("Caller.run") == CATEGORY_PURE
+    policy = WrapPolicy(exception_free={"Safe.never_raises"})
+    assert reclassify(log, policy).category_of("Caller.run") == CATEGORY_ATOMIC
+
+
+def test_reclassify_keeps_independent_evidence():
+    log = build_log(
+        [
+            ("Safe.never_raises", [("Caller.run", NONATOMIC)]),
+            ("Caller.run", [("Caller.run", NONATOMIC)]),
+        ]
+    )
+    policy = WrapPolicy(exception_free={"Safe.never_raises"})
+    assert reclassify(log, policy).category_of("Caller.run") == CATEGORY_PURE
+
+
+def make_classification():
+    log = build_log(
+        [
+            ("X", [("Pure.a", NONATOMIC)]),
+            ("X", [("Pure.b", NONATOMIC), ("Cond.c", NONATOMIC)]),
+            ("X", [("Pure.a", NONATOMIC), ("Cond.c", NONATOMIC)]),
+        ]
+    )
+    log.record_call("Atomic.d")
+    return classify(log)
+
+
+def test_select_wraps_pure_only_by_default():
+    classification = make_classification()
+    assert select_methods_to_wrap(classification, WrapPolicy()) == [
+        "Pure.a",
+        "Pure.b",
+    ]
+
+
+def test_select_wrap_conditional_option():
+    classification = make_classification()
+    policy = WrapPolicy(wrap_conditional=True)
+    assert select_methods_to_wrap(classification, policy) == [
+        "Cond.c",
+        "Pure.a",
+        "Pure.b",
+    ]
+
+
+def test_select_respects_never_wrap_and_manual_fix():
+    classification = make_classification()
+    policy = WrapPolicy(never_wrap={"Pure.a"}, manual_fix={"Pure.b"})
+    assert select_methods_to_wrap(classification, policy) == []
+
+
+def test_policy_from_specs_collects_exception_free():
+    class Sample:
+        @exception_free
+        def harmless(self):
+            return 1
+
+        def normal(self):
+            return 2
+
+    specs = Analyzer().analyze_class(Sample)
+    policy = WrapPolicy.from_specs(specs)
+    assert policy.exception_free == {"Sample.harmless"}
+
+
+def test_policy_merge():
+    a = WrapPolicy(never_wrap={"X.a"}, wrap_conditional=False)
+    b = WrapPolicy(manual_fix={"Y.b"}, wrap_conditional=True)
+    merged = a.merged_with(b)
+    assert merged.never_wrap == {"X.a"}
+    assert merged.manual_fix == {"Y.b"}
+    assert merged.wrap_conditional

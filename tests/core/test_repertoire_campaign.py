@@ -1,0 +1,94 @@
+"""Campaign-level tests of the exception repertoire semantics.
+
+The number of potential injection points in a wrapper equals the size of
+the method's repertoire (declared exceptions + runtime exceptions), so
+the campaign's total point count — and Table 1's #Injections — scales
+with the repertoire (Listing 1 has one ``if`` per exception type).
+"""
+
+import pytest
+
+from repro.core import (
+    Analyzer,
+    CallableProgram,
+    Detector,
+    InjectionCampaign,
+    ResourceExhaustedError,
+    InjectedRuntimeError,
+    classify,
+    make_injection_wrapper,
+    throws,
+)
+from repro.core.weaver import Weaver
+
+
+class Vault:
+    def __init__(self):
+        self.holdings = []
+
+    @throws(KeyError, ValueError)
+    def deposit(self, item):
+        self.holdings.append(item)
+
+    def audit(self):
+        return len(self.holdings)
+
+
+def program():
+    vault = Vault()
+    vault.deposit("gold")
+    vault.audit()
+
+
+def run_with(runtime_exceptions):
+    analyzer = Analyzer(runtime_exceptions=runtime_exceptions)
+    campaign = InjectionCampaign()
+    weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    )
+    with weaver:
+        weaver.weave_class(Vault)
+        result = Detector(CallableProgram("vault", program), campaign).detect()
+    return result
+
+
+def test_default_repertoire_point_count():
+    result = run_with((InjectedRuntimeError,))
+    # __init__: 1 point, deposit: 2 declared + 1 runtime, audit: 1
+    assert result.total_points == 5
+
+
+def test_larger_runtime_set_multiplies_points():
+    result = run_with((InjectedRuntimeError, ResourceExhaustedError))
+    # __init__: 2, deposit: 2 + 2, audit: 2
+    assert result.total_points == 8
+
+
+def test_declared_exceptions_injected_in_order():
+    result = run_with((InjectedRuntimeError,))
+    deposit_runs = [
+        run
+        for run in result.log.runs
+        if run.injected_method == "Vault.deposit"
+    ]
+    assert [run.injected_exception for run in deposit_runs] == [
+        "KeyError",
+        "ValueError",
+        "InjectedRuntimeError",
+    ]
+
+
+def test_every_injection_type_observed_by_caller():
+    """All repertoire exceptions propagate the same way; the caller's
+    verdict is independent of the injected type."""
+    result = run_with((InjectedRuntimeError, ResourceExhaustedError))
+    classification = classify(result.log)
+    assert classification.category_of("Vault.deposit") == "atomic"
+    assert classification.category_of("Vault.audit") == "atomic"
+    injected_types = {
+        run.injected_exception
+        for run in result.log.runs
+        if run.injected_exception
+    }
+    assert "ResourceExhaustedError" in injected_types
+    assert "KeyError" in injected_types

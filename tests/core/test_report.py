@@ -1,0 +1,93 @@
+"""Tests for report assembly and rendering (Table 1, Figures 2-4 data)."""
+
+from repro.core.classify import CATEGORY_PURE, classify
+from repro.core.detector import DetectionResult
+from repro.core.report import (
+    AppReport,
+    build_app_report,
+    format_class_distribution,
+    format_method_classification,
+    format_table1,
+    render_bars,
+)
+from repro.core.runlog import ATOMIC, NONATOMIC, RunLog
+
+
+def make_result():
+    log = RunLog()
+    for method, count in [
+        ("Stack.push", 10),
+        ("Stack.pop", 5),
+        ("Queue.put", 4),
+        ("Queue.take", 1),
+    ]:
+        for _ in range(count):
+            log.record_call(method)
+    run1 = log.begin_run(1)
+    run1.injected_method = "Stack.pop"
+    run1.add_mark("Queue.take", NONATOMIC)
+    run2 = log.begin_run(2)
+    run2.injected_method = "Queue.put"
+    run2.add_mark("Stack.push", ATOMIC)
+    result = DetectionResult(
+        program="demo", log=log, total_points=2, runs_executed=2
+    )
+    return result, classify(log)
+
+
+def test_build_app_report_counts():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    assert report.name == "demo"
+    assert report.class_count == 2
+    assert report.method_count == 4
+    assert report.injection_count == 2
+
+
+def test_report_fractions():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    by_methods = report.fractions_by_methods()
+    assert abs(by_methods[CATEGORY_PURE] - 0.25) < 1e-9
+    by_calls = report.fractions_by_calls()
+    assert abs(by_calls[CATEGORY_PURE] - 1 / 20) < 1e-9
+    assert abs(report.pure_call_fraction() - 1 / 20) < 1e-9
+
+
+def test_report_class_fractions():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    fractions = report.class_fractions()
+    assert abs(fractions[CATEGORY_PURE] - 0.5) < 1e-9
+
+
+def test_format_table1():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    text = format_table1([report])
+    assert "Application" in text
+    assert "#Injections" in text
+    assert "demo" in text
+
+
+def test_format_method_classification_both_weightings():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    by_methods = format_method_classification([report])
+    by_calls = format_method_classification([report], weighted_by_calls=True)
+    assert "25.00%" in by_methods
+    assert "5.00%" in by_calls
+
+
+def test_format_class_distribution():
+    result, classification = make_result()
+    report = build_app_report("demo", result, classification)
+    text = format_class_distribution([report])
+    assert "50.00%" in text
+
+
+def test_render_bars():
+    text = render_bars({"atomic": 0.5, "conditional": 0.25, "pure": 0.25})
+    assert "50.00%" in text
+    assert "|" in text
+    assert text.count("\n") == 2

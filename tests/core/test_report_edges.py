@@ -1,0 +1,72 @@
+"""Edge-case tests for report rendering and log robustness."""
+
+import json
+
+import pytest
+
+from repro.core.classify import classify
+from repro.core.report import render_bars
+from repro.core.runlog import RunLog
+
+
+def test_render_bars_zero_fractions():
+    text = render_bars({"atomic": 0.0, "conditional": 0.0, "pure": 0.0})
+    assert "0.00%" in text
+    assert "#" not in text  # no filled cells
+
+
+def test_render_bars_full_fraction():
+    text = render_bars({"atomic": 1.0, "conditional": 0.0, "pure": 0.0},
+                       width=10)
+    first_line = text.splitlines()[0]
+    assert "##########" in first_line
+
+
+def test_render_bars_missing_categories_default_zero():
+    text = render_bars({"atomic": 0.5})
+    assert text.count("%") == 3  # all three rows rendered
+
+
+def test_render_bars_without_labels():
+    text = render_bars({"atomic": 0.5}, labels=False)
+    assert "atomic" not in text
+
+
+def test_runlog_from_json_missing_fields():
+    log = RunLog.from_json(json.dumps({"runs": [{"injection_point": 1}]}))
+    assert log.runs[0].injection_point == 1
+    assert log.runs[0].marks == []
+    assert log.call_counts == {}
+
+
+def test_runlog_from_json_empty_payload():
+    log = RunLog.from_json("{}")
+    assert log.runs == []
+    classification = classify(log)
+    assert classification.methods == {}
+
+
+def test_runlog_from_json_invalid_raises():
+    with pytest.raises(json.JSONDecodeError):
+        RunLog.from_json("{broken")
+
+
+def test_classification_of_log_with_only_calls():
+    log = RunLog()
+    log.record_call("A.m")
+    result = classify(log)
+    assert result.category_of("A.m") == "atomic"
+    assert result.fractions_by_methods()["atomic"] == 1.0
+
+
+def test_html_report_with_empty_classification():
+    from repro.core.detector import DetectionResult
+    from repro.core.htmlreport import render_campaign_html
+    from repro.core.report import build_app_report
+
+    log = RunLog()
+    result = DetectionResult(program="empty", log=log, total_points=0,
+                             runs_executed=0)
+    report = build_app_report("empty", result, classify(log))
+    page = render_campaign_html(report)
+    assert "No pure failure non-atomic methods found" in page

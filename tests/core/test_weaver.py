@@ -1,0 +1,199 @@
+"""Tests for the code weaver (Steps 2 and 5) including load-time weaving."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.analyzer import Analyzer, MethodSpec
+from repro.core.weaver import LoadTimeWeaver, Weaver, WeavingError, weave_with
+
+
+def tracing_factory(calls):
+    def factory(spec: MethodSpec):
+        def wrapper(*args, **kwargs):
+            calls.append(spec.key)
+            return spec.func(*args, **kwargs)
+
+        wrapper._traced = True
+        return wrapper
+
+    return factory
+
+
+class Widget:
+    def __init__(self):
+        self.state = 0
+
+    def poke(self):
+        self.state += 1
+        return self.state
+
+    @staticmethod
+    def helper():
+        return "help"
+
+    @classmethod
+    def make(cls):
+        return cls()
+
+
+def test_weave_routes_calls_through_wrapper():
+    calls = []
+    weaver = Weaver(tracing_factory(calls))
+    with weaver:
+        weaver.weave_class(Widget)
+        w = Widget()
+        w.poke()
+    assert calls == ["Widget.__init__", "Widget.poke"]
+
+
+def test_weave_staticmethod_and_classmethod():
+    calls = []
+    weaver = Weaver(tracing_factory(calls))
+    with weaver:
+        weaver.weave_class(Widget)
+        assert Widget.helper() == "help"
+        instance = Widget.make()
+        assert isinstance(instance, Widget)
+    assert "Widget.helper" in calls
+    assert "Widget.make" in calls
+
+
+def test_unweave_restores_originals():
+    original = Widget.__dict__["poke"]
+    weaver = Weaver(tracing_factory([]))
+    weaver.weave_class(Widget)
+    assert Widget.__dict__["poke"] is not original
+    weaver.unweave_all()
+    assert Widget.__dict__["poke"] is original
+
+
+def test_weave_selected_methods_only():
+    calls = []
+    weaver = Weaver(tracing_factory(calls))
+    with weaver:
+        weaver.weave_class(Widget, methods=["poke"])
+        w = Widget()
+        w.poke()
+    assert calls == ["Widget.poke"]
+
+
+def test_weave_unknown_method_errors():
+    weaver = Weaver(tracing_factory([]))
+    with pytest.raises(WeavingError):
+        weaver.weave_class(Widget, methods=["missing"])
+    weaver.unweave_all()
+
+
+def test_weave_builtin_class_refused():
+    weaver = Weaver(tracing_factory([]))
+    with pytest.raises(WeavingError, match="core/builtin"):
+        weaver.weave_class(list)
+
+
+def test_woven_specs_recorded():
+    weaver = Weaver(tracing_factory([]))
+    with weaver:
+        specs = weaver.weave_class(Widget)
+        assert {s.key for s in weaver.woven_specs} == {s.key for s in specs}
+    assert weaver.woven_specs == []
+
+
+def test_weave_with_decorator():
+    calls = []
+
+    @weave_with(tracing_factory(calls))
+    class Local:
+        def run(self):
+            return 42
+
+    instance = Local()
+    assert instance.run() == 42
+    assert "Local.run" in calls
+
+
+def test_nested_weaving_unweaves_cleanly():
+    original = Widget.__dict__["poke"]
+    outer = Weaver(tracing_factory([]))
+    inner = Weaver(tracing_factory([]))
+    outer.weave_class(Widget, methods=["poke"])
+    woven_once = Widget.__dict__["poke"]
+    inner.weave_class(Widget, methods=["poke"])
+    inner.unweave_all()
+    assert Widget.__dict__["poke"] is woven_once
+    outer.unweave_all()
+    assert Widget.__dict__["poke"] is original
+
+
+@pytest.fixture
+def temp_module(tmp_path, monkeypatch):
+    source = textwrap.dedent(
+        '''
+        """Module woven at load time."""
+
+        class Gadget:
+            def __init__(self):
+                self.level = 0
+
+            def crank(self):
+                self.level += 1
+                return self.level
+
+        IGNORED_CONSTANT = 7
+        '''
+    )
+    (tmp_path / "gadget_mod.py").write_text(source)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    yield "gadget_mod"
+    sys.modules.pop("gadget_mod", None)
+
+
+def test_load_time_weaver_instruments_on_import(temp_module):
+    calls = []
+    hook = LoadTimeWeaver(
+        tracing_factory(calls), module_filter=lambda name: name == temp_module
+    )
+    with hook:
+        module = __import__(temp_module)
+        gadget = module.Gadget()
+        gadget.crank()
+        assert calls == ["Gadget.__init__", "Gadget.crank"]
+        assert hook.woven_modules == [temp_module]
+
+
+def test_load_time_weaver_ignores_other_modules(temp_module):
+    calls = []
+    hook = LoadTimeWeaver(
+        tracing_factory(calls), module_filter=lambda name: False
+    )
+    with hook:
+        module = __import__(temp_module)
+        module.Gadget().crank()
+    assert calls == []
+    assert hook.woven_modules == []
+
+
+def test_load_time_weaver_unweave_restores(temp_module):
+    calls = []
+    hook = LoadTimeWeaver(
+        tracing_factory(calls), module_filter=lambda name: name == temp_module
+    )
+    hook.install()
+    try:
+        module = __import__(temp_module)
+    finally:
+        hook.uninstall()
+    hook.unweave_all()
+    module.Gadget().crank()
+    assert calls == []  # instrumentation fully removed
+
+
+def test_load_time_weaver_install_idempotent():
+    hook = LoadTimeWeaver(tracing_factory([]), module_filter=lambda n: False)
+    hook.install()
+    hook.install()
+    assert sys.meta_path.count(hook) == 1
+    hook.uninstall()
+    hook.uninstall()
+    assert hook not in sys.meta_path

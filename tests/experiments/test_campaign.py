@@ -1,0 +1,110 @@
+"""Tests for the end-to-end campaign driver on real applications."""
+
+import pytest
+
+from repro.core import CATEGORY_ATOMIC, CATEGORY_PURE, Masker, WrapPolicy
+from repro.core.policy import select_methods_to_wrap
+from repro.experiments import program_by_name, run_app_campaign
+
+
+@pytest.fixture(scope="module")
+def llmap_outcome():
+    return run_app_campaign(program_by_name("LLMap"))
+
+
+def test_report_counts(llmap_outcome):
+    report = llmap_outcome.report
+    assert report.name == "LLMap"
+    assert report.class_count >= 2
+    assert report.method_count >= 10
+    assert report.injection_count > 0
+    # injections = runs that actually fired
+    assert report.injection_count == llmap_outcome.detection.total_points
+
+
+def test_known_legacy_method_detected_pure(llmap_outcome):
+    # LLMap.put counts before allocating the pair: pure non-atomic
+    assert llmap_outcome.classification.category_of("LLMap.put") == CATEGORY_PURE
+
+
+def test_known_safe_method_atomic(llmap_outcome):
+    # remove_key unlinks with safe ordering and calls nothing fallible
+    # after its first mutation
+    assert (
+        llmap_outcome.classification.category_of("LLMap.remove_key")
+        == CATEGORY_ATOMIC
+    )
+
+
+def test_exception_free_runs_filtered(llmap_outcome):
+    # _bump_version is declared exception-free; no classification evidence
+    # may come from runs injected there
+    bump_runs = [
+        run
+        for run in llmap_outcome.detection.log.runs
+        if run.injected_method == "UpdatableCollection._bump_version"
+    ]
+    assert bump_runs, "the campaign must have injected into _bump_version"
+    # yet methods whose only evidence was those runs are atomic:
+    assert (
+        llmap_outcome.classification.category_of("LLMap.clear")
+        == CATEGORY_ATOMIC
+    )
+
+
+def test_stride_reduces_runs():
+    full = run_app_campaign(program_by_name("HashedSet"))
+    strided = run_app_campaign(program_by_name("HashedSet"), stride=4)
+    assert strided.detection.runs_executed < full.detection.runs_executed
+
+
+def test_masking_closes_the_loop():
+    """Detected pure methods, once masked, survive their own workload."""
+    outcome = run_app_campaign(program_by_name("LLMap"))
+    to_wrap = select_methods_to_wrap(outcome.classification, WrapPolicy())
+    assert to_wrap, "the campaign must find something to wrap"
+    from repro.collections import LLMap, UpdatableCollection
+    from repro.collections.hashed_map import LLPair
+
+    masker = Masker(to_wrap)
+    with masker:
+        for cls in (UpdatableCollection, LLMap, LLPair):
+            masker.mask_class(cls)
+        # the original workload still passes under masking
+        program_by_name("LLMap").body()
+    assert masker.stats.wrapped_calls > 0
+
+
+def test_masked_method_is_atomic_under_failure():
+    """After masking, the pure non-atomic LLMap.put rolls back cleanly."""
+    from repro.collections import IllegalElementError, LLMap
+    from repro.core import capture, graphs_equal
+
+    masker = Masker({"LLMap.put"})
+    with masker:
+        masker.mask_class(LLMap)
+        mapping = LLMap(screener=lambda v: v != "bad")
+        mapping.put("k", "ok")
+        before = capture(mapping)
+        with pytest.raises(IllegalElementError):
+            mapping.put("k2", "bad")
+        assert graphs_equal(before, capture(mapping))
+
+
+def test_cpp_campaign_smoke():
+    outcome = run_app_campaign(program_by_name("xml2xml1"), stride=3)
+    assert outcome.report.method_count > 5
+    fractions = outcome.report.fractions_by_methods()
+    assert 0.0 <= fractions[CATEGORY_PURE] <= 1.0
+
+
+def test_scaled_campaign_preserves_classification():
+    """Scaling only repeats the workload: the classification (which
+    methods land in which category) must be identical."""
+    base = run_app_campaign(program_by_name("LLMap"))
+    scaled = run_app_campaign(program_by_name("LLMap"), scale=2)
+    base_cats = {k: m.category for k, m in base.classification.methods.items()}
+    scaled_cats = {
+        k: m.category for k, m in scaled.classification.methods.items()
+    }
+    assert base_cats == scaled_cats

@@ -1,0 +1,84 @@
+"""Tests for the Figure 5 overhead experiment (tiny grids for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    OverheadPoint,
+    SyntheticService,
+    format_overhead_table,
+    measure_overhead,
+    measure_undolog_ablation,
+)
+
+
+def test_synthetic_service_step():
+    service = SyntheticService(8)
+    result = service.step(3)
+    assert result == 3
+    assert service.counter == 1
+    assert service.state[3] == 1
+    service.step(11)
+    assert service.state[3] == 2  # 11 % 8 == 3
+
+
+def test_overhead_point_math():
+    point = OverheadPoint(
+        size=4, ratio=0.1, base_seconds_per_call=1e-6,
+        masked_seconds_per_call=3e-6,
+    )
+    assert abs(point.overhead - 3.0) < 1e-9
+
+
+def test_measure_overhead_grid_shape():
+    points = measure_overhead(
+        sizes=(4, 16), ratios=(0.0, 1.0), calls=200, repeats=2
+    )
+    assert len(points) == 4
+    assert {p.size for p in points} == {4, 16}
+    assert {p.ratio for p in points} == {0.0, 1.0}
+
+
+def test_overhead_grows_with_wrapped_ratio():
+    points = measure_overhead(
+        sizes=(16,), ratios=(0.0, 1.0), calls=400, repeats=3
+    )
+    by_ratio = {p.ratio: p for p in points}
+    assert by_ratio[1.0].overhead > by_ratio[0.0].overhead
+    assert by_ratio[1.0].overhead > 1.5  # wrapping every call must cost
+
+
+def test_overhead_grows_with_object_size():
+    points = measure_overhead(
+        sizes=(4, 512), ratios=(1.0,), calls=300, repeats=3
+    )
+    by_size = {p.size: p for p in points}
+    assert by_size[512].overhead > by_size[4].overhead
+
+
+def test_undolog_ablation_flat_in_size():
+    """The paper's suggested copy-on-write fix: overhead is write-bound,
+    not size-bound, so the large-object penalty disappears."""
+    results = measure_undolog_ablation(sizes=(4, 512), calls=300, repeats=3)
+    eager = {p.size: p.overhead for p in results["eager"]}
+    undolog = {p.size: p.overhead for p in results["undolog"]}
+    # eager blows up with size; the undo log's growth must be much smaller
+    eager_growth = eager[512] / eager[4]
+    undolog_growth = undolog[512] / undolog[4]
+    assert undolog_growth < eager_growth
+    assert undolog[512] < eager[512]
+
+
+def test_format_overhead_table():
+    points = measure_overhead(
+        sizes=(4,), ratios=(0.0, 1.0), calls=100, repeats=1
+    )
+    text = format_overhead_table(points)
+    assert "size" in text
+    assert "100%" in text
+    assert "x" in text
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        measure_overhead(sizes=(4,), ratios=(1.0,), calls=10, repeats=1,
+                         variant="bogus")

@@ -1,0 +1,46 @@
+"""Tests for the Section 6.1 before/after experiment."""
+
+import pytest
+
+from repro.experiments import compare_linkedlist_fixes
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_linkedlist_fixes()
+
+
+def test_fixes_reduce_pure_methods(comparison):
+    """The paper: 18 -> 3 pure methods via trivial modifications; the
+    shape is a strict reduction."""
+    assert len(comparison.pure_after) < len(comparison.pure_before)
+
+
+def test_fixes_reduce_pure_call_fraction(comparison):
+    """The paper: 7.8% -> <0.2% of calls; the shape is a big drop."""
+    assert (
+        comparison.pure_call_fraction_after
+        < comparison.pure_call_fraction_before
+    )
+
+
+def test_known_legacy_methods_fixed(comparison):
+    before = set(comparison.pure_before)
+    after = set(comparison.pure_after)
+    # the reordered methods are no longer pure
+    assert "LinkedList.insert_last" in before
+    assert "FixedLinkedList.insert_last" not in after
+    assert "LinkedList.insert_last" not in after
+
+
+def test_partial_progress_method_remains(comparison):
+    # extend() appends element by element; no statement reordering can
+    # make it atomic — it is among the methods left for the masking phase
+    # (the paper also could not fix 3 methods by hand)
+    assert any("extend" in method for method in comparison.pure_after)
+
+
+def test_summary_format(comparison):
+    text = comparison.summary()
+    assert "pure methods" in text
+    assert "->" in text

@@ -1,0 +1,146 @@
+"""Masking transparency: wrapped containers behave identically.
+
+The atomicity wrapper must be semantically invisible on successful
+executions (Listing 2 only acts on the exception path).  These
+property-based tests drive masked and unmasked containers with the same
+random operation sequences and require identical results, and verify
+that failing operations leave masked containers in their pre-call state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collections import (
+    Dynarray,
+    HashedMap,
+    IllegalElementError,
+    LinkedList,
+    RBTree,
+    UpdatableCollection,
+)
+from repro.core import Masker, capture, graphs_equal
+
+elements = st.integers(-50, 50)
+
+# every mutating method of these classes gets wrapped: transparency must
+# hold even when masking far more than the campaign would select
+_MASK_EVERYTHING = {
+    "LinkedList.insert_first",
+    "LinkedList.insert_last",
+    "LinkedList.insert_at",
+    "LinkedList.remove_first",
+    "LinkedList.remove_last",
+    "LinkedList.remove_element",
+    "LinkedList.extend",
+    "LinkedList.reverse",
+    "LinkedList.clear",
+    "Dynarray.append",
+    "Dynarray.insert_at",
+    "Dynarray.remove_at",
+    "Dynarray.sort",
+    "RBTree.insert",
+    "RBTree.remove",
+    "RBTree.take_minimum",
+    "HashedMap.put",
+    "HashedMap.remove_key",
+}
+
+
+@pytest.fixture(scope="module")
+def masked_classes():
+    masker = Masker(_MASK_EVERYTHING)
+    for cls in (UpdatableCollection, LinkedList, Dynarray, RBTree, HashedMap):
+        masker.mask_class(cls)
+    yield
+    masker.unmask_all()
+
+
+list_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert_first"), elements),
+        st.tuples(st.just("insert_last"), elements),
+        st.tuples(st.just("remove_first"), st.none()),
+        st.tuples(st.just("reverse"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+def drive_list(ops):
+    lst = LinkedList()
+    for op, arg in ops:
+        if op == "insert_first":
+            lst.insert_first(arg)
+        elif op == "insert_last":
+            lst.insert_last(arg)
+        elif op == "remove_first" and not lst.is_empty():
+            lst.remove_first()
+        elif op == "reverse":
+            lst.reverse()
+    return lst.to_list()
+
+
+@given(list_ops)
+@settings(max_examples=40)
+def test_masked_linked_list_equivalent(masked_classes, ops):
+    masked = drive_list(ops)
+    # compare against the Python-list model (the container is masked for
+    # the whole module, so the reference is the model, not the class)
+    model = []
+    for op, arg in ops:
+        if op == "insert_first":
+            model.insert(0, arg)
+        elif op == "insert_last":
+            model.append(arg)
+        elif op == "remove_first" and model:
+            model.pop(0)
+        elif op == "reverse":
+            model.reverse()
+    assert masked == model
+
+
+@given(st.lists(elements, max_size=30))
+@settings(max_examples=40)
+def test_masked_rb_tree_equivalent(masked_classes, values):
+    tree = RBTree()
+    for value in values:
+        tree.insert(value)
+    assert tree.to_list() == sorted(values)
+    tree.check_implementation()
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), elements), max_size=30))
+@settings(max_examples=40)
+def test_masked_hashed_map_equivalent(masked_classes, items):
+    mapping = HashedMap(capacity=2)
+    model = {}
+    for key, value in items:
+        mapping.put(key, value)
+        model[key] = value
+    assert dict(mapping.items()) == model
+    mapping.check_implementation()
+
+
+@given(st.lists(elements, min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_masked_failure_always_rolls_back(masked_classes, values):
+    """Any screener failure mid-extend leaves the masked list untouched."""
+    lst = LinkedList(screener=lambda e: isinstance(e, int))
+    lst.extend(values)
+    before = capture(lst)
+    with pytest.raises(IllegalElementError):
+        lst.extend(values + ["poison"] + values)
+    assert graphs_equal(before, capture(lst))
+    lst.check_implementation()
+
+
+@given(st.lists(elements, max_size=20))
+@settings(max_examples=40)
+def test_masked_dynarray_sort_and_growth(masked_classes, values):
+    array = Dynarray(capacity=2)
+    for value in values:
+        array.append(value)
+    array.sort()
+    assert array.to_list() == sorted(values)
+    array.check_implementation()

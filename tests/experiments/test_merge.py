@@ -1,0 +1,75 @@
+"""Tests for log merging and library-wide classification."""
+
+import pytest
+
+from repro.core import classify
+from repro.core.classify import CATEGORY_ATOMIC, CATEGORY_PURE
+from repro.core.runlog import ATOMIC, NONATOMIC, RunLog, merge_logs
+from repro.experiments import (
+    JAVA_PROGRAMS,
+    library_wide_classification,
+    run_programs,
+)
+
+
+def make_log(call_counts, runs):
+    log = RunLog()
+    for method, count in call_counts.items():
+        for _ in range(count):
+            log.record_call(method)
+    for marks in runs:
+        record = log.begin_run(1)
+        record.injected_method = "?"
+        for method, verdict in marks:
+            record.add_mark(method, verdict)
+    return log
+
+
+def test_merge_sums_call_counts():
+    first = make_log({"A.m": 2}, [])
+    second = make_log({"A.m": 3, "B.n": 1}, [])
+    merged = merge_logs([first, second])
+    assert merged.call_counts == {"A.m": 5, "B.n": 1}
+    assert merged.methods_seen == ["A.m", "B.n"]
+
+
+def test_merge_concatenates_runs():
+    first = make_log({}, [[("A.m", ATOMIC)]])
+    second = make_log({}, [[("A.m", NONATOMIC)]])
+    merged = merge_logs([first, second])
+    assert len(merged.runs) == 2
+
+
+def test_worst_case_verdict_wins():
+    # atomic in app one, non-atomic in app two: overall non-atomic
+    clean = make_log({"Shared.m": 5}, [[("Shared.m", ATOMIC)]])
+    dirty = make_log({"Shared.m": 1}, [[("Shared.m", NONATOMIC)]])
+    assert classify(clean).category_of("Shared.m") == CATEGORY_ATOMIC
+    merged = classify(merge_logs([clean, dirty]))
+    assert merged.category_of("Shared.m") == CATEGORY_PURE
+
+
+def test_merge_empty():
+    merged = merge_logs([])
+    assert merged.runs == []
+    assert merged.call_counts == {}
+
+
+@pytest.mark.parametrize("names", [("LLMap", "HashedSet")])
+def test_library_wide_classification_over_shared_base(names):
+    programs = [p for p in JAVA_PROGRAMS if p.name in names]
+    outcomes = run_programs(programs, stride=3)
+    library = library_wide_classification(outcomes)
+    # the shared base-class methods appear once, with merged call counts
+    assert "UpdatableCollection._bump_version" in library.methods
+    merged_calls = library.methods["UpdatableCollection._bump_version"].calls
+    individual = sum(
+        o.classification.methods["UpdatableCollection._bump_version"].calls
+        for o in outcomes
+    )
+    assert merged_calls == individual
+    # a method non-atomic in any campaign is non-atomic library-wide
+    for outcome in outcomes:
+        for key, mc in outcome.classification.methods.items():
+            if mc.category != CATEGORY_ATOMIC and key in library.methods:
+                assert library.methods[key].category != CATEGORY_ATOMIC, key

@@ -1,0 +1,98 @@
+"""Paper-shape assertions over strided full-set campaigns.
+
+The benchmarks run the full sweep; these tests run every application at
+stride 3 (every third injection point) so that ``pytest tests/`` alone
+validates the qualitative claims of the paper's evaluation.  Bands are
+loose: point sampling shifts fractions a little, shapes not at all.
+"""
+
+import pytest
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+)
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    run_cpp_campaigns,
+    run_java_campaigns,
+    table1,
+)
+
+_STRIDE = 3
+
+
+@pytest.fixture(scope="module")
+def cpp_outcomes():
+    return run_cpp_campaigns(stride=_STRIDE)
+
+
+@pytest.fixture(scope="module")
+def java_outcomes():
+    return run_java_campaigns(stride=_STRIDE)
+
+
+def test_table1_has_all_sixteen_rows(cpp_outcomes, java_outcomes):
+    text = table1(cpp_outcomes + java_outcomes)
+    assert len(text.strip().splitlines()) == 18  # header + rule + 16 apps
+    for outcome in cpp_outcomes + java_outcomes:
+        assert outcome.report.injection_count > 0
+
+
+def test_every_app_contains_nonatomic_methods(cpp_outcomes, java_outcomes):
+    """The paper's headline: failure non-atomic methods are everywhere;
+    the tool is needed."""
+    for outcome in cpp_outcomes + java_outcomes:
+        fractions = outcome.report.fractions_by_methods()
+        nonatomic = fractions[CATEGORY_PURE] + fractions[CATEGORY_CONDITIONAL]
+        assert nonatomic > 0.0, outcome.name
+
+
+def test_pure_fraction_bands(cpp_outcomes, java_outcomes):
+    """C++ pure fraction 'pretty small'; Java 'averages 20%'."""
+    cpp = figure2(cpp_outcomes)["a"].average(CATEGORY_PURE)
+    java = figure3(java_outcomes)["a"].average(CATEGORY_PURE)
+    assert 0.02 < cpp < 0.30, cpp
+    assert 0.05 < java < 0.35, java
+
+
+def test_call_weighting_reduces_nonatomic_share(cpp_outcomes, java_outcomes):
+    """Failure non-atomic methods are called proportionally less often
+    than atomic ones (Figures 2(b)/3(b))."""
+    for figures in (figure2(cpp_outcomes), figure3(java_outcomes)):
+        assert figures["b"].average(CATEGORY_PURE) < figures["a"].average(
+            CATEGORY_PURE
+        )
+
+
+def test_regexp_is_the_worst_java_subject(java_outcomes):
+    """The compile-heavy, state-machine library shows the highest pure
+    fraction — stable across runs and strides."""
+    data = figure3(java_outcomes)["a"]
+    regexp_pure = data.series["RegExp"][CATEGORY_PURE]
+    others = [
+        fractions[CATEGORY_PURE]
+        for app, fractions in data.series.items()
+        if app != "RegExp"
+    ]
+    assert regexp_pure > max(others)
+
+
+def test_class_spread(cpp_outcomes, java_outcomes):
+    """Figure 4: non-atomic methods are not confined to a few classes."""
+    figures = figure4(cpp_outcomes, java_outcomes)
+    for key in ("a", "b"):
+        spread = 1.0 - figures[key].average(CATEGORY_ATOMIC)
+        assert spread > 0.15, (key, spread)
+
+
+def test_atomic_majority_everywhere(cpp_outcomes, java_outcomes):
+    """Sanity: most methods are failure atomic in every application
+    (matching every bar of Figures 2(a)/3(a))."""
+    for outcome in cpp_outcomes + java_outcomes:
+        assert outcome.report.fractions_by_methods()[CATEGORY_ATOMIC] > 0.4, (
+            outcome.name
+        )

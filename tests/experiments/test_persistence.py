@@ -1,0 +1,64 @@
+"""Tests for saving and reloading campaign outcomes (offline workflow)."""
+
+import json
+
+import pytest
+
+from repro.core import WrapPolicy, reclassify
+from repro.experiments import (
+    load_outcome,
+    program_by_name,
+    run_app_campaign,
+    save_outcome,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_app_campaign(program_by_name("LLMap"), stride=2)
+
+
+def test_save_writes_three_files(outcome, tmp_path):
+    directory = tmp_path / "campaign"
+    save_outcome(outcome, str(directory))
+    for name in ("runlog.json", "classification.json", "meta.json"):
+        assert (directory / name).exists(), name
+
+
+def test_meta_matches_report(outcome, tmp_path):
+    directory = tmp_path / "campaign"
+    save_outcome(outcome, str(directory))
+    meta = json.loads((directory / "meta.json").read_text())
+    assert meta["program"] == "LLMap"
+    assert meta["language"] == "Java"
+    assert meta["injections"] == outcome.report.injection_count
+    assert meta["methods"] == outcome.report.method_count
+
+
+def test_roundtrip_preserves_classification(outcome, tmp_path):
+    directory = tmp_path / "campaign"
+    save_outcome(outcome, str(directory))
+    meta, log, classification = load_outcome(str(directory))
+    assert set(classification.methods) == set(outcome.classification.methods)
+    for key in classification.methods:
+        assert (
+            classification.category_of(key)
+            == outcome.classification.category_of(key)
+        )
+    assert len(log.runs) == len(outcome.detection.log.runs)
+
+
+def test_offline_reclassification_with_new_policy(outcome, tmp_path):
+    """The paper's offline workflow: re-process saved logs under a new
+    policy without re-running the (expensive) injection campaign."""
+    directory = tmp_path / "campaign"
+    save_outcome(outcome, str(directory))
+    _, log, _ = load_outcome(str(directory))
+    # treat the constructor as exception-free and re-classify offline
+    relaxed = reclassify(
+        log, WrapPolicy(exception_free={"LLPair.__init__"})
+    )
+    strict = reclassify(log, WrapPolicy())
+    relaxed_pure = set(relaxed.methods_in("pure"))
+    strict_pure = set(strict.methods_in("pure"))
+    assert relaxed_pure <= strict_pure  # filtering can only shrink evidence

@@ -1,0 +1,89 @@
+"""Tests for the evaluation programs (workloads must be self-contained)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_PROGRAMS,
+    CPP_PROGRAMS,
+    JAVA_PROGRAMS,
+    program_by_name,
+)
+
+PAPER_TABLE1_APPS = {
+    "adaptorChain",
+    "stdQ",
+    "xml2Ctcp",
+    "xml2Cviasc1",
+    "xml2Cviasc2",
+    "xml2xml1",
+    "CircularList",
+    "Dynarray",
+    "HashedMap",
+    "HashedSet",
+    "LLMap",
+    "LinkedBuffer",
+    "LinkedList",
+    "RBMap",
+    "RBTree",
+    "RegExp",
+}
+
+
+def test_all_table1_applications_present():
+    assert {p.name for p in ALL_PROGRAMS} == PAPER_TABLE1_APPS
+    assert len(CPP_PROGRAMS) == 6
+    assert len(JAVA_PROGRAMS) == 10
+
+
+def test_language_split_matches_table1():
+    assert all(p.language == "C++" for p in CPP_PROGRAMS)
+    assert all(p.language == "Java" for p in JAVA_PROGRAMS)
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_program_body_runs_uninstrumented(program):
+    # bodies must be deterministic and self-contained: run them twice
+    program()
+    program()
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_program_classes_are_types(program):
+    assert program.classes, "every program instruments at least one class"
+    assert all(isinstance(cls, type) for cls in program.classes)
+
+
+def test_program_by_name():
+    assert program_by_name("LinkedList").language == "Java"
+    with pytest.raises(KeyError, match="unknown application"):
+        program_by_name("nonexistent")
+
+
+def test_driver_classes_not_instrumented():
+    # the Self* app drivers are the paper's test programs P, never subjects
+    from repro.selfstar.apps import AdaptorChainApp, Xml2CTcpApp
+
+    assert AdaptorChainApp not in program_by_name("adaptorChain").classes
+    assert Xml2CTcpApp not in program_by_name("xml2Ctcp").classes
+
+
+def test_scaled_program_repeats_workload():
+    program = program_by_name("LLMap")
+    scaled = program.scaled(3)
+    assert scaled.rounds == 3
+    assert scaled.name == program.name
+    assert scaled.classes == program.classes
+    scaled()  # still deterministic and self-contained
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        program_by_name("LLMap").scaled(0)
+
+
+def test_scale_multiplies_injection_count():
+    from repro.experiments import run_app_campaign
+
+    base = run_app_campaign(program_by_name("LLMap"))
+    doubled = run_app_campaign(program_by_name("LLMap"), scale=2)
+    assert doubled.report.injection_count >= 2 * base.report.injection_count - 2

@@ -1,0 +1,76 @@
+"""The synthetic benchmark suite: detector output == known ground truth.
+
+The paper validates its system on synthetic applications containing "the
+various combinations of (pure/conditional) failure (non-)atomic methods"
+(Section 6).  These tests hold the detector to the exact expected
+category for every method.
+"""
+
+import pytest
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+)
+from repro.experiments import (
+    GROUND_TRUTH,
+    run_app_campaign,
+    synthetic_program,
+)
+from repro.experiments.synthetic import Auditor, Ledger, SyntheticError
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_app_campaign(synthetic_program())
+
+
+@pytest.mark.parametrize("method,expected", sorted(GROUND_TRUTH.items()))
+def test_ground_truth(outcome, method, expected):
+    assert outcome.classification.category_of(method) == expected
+
+
+def test_every_category_represented():
+    categories = set(GROUND_TRUTH.values())
+    assert categories == {CATEGORY_ATOMIC, CATEGORY_CONDITIONAL, CATEGORY_PURE}
+
+
+def test_no_unexpected_methods_classified(outcome):
+    classified = set(outcome.classification.methods)
+    assert classified == set(GROUND_TRUTH)
+
+
+def test_workload_is_deterministic():
+    program = synthetic_program()
+    program()
+    program()
+
+
+def test_ledger_semantics():
+    ledger = Ledger()
+    ledger.guarded_update(5)
+    assert ledger.balance == 5
+    assert ledger.entries == [5]
+    with pytest.raises(SyntheticError):
+        ledger.guarded_update(0)
+    assert ledger.balance == 5  # guarded: no corruption on failure
+
+
+def test_ledger_count_then_validate_corrupts():
+    ledger = Ledger()
+    with pytest.raises(SyntheticError):
+        ledger.count_then_validate(-1)
+    assert ledger.entries == [-1]  # the seeded defect, observable raw
+
+
+def test_auditor_semantics():
+    auditor = Auditor()
+    auditor.checked_update(3)
+    assert auditor.checks == 1
+    assert auditor.peek() == 3
+    with pytest.raises(SyntheticError):
+        auditor.audit_risky(-1)
+    # conditional: the corruption lives in the ledger, not the auditor
+    assert auditor.checks == 1
+    assert auditor.ledger.entries[-1] == -1

@@ -1,0 +1,95 @@
+"""Tests for the Table 1 / Figure 2-4 generators (strided for speed)."""
+
+import pytest
+
+from repro.core.classify import (
+    CATEGORY_ATOMIC,
+    CATEGORY_CONDITIONAL,
+    CATEGORY_PURE,
+)
+from repro.experiments import (
+    CPP_PROGRAMS,
+    JAVA_PROGRAMS,
+    figure2,
+    figure3,
+    figure4,
+    run_programs,
+    table1,
+)
+
+# Strided campaigns over a subset keep the suite fast; the benchmarks run
+# the full sweep.
+_CPP_SUBSET = [p for p in CPP_PROGRAMS if p.name in ("stdQ", "xml2xml1")]
+_JAVA_SUBSET = [p for p in JAVA_PROGRAMS if p.name in ("LLMap", "HashedSet")]
+
+
+@pytest.fixture(scope="module")
+def cpp_outcomes():
+    return run_programs(_CPP_SUBSET, stride=2)
+
+
+@pytest.fixture(scope="module")
+def java_outcomes():
+    return run_programs(_JAVA_SUBSET, stride=2)
+
+
+def test_table1_rendering(cpp_outcomes, java_outcomes):
+    text = table1(cpp_outcomes + java_outcomes)
+    assert "#Classes" in text
+    assert "#Methods" in text
+    assert "#Injections" in text
+    for name in ("stdQ", "xml2xml1", "LLMap", "HashedSet"):
+        assert name in text
+
+
+def test_figure2_structure(cpp_outcomes):
+    figures = figure2(cpp_outcomes)
+    assert set(figures) == {"a", "b"}
+    for data in figures.values():
+        assert set(data.series) == {"stdQ", "xml2xml1"}
+        for fractions in data.series.values():
+            total = sum(fractions.values())
+            assert abs(total - 1.0) < 1e-9
+        assert "%" in data.rendered
+
+
+def test_figure3_structure(java_outcomes):
+    figures = figure3(java_outcomes)
+    for data in figures.values():
+        assert set(data.series) == {"LLMap", "HashedSet"}
+
+
+def test_figure4_structure(cpp_outcomes, java_outcomes):
+    figures = figure4(cpp_outcomes, java_outcomes)
+    assert set(figures) == {"a", "b"}
+    assert set(figures["a"].series) == {"stdQ", "xml2xml1"}
+    assert set(figures["b"].series) == {"LLMap", "HashedSet"}
+    for data in figures.values():
+        for fractions in data.series.values():
+            assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+def test_figure_average(java_outcomes):
+    data = figure3(java_outcomes)["a"]
+    average = data.average(CATEGORY_ATOMIC)
+    assert 0.0 < average <= 1.0
+    assert data.average(CATEGORY_PURE) >= 0.0
+
+
+def test_paper_shape_nonatomic_methods_exist(java_outcomes):
+    """Both subjects contain failure non-atomic methods (the paper's
+    central empirical claim: the tool is needed)."""
+    data = figure3(java_outcomes)["a"]
+    for app, fractions in data.series.items():
+        nonatomic = fractions[CATEGORY_PURE] + fractions[CATEGORY_CONDITIONAL]
+        assert nonatomic > 0.0, f"{app} shows no non-atomic methods"
+
+
+def test_paper_shape_call_weighting_lower(java_outcomes):
+    """Pure non-atomic methods are called proportionally less often than
+    their share of methods (Figures 2(b)/3(b) discussion)."""
+    figures = figure3(java_outcomes)
+    for app in figures["a"].series:
+        by_methods = figures["a"].series[app][CATEGORY_PURE]
+        by_calls = figures["b"].series[app][CATEGORY_PURE]
+        assert by_calls <= by_methods + 1e-9, app

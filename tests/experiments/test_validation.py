@@ -1,0 +1,60 @@
+"""Tests for the detect -> mask -> re-detect validation loop."""
+
+import pytest
+
+from repro.core.classify import CATEGORY_ATOMIC
+from repro.experiments import (
+    program_by_name,
+    synthetic_program,
+    validate_masking,
+)
+
+
+@pytest.fixture(scope="module")
+def synthetic_validation():
+    return validate_masking(synthetic_program())
+
+
+def test_masking_is_effective_on_synthetic(synthetic_validation):
+    assert synthetic_validation.masking_effective
+    assert synthetic_validation.still_nonatomic == []
+
+
+def test_wrapped_set_is_the_pure_set(synthetic_validation):
+    from repro.experiments import GROUND_TRUTH
+
+    expected = sorted(k for k, v in GROUND_TRUTH.items() if v == "pure")
+    assert synthetic_validation.wrapped == expected
+
+
+def test_rollbacks_happened_during_redetection(synthetic_validation):
+    # every injection that hits a masked method's execution window must
+    # trigger a rollback
+    assert synthetic_validation.masking_stats.rollbacks > 0
+
+
+def test_conditional_methods_become_atomic(synthetic_validation):
+    """Section 4.3 fourth case, proven by re-detection: once the pure
+    callees are masked, the conditional callers are atomic without
+    being wrapped themselves."""
+    second = synthetic_validation.second_classification
+    assert second.category_of("Auditor.audit_risky") == CATEGORY_ATOMIC
+
+
+def test_masking_effective_on_real_application():
+    validation = validate_masking(program_by_name("LLMap"))
+    assert validation.masking_effective, validation.summary()
+
+
+def test_summary_reports_verdict(synthetic_validation):
+    text = synthetic_validation.summary()
+    assert "EFFECTIVE" in text
+    assert "masked" in text
+
+
+def test_wrap_conditional_variant_also_effective():
+    validation = validate_masking(synthetic_program(), wrap_conditional=True)
+    assert validation.masking_effective
+    # wrapping conditionals enlarges the wrapped set (the §4.3 waste)
+    baseline = validate_masking(synthetic_program())
+    assert len(validation.wrapped) >= len(baseline.wrapped)

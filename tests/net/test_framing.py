@@ -1,0 +1,87 @@
+"""Tests for length-prefixed framing."""
+
+import pytest
+
+from repro.net import FrameDecoder, FramingError, encode_frame
+
+
+def test_encode_prefixes_length():
+    frame = encode_frame(b"abc")
+    assert frame == b"\x00\x00\x00\x03abc"
+
+
+def test_encode_empty_payload():
+    assert encode_frame(b"") == b"\x00\x00\x00\x00"
+
+
+def test_encode_rejects_non_bytes():
+    with pytest.raises(FramingError):
+        encode_frame("text")
+
+
+def test_encode_rejects_oversized():
+    with pytest.raises(FramingError):
+        encode_frame(b"x" * ((1 << 20) + 1))
+
+
+def test_decode_single_frame():
+    decoder = FrameDecoder()
+    assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+    assert decoder.frames_decoded == 1
+    assert decoder.pending_bytes() == 0
+
+
+def test_decode_multiple_frames_one_chunk():
+    decoder = FrameDecoder()
+    chunk = encode_frame(b"a") + encode_frame(b"bb") + encode_frame(b"")
+    assert decoder.feed(chunk) == [b"a", b"bb", b""]
+
+
+def test_decode_fragmented_frame():
+    decoder = FrameDecoder()
+    frame = encode_frame(b"fragmented payload")
+    pieces = [frame[:3], frame[3:7], frame[7:]]
+    results = []
+    for piece in pieces:
+        results.extend(decoder.feed(piece))
+    assert results == [b"fragmented payload"]
+
+
+def test_decode_byte_at_a_time():
+    decoder = FrameDecoder()
+    frame = encode_frame(b"slow")
+    results = []
+    for index in range(len(frame)):
+        results.extend(decoder.feed(frame[index : index + 1]))
+    assert results == [b"slow"]
+
+
+def test_partial_frame_stays_buffered():
+    decoder = FrameDecoder()
+    frame = encode_frame(b"pending")
+    assert decoder.feed(frame[:-2]) == []
+    assert decoder.pending_bytes() == len(frame) - 2
+    assert decoder.feed(frame[-2:]) == [b"pending"]
+
+
+def test_feed_rejects_non_bytes():
+    decoder = FrameDecoder()
+    with pytest.raises(FramingError):
+        decoder.feed("text")
+
+
+def test_oversized_declared_length_poisons_stream():
+    decoder = FrameDecoder()
+    bad_header = (1 << 21).to_bytes(4, "big")
+    with pytest.raises(FramingError):
+        decoder.feed(bad_header)
+    # legacy behavior: the bad header is still buffered
+    assert decoder.pending_bytes() == 4
+    decoder.reset()
+    assert decoder.pending_bytes() == 0
+    assert decoder.feed(encode_frame(b"ok")) == [b"ok"]
+
+
+def test_decoder_accepts_bytearray():
+    decoder = FrameDecoder()
+    assert decoder.feed(bytearray(encode_frame(b"ba"))) == [b"ba"]

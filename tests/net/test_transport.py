@@ -1,0 +1,135 @@
+"""Tests for the in-memory transport and fault injection."""
+
+import pytest
+
+from repro.net import (
+    ChannelClosedError,
+    DeliveryError,
+    EmptyChannelError,
+    FaultPolicy,
+    FaultyLink,
+    Link,
+)
+
+
+def test_link_roundtrip():
+    link = Link()
+    link.a.send("hello")
+    assert link.b.pending() == 1
+    assert link.b.receive() == "hello"
+    assert link.b.pending() == 0
+
+
+def test_bidirectional():
+    link = Link()
+    link.a.send("ping")
+    link.b.send("pong")
+    assert link.b.receive() == "ping"
+    assert link.a.receive() == "pong"
+
+
+def test_fifo_order():
+    link = Link()
+    for index in range(5):
+        link.a.send(index)
+    assert link.b.receive_all() == [0, 1, 2, 3, 4]
+
+
+def test_receive_empty_raises():
+    link = Link()
+    with pytest.raises(EmptyChannelError):
+        link.a.receive()
+
+
+def test_send_on_closed_channel():
+    link = Link()
+    link.a.close()
+    with pytest.raises(ChannelClosedError):
+        link.a.send("x")
+    with pytest.raises(ChannelClosedError):
+        link.a.receive()
+
+
+def test_send_to_closed_peer():
+    link = Link()
+    link.b.close()
+    with pytest.raises(ChannelClosedError):
+        link.a.send("x")
+
+
+def test_counters():
+    link = Link()
+    link.a.send("x")
+    link.a.send("y")
+    link.b.receive()
+    assert link.a.sent_count == 2
+    assert link.b.received_count == 1
+
+
+def test_sent_counter_untouched_by_failed_send():
+    link = Link()
+    link.b.close()
+    try:
+        link.a.send("x")
+    except ChannelClosedError:
+        pass
+    assert link.a.sent_count == 0
+
+
+def test_fault_policy_validates_rates():
+    with pytest.raises(ValueError):
+        FaultPolicy(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPolicy(error_rate=-0.1)
+
+
+def test_fault_policy_deterministic():
+    policy = FaultPolicy(seed=42, drop_rate=0.3, error_rate=0.2)
+    first = [policy.decide(i) for i in range(50)]
+    second = [policy.decide(i) for i in range(50)]
+    assert first == second
+    assert "drop" in first or "error" in first
+
+
+def test_fault_policy_no_faults_by_default():
+    policy = FaultPolicy(seed=1)
+    assert all(policy.decide(i) == "deliver" for i in range(20))
+
+
+def test_faulty_link_delivers_without_faults():
+    faulty = FaultyLink(FaultPolicy(seed=1))
+    for index in range(10):
+        faulty.send(index)
+    assert faulty.receiver().receive_all() == list(range(10))
+
+
+def test_faulty_link_drop():
+    policy = FaultPolicy(seed=5, drop_rate=1.0)
+    faulty = FaultyLink(policy)
+    faulty.send("gone")
+    assert faulty.dropped == 1
+    assert faulty.receiver().pending() == 0
+
+
+def test_faulty_link_error():
+    policy = FaultPolicy(seed=5, error_rate=1.0)
+    faulty = FaultyLink(policy)
+    with pytest.raises(DeliveryError):
+        faulty.send("never")
+    assert faulty.errored == 1
+    assert faulty.message_index == 1  # legacy: advanced despite the error
+
+
+def test_faulty_link_duplicate():
+    policy = FaultPolicy(seed=5, duplicate_rate=1.0)
+    faulty = FaultyLink(policy)
+    faulty.send("twice")
+    assert faulty.receiver().receive_all() == ["twice", "twice"]
+    assert faulty.duplicated == 1
+
+
+def test_faulty_link_close():
+    faulty = FaultyLink(FaultPolicy())
+    faulty.close()
+    with pytest.raises(ChannelClosedError):
+        faulty.send("x")

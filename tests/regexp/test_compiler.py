@@ -1,0 +1,102 @@
+"""Tests for program construction and the compiler."""
+
+import pytest
+
+from repro.regexp import CompileError, compile_pattern
+from repro.regexp.program import (
+    OP_CHAR,
+    OP_MARK,
+    OP_MATCH,
+    OP_PROGRESS,
+    OP_SAVE,
+    OP_SPLIT,
+    Instruction,
+    Program,
+)
+
+
+def ops(program):
+    return [instruction.op for instruction in program.instructions]
+
+
+def test_literal_program_shape():
+    program = compile_pattern("ab")
+    assert ops(program) == [OP_SAVE, OP_CHAR, OP_CHAR, OP_SAVE, OP_MATCH]
+    assert program.sealed
+
+
+def test_whole_match_slots_bracket_program():
+    program = compile_pattern("a")
+    assert program.instructions[0].slot == 0
+    assert program.instructions[-2].slot == 1
+
+
+def test_group_slots():
+    program = compile_pattern("(a)")
+    save_slots = [i.slot for i in program.instructions if i.op == OP_SAVE]
+    assert save_slots == [0, 2, 3, 1]
+    assert program.slot_count == 4
+
+
+def test_star_emits_progress_guard():
+    program = compile_pattern("a*")
+    assert OP_MARK in ops(program)
+    assert OP_PROGRESS in ops(program)
+    assert program.mark_count == 1
+
+
+def test_counted_expansion_size_scales():
+    small = compile_pattern("a{2}")
+    large = compile_pattern("a{8}")
+    assert len(large) > len(small)
+
+
+def test_counted_expansion_limit():
+    with pytest.raises(CompileError):
+        compile_pattern("a{2000}")
+
+
+def test_split_targets_in_range_after_seal():
+    program = compile_pattern("(ab|cd)*x|y{1,3}")
+    for instruction in program.instructions:
+        if instruction.op == OP_SPLIT:
+            assert 0 <= instruction.target <= len(program)
+            assert 0 <= instruction.alt <= len(program)
+
+
+def test_sealed_program_rejects_mutation():
+    program = compile_pattern("a")
+    with pytest.raises(CompileError):
+        program.emit(Instruction(OP_MATCH))
+    with pytest.raises(CompileError):
+        program.patch(0, target=0)
+    with pytest.raises(CompileError):
+        program.new_mark()
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(CompileError):
+        Instruction("bogus")
+
+
+def test_seal_validates_targets():
+    program = Program()
+    program.emit(Instruction("jump", target=99))
+    with pytest.raises(CompileError):
+        program.seal()
+
+
+def test_dump_listing():
+    listing = compile_pattern("a|b").dump()
+    assert "split" in listing
+    assert "char 'a'" in listing
+    assert "match" in listing
+
+
+def test_nongreedy_split_order_flipped():
+    greedy = compile_pattern("a*")
+    lazy = compile_pattern("a*?")
+    greedy_split = next(i for i in greedy.instructions if i.op == OP_SPLIT)
+    lazy_split = next(i for i in lazy.instructions if i.op == OP_SPLIT)
+    # greedy prefers the loop body; lazy prefers the exit
+    assert greedy_split.target != lazy_split.target

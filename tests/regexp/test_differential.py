@@ -1,0 +1,99 @@
+"""Differential testing: our engine vs. the stdlib ``re`` module.
+
+Random patterns are generated from an AST grammar restricted to the
+dialect both engines share, then rendered to pattern text and run on
+random inputs.  Match outcome, full span, and findall sequences must
+agree with ``re``.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regexp import Regexp
+
+# alphabet kept tiny so collisions (and matches) are common
+_CHARS = "abc"
+
+literals = st.sampled_from(_CHARS).map(re.escape)
+
+
+def charclass():
+    return st.lists(
+        st.sampled_from(_CHARS), min_size=1, max_size=3, unique=True
+    ).map(lambda chars: "[" + "".join(sorted(chars)) + "]")
+
+
+def repeat(inner):
+    quantifiers = st.sampled_from(["*", "+", "?", "{1,2}", "{2}", "{0,3}"])
+    return st.tuples(inner, quantifiers).map(
+        lambda pair: f"(?:{pair[0]}){pair[1]}"
+        if len(pair[0]) > 1
+        else pair[0] + pair[1]
+    )
+
+
+def group(inner):
+    return inner.map(lambda body: f"({body})")
+
+
+def alternate(inner):
+    return st.tuples(inner, inner).map(lambda pair: f"{pair[0]}|{pair[1]}")
+
+
+def concat(inner):
+    return st.lists(inner, min_size=1, max_size=3).map("".join)
+
+
+atoms = st.one_of(literals, charclass(), st.just("."))
+patterns = st.recursive(
+    atoms,
+    lambda inner: st.one_of(repeat(inner), group(inner), concat(inner)),
+    max_leaves=8,
+)
+
+texts = st.text(alphabet=_CHARS + "d", max_size=12)
+
+
+def _to_our_dialect(pattern: str) -> str:
+    # our engine has no non-capturing groups; plain groups behave the same
+    # for whole-match comparisons
+    return pattern.replace("(?:", "(")
+
+
+@given(patterns, texts)
+@settings(max_examples=200, deadline=None)
+def test_search_agrees_with_re(pattern, text):
+    ours = Regexp(_to_our_dialect(pattern))
+    reference = re.compile(pattern)
+    our_result = ours.search(text)
+    ref_result = reference.search(text)
+    if ref_result is None:
+        assert our_result is None, (pattern, text, our_result.group())
+    else:
+        assert our_result is not None, (pattern, text, ref_result.group())
+        assert our_result.span() == ref_result.span(), (pattern, text)
+
+
+@given(patterns, texts)
+@settings(max_examples=100, deadline=None)
+def test_findall_agrees_with_re(pattern, text):
+    ours = Regexp(_to_our_dialect(pattern))
+    our_matches = [m.group() for m in ours.finditer(text)]
+    ref_matches = [m.group() for m in re.finditer(pattern, text)]
+    assert our_matches == ref_matches, (pattern, text)
+
+
+@given(patterns, texts)
+@settings(max_examples=100, deadline=None)
+def test_anchored_match_agrees_with_re(pattern, text):
+    ours = Regexp(_to_our_dialect(pattern))
+    reference = re.compile(pattern)
+    our_result = ours.match(text)
+    ref_result = reference.match(text)
+    if ref_result is None:
+        assert our_result is None, (pattern, text)
+    else:
+        assert our_result is not None, (pattern, text)
+        assert our_result.group() == ref_result.group(), (pattern, text)

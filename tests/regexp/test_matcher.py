@@ -1,0 +1,132 @@
+"""Tests for the backtracking matcher and the Regexp facade."""
+
+import pytest
+
+from repro.regexp import Matcher, Regexp, RegexpError, compile_pattern
+
+
+def test_match_anchored():
+    regexp = Regexp("abc")
+    assert regexp.match("abcdef").group() == "abc"
+    assert regexp.match("xabc") is None
+    assert regexp.match("xabc", position=1).group() == "abc"
+
+
+def test_search_finds_leftmost():
+    result = Regexp("b+").search("aabbbab")
+    assert result.span() == (2, 5)
+
+
+def test_search_with_start():
+    result = Regexp("b+").search("aabbbab", start=5)
+    assert result.span() == (6, 7)
+
+
+def test_fullmatch():
+    regexp = Regexp("a+b")
+    assert regexp.fullmatch("aaab") is not None
+    assert regexp.fullmatch("aaabc") is None
+
+
+def test_no_match_returns_none():
+    assert Regexp("z").search("aaa") is None
+
+
+def test_groups():
+    result = Regexp("(a+)(b+)").match("aabbb")
+    assert result.group(0) == "aabbb"
+    assert result.group(1) == "aa"
+    assert result.group(2) == "bbb"
+    assert result.groups() == ["aa", "bbb"]
+    assert result.span(1) == (0, 2)
+
+
+def test_unset_group_is_none():
+    result = Regexp("(a)|(b)").match("b")
+    assert result.group(1) is None
+    assert result.group(2) == "b"
+
+
+def test_greedy_vs_lazy_groups():
+    greedy = Regexp("(a+)a").match("aaaa")
+    assert greedy.group(1) == "aaa"
+    lazy = Regexp("(a+?)a").match("aaaa")
+    assert lazy.group(1) == "a"
+
+
+def test_empty_star_terminates():
+    assert Regexp("(a?)*").match("").group() == ""
+    assert Regexp("(a*)*").match("aaa").group() == "aaa"
+
+
+def test_alternation_priority():
+    # leftmost alternative wins, like re
+    assert Regexp("a|ab").match("ab").group() == "a"
+
+
+def test_anchors_enforced():
+    regexp = Regexp("^abc$")
+    assert regexp.match("abc") is not None
+    assert regexp.search("xabc") is None
+    assert Regexp("^b").search("ab") is None
+
+
+def test_findall_nonoverlapping():
+    assert Regexp("a.").findall("abacad") == ["ab", "ac", "ad"]
+
+
+def test_findall_empty_matches_advance():
+    assert Regexp("a*").findall("baa") == ["", "aa", ""]
+
+
+def test_finditer_spans():
+    spans = [m.span() for m in Regexp("aa").finditer("aaaa")]
+    assert spans == [(0, 2), (2, 4)]
+
+
+def test_substitute_string():
+    assert Regexp("\\d+").substitute("a1b22c333", "#") == "a#b#c#"
+
+
+def test_substitute_callable():
+    doubled = Regexp("\\d").substitute("a1b2", lambda m: m.group() * 2)
+    assert doubled == "a11b22"
+
+
+def test_split():
+    assert Regexp(",\\s*").split("a, b,c") == ["a", "b", "c"]
+    assert Regexp("x").split("abc") == ["abc"]
+
+
+def test_step_budget_exceeded():
+    matcher = Matcher(compile_pattern("(a|aa)+b"), step_budget=50)
+    with pytest.raises(RegexpError, match="step budget"):
+        matcher.match_at("a" * 40 + "c", 0)
+
+
+def test_unsealed_program_rejected():
+    from repro.regexp.program import Program
+
+    matcher = Matcher(Program())
+    with pytest.raises(RegexpError, match="sealed"):
+        matcher.match_at("a", 0)
+
+
+def test_matcher_statistics_accumulate():
+    matcher = Matcher(compile_pattern("a+"))
+    matcher.match_at("aaa", 0)
+    matcher.match_at("aaa", 0)
+    assert matcher.runs == 2
+    assert matcher.steps_used > 0
+    assert matcher.max_stack_depth >= 1
+
+
+def test_match_result_repr():
+    result = Regexp("a").match("abc")
+    assert "MatchResult" in repr(result)
+
+
+def test_regexp_repr_and_dump():
+    regexp = Regexp("a|b")
+    assert "a|b" in repr(regexp)
+    assert "split" in regexp.dump_program()

@@ -1,0 +1,192 @@
+"""Tests for the regexp parser."""
+
+import pytest
+
+from repro.regexp import Parser, RegexpSyntaxError, parse
+from repro.regexp.nodes import (
+    Alternate,
+    Anchor,
+    AnyChar,
+    CharClass,
+    Concat,
+    Empty,
+    Group,
+    Literal,
+    Repeat,
+)
+
+
+def test_single_literal():
+    node = parse("a")
+    assert isinstance(node, Literal)
+    assert node.char == "a"
+
+
+def test_concat():
+    node = parse("abc")
+    assert isinstance(node, Concat)
+    assert [part.char for part in node.parts] == ["a", "b", "c"]
+
+
+def test_empty_pattern():
+    assert isinstance(parse(""), Empty)
+
+
+def test_alternation():
+    node = parse("a|b|c")
+    assert isinstance(node, Alternate)  # left-assoc: (a|b)|c
+    assert isinstance(node.left, Alternate)
+    assert node.right.char == "c"
+
+
+def test_empty_alternation_branch():
+    node = parse("a|")
+    assert isinstance(node, Alternate)
+    assert isinstance(node.right, Empty)
+
+
+def test_star_plus_question():
+    star = parse("a*")
+    plus = parse("a+")
+    option = parse("a?")
+    assert (star.minimum, star.maximum) == (0, None)
+    assert (plus.minimum, plus.maximum) == (1, None)
+    assert (option.minimum, option.maximum) == (0, 1)
+    assert star.greedy and plus.greedy and option.greedy
+
+
+def test_non_greedy_suffix():
+    node = parse("a*?")
+    assert not node.greedy
+
+
+def test_counted_repetitions():
+    exact = parse("a{3}")
+    at_least = parse("a{2,}")
+    between = parse("a{2,5}")
+    assert (exact.minimum, exact.maximum) == (3, 3)
+    assert (at_least.minimum, at_least.maximum) == (2, None)
+    assert (between.minimum, between.maximum) == (2, 5)
+
+
+def test_counted_bounds_out_of_order():
+    with pytest.raises(RegexpSyntaxError):
+        parse("a{5,2}")
+
+
+def test_group_indices_left_to_right():
+    parser = Parser("(a)(b(c))")
+    node = parser.parse()
+    assert parser.group_count == 3
+    assert isinstance(node, Concat)
+    first, second = node.parts
+    assert first.index == 1
+    assert second.index == 2
+    inner = second.body.parts[1]
+    assert isinstance(inner, Group)
+    assert inner.index == 3
+
+
+def test_unbalanced_parentheses():
+    with pytest.raises(RegexpSyntaxError):
+        parse("(a")
+    with pytest.raises(RegexpSyntaxError):
+        parse("a)")
+
+
+def test_anchors():
+    node = parse("^a$")
+    assert isinstance(node, Concat)
+    assert node.parts[0].kind == Anchor.START
+    assert node.parts[2].kind == Anchor.END
+
+
+def test_dot():
+    assert isinstance(parse("."), AnyChar)
+
+
+def test_char_class_ranges():
+    node = parse("[a-z0-9_]")
+    assert isinstance(node, CharClass)
+    assert ("a", "z") in node.ranges
+    assert ("0", "9") in node.ranges
+    assert ("_", "_") in node.ranges
+    assert not node.negated
+
+
+def test_negated_class():
+    node = parse("[^abc]")
+    assert node.negated
+    assert node.matches("z")
+    assert not node.matches("a")
+
+
+def test_class_with_literal_dash_and_bracket():
+    node = parse("[]a-]")  # ']' first is a literal, trailing '-' literal
+    assert node.matches("]")
+    assert node.matches("a")
+    assert node.matches("-")
+
+
+def test_class_range_out_of_order():
+    with pytest.raises(RegexpSyntaxError):
+        parse("[z-a]")
+
+
+def test_unterminated_class():
+    with pytest.raises(RegexpSyntaxError):
+        parse("[abc")
+
+
+def test_escape_classes():
+    digit = parse("\\d")
+    assert isinstance(digit, CharClass)
+    assert digit.matches("5")
+    assert not digit.matches("a")
+    word = parse("\\w")
+    assert word.matches("_")
+    not_space = parse("\\S")
+    assert not_space.matches("x")
+    assert not not_space.matches(" ")
+
+
+def test_escaped_metacharacters():
+    node = parse("\\.")
+    assert isinstance(node, Literal)
+    assert node.char == "."
+    assert parse("\\\\").char == "\\"
+
+
+def test_escape_control_literals():
+    assert parse("\\n").char == "\n"
+    assert parse("\\t").char == "\t"
+
+
+def test_unknown_escape():
+    with pytest.raises(RegexpSyntaxError):
+        parse("\\q")
+
+
+def test_nothing_to_repeat():
+    with pytest.raises(RegexpSyntaxError):
+        parse("*a")
+    with pytest.raises(RegexpSyntaxError):
+        parse("+")
+
+
+def test_trailing_garbage():
+    with pytest.raises(RegexpSyntaxError):
+        parse("a{2")
+
+
+def test_error_carries_position():
+    with pytest.raises(RegexpSyntaxError) as info:
+        parse("ab\\q")
+    assert info.value.position == 3
+
+
+def test_describe_smoke():
+    assert "Literal" in parse("a").describe()
+    assert "Repeat" in parse("a{1,2}").describe()
+    assert "Group" in parse("(a)").describe()
+    assert "CharClass" in parse("[a-b]").describe()

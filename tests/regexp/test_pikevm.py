@@ -1,0 +1,133 @@
+"""Tests for the Pike VM engine, including engine-vs-engine differentials."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regexp import (
+    Matcher,
+    PikeMatcher,
+    Regexp,
+    RegexpError,
+    compile_pattern,
+)
+
+
+def both_engines(pattern):
+    program = compile_pattern(pattern)
+    return Matcher(program), PikeMatcher(program)
+
+
+def test_basic_match():
+    pike = PikeMatcher(compile_pattern("a+b"))
+    result = pike.match_at("aaab", 0)
+    assert result.group() == "aaab"
+    assert pike.match_at("xb", 0) is None
+
+
+def test_groups_agree_with_backtracking():
+    for pattern, text in [
+        ("(a+)(b+)", "aabbb"),
+        ("(a)|(b)", "b"),
+        ("(a+)a", "aaaa"),
+        ("(a+?)a", "aaaa"),
+        ("((a)b)+", "abab"),
+    ]:
+        bt, pike = both_engines(pattern)
+        bt_result = bt.match_at(text, 0)
+        pike_result = pike.match_at(text, 0)
+        assert (bt_result is None) == (pike_result is None), pattern
+        if bt_result is not None:
+            assert bt_result.group() == pike_result.group(), pattern
+            assert bt_result.groups() == pike_result.groups(), pattern
+
+
+def test_anchors_and_boundaries():
+    pike = PikeMatcher(compile_pattern("^\\ba\\b$"))
+    assert pike.match_at("a", 0) is not None
+    assert pike.match_at("ab", 0) is None
+
+
+def test_pathological_pattern_is_linear():
+    # the backtracking engine exceeds its step budget here; the Pike VM
+    # completes instantly — the motivating difference between the engines
+    program = compile_pattern("(a|aa)+b")
+    text = "a" * 40 + "c"
+    with pytest.raises(RegexpError, match="step budget"):
+        Matcher(program, step_budget=10_000).match_at(text, 0)
+    assert PikeMatcher(program).match_at(text, 0) is None
+
+
+def test_unsealed_program_rejected():
+    from repro.regexp.program import Program
+
+    with pytest.raises(RegexpError, match="sealed"):
+        PikeMatcher(Program()).match_at("a", 0)
+
+
+def test_statistics():
+    pike = PikeMatcher(compile_pattern("(a|b)+"))
+    pike.match_at("abab", 0)
+    assert pike.runs == 1
+    assert pike.max_threads >= 1
+
+
+def test_regexp_facade_engine_option():
+    pike = Regexp("(a|b)+c", engine="pike")
+    assert pike.engine == "pike"
+    assert pike.search("xxabc").span() == (2, 5)
+    assert pike.findall("ac bc") == ["ac", "bc"]
+    with pytest.raises(RegexpError, match="unknown engine"):
+        Regexp("a", engine="bogus")
+
+
+# -- property-based engine differential ------------------------------------------
+
+_CHARS = "abc"
+atoms = st.one_of(
+    st.sampled_from(list(_CHARS)),
+    st.just("."),
+    st.just("[ab]"),
+)
+patterns = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        # always group before quantifying so composites stay valid
+        st.tuples(inner, st.sampled_from(["*", "+", "?"])).map(
+            lambda p: f"({p[0]}){p[1]}"
+        ),
+        st.tuples(inner, inner).map(lambda p: f"{p[0]}|{p[1]}"),
+        inner.map(lambda body: f"({body})"),
+        st.tuples(inner, inner).map("".join),
+    ),
+    max_leaves=6,
+)
+texts = st.text(alphabet=_CHARS + "d", max_size=10)
+
+
+@given(patterns, texts)
+@settings(max_examples=150, deadline=None)
+def test_engines_agree_on_search(pattern, text):
+    program = compile_pattern(pattern)
+    bt_result = Matcher(program).search(text)
+    pike_result = PikeMatcher(program).search(text)
+    if bt_result is None:
+        assert pike_result is None, (pattern, text)
+    else:
+        assert pike_result is not None, (pattern, text)
+        assert bt_result.span() == pike_result.span(), (pattern, text)
+
+
+@given(patterns, texts)
+@settings(max_examples=100, deadline=None)
+def test_pike_agrees_with_re(pattern, text):
+    ours = Regexp(pattern, engine="pike")
+    ref = re.search(pattern, text)
+    result = ours.search(text)
+    if ref is None:
+        assert result is None, (pattern, text)
+    else:
+        assert result is not None, (pattern, text)
+        assert result.span() == ref.span(), (pattern, text)

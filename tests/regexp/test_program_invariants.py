@@ -1,0 +1,83 @@
+"""Property tests: invariants of every compiled regexp program."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regexp import compile_pattern
+from repro.regexp.program import (
+    OP_JUMP,
+    OP_MARK,
+    OP_MATCH,
+    OP_PROGRESS,
+    OP_SAVE,
+    OP_SPLIT,
+)
+
+atoms = st.one_of(
+    st.sampled_from(list("abc")),
+    st.just("."),
+    st.just("[ab]"),
+    st.just("\\d"),
+    st.just("\\b"),
+)
+patterns = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.tuples(inner, st.sampled_from(["*", "+", "?", "{1,3}"])).map(
+            lambda p: f"({p[0]}){p[1]}"
+        ),
+        st.tuples(inner, inner).map(lambda p: f"{p[0]}|{p[1]}"),
+        inner.map(lambda body: f"({body})"),
+        st.tuples(inner, inner).map("".join),
+    ),
+    max_leaves=8,
+)
+
+
+@given(patterns)
+@settings(max_examples=150, deadline=None)
+def test_compiled_programs_are_well_formed(pattern):
+    program = compile_pattern(pattern)
+    assert program.sealed
+    size = len(program)
+    match_count = 0
+    for instruction in program.instructions:
+        if instruction.op in (OP_SPLIT, OP_JUMP):
+            assert 0 <= instruction.target < size
+            if instruction.op == OP_SPLIT:
+                assert 0 <= instruction.alt < size
+        elif instruction.op == OP_SAVE:
+            assert 0 <= instruction.slot < program.slot_count
+        elif instruction.op in (OP_MARK, OP_PROGRESS):
+            assert 0 <= instruction.slot < program.mark_count
+        elif instruction.op == OP_MATCH:
+            match_count += 1
+    assert match_count == 1  # exactly one accept state
+    # slots 0/1 bracket the whole match
+    saves = [i.slot for i in program.instructions if i.op == OP_SAVE]
+    assert saves[0] == 0
+    assert saves[-1] == 1
+
+
+@given(patterns)
+@settings(max_examples=100, deadline=None)
+def test_every_program_terminates_on_empty_and_short_input(pattern):
+    program = compile_pattern(pattern)
+    from repro.regexp import Matcher, PikeMatcher
+
+    for text in ("", "a", "abcd"):
+        Matcher(program).search(text)       # must not raise or hang
+        PikeMatcher(program).search(text)
+
+
+@given(patterns)
+@settings(max_examples=100, deadline=None)
+def test_match_spans_are_within_text(pattern):
+    from repro.regexp import Matcher
+
+    program = compile_pattern(pattern)
+    text = "abcabd"
+    result = Matcher(program).search(text)
+    if result is not None:
+        assert 0 <= result.start <= result.end <= len(text)
+        assert result.group() == text[result.start : result.end]

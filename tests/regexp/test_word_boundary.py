@@ -1,0 +1,100 @@
+"""Tests for \\b / \\B word boundaries, including differential checks."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regexp import Regexp, parse
+from repro.regexp.nodes import WordBoundary
+
+
+def test_parse_word_boundary():
+    node = parse("\\b")
+    assert isinstance(node, WordBoundary)
+    assert not node.negated
+    assert parse("\\B").negated
+
+
+def test_boundary_at_word_start():
+    assert Regexp("\\bcat").search("a cat") is not None
+    assert Regexp("\\bcat").search("concat") is None
+
+
+def test_boundary_at_word_end():
+    assert Regexp("cat\\b").search("cat.") is not None
+    assert Regexp("cat\\b").search("cats") is None
+
+
+def test_whole_word_match():
+    regexp = Regexp("\\bcat\\b")
+    assert regexp.search("the cat sat") is not None
+    assert regexp.search("category") is None
+    assert regexp.search("bobcat") is None
+
+
+def test_boundary_at_text_edges():
+    assert Regexp("\\bword\\b").match("word") is not None
+    assert Regexp("\\b").match("x") is not None
+    assert Regexp("\\b").match("") is None
+
+
+def test_negated_boundary():
+    assert Regexp("\\Bcat").search("concat") is not None
+    assert Regexp("\\Bcat").search("a cat") is None
+    assert Regexp("cat\\B").search("cats") is not None
+    assert Regexp("cat\\B").search("cat ") is None
+
+
+def test_underscore_is_word_character():
+    assert Regexp("\\bfoo").search("_foo") is None
+    assert Regexp("\\bfoo").search("-foo") is not None
+
+
+def test_boundary_consumes_nothing():
+    result = Regexp("\\bab").match("ab")
+    assert result.span() == (0, 2)
+
+
+def test_findall_whole_words():
+    assert Regexp("\\b\\w+\\b").findall("one two three") == [
+        "one",
+        "two",
+        "three",
+    ]
+
+
+def test_dump_shows_wordb():
+    assert "wordb" in Regexp("\\bx\\B").dump_program()
+
+
+words = st.text(alphabet="ab_ -.", min_size=0, max_size=10)
+
+
+@given(words)
+@settings(max_examples=150, deadline=None)
+def test_boundary_agrees_with_re(text):
+    ours = Regexp("\\ba")
+    reference = re.compile(r"\ba")
+    our_result = ours.search(text)
+    ref_result = reference.search(text)
+    if ref_result is None:
+        assert our_result is None, text
+    else:
+        assert our_result is not None, text
+        assert our_result.span() == ref_result.span()
+
+
+@given(words)
+@settings(max_examples=150, deadline=None)
+def test_negated_boundary_agrees_with_re(text):
+    ours = Regexp("a\\B")
+    reference = re.compile(r"a\B")
+    our_result = ours.search(text)
+    ref_result = reference.search(text)
+    if ref_result is None:
+        assert our_result is None, text
+    else:
+        assert our_result is not None, text
+        assert our_result.span() == ref_result.span()

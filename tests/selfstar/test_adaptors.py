@@ -1,0 +1,186 @@
+"""Tests for the adaptor components."""
+
+import pytest
+
+from repro.selfstar import (
+    BatchAdaptor,
+    FilterAdaptor,
+    MapAdaptor,
+    ProcessingError,
+    Sink,
+    SplitAdaptor,
+    TagAdaptor,
+)
+from repro.selfstar.adaptors import Source
+
+
+def wire(*components):
+    for upstream, downstream in zip(components, components[1:]):
+        upstream.connect(downstream)
+    for component in components:
+        component.start()
+    return components
+
+
+def test_map_adaptor_transforms():
+    source, mapper, sink = wire(
+        Source("s"), MapAdaptor("m", lambda x: x * 2), Sink("k")
+    )
+    source.push(3)
+    assert sink.collected == [6]
+
+
+def test_map_adaptor_wraps_transform_errors():
+    source, mapper, sink = wire(
+        Source("s"), MapAdaptor("m", lambda x: 1 / x), Sink("k")
+    )
+    with pytest.raises(ProcessingError, match="transform failed"):
+        source.push(0)
+    assert mapper.processed_count == 0  # the failed message never counted
+
+
+def test_filter_adaptor():
+    source, keeper, sink = wire(
+        Source("s"), FilterAdaptor("f", lambda x: x % 2 == 0), Sink("k")
+    )
+    source.push_all([1, 2, 3, 4])
+    assert sink.collected == [2, 4]
+    assert keeper.dropped_count == 2
+
+
+def test_batch_adaptor_groups():
+    source, batcher, sink = wire(Source("s"), BatchAdaptor("b", 3), Sink("k"))
+    source.push_all([1, 2, 3, 4, 5])
+    assert sink.collected == [[1, 2, 3]]
+    assert batcher.buffer == [4, 5]
+    batcher.flush()
+    assert sink.collected == [[1, 2, 3], [4, 5]]
+
+
+def test_batch_adaptor_flush_on_stop():
+    source, batcher, sink = wire(Source("s"), BatchAdaptor("b", 10), Sink("k"))
+    source.push_all([1, 2])
+    batcher.stop()
+    assert sink.collected == [[1, 2]]
+
+
+def test_batch_adaptor_flush_empty_is_noop():
+    _, batcher, sink = wire(Source("s"), BatchAdaptor("b", 2), Sink("k"))
+    batcher.flush()
+    assert sink.collected == []
+
+
+def test_batch_size_validated():
+    with pytest.raises(ProcessingError):
+        BatchAdaptor("b", 0)
+
+
+def test_split_adaptor():
+    source, splitter, sink = wire(Source("s"), SplitAdaptor("sp"), Sink("k"))
+    source.push([1, 2, 3])
+    assert sink.collected == [1, 2, 3]
+
+
+def test_split_adaptor_rejects_non_batches():
+    source, splitter, sink = wire(Source("s"), SplitAdaptor("sp"), Sink("k"))
+    with pytest.raises(ProcessingError):
+        source.push(42)
+
+
+def test_tag_adaptor_annotates():
+    source, tagger, sink = wire(
+        Source("s"), TagAdaptor("t", "origin", "test"), Sink("k")
+    )
+    source.push({"id": 1})
+    assert sink.collected == [{"id": 1, "origin": "test"}]
+
+
+def test_tag_adaptor_rejects_non_dict():
+    source, tagger, sink = wire(
+        Source("s"), TagAdaptor("t", "k", "v"), Sink("k")
+    )
+    with pytest.raises(ProcessingError):
+        source.push("not a dict")
+
+
+def test_tag_adaptor_required_field_validated_before_tagging():
+    source, tagger, sink = wire(
+        Source("s"),
+        TagAdaptor("t", "origin", "test", required_field="id"),
+        Sink("k"),
+    )
+    message = {"other": 1}
+    with pytest.raises(ProcessingError, match="lacks"):
+        source.push(message)
+    assert "origin" not in message  # the rejected message is untouched
+
+
+def test_tag_adaptor_does_not_mutate_input():
+    source, tagger, sink = wire(
+        Source("s"), TagAdaptor("t", "origin", "test"), Sink("k")
+    )
+    message = {"id": 1}
+    source.push(message)
+    assert message == {"id": 1}
+    assert sink.collected == [{"id": 1, "origin": "test"}]
+
+
+def test_source_push_all_counts():
+    source, sink = wire(Source("s"), Sink("k"))
+    source.push_all([1, 2, 3])
+    assert source.pushed_count == 3
+    assert sink.collected == [1, 2, 3]
+
+
+def test_router_routes_by_predicate():
+    from repro.selfstar import RouterAdaptor
+
+    router = RouterAdaptor("r")
+    evens, odds = Sink("evens"), Sink("odds")
+    router.add_route("even", lambda n: n % 2 == 0, evens)
+    router.add_route("odd", lambda n: n % 2 == 1, odds)
+    for component in (router, evens, odds):
+        component.start()
+    for value in (1, 2, 3, 4):
+        router.accept(value)
+    assert evens.collected == [2, 4]
+    assert odds.collected == [1, 3]
+    assert router.routed_counts == {"even": 2, "odd": 2}
+
+
+def test_router_first_match_wins():
+    from repro.selfstar import RouterAdaptor
+
+    router = RouterAdaptor("r")
+    first, second = Sink("first"), Sink("second")
+    router.add_route("all", lambda n: True, first)
+    router.add_route("also-all", lambda n: True, second)
+    for component in (router, first, second):
+        component.start()
+    router.accept("x")
+    assert first.collected == ["x"]
+    assert second.collected == []
+
+
+def test_router_fallback_and_unroutable():
+    from repro.selfstar import RouterAdaptor
+
+    router = RouterAdaptor("r")
+    ints, rest = Sink("ints"), Sink("rest")
+    router.add_route("ints", lambda m: isinstance(m, int), ints)
+    for component in (router, ints, rest):
+        component.start()
+    with pytest.raises(ProcessingError, match="no route"):
+        router.accept("unroutable")
+    router.set_fallback(rest)
+    router.accept("now routed")
+    assert rest.collected == ["now routed"]
+
+
+def test_router_duplicate_route_rejected():
+    from repro.selfstar import RouterAdaptor
+
+    router = RouterAdaptor("r")
+    router.add_route("a", lambda m: True, Sink("s1"))
+    with pytest.raises(ProcessingError, match="duplicate"):
+        router.add_route("a", lambda m: True, Sink("s2"))

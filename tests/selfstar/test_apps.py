@@ -1,0 +1,155 @@
+"""End-to-end tests for the six Self* evaluation applications."""
+
+import pytest
+
+from repro.selfstar.apps import (
+    AdaptorChainApp,
+    StdQApp,
+    Xml2CTcpApp,
+    Xml2CViaSc1App,
+    Xml2CViaSc2App,
+    Xml2XmlApp,
+)
+from repro.selfstar.apps.samples import RECORDS, XML_DOCUMENTS, make_records
+from repro.xmlmini import parse_document
+
+
+def test_adaptor_chain_filters_and_doubles():
+    app = AdaptorChainApp(batch_size=3)
+    output = app.run()
+    readings = [r for r in RECORDS if r["kind"] == "reading"]
+    assert len(output) == len(readings)
+    assert all(record["origin"] == "chain" for record in output)
+    assert [r["value"] for r in output] == [r["value"] * 2 for r in readings]
+
+
+def test_adaptor_chain_flushes_partial_batch():
+    # 5 readings with batch size 3: the trailing batch of 2 must arrive
+    app = AdaptorChainApp(batch_size=3)
+    output = app.run()
+    assert len(output) == 5
+
+
+def test_adaptor_chain_custom_records():
+    app = AdaptorChainApp(batch_size=2)
+    output = app.run(make_records(12))
+    expected = [r for r in make_records(12) if r["kind"] == "reading"]
+    assert len(output) == len(expected)
+
+
+def test_std_q_consumes_everything_in_order():
+    app = StdQApp(capacity=4, burst=3)
+    output = app.run(10)
+    assert [r["id"] for r in output] == list(range(1, 11))
+    assert all(r["consumed"] for r in output)
+
+
+def test_std_q_statistics():
+    app = StdQApp(capacity=4, burst=2)
+    app.run(8)
+    assert app.queue.dequeued_total == 8
+    assert app.queue.high_water <= 4
+    assert app.queue.enqueued_total == 8
+
+
+def test_xml2c_tcp_delivers_all_documents():
+    app = Xml2CTcpApp(error_rate=0.3, seed=7)
+    received = app.run()
+    assert len(received) == len(XML_DOCUMENTS)
+    assert all("struct" in source for source in received)
+
+
+def test_xml2c_tcp_retries_recorded():
+    app = Xml2CTcpApp(error_rate=0.5, seed=3)
+    app.run()
+    assert app.retries > 0
+
+
+def test_xml2c_tcp_clean_network():
+    app = Xml2CTcpApp(error_rate=0.0)
+    received = app.run()
+    assert app.retries == 0
+    assert len(received) == len(XML_DOCUMENTS)
+
+
+def test_xml2c_viasc1_converts_all():
+    outputs = Xml2CViaSc1App().run()
+    assert len(outputs) == len(XML_DOCUMENTS)
+    assert all("struct" in source for source in outputs)
+
+
+def test_xml2c_viasc2_converts_all():
+    outputs = Xml2CViaSc2App().run()
+    assert len(outputs) == len(XML_DOCUMENTS)
+    assert all("struct" in source for source in outputs)
+
+
+def test_viasc_variants_agree_on_content():
+    # same conversion logic, different topology: outputs must agree
+    first = Xml2CViaSc1App().run()
+    second = Xml2CViaSc2App().run()
+    assert first == second
+
+
+def test_xml2xml_round_trip():
+    app = Xml2XmlApp()
+    outputs = app.run()
+    assert len(outputs) == len(XML_DOCUMENTS)
+    assert app.round_trips == len(XML_DOCUMENTS)
+    for text in outputs:
+        document = parse_document(text)
+        assert document.root.get_attribute("transformed") == "yes"
+
+
+def test_xml2xml_renames_tags():
+    outputs = Xml2XmlApp().run()
+    assert any("<node" in text for text in outputs)  # server -> node
+    assert any("<memo" in text for text in outputs)  # note -> memo
+    assert all("<server" not in text for text in outputs)
+
+
+def test_xml2xml_pretty_variant():
+    outputs = Xml2XmlApp(indent=2).run()
+    assert all("\n" in text for text in outputs)
+
+
+def test_apps_expose_involved_classes():
+    for app_class in (
+        AdaptorChainApp,
+        StdQApp,
+        Xml2CTcpApp,
+        Xml2CViaSc1App,
+        Xml2CViaSc2App,
+        Xml2XmlApp,
+    ):
+        classes = app_class.involved_classes()
+        assert len(classes) >= 5
+        assert all(isinstance(cls, type) for cls in classes)
+
+
+def test_xml2c_tcp_detects_dropped_frames():
+    # with silent drops the frame count check fires: the app's own
+    # consistency verification catches lossy delivery
+    from repro.selfstar.errors import ProcessingError
+
+    app = Xml2CTcpApp(error_rate=0.0, seed=1)
+    app.link.policy.drop_rate = 1.0
+    with pytest.raises(ProcessingError, match="expected"):
+        app.run()
+
+
+def test_xml2c_tcp_gives_up_after_persistent_errors():
+    from repro.selfstar.errors import ProcessingError
+
+    app = Xml2CTcpApp(error_rate=1.0, seed=2)
+    with pytest.raises(ProcessingError, match="delivery failed"):
+        app.run()
+    assert app.retries >= 4  # every attempt errored
+
+
+def test_adaptor_chain_rejects_malformed_message_without_poisoning():
+    app = AdaptorChainApp(batch_size=2)
+    output = app.run()
+    # the workload pushed a malformed message mid-run; processing of the
+    # valid records was unaffected
+    assert all(isinstance(record, dict) for record in output)

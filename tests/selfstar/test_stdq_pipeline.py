@@ -1,0 +1,176 @@
+"""Tests for StdQueue and Pipeline."""
+
+import pytest
+
+from repro.selfstar import (
+    ComponentStateError,
+    Pipeline,
+    PortError,
+    QueueEmptyError,
+    QueueFullError,
+    Sink,
+    Source,
+    StdQueue,
+)
+
+
+def test_queue_capacity_validated():
+    with pytest.raises(QueueFullError):
+        StdQueue("q", 0)
+
+
+def test_enqueue_dequeue_fifo():
+    queue = StdQueue("q", 4)
+    for index in range(3):
+        queue.enqueue(index)
+    assert queue.depth() == 3
+    assert [queue.dequeue() for _ in range(3)] == [0, 1, 2]
+    assert queue.depth() == 0
+
+
+def test_overflow_raises_without_corrupting_stats():
+    queue = StdQueue("q", 1)
+    queue.enqueue("a")
+    with pytest.raises(QueueFullError):
+        queue.enqueue("b")
+    # careful ordering: the rejected enqueue left no trace
+    assert queue.enqueued_total == 1
+    assert queue.depth() == 1
+
+
+def test_underflow_raises():
+    queue = StdQueue("q", 1)
+    with pytest.raises(QueueEmptyError):
+        queue.dequeue()
+
+
+def test_high_water_mark():
+    queue = StdQueue("q", 10)
+    for index in range(6):
+        queue.enqueue(index)
+    queue.dequeue()
+    queue.enqueue("more")
+    assert queue.high_water == 6
+
+
+def test_pump_forwards_downstream():
+    queue = StdQueue("q", 4)
+    sink = Sink("k")
+    queue.connect(sink)
+    queue.start()
+    sink.start()
+    queue.enqueue("m")
+    assert queue.pump() == "m"
+    assert sink.collected == ["m"]
+
+
+def test_pump_all():
+    queue = StdQueue("q", 4)
+    sink = Sink("k")
+    queue.connect(sink)
+    queue.start()
+    sink.start()
+    for index in range(4):
+        queue.enqueue(index)
+    assert queue.pump_all() == 4
+    assert sink.collected == [0, 1, 2, 3]
+    assert queue.depth() == 0
+
+
+def test_pump_empty_raises():
+    queue = StdQueue("q", 1)
+    queue.start()
+    with pytest.raises(QueueEmptyError):
+        queue.pump()
+
+
+def test_queue_as_component_buffers():
+    source = Source("s")
+    queue = StdQueue("q", 4)
+    source.connect(queue)
+    source.start()
+    queue.start()
+    source.push("x")
+    assert queue.depth() == 1
+
+
+def test_queue_stop_flushes():
+    queue = StdQueue("q", 4)
+    sink = Sink("k")
+    queue.connect(sink)
+    queue.start()
+    sink.start()
+    queue.enqueue(1)
+    queue.enqueue(2)
+    queue.stop()
+    assert sink.collected == [1, 2]
+
+
+# -- pipeline --------------------------------------------------------------
+
+
+def test_pipeline_chains_stages():
+    pipeline = Pipeline("p")
+    source, sink = Source("s"), Sink("k")
+    pipeline.add_stage(source)
+    pipeline.add_stage(sink)
+    pipeline.start()
+    pipeline.feed("m")
+    assert sink.collected == ["m"]
+
+
+def test_pipeline_feed_all():
+    pipeline = Pipeline("p")
+    sink = Sink("k")
+    pipeline.add_stage(sink)
+    pipeline.start()
+    assert pipeline.feed_all([1, 2, 3]) == 3
+    assert sink.collected == [1, 2, 3]
+
+
+def test_pipeline_head_tail():
+    pipeline = Pipeline("p")
+    with pytest.raises(PortError):
+        pipeline.head()
+    with pytest.raises(PortError):
+        pipeline.tail()
+    source, sink = Source("s"), Sink("k")
+    pipeline.add_stage(source)
+    pipeline.add_stage(sink)
+    assert pipeline.head() is source
+    assert pipeline.tail() is sink
+
+
+def test_pipeline_start_stop_states():
+    pipeline = Pipeline("p")
+    source, sink = Source("s"), Sink("k")
+    pipeline.add_stage(source)
+    pipeline.add_stage(sink)
+    pipeline.start()
+    assert source.state == "started" and sink.state == "started"
+    pipeline.stop()
+    assert source.state == "stopped" and sink.state == "stopped"
+
+
+def test_pipeline_start_idempotent_per_stage():
+    pipeline = Pipeline("p")
+    sink = Sink("k")
+    pipeline.add_stage(sink)
+    sink.start()
+    pipeline.start()  # must not double-start
+    assert sink.state == "started"
+
+
+def test_pipeline_feed_requires_started():
+    pipeline = Pipeline("p")
+    pipeline.add_stage(Sink("k"))
+    with pytest.raises(ComponentStateError):
+        pipeline.feed("m")
+
+
+def test_pipeline_statistics():
+    pipeline = Pipeline("p")
+    pipeline.add_stage(Source("s"))
+    pipeline.add_stage(Sink("k"))
+    stats = pipeline.statistics()
+    assert [s["name"] for s in stats] == ["s", "k"]

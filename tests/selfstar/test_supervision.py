@@ -1,0 +1,164 @@
+"""Tests for retry-based recovery and its interplay with masking.
+
+The punchline test pair reproduces the paper's motivation: retrying a
+failure non-atomic operation compounds corruption; masking it first makes
+the retry safe.
+"""
+
+import pytest
+
+from repro.core.masking import failure_atomic
+from repro.selfstar import Component, SelfStarError, Sink
+from repro.selfstar.supervision import (
+    RetryPolicy,
+    SupervisedComponent,
+    Supervisor,
+    SupervisionError,
+    TransientFault,
+)
+
+
+# -- RetryPolicy / Supervisor -------------------------------------------------
+
+
+def test_policy_validates_attempts():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_supervisor_returns_result_on_success():
+    supervisor = Supervisor()
+    assert supervisor.supervise(lambda: 42) == 42
+    assert supervisor.operations == 1
+    assert supervisor.retries == 0
+
+
+def test_supervisor_retries_transient_fault():
+    supervisor = Supervisor(RetryPolicy(max_attempts=3))
+    flaky = TransientFault(lambda: "done", fail_times=2)
+    assert supervisor.supervise(flaky) == "done"
+    assert supervisor.retries == 2
+    assert flaky.invocations == 3
+
+
+def test_supervisor_gives_up_after_max_attempts():
+    supervisor = Supervisor(RetryPolicy(max_attempts=2))
+    flaky = TransientFault(lambda: "never", fail_times=5)
+    with pytest.raises(SupervisionError) as info:
+        supervisor.supervise(flaky)
+    assert info.value.attempts == 2
+    assert isinstance(info.value.last_error, SelfStarError)
+    assert supervisor.failures == 1
+
+
+def test_supervisor_does_not_retry_unlisted_exceptions():
+    supervisor = Supervisor(RetryPolicy(max_attempts=5, retry_on=(OSError,)))
+
+    def fails():
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        supervisor.supervise(fails)
+    assert supervisor.retries == 0
+
+
+def test_supervisor_passes_arguments():
+    supervisor = Supervisor()
+    assert supervisor.supervise(lambda a, b=0: a + b, 2, b=3) == 5
+
+
+# -- the paper's motivation: retry needs failure atomicity ---------------------
+
+
+def _flaky_validator(fail_times):
+    """External transient condition: survives rollback (it is opaque to
+    the object graph, like a network or a disk)."""
+    remaining = [fail_times]
+
+    def validate():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            raise SelfStarError("transient environment fault")
+
+    return validate
+
+
+class Store:
+    def __init__(self, fail_times=1):
+        self.items = []
+        self.validate = _flaky_validator(fail_times)
+
+    def put_pair(self, first, second):
+        self.items.append(first)
+        self.validate()  # transient failure mid-mutation
+        self.items.append(second)
+
+
+class MaskedStore(Store):
+    @failure_atomic
+    def put_pair(self, first, second):
+        super().put_pair(first, second)
+
+
+def test_retry_of_nonatomic_operation_corrupts():
+    store = Store(fail_times=1)
+    supervisor = Supervisor(RetryPolicy(max_attempts=3, retry_on=(SelfStarError,)))
+    supervisor.supervise(store.put_pair, "a", "b")
+    # the failed first attempt left a partial "a" behind: corruption
+    assert store.items == ["a", "a", "b"]
+
+
+def test_retry_of_masked_operation_is_safe():
+    store = MaskedStore(fail_times=1)
+    supervisor = Supervisor(RetryPolicy(max_attempts=3, retry_on=(SelfStarError,)))
+    supervisor.supervise(store.put_pair, "a", "b")
+    assert store.items == ["a", "b"]  # rollback made the retry clean
+    assert supervisor.retries == 1
+
+
+# -- SupervisedComponent ----------------------------------------------------------
+
+
+class FlakyConsumer(Component):
+    def __init__(self, fail_times):
+        super().__init__("flaky")
+        self.seen = []
+        self._fault = TransientFault(self.seen.append, fail_times)
+
+    def process(self, message):
+        self._fault(message)
+
+
+def test_supervised_component_retries_and_forwards():
+    inner = FlakyConsumer(fail_times=1)
+    supervised = SupervisedComponent(
+        inner, RetryPolicy(max_attempts=3, retry_on=(SelfStarError,))
+    )
+    downstream = Sink("after")
+    supervised.connect(downstream)
+    supervised.start()
+    downstream.start()
+    supervised.accept("m1")
+    assert inner.seen == ["m1"]
+    assert downstream.collected == ["m1"]
+    assert supervised.supervisor.retries == 1
+
+
+def test_supervised_component_dead_letters_poison():
+    inner = FlakyConsumer(fail_times=99)
+    supervised = SupervisedComponent(
+        inner, RetryPolicy(max_attempts=2, retry_on=(SelfStarError,))
+    )
+    supervised.start()
+    supervised.accept("poison")
+    assert supervised.dead_letters == ["poison"]
+    assert inner.seen == []
+
+
+def test_supervised_component_lifecycle_cascades():
+    inner = FlakyConsumer(fail_times=0)
+    supervised = SupervisedComponent(inner)
+    supervised.start()
+    assert inner.state == "started"
+    supervised.stop()
+    assert inner.state == "stopped"

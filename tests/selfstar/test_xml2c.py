@@ -1,0 +1,84 @@
+"""Tests for the XML-to-C converter."""
+
+import pytest
+
+from repro.selfstar import ProcessingError, XmlToCConverter
+from repro.xmlmini import parse_document
+
+
+def convert(text):
+    return XmlToCConverter().convert(parse_document(text))
+
+
+def test_simple_element():
+    source = convert("<config>data</config>")
+    assert "struct config" in source
+    assert 'const char *text;' in source
+    assert 'config_value = { "data" }' in source
+
+
+def test_attributes_become_fields():
+    source = convert('<server port="80" host="alpha"/>')
+    assert "const char *port;" in source
+    assert "const char *host;" in source
+    assert '"80"' in source
+    assert '"alpha"' in source
+
+
+def test_nested_elements_become_nested_structs():
+    source = convert("<outer><inner>deep</inner></outer>")
+    assert "struct inner" in source
+    assert "struct outer" in source
+    assert "struct inner inner_1;" in source
+
+
+def test_name_mangling_special_chars():
+    converter = XmlToCConverter()
+    assert converter.mangle("my-tag.name") == "my_tag_name"
+
+
+def test_name_mangling_uniquifies():
+    converter = XmlToCConverter()
+    first = converter.mangle("node")
+    second = converter.mangle("node")
+    assert first == "node"
+    assert second == "node_1"
+
+
+def test_c_keyword_rejected():
+    converter = XmlToCConverter()
+    with pytest.raises(ProcessingError, match="keyword"):
+        converter.mangle("struct")
+    # legacy ordering: the rejected name consumed a symbol slot anyway
+    assert converter.symbols.get("struct") == 1
+
+
+def test_string_escaping():
+    source = convert('<e>quote " backslash \\ done</e>')
+    assert '\\"' in source
+    assert "\\\\" in source
+
+
+def test_multiple_documents_share_symbol_table():
+    converter = XmlToCConverter()
+    converter.convert(parse_document("<cfg/>"))
+    second = converter.convert(parse_document("<cfg/>"))
+    assert "cfg_1" in second
+    assert converter.documents_converted == 2
+
+
+def test_reset_clears_state():
+    converter = XmlToCConverter()
+    converter.convert(parse_document("<cfg/>"))
+    converter.reset()
+    assert converter.output() == ""
+    fresh = converter.convert(parse_document("<cfg/>"))
+    assert "cfg_1" not in fresh
+
+
+def test_generated_source_is_balanced():
+    source = convert(
+        '<a x="1"><b><c attr="v">t</c></b><d/><d/></a>'
+    )
+    assert source.count("{") == source.count("}")
+    assert source.count("struct") >= 5

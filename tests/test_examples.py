@@ -1,0 +1,47 @@
+"""Smoke tests: every example must run successfully end to end.
+
+``masking_overhead`` is excluded here (it is a timing sweep and belongs
+to the benchmark harness); the assertions inside the other examples make
+them genuine integration tests.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+_FAST_EXAMPLES = [
+    "quickstart.py",
+    "collections_audit.py",
+    "selfstar_pipeline.py",
+    "regexp_robustness.py",
+    "thirdparty_hardening.py",
+    "log_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("script", _FAST_EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(_EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_list_matches_directory():
+    present = {
+        name
+        for name in os.listdir(_EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert set(_FAST_EXAMPLES) | {"masking_overhead.py"} == present

@@ -1,0 +1,125 @@
+"""Tests for the DOM and the writer (including round trips)."""
+
+import pytest
+
+from repro.xmlmini import (
+    Document,
+    Element,
+    XmlStructureError,
+    XmlWriter,
+    parse_document,
+    write_document,
+)
+
+
+def test_element_requires_valid_tag():
+    with pytest.raises(XmlStructureError):
+        Element("")
+    with pytest.raises(XmlStructureError):
+        Element("9bad")
+    with pytest.raises(XmlStructureError):
+        Element("has space")
+
+
+def test_append_and_remove_child():
+    root = Element("root")
+    child = root.new_child("child", "text")
+    assert child.parent is root
+    assert root.find("child") is child
+    root.remove_child(child)
+    assert child.parent is None
+    assert root.children == []
+
+
+def test_remove_non_child_raises():
+    root = Element("root")
+    with pytest.raises(XmlStructureError):
+        root.remove_child(Element("orphan"))
+
+
+def test_append_ancestor_rejected():
+    root = Element("root")
+    child = root.new_child("child")
+    with pytest.raises(XmlStructureError, match="cycle"):
+        child.append_child(root)
+
+
+def test_attributes():
+    element = Element("e")
+    element.set_attribute("name", "value")
+    assert element.get_attribute("name") == "value"
+    assert element.get_attribute("missing", "default") == "default"
+    element.remove_attribute("name")
+    with pytest.raises(XmlStructureError):
+        element.remove_attribute("name")
+    with pytest.raises(XmlStructureError):
+        element.set_attribute("bad name", "x")
+
+
+def test_find_all_and_iter():
+    root = Element("root")
+    root.new_child("item")
+    other = root.new_child("other")
+    other.new_child("item")
+    root.new_child("item")
+    assert len(root.find_all("item")) == 2  # direct children only
+    assert sum(1 for e in root.iter() if e.tag == "item") == 3
+
+
+def test_iter_document_order():
+    document = parse_document("<a><b><c/></b><d/></a>")
+    assert [e.tag for e in document.root.iter()] == ["a", "b", "c", "d"]
+
+
+def test_total_text_and_depth():
+    document = parse_document("<a>x<b>y<c>z</c></b></a>")
+    assert document.root.total_text() == "xyz"
+    deepest = document.find_by_path("a/b/c")
+    assert deepest.depth() == 2
+
+
+def test_write_simple():
+    root = Element("root")
+    root.set_attribute("id", "1")
+    assert write_document(Document(root)).endswith('<root id="1"/>')
+
+
+def test_write_escapes_text_and_attrs():
+    root = Element("e", "a < b & c")
+    root.set_attribute("q", 'say "hi"')
+    output = write_document(Document(root))
+    assert "a &lt; b &amp; c" in output
+    assert "&quot;hi&quot;" in output
+
+
+def test_roundtrip_preserves_structure():
+    source = (
+        '<cfg one="1"><x>text &amp; more</x><y attr="v"><z/></y></cfg>'
+    )
+    document = parse_document(source)
+    rewritten = write_document(document)
+    reparsed = parse_document(rewritten)
+    assert reparsed.element_count() == document.element_count()
+    assert reparsed.root.children[0].text == "text & more"
+    assert reparsed.find_by_path("cfg/y/z") is not None
+
+
+def test_pretty_print_roundtrip():
+    document = parse_document("<a><b>t</b><c/></a>")
+    pretty = write_document(document, indent=2)
+    assert "\n" in pretty
+    reparsed = parse_document(pretty)
+    assert reparsed.element_count() == 3
+
+
+def test_write_fragment():
+    element = Element("frag", "body")
+    text = XmlWriter().write_fragment(element)
+    assert text == "<frag>body</frag>"
+    assert "<?xml" not in text
+
+
+def test_document_repr_and_element_repr():
+    document = parse_document("<a><b/></a>")
+    assert "a" in repr(document)
+    assert "Element" in repr(document.root)

@@ -1,0 +1,139 @@
+"""Tests for the XML parser."""
+
+import pytest
+
+from repro.xmlmini import XmlSyntaxError, parse_document
+
+
+def test_single_element():
+    document = parse_document("<root/>")
+    assert document.root.tag == "root"
+    assert document.root.children == []
+    assert document.root.text == ""
+
+
+def test_text_content():
+    document = parse_document("<msg>hello world</msg>")
+    assert document.root.text == "hello world"
+
+
+def test_nested_elements():
+    document = parse_document("<a><b><c/></b><d/></a>")
+    assert [child.tag for child in document.root.children] == ["b", "d"]
+    assert document.root.children[0].children[0].tag == "c"
+    assert document.element_count() == 4
+
+
+def test_attributes():
+    document = parse_document('<server port="80" host=\'alpha\'/>')
+    assert document.root.get_attribute("port") == "80"
+    assert document.root.get_attribute("host") == "alpha"
+
+
+def test_attribute_entities():
+    document = parse_document('<e title="a &amp; b"/>')
+    assert document.root.get_attribute("title") == "a & b"
+
+
+def test_text_entities():
+    document = parse_document("<e>&lt;tag&gt; &amp; &quot;text&quot; &apos;</e>")
+    assert document.root.text == "<tag> & \"text\" '"
+
+
+def test_unknown_entity():
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<e>&bogus;</e>")
+
+
+def test_declaration_skipped():
+    document = parse_document('<?xml version="1.0"?><root/>')
+    assert document.root.tag == "root"
+
+
+def test_comments_skipped():
+    document = parse_document(
+        "<!-- head --><root><!-- inner -->text<child/></root><!-- tail -->"
+    )
+    assert document.root.text == "text"
+    assert document.root.children[0].tag == "child"
+
+
+def test_unterminated_comment():
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<!-- never ends <root/>")
+
+
+def test_mismatched_closing_tag():
+    with pytest.raises(XmlSyntaxError, match="mismatched"):
+        parse_document("<a></b>")
+
+
+def test_unterminated_element():
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<a><b></b>")
+
+
+def test_content_after_root():
+    with pytest.raises(XmlSyntaxError, match="after the root"):
+        parse_document("<a/><b/>")
+
+
+def test_missing_attribute_value():
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<a attr/>")
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<a attr=value/>")
+
+
+def test_bad_name():
+    with pytest.raises(XmlSyntaxError):
+        parse_document("<1tag/>")
+
+
+def test_whitespace_text_stripped():
+    document = parse_document("<a>\n  text  \n</a>")
+    assert document.root.text == "text"
+
+
+def test_error_reports_offset():
+    with pytest.raises(XmlSyntaxError) as info:
+        parse_document("<a>&bad;</a>")
+    assert info.value.position == 3
+
+
+def test_find_by_path():
+    document = parse_document("<a><b><c>deep</c></b></a>")
+    assert document.find_by_path("a/b/c").text == "deep"
+    assert document.find_by_path("a/b") is not None
+    assert document.find_by_path("a/x") is None
+    assert document.find_by_path("wrong/b") is None
+    assert document.find_by_path("") is None
+
+
+def test_cdata_literal_content():
+    document = parse_document("<e><![CDATA[a < b & c]]></e>")
+    assert document.root.text == "a < b & c"
+
+
+def test_cdata_mixed_with_text():
+    document = parse_document("<e>pre <![CDATA[<raw>]]> post</e>")
+    assert document.root.text == "pre <raw> post"
+
+
+def test_cdata_empty():
+    document = parse_document("<e><![CDATA[]]></e>")
+    assert document.root.text == ""
+
+
+def test_cdata_unterminated():
+    with pytest.raises(XmlSyntaxError, match="CDATA"):
+        parse_document("<e><![CDATA[never ends</e>")
+
+
+def test_cdata_roundtrip_escaped_on_write():
+    from repro.xmlmini import write_document
+
+    document = parse_document("<e><![CDATA[a < b]]></e>")
+    rewritten = write_document(document)
+    assert "a &lt; b" in rewritten
+    assert parse_document(rewritten).root.text == "a < b"
