@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test bench bench-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Tiny-budget run of the parallel-campaign benchmark: exercises the whole
+# engine (pool, journal-less fan-out, deterministic merge) in seconds.
+# Used by CI; see docs/BENCHMARKS.md.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_parallel_campaign.py --benchmark-only -s
 
 reproduce:
 	$(PYTHON) -m repro reproduce --out RESULTS.md

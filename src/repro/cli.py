@@ -15,6 +15,8 @@ Subcommands::
 
     python -m repro apps                     list the evaluation applications
     python -m repro detect LinkedList        run one detection campaign
+    python -m repro detect LinkedList --workers 4 --journal c.jsonl --resume
+                                             parallel engine, resumable
     python -m repro validate LinkedList      detect -> mask -> re-detect
     python -m repro table1                   regenerate Table 1
     python -m repro figure 3                 regenerate Figure 2/3/4
@@ -74,6 +76,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         stride=args.stride,
         policy=policy,
         scale=args.scale,
+        workers=args.workers,
+        resume=args.resume,
+        journal=args.journal,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     report = outcome.report
     print(
@@ -90,6 +97,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         outcome.classification, policy or WrapPolicy()
     )
     print(f"\nmethods the masking phase would wrap: {to_wrap}")
+    if outcome.detection.telemetry is not None:
+        print("\n-- campaign telemetry --")
+        print(outcome.detection.telemetry.summary())
     if args.save_log:
         outcome.detection.log.save(args.save_log)
         print(f"run log written to {args.save_log}")
@@ -224,6 +234,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload repetitions (quadratic cost)")
     detect.add_argument("--policy", help="JSON policy file")
     detect.add_argument("--save-log", help="write the run log (JSON)")
+    detect.add_argument(
+        "--workers", type=int, default=None,
+        help="run the campaign on the parallel engine with N worker "
+             "processes (results are identical to the sequential engine)")
+    detect.add_argument(
+        "--journal", default=None,
+        help="campaign journal path (JSONL of completed points)")
+    detect.add_argument(
+        "--resume", action="store_true",
+        help="skip injection points already recorded in the journal")
+    detect.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock budget in seconds (parallel engine)")
+    detect.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per timed-out point before marking it crashed")
     detect.set_defaults(func=_cmd_detect)
 
     validate = sub.add_parser(

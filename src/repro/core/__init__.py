@@ -27,7 +27,15 @@ from .classify import (
     MethodClassification,
     classify,
 )
-from .detector import CallableProgram, DetectionError, DetectionResult, Detector, Program
+from .detector import (
+    CallableProgram,
+    DetectionError,
+    DetectionResult,
+    Detector,
+    Program,
+    plan_points,
+    run_injection_point,
+)
 from .exceptions import (
     DEFAULT_RUNTIME_EXCEPTIONS,
     InjectedRuntimeError,
@@ -68,6 +76,7 @@ from .report import (
 )
 from .runlog import ATOMIC, NONATOMIC, Mark, RunLog, RunRecord, merge_logs
 from .snapshot import Checkpoint, CheckpointError, RestoreError, checkpoint, restore
+from .telemetry import CampaignTelemetry
 from .weaver import LoadTimeWeaver, Weaver, WeavingError, weave_with
 
 __all__ = [
@@ -106,6 +115,10 @@ __all__ = [
     "DetectionError",
     "Program",
     "CallableProgram",
+    "plan_points",
+    "run_injection_point",
+    # telemetry
+    "CampaignTelemetry",
     # run logs
     "RunLog",
     "RunRecord",

@@ -10,14 +10,32 @@ counts, then sweeps the threshold over ``1..N``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+    runtime_checkable,
+)
 
 from .exceptions import InjectionAbort, is_injected
 from .injection import InjectionCampaign
-from .runlog import RunLog
+from .runlog import RunLog, RunRecord
+from .telemetry import CampaignTelemetry
 
-__all__ = ["Program", "Detector", "DetectionResult", "DetectionError"]
+__all__ = [
+    "Program",
+    "Detector",
+    "DetectionResult",
+    "DetectionError",
+    "plan_points",
+    "run_injection_point",
+]
 
 
 @runtime_checkable
@@ -40,18 +58,92 @@ class DetectionError(RuntimeError):
 
 @dataclass
 class DetectionResult:
-    """Outcome of one detection campaign."""
+    """Outcome of one detection campaign.
+
+    ``telemetry`` is observability metadata (engine, timings, worker
+    utilization) and intentionally not part of the scientific result:
+    two campaigns over the same program are *equivalent* when their
+    ``log``, ``total_points``, ``runs_executed`` and ``genuine_failures``
+    agree, regardless of which engine produced them or how fast.
+    """
 
     program: str
     log: RunLog
     total_points: int
     runs_executed: int
     genuine_failures: List[str] = field(default_factory=list)
+    telemetry: Optional[CampaignTelemetry] = None
 
     @property
     def total_injections(self) -> int:
         """Number of runs in which an exception was injected (Table 1)."""
         return self.log.total_injections()
+
+
+def plan_points(
+    total: int,
+    *,
+    stride: int = 1,
+    injection_points: Optional[Iterable[int]] = None,
+    baseline_run: bool = True,
+) -> List[int]:
+    """The ordered list of thresholds a campaign will sweep.
+
+    Shared by the sequential and parallel engines so both execute the
+    *same* plan: points ``1..total`` thinned by ``stride`` (or an explicit
+    point list), plus the trailing baseline run at ``total + 1`` that
+    observes genuine (non-injected) failures without injecting anything.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if injection_points is None:
+        points = list(range(1, total + 1, stride))
+    else:
+        points = list(injection_points)
+    if baseline_run:
+        points.append(total + 1)
+    return points
+
+
+def run_injection_point(
+    program: Program,
+    campaign: InjectionCampaign,
+    injection_point: int,
+    *,
+    reraise: Tuple[Type[BaseException], ...] = (),
+) -> Tuple[RunRecord, Optional[str]]:
+    """Execute one injection run; return ``(record, genuine_failure)``.
+
+    This is the single-run kernel both engines share: begin a run at the
+    given threshold, execute the program, swallow the injected abort, and
+    classify anything else that escapes as a *genuine* failure (returned
+    as the formatted string the campaign accumulates).
+
+    Args:
+        reraise: exception types to re-raise instead of recording — the
+            parallel engine passes its timeout exception here so a timed
+            out run is retried rather than logged as a genuine failure.
+    """
+    record = campaign.begin_run(injection_point)
+    completed = False
+    escaped = False
+    failure: Optional[str] = None
+    try:
+        program()
+        completed = True
+    except InjectionAbort:
+        pass
+    except BaseException as exc:
+        if reraise and isinstance(exc, reraise):
+            raise
+        escaped = is_injected(exc)
+        if not escaped:
+            # A genuine (non-injected) failure escaping the program is a
+            # robustness finding of its own; record and go on.
+            failure = f"point={injection_point}: {type(exc).__name__}: {exc}"
+    finally:
+        campaign.end_run(completed=completed, escaped=escaped)
+    return record, failure
 
 
 class Detector:
@@ -121,43 +213,47 @@ class Detector:
                 that abort at an early injection never reach later genuine
                 failures; the baseline run observes them.
         """
+        started = time.perf_counter()
         total = self.profile()
-        if injection_points is None:
-            points: List[int] = list(range(1, total + 1, self.stride))
-        else:
-            points = list(injection_points)
-        if baseline_run:
-            points.append(total + 1)
+        profiled = time.perf_counter()
+        points = plan_points(
+            total,
+            stride=self.stride,
+            injection_points=injection_points,
+            baseline_run=baseline_run,
+        )
         genuine_failures: List[str] = []
         runs = 0
         for injection_point in points:
-            record = self.campaign.begin_run(injection_point)
-            completed = False
-            escaped = False
-            try:
-                self.program()
-                completed = True
-            except InjectionAbort:
-                pass
-            except BaseException as exc:
-                escaped = is_injected(exc)
-                if not escaped:
-                    # A genuine (non-injected) failure escaping the program
-                    # is a robustness finding of its own; record and go on.
-                    genuine_failures.append(
-                        f"point={injection_point}: {type(exc).__name__}: {exc}"
-                    )
-            finally:
-                self.campaign.end_run(completed=completed, escaped=escaped)
+            _, failure = run_injection_point(
+                self.program, self.campaign, injection_point
+            )
+            if failure is not None:
+                genuine_failures.append(failure)
             runs += 1
             if self.progress is not None:
                 self.progress(runs, len(points))
+        finished = time.perf_counter()
+        wall = finished - started
+        telemetry = CampaignTelemetry(
+            engine="sequential",
+            workers=1,
+            runs_total=len(points),
+            runs_executed=runs,
+            wall_seconds=wall,
+            runs_per_second=(runs / wall) if wall > 0 else 0.0,
+            phase_seconds={
+                "profile": profiled - started,
+                "execute": finished - profiled,
+            },
+        )
         return DetectionResult(
             program=self.program.name,
             log=self.campaign.log,
             total_points=total,
             runs_executed=runs,
             genuine_failures=genuine_failures,
+            telemetry=telemetry,
         )
 
 

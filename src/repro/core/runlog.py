@@ -70,6 +70,7 @@ class RunRecord:
     marks: List[Mark] = field(default_factory=list)
     completed: bool = False  # True if the program finished without injection
     escaped: bool = False  # True if the injected exception reached the top
+    crashed: bool = False  # True if the run never finished (timeout/worker loss)
 
     def add_mark(
         self,
@@ -95,6 +96,35 @@ class RunRecord:
 
     def nonatomic_methods(self) -> List[MethodKey]:
         return [m.method for m in self.marks if m.is_nonatomic]
+
+    # -- (de)serialization -------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict (one ``runs`` entry of the log format)."""
+        return {
+            "injection_point": self.injection_point,
+            "injected_method": self.injected_method,
+            "injected_exception": self.injected_exception,
+            "completed": self.completed,
+            "escaped": self.escaped,
+            "crashed": self.crashed,
+            "marks": [asdict(mark) for mark in self.marks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunRecord":
+        """Rebuild a record; missing keys (older logs) default sanely."""
+        record = cls(
+            injection_point=data["injection_point"],
+            injected_method=data.get("injected_method"),
+            injected_exception=data.get("injected_exception"),
+            completed=data.get("completed", False),
+            escaped=data.get("escaped", False),
+            crashed=data.get("crashed", False),
+        )
+        for mark_data in data.get("marks", []):
+            record.marks.append(Mark(**mark_data))
+        return record
 
 
 def merge_logs(logs: "List[RunLog]") -> "RunLog":
@@ -169,17 +199,7 @@ class RunLog:
         payload = {
             "call_counts": self.call_counts,
             "methods_seen": self.methods_seen,
-            "runs": [
-                {
-                    "injection_point": run.injection_point,
-                    "injected_method": run.injected_method,
-                    "injected_exception": run.injected_exception,
-                    "completed": run.completed,
-                    "escaped": run.escaped,
-                    "marks": [asdict(mark) for mark in run.marks],
-                }
-                for run in self.runs
-            ],
+            "runs": [run.to_dict() for run in self.runs],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -190,16 +210,7 @@ class RunLog:
         log.call_counts = dict(payload.get("call_counts", {}))
         log.methods_seen = list(payload.get("methods_seen", []))
         for run_data in payload.get("runs", []):
-            record = RunRecord(
-                injection_point=run_data["injection_point"],
-                injected_method=run_data.get("injected_method"),
-                injected_exception=run_data.get("injected_exception"),
-                completed=run_data.get("completed", False),
-                escaped=run_data.get("escaped", False),
-            )
-            for mark_data in run_data.get("marks", []):
-                record.marks.append(Mark(**mark_data))
-            log.runs.append(record)
+            log.runs.append(RunRecord.from_dict(run_data))
         return log
 
     def save(self, path: str) -> None:

@@ -1,0 +1,131 @@
+"""Structured campaign telemetry (runs/sec, phase timings, utilization).
+
+The paper reports only end results; a campaign that sweeps hundreds of
+injection points at production scale needs observability of its own.
+Both detection engines (the sequential :class:`~repro.core.detector.Detector`
+and the parallel engine in :mod:`repro.experiments.parallel`) attach a
+:class:`CampaignTelemetry` to their :class:`DetectionResult`, and
+``save_outcome``/``load_outcome`` round-trip it through ``meta.json``.
+
+The serialized form is a plain dict so that journals and metadata written
+by older versions of the code (or hand-edited) load cleanly: every key is
+optional and defaults sanely in :meth:`CampaignTelemetry.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["CampaignTelemetry"]
+
+#: Engine identifiers recorded in the telemetry.
+ENGINE_SEQUENTIAL = "sequential"
+ENGINE_PARALLEL = "parallel"
+
+
+@dataclass
+class CampaignTelemetry:
+    """Observability record of one detection campaign.
+
+    Attributes:
+        engine: ``"sequential"`` or ``"parallel"``.
+        workers: number of worker processes (1 for the sequential engine).
+        runs_total: number of runs the campaign plan called for.
+        runs_executed: runs actually executed this invocation (resumed
+            runs are *not* re-executed and are counted separately).
+        runs_resumed: runs skipped because a journal already held their
+            results (``--resume``).
+        runs_crashed: points marked ``crashed`` after exhausting retries.
+        retries: total retry attempts across all points.
+        wall_seconds: end-to-end campaign duration.
+        runs_per_second: ``runs_executed / wall_seconds`` (0 when unknown).
+        phase_seconds: per-phase wall-clock (``profile`` / ``execute`` /
+            ``merge``).
+        worker_busy_seconds: per-worker busy time, keyed by worker id
+            (the pool worker's pid as a string).
+        worker_utilization: mean fraction of the execute phase the
+            workers spent busy (1.0 = perfectly utilized).
+    """
+
+    engine: str = ENGINE_SEQUENTIAL
+    workers: int = 1
+    runs_total: int = 0
+    runs_executed: int = 0
+    runs_resumed: int = 0
+    runs_crashed: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    runs_per_second: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    worker_utilization: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-ready dict (the ``meta.json`` format)."""
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "runs_total": self.runs_total,
+            "runs_executed": self.runs_executed,
+            "runs_resumed": self.runs_resumed,
+            "runs_crashed": self.runs_crashed,
+            "retries": self.retries,
+            "wall_seconds": self.wall_seconds,
+            "runs_per_second": self.runs_per_second,
+            "phase_seconds": dict(self.phase_seconds),
+            "worker_busy_seconds": dict(self.worker_busy_seconds),
+            "worker_utilization": self.worker_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "CampaignTelemetry":
+        """Deserialize, tolerating records from older runs.
+
+        Every missing key falls back to the field default, so metadata
+        written before a field existed still loads.
+        """
+        data = data or {}
+        return cls(
+            engine=str(data.get("engine", ENGINE_SEQUENTIAL)),
+            workers=int(data.get("workers", 1)),
+            runs_total=int(data.get("runs_total", 0)),
+            runs_executed=int(data.get("runs_executed", 0)),
+            runs_resumed=int(data.get("runs_resumed", 0)),
+            runs_crashed=int(data.get("runs_crashed", 0)),
+            retries=int(data.get("retries", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            runs_per_second=float(data.get("runs_per_second", 0.0)),
+            phase_seconds={
+                str(k): float(v)
+                for k, v in dict(data.get("phase_seconds", {})).items()
+            },
+            worker_busy_seconds={
+                str(k): float(v)
+                for k, v in dict(data.get("worker_busy_seconds", {})).items()
+            },
+            worker_utilization=float(data.get("worker_utilization", 0.0)),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary (the CLI's telemetry box)."""
+        lines = [
+            f"engine={self.engine} workers={self.workers} "
+            f"runs={self.runs_executed}/{self.runs_total} "
+            f"(resumed={self.runs_resumed}, crashed={self.runs_crashed}, "
+            f"retries={self.retries})",
+            f"wall={self.wall_seconds:.3f}s "
+            f"throughput={self.runs_per_second:.1f} runs/s",
+        ]
+        if self.phase_seconds:
+            phases = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in sorted(self.phase_seconds.items())
+            )
+            lines.append(f"phases: {phases}")
+        if self.worker_busy_seconds:
+            lines.append(
+                f"worker utilization: {100.0 * self.worker_utilization:.0f}% "
+                f"mean over {len(self.worker_busy_seconds)} worker(s)"
+            )
+        return "\n".join(lines)

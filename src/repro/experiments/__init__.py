@@ -28,6 +28,13 @@ from .fig5 import (
     measure_undolog_ablation,
 )
 from .linkedlist_fixes import FixComparison, compare_linkedlist_fixes
+from .parallel import (
+    CampaignJournal,
+    JournalError,
+    ParallelDetector,
+    ProgramRef,
+    run_parallel_detection,
+)
 from .programs import (
     ALL_PROGRAMS,
     CPP_PROGRAMS,
@@ -60,6 +67,11 @@ __all__ = [
     "save_outcome",
     "load_outcome",
     "library_wide_classification",
+    "ParallelDetector",
+    "ProgramRef",
+    "CampaignJournal",
+    "JournalError",
+    "run_parallel_detection",
     "table1",
     "figure2",
     "figure3",

@@ -10,11 +10,12 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import (
     Analyzer,
     AppReport,
+    CampaignTelemetry,
     ClassificationResult,
     DetectionResult,
     Detector,
@@ -51,6 +52,11 @@ class CampaignOutcome:
     def name(self) -> str:
         return self.program.name
 
+    @property
+    def telemetry(self) -> Optional[CampaignTelemetry]:
+        """The engine telemetry of the detection phase (may be ``None``)."""
+        return self.detection.telemetry
+
 
 def run_app_campaign(
     program: AppProgram,
@@ -59,6 +65,12 @@ def run_app_campaign(
     policy: Optional[WrapPolicy] = None,
     capture_args: bool = True,
     scale: int = 1,
+    workers: Optional[int] = None,
+    resume: bool = False,
+    journal: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -71,9 +83,37 @@ def run_app_campaign(
             before classification (Section 4.3).
         scale: workload repetitions per execution; larger values approach
             the paper's injection counts at quadratically growing cost.
+        workers: when set (or when ``resume``/``journal`` is used), run
+            the campaign on the parallel engine
+            (:mod:`repro.experiments.parallel`) with this many worker
+            processes.  The merged result is identical to the sequential
+            engine's; only the attached telemetry differs.
+        resume: skip injection points already recorded in ``journal``.
+        journal: path of the campaign journal (JSONL of completed points).
+        timeout: per-run wall-clock budget (seconds, parallel engine only).
+        retries: retry attempts per timed-out point before marking it
+            crashed (parallel engine only).
+        progress: optional ``(runs_done, runs_total)`` callback.
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
+    if workers is not None or resume or journal is not None:
+        from .parallel import ParallelDetector
+
+        parallel_detector = ParallelDetector(
+            program,
+            workers=workers,
+            stride=stride,
+            capture_args=capture_args,
+            timeout=timeout,
+            retries=retries,
+            journal_path=journal,
+            resume=resume,
+            progress=progress,
+        )
+        detection = parallel_detector.detect()
+        specs = parallel_detector.woven_specs
+        return _classify_and_report(program, detection, specs, policy)
     analyzer = Analyzer(exclude=program.exclude)
     campaign = InjectionCampaign(capture_args=capture_args)
     weaver = Weaver(
@@ -83,8 +123,18 @@ def run_app_campaign(
         specs = weaver.weave_classes(program.classes)
         # AppProgram satisfies the Program protocol (name + __call__ with
         # scaling applied), so it is the detector's test program directly
-        detector = Detector(program, campaign, stride=stride)
+        detector = Detector(program, campaign, stride=stride, progress=progress)
         detection = detector.detect()
+    return _classify_and_report(program, detection, specs, policy)
+
+
+def _classify_and_report(
+    program: AppProgram,
+    detection: DetectionResult,
+    specs,
+    policy: Optional[WrapPolicy],
+) -> CampaignOutcome:
+    """Shared tail of both engines: classify the log, build the report."""
     # the programmer-declared exception-free annotations always apply
     # (§4.3 third case); a caller-supplied policy is merged on top
     effective = WrapPolicy.from_specs(specs)
@@ -146,6 +196,8 @@ def save_outcome(outcome: CampaignOutcome, directory: str) -> None:
         "classes": outcome.report.class_count,
         "methods": outcome.report.method_count,
     }
+    if outcome.detection.telemetry is not None:
+        meta["telemetry"] = outcome.detection.telemetry.to_dict()
     with open(
         os.path.join(directory, "meta.json"), "w", encoding="utf-8"
     ) as handle:
@@ -158,11 +210,18 @@ def load_outcome(directory: str) -> "Tuple[Dict, RunLog, ClassificationResult]":
     The classification can also be recomputed from the run log (with a
     different policy) via :func:`repro.core.reclassify` — exactly the
     paper's offline re-processing workflow.
+
+    ``meta["telemetry"]`` is rehydrated into a
+    :class:`~repro.core.telemetry.CampaignTelemetry`; metadata written by
+    older versions (no telemetry key, or a partial dict) loads with sane
+    defaults instead of failing.
     """
     from repro.core.runlog import RunLog
 
     with open(os.path.join(directory, "meta.json"), encoding="utf-8") as handle:
         meta = json.load(handle)
+    if "telemetry" in meta:
+        meta["telemetry"] = CampaignTelemetry.from_dict(meta["telemetry"])
     log = RunLog.load(os.path.join(directory, "runlog.json"))
     with open(
         os.path.join(directory, "classification.json"), encoding="utf-8"

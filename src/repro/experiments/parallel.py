@@ -1,0 +1,570 @@
+"""Parallel, resumable injection-campaign engine.
+
+The paper's detection phase (Listing 1, Steps 1–3) re-executes the test
+program once per injection point, so campaign wall-clock grows linearly
+with the number of points.  The runs are mutually independent — each one
+fixes a single ``InjectionPoint`` threshold on fresh program state —
+which makes the sweep embarrassingly parallel.  This module fans the
+per-point runs out over a :mod:`multiprocessing` pool:
+
+1. the parent weaves + profiles **once** (Step 1–2 plus the counting run
+   of Step 3) to learn the injection-point count and the per-method call
+   counts, then unweaves;
+2. the planned points (shared with the sequential engine via
+   :func:`repro.core.detector.plan_points`) are split into contiguous
+   chunks and dispatched to worker processes, each of which weaves its
+   own copy of the subject classes and executes the shared single-run
+   kernel :func:`repro.core.detector.run_injection_point`;
+3. worker run logs are merged deterministically with the existing
+   :func:`repro.core.runlog.merge_logs` — call counts from the parent's
+   profiling run, run records in planned-point order — so the merged
+   :class:`DetectionResult` is **bit-identical** to the sequential
+   engine's (``RunLog.to_json()`` equality, not just statistics).
+
+Robustness and observability around the fan-out:
+
+* **per-run timeouts** (``timeout=`` seconds) with a bounded retry
+  (``retries=``) before a point is marked ``crashed`` in its
+  :class:`RunRecord`;
+* a **campaign journal** (JSONL of completed points) written as results
+  arrive, enabling ``resume=True`` to skip finished work after an
+  interruption — crashed points are re-attempted on resume;
+* structured :class:`~repro.core.telemetry.CampaignTelemetry`
+  (runs/sec, per-phase timings, worker utilization) attached to the
+  result and surfaced by ``run_app_campaign`` and the CLI
+  (``repro detect --workers N --resume``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import (
+    Analyzer,
+    DetectionError,
+    InjectionCampaign,
+    MethodSpec,
+    make_injection_wrapper,
+    plan_points,
+    run_injection_point,
+)
+from repro.core.runlog import RunLog, RunRecord, merge_logs
+from repro.core.telemetry import CampaignTelemetry
+from repro.core.detector import DetectionResult
+from repro.core.weaver import Weaver
+
+__all__ = [
+    "ProgramRef",
+    "CampaignJournal",
+    "JournalError",
+    "ParallelDetector",
+    "run_parallel_detection",
+]
+
+#: Journal schema version; bump when the line format changes.
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Raised when a campaign journal cannot be used for a resume."""
+
+
+# ---------------------------------------------------------------------------
+# Program references: how a worker process finds its test program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramRef:
+    """A picklable recipe for rebuilding an :class:`AppProgram` in a worker.
+
+    Worker processes cannot receive the woven program object itself (the
+    weave is per-process state), so they receive either the registry name
+    of one of the evaluation applications, or a module-level factory
+    callable (used by tests and custom subjects).  ``rounds`` re-applies
+    workload scaling in the worker.
+    """
+
+    name: Optional[str] = None
+    factory: Optional[Callable[[], Any]] = None
+    rounds: int = 1
+
+    def resolve(self):
+        from .programs import program_by_name
+
+        if self.factory is not None:
+            program = self.factory()
+        elif self.name is not None:
+            program = program_by_name(self.name)
+        else:
+            raise ValueError("ProgramRef needs a name or a factory")
+        if self.rounds != program.rounds:
+            program = program.scaled(self.rounds)
+        return program
+
+    @classmethod
+    def for_program(cls, program) -> "ProgramRef":
+        """Build a ref for a registry program (``repro.experiments.programs``)."""
+        from .programs import _BY_NAME
+
+        if program.name not in _BY_NAME:
+            raise ValueError(
+                f"program {program.name!r} is not in the registry; pass an "
+                "explicit ProgramRef(factory=...) so workers can rebuild it"
+            )
+        return cls(name=program.name, rounds=program.rounds)
+
+
+# ---------------------------------------------------------------------------
+# Campaign journal: JSONL of completed points, written as results arrive
+# ---------------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of a campaign's completed points.
+
+    Line 1 is a header identifying the campaign plan; every further line
+    records one finished point (its :class:`RunRecord`, the genuine
+    failure it observed, and how many attempts it took).  A journal whose
+    plan no longer matches (different program, stride, rounds, or point
+    count) is rejected on resume rather than silently merged.
+
+    Older or partial journals load leniently: missing header keys are
+    treated as matching, unknown line kinds are skipped, and a corrupt
+    trailing line (an interrupted write) ends the replay instead of
+    raising.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # -- writing -----------------------------------------------------
+
+    def start(self, header: Dict[str, Any]) -> None:
+        """Truncate and write a fresh header line."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        payload = {"kind": "header", "version": JOURNAL_VERSION}
+        payload.update(header)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def append_run(
+        self,
+        point: int,
+        record: RunRecord,
+        genuine_failure: Optional[str],
+        attempts: int,
+    ) -> None:
+        line = json.dumps(
+            {
+                "kind": "run",
+                "point": point,
+                "record": record.to_dict(),
+                "genuine_failure": genuine_failure,
+                "attempts": attempts,
+            },
+            sort_keys=True,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading -----------------------------------------------------
+
+    def load(
+        self, expected_header: Dict[str, Any]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Replay the journal; return ``{point: run-line}`` for resumes.
+
+        Crashed points are *not* returned as done — a resume re-attempts
+        them.  Raises :class:`JournalError` when a header key that is
+        present contradicts the expected plan.
+        """
+        done: Dict[int, Dict[str, Any]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return done
+        if not lines:
+            return done
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise JournalError(f"journal {self.path!r} has a corrupt header")
+        if header.get("kind") != "header":
+            raise JournalError(f"journal {self.path!r} does not start with a header")
+        for key, expected in expected_header.items():
+            present = header.get(key)
+            if present is not None and present != expected:
+                raise JournalError(
+                    f"journal {self.path!r} was written for a different "
+                    f"campaign ({key}={present!r}, expected {expected!r}); "
+                    "delete it or pass a different --journal path"
+                )
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # interrupted write: everything before it still counts
+            if entry.get("kind") != "run" or "point" not in entry:
+                continue
+            if entry.get("record", {}).get("crashed", False):
+                continue
+            done[int(entry["point"])] = entry
+        return done
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _RunTimeout(BaseException):
+    """Raised by the SIGALRM handler when a run exceeds its budget.
+
+    Derives from ``BaseException`` so application-level ``except
+    Exception`` blocks inside the workload cannot swallow it.
+    """
+
+
+class _WorkerState:
+    """Per-process campaign: the worker's own weave of the subject."""
+
+    def __init__(self, program, capture_args: bool, timeout: Optional[float], retries: int) -> None:
+        self.program = program
+        self.timeout = timeout
+        self.retries = retries
+        self.campaign = InjectionCampaign(capture_args=capture_args)
+        self.weaver = Weaver(
+            lambda spec: make_injection_wrapper(spec, self.campaign),
+            Analyzer(exclude=program.exclude),
+        )
+        self.weaver.weave_classes(program.classes)
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _init_worker(
+    ref: ProgramRef, capture_args: bool, timeout: Optional[float], retries: int
+) -> None:
+    global _WORKER
+    _WORKER = _WorkerState(ref.resolve(), capture_args, timeout, retries)
+
+
+def _alarm_handler(signum, frame):
+    raise _RunTimeout()
+
+
+def _run_point_with_retry(
+    state: _WorkerState, point: int
+) -> Tuple[RunRecord, Optional[str], int, bool]:
+    """Execute one point, retrying on timeout; returns
+    ``(record, genuine_failure, attempts, crashed)``."""
+    use_alarm = state.timeout is not None and hasattr(signal, "setitimer")
+    attempts = 0
+    while True:
+        attempts += 1
+        previous_handler = None
+        if use_alarm:
+            previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, state.timeout)
+        try:
+            record, failure = run_injection_point(
+                state.program,
+                state.campaign,
+                point,
+                reraise=(_RunTimeout,),
+            )
+            return record, failure, attempts, False
+        except _RunTimeout:
+            # Drop the partial record the aborted run left in the log.
+            runs = state.campaign.log.runs
+            if runs and runs[-1].injection_point == point:
+                runs.pop()
+            if attempts > state.retries:
+                return RunRecord(injection_point=point, crashed=True), None, attempts, True
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous_handler)
+
+
+def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:
+    """Pool task: execute a contiguous chunk of injection points."""
+    chunk_index, points = task
+    assert _WORKER is not None, "worker initializer did not run"
+    started = time.perf_counter()
+    results = []
+    for point in points:
+        record, failure, attempts, crashed = _run_point_with_retry(_WORKER, point)
+        results.append(
+            {
+                "point": point,
+                "record": record.to_dict(),
+                "genuine_failure": failure,
+                "attempts": attempts,
+                "crashed": crashed,
+            }
+        )
+    return {
+        "chunk": chunk_index,
+        "worker": os.getpid(),
+        "busy_seconds": time.perf_counter() - started,
+        "results": results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class ParallelDetector:
+    """Parallel drop-in for :class:`repro.core.Detector`.
+
+    Profiles once in the parent process (weave → count points → unweave),
+    fans the per-point runs out over a process pool, and merges the
+    worker logs into a result equivalent to the sequential engine's.
+
+    Args:
+        program: the test program (an ``AppProgram``; must be resolvable
+            in the worker — registry programs work out of the box,
+            custom ones need ``program_ref``).
+        workers: worker process count (default: the machine's CPUs).
+        stride: sample every *stride*-th injection point.
+        capture_args: forwarded to each worker's campaign.
+        timeout: per-run wall-clock budget in seconds (``None`` = none).
+        retries: retry attempts per point after a timeout before the
+            point is marked crashed.
+        chunk_size: points per pool task; defaults to ~4 tasks per worker.
+        journal_path: where to persist the campaign journal (JSONL).
+        resume: skip points already completed in the journal.
+        progress: optional ``(runs_done, runs_total)`` callback.
+        program_ref: explicit worker-side recipe for non-registry programs.
+        mp_start_method: multiprocessing start method (default ``fork``
+            when available, else the platform default).
+    """
+
+    def __init__(
+        self,
+        program,
+        *,
+        workers: Optional[int] = None,
+        stride: int = 1,
+        capture_args: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        chunk_size: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
+        program_ref: Optional[ProgramRef] = None,
+        mp_start_method: Optional[str] = None,
+    ) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if resume and journal_path is None:
+            raise ValueError("resume=True requires a journal_path")
+        self.program = program
+        self.workers = workers or os.cpu_count() or 1
+        self.stride = stride
+        self.capture_args = capture_args
+        self.timeout = timeout
+        self.retries = retries
+        self.chunk_size = chunk_size
+        self.journal_path = journal_path
+        self.resume = resume
+        self.progress = progress
+        self.ref = program_ref or ProgramRef.for_program(program)
+        self.mp_start_method = mp_start_method
+        self.woven_specs: List[MethodSpec] = []
+
+    # -- phases ------------------------------------------------------
+
+    def _profile(self) -> Tuple[int, RunLog]:
+        """Weave + profile in the parent; returns (total points, profile log).
+
+        The profile log carries the per-method call counts (Figures
+        2b/3b) and no runs; the parent unweaves immediately so worker
+        processes (forked afterwards) start from clean classes.
+        """
+        campaign = InjectionCampaign(capture_args=self.capture_args)
+        weaver = Weaver(
+            lambda spec: make_injection_wrapper(spec, campaign),
+            Analyzer(exclude=self.program.exclude),
+        )
+        with weaver:
+            self.woven_specs = weaver.weave_classes(self.program.classes)
+            campaign.begin_profile()
+            try:
+                self.program()
+            except BaseException as exc:
+                raise DetectionError(
+                    f"program {self.program.name!r} failed during profiling: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            finally:
+                total = campaign.end_profile()
+        return total, campaign.log
+
+    def _chunks(self, points: List[int]) -> List[Tuple[int, List[int]]]:
+        if not points:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(points) / (self.workers * 4)))
+        return [
+            (index, points[start : start + size])
+            for index, start in enumerate(range(0, len(points), size))
+        ]
+
+    def _pool_context(self):
+        import multiprocessing
+
+        if self.mp_start_method is not None:
+            return multiprocessing.get_context(self.mp_start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    # -- the campaign ------------------------------------------------
+
+    def detect(self) -> DetectionResult:
+        started = time.perf_counter()
+        total, profile_log = self._profile()
+        profiled = time.perf_counter()
+
+        points = plan_points(total, stride=self.stride)
+        header = {
+            "program": self.program.name,
+            "rounds": self.program.rounds,
+            "stride": self.stride,
+            "total_points": total,
+            "capture_args": self.capture_args,
+        }
+
+        journal: Optional[CampaignJournal] = None
+        resumed: Dict[int, Dict[str, Any]] = {}
+        if self.journal_path is not None:
+            journal = CampaignJournal(self.journal_path)
+            if self.resume:
+                resumed = journal.load(header)
+                resumed = {p: e for p, e in resumed.items() if p in set(points)}
+            if not resumed:
+                journal.start(header)
+
+        remaining = [p for p in points if p not in resumed]
+        chunks = self._chunks(remaining)
+        done = len(resumed)
+        if self.progress is not None and done:
+            self.progress(done, len(points))
+
+        by_point: Dict[int, Dict[str, Any]] = dict(resumed)
+        busy: Dict[str, float] = {}
+        retry_count = 0
+        crashed_count = 0
+        if chunks:
+            ctx = self._pool_context()
+            pool = ctx.Pool(
+                processes=min(self.workers, len(chunks)),
+                initializer=_init_worker,
+                initargs=(self.ref, self.capture_args, self.timeout, self.retries),
+            )
+            try:
+                for outcome in pool.imap_unordered(_run_chunk, chunks):
+                    worker_id = str(outcome["worker"])
+                    busy[worker_id] = (
+                        busy.get(worker_id, 0.0) + outcome["busy_seconds"]
+                    )
+                    for result in outcome["results"]:
+                        point = result["point"]
+                        by_point[point] = result
+                        retry_count += result["attempts"] - 1
+                        if result["crashed"]:
+                            crashed_count += 1
+                        if journal is not None:
+                            journal.append_run(
+                                point,
+                                RunRecord.from_dict(result["record"]),
+                                result["genuine_failure"],
+                                result["attempts"],
+                            )
+                        done += 1
+                        if self.progress is not None:
+                            self.progress(done, len(points))
+            finally:
+                pool.close()
+                pool.join()
+        executed = time.perf_counter()
+
+        # Deterministic merge: call counts from the parent's profiling
+        # run, run records in planned-point order — the exact layout the
+        # sequential engine's single log has.
+        runs_log = RunLog()
+        genuine_failures: List[str] = []
+        for point in points:
+            entry = by_point[point]
+            runs_log.runs.append(RunRecord.from_dict(entry["record"]))
+            if entry.get("genuine_failure"):
+                genuine_failures.append(entry["genuine_failure"])
+        merged = merge_logs([profile_log, runs_log])
+        finished = time.perf_counter()
+
+        wall = finished - started
+        execute_wall = executed - profiled
+        executed_runs = len(points) - len(resumed)
+        utilization = 0.0
+        if busy and execute_wall > 0:
+            pool_size = min(self.workers, len(chunks)) or 1
+            utilization = min(
+                1.0, sum(busy.values()) / (pool_size * execute_wall)
+            )
+        telemetry = CampaignTelemetry(
+            engine="parallel",
+            workers=self.workers,
+            runs_total=len(points),
+            runs_executed=executed_runs,
+            runs_resumed=len(resumed),
+            runs_crashed=crashed_count,
+            retries=retry_count,
+            wall_seconds=wall,
+            runs_per_second=(executed_runs / wall) if wall > 0 else 0.0,
+            phase_seconds={
+                "profile": profiled - started,
+                "execute": execute_wall,
+                "merge": finished - executed,
+            },
+            worker_busy_seconds=busy,
+            worker_utilization=utilization,
+        )
+        return DetectionResult(
+            program=self.program.name,
+            log=merged,
+            total_points=total,
+            runs_executed=len(points),
+            genuine_failures=genuine_failures,
+            telemetry=telemetry,
+        )
+
+
+def run_parallel_detection(program, **kwargs) -> DetectionResult:
+    """One-call convenience wrapper around :class:`ParallelDetector`."""
+    return ParallelDetector(program, **kwargs).detect()
