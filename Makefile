@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke reproduce examples clean
+.PHONY: install test bench bench-smoke fuzz-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,15 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_parallel_campaign.py --benchmark-only -s
+
+# Fixed-seed differential fuzzing sweep plus the classifier-mutation
+# self-check (< 60 s).  A failure shrinks the first failing program and
+# leaves fuzz-reproducer.json behind; CI uploads it as an artifact.
+# Reproduce with: repro fuzz --replay fuzz-reproducer.json
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seed 20260806 --programs 50 \
+		--reproducer-out fuzz-reproducer.json
+	$(PYTHON) -m repro fuzz --self-check --seed 20260806 --programs 8
 
 reproduce:
 	$(PYTHON) -m repro reproduce --out RESULTS.md

@@ -18,6 +18,11 @@ Subcommands::
     python -m repro detect LinkedList --workers 4 --journal c.jsonl --resume
                                              parallel engine, resumable
     python -m repro validate LinkedList      detect -> mask -> re-detect
+    python -m repro validate LinkedList --strategy undolog
+                                             undo-log checkpointing
+    python -m repro fuzz --seed 7 --programs 200
+                                             differential fuzzing vs oracle
+    python -m repro fuzz --self-check        plant defects, assert caught
     python -m repro table1                   regenerate Table 1
     python -m repro figure 3                 regenerate Figure 2/3/4
     python -m repro fig5                     masking overhead grid
@@ -114,9 +119,106 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         stride=args.stride,
         policy=load_policy(args.policy),
         wrap_conditional=args.wrap_conditional,
+        strategy=args.strategy,
     )
     print(validation.summary())
     return 0 if validation.masking_effective else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        ProgramSpec,
+        check_program,
+        make_failure_predicate,
+        run_fuzz,
+        run_self_check,
+        shrink,
+    )
+
+    if args.self_check:
+        results = run_self_check(
+            args.seed,
+            programs_per_defect=args.programs or 8,
+            max_depth=args.max_depth,
+            workers=args.workers,
+        )
+        for defect, caught in sorted(results.items()):
+            print(f"  {'caught ' if caught else 'MISSED '} {defect}")
+        if all(results.values()):
+            print("self-check passed: every planted defect was caught")
+            return 0
+        print("self-check FAILED: a planted defect went unnoticed",
+              file=sys.stderr)
+        return 1
+
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            spec = ProgramSpec.from_json(handle.read())
+        verdict = check_program(spec, engine=args.engine, workers=args.workers)
+        if verdict.ok:
+            print(f"{spec.name}: all checks pass")
+            return 0
+        for mismatch in verdict.mismatches:
+            print(f"  {mismatch.check}: {mismatch.detail}")
+        return 1
+
+    def progress(done: int, total: int, verdict) -> None:
+        for mismatch in verdict.mismatches:
+            print(
+                f"[{done}/{total}] MISMATCH {mismatch.check} in "
+                f"{mismatch.program}: {mismatch.detail}",
+                file=sys.stderr,
+            )
+
+    report = run_fuzz(
+        args.seed,
+        args.programs,
+        max_depth=args.max_depth,
+        engine=args.engine,
+        workers=args.workers,
+        progress=progress,
+    )
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    print(
+        f"fuzzed {report.programs} programs (seed {report.seed}, engine "
+        f"{report.engine}): {report.total_runs} campaign runs over "
+        f"{report.total_points} injection points, methods by category "
+        f"{report.category_counts}"
+    )
+    if report.ok:
+        print("zero oracle mismatches across engines and checkpoint strategies")
+        return 0
+    print(
+        f"{len(report.mismatches)} mismatch(es) in "
+        f"{len(report.failing_programs)} program(s)",
+        file=sys.stderr,
+    )
+    first = report.failing_programs[0]
+    index = int(first.rsplit("-", 1)[1])
+    from repro.fuzz import generate_program
+
+    spec = generate_program(args.seed, index, max_depth=args.max_depth)
+    if not args.no_shrink:
+        checks = {m.check for m in report.mismatches if m.program == first}
+        print(f"shrinking {first} (budget {args.max_shrink_evals} evals)...",
+              file=sys.stderr)
+        spec = shrink(
+            spec,
+            make_failure_predicate(
+                checks, engine=args.engine, workers=args.workers
+            ),
+            max_evals=args.max_shrink_evals,
+        )
+    with open(args.reproducer_out, "w", encoding="utf-8") as handle:
+        handle.write(spec.to_json() + "\n")
+    print(
+        f"minimal reproducer written to {args.reproducer_out}; replay with: "
+        f"python -m repro fuzz --replay {args.reproducer_out}",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -259,7 +361,43 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--stride", type=int, default=1)
     validate.add_argument("--policy", help="JSON policy file")
     validate.add_argument("--wrap-conditional", action="store_true")
+    validate.add_argument(
+        "--strategy", choices=("snapshot", "undolog"), default="snapshot",
+        help="checkpoint strategy for the masked re-detection: eager deep "
+             "copy (snapshot) or write-barrier undo log (undolog; only "
+             "sound for attribute-reassignment state)")
     validate.set_defaults(func=_cmd_validate)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs vs a ground-truth oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=7)
+    fuzz.add_argument("--programs", type=int, default=100,
+                      help="number of generated programs to check")
+    fuzz.add_argument("--max-depth", type=int, default=3,
+                      help="bound on the generated class-graph depth")
+    fuzz.add_argument("--engine", choices=("sequential", "parallel", "both"),
+                      default="both",
+                      help="which detection engine(s) to cross-check")
+    fuzz.add_argument("--workers", type=int, default=2,
+                      help="worker processes for the parallel engine")
+    fuzz.add_argument("--self-check", action="store_true",
+                      help="plant known defects (classifier swap, merge "
+                           "reorder, rollback removal) and assert the "
+                           "fuzzer catches each one")
+    fuzz.add_argument("--replay", metavar="FILE",
+                      help="re-run the checks on a saved reproducer spec")
+    fuzz.add_argument("--report-out", metavar="FILE",
+                      help="write the deterministic report JSON here")
+    fuzz.add_argument("--reproducer-out", metavar="FILE",
+                      default="fuzz-reproducer.json",
+                      help="where to write the shrunk failing spec")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="write the original failing spec without shrinking")
+    fuzz.add_argument("--max-shrink-evals", type=int, default=200,
+                      help="budget of harness evaluations while shrinking")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     table = sub.add_parser("table1", help="regenerate Table 1")
     table.add_argument("--stride", type=int, default=1)

@@ -27,6 +27,7 @@ __all__ = [
     "install_write_barrier",
     "remove_write_barrier",
     "failure_atomic_undolog",
+    "make_undolog_atomicity_wrapper",
 ]
 
 _MISSING = object()
@@ -63,6 +64,23 @@ class UndoLog:
             else:
                 object.__setattr__(obj, name, old)
 
+    def absorb(self, child: "UndoLog") -> None:
+        """Adopt a nested log's entries (the oldest saved value wins).
+
+        When a nested checkpointed region commits, its writes become part
+        of the enclosing region's tentative state: if the enclosing region
+        later fails, those writes must be rolled back too.  Keys this log
+        already recorded keep their own (older) saved value.  Absorbing a
+        child that was rolled back is harmless — restoring an attribute to
+        its pre-child value a second time is idempotent.
+        """
+        for obj, name, old in child._entries:
+            key = (id(obj), name)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._entries.append((obj, name, old))
+
     @property
     def recorded_writes(self) -> int:
         return len(self._entries)
@@ -75,6 +93,11 @@ class UndoLog:
 
     def __exit__(self, *exc_info: object) -> None:
         _ACTIVE_LOGS.pop()
+        # Commit-to-parent: without this, a nested masked method that
+        # completes successfully would leave the enclosing log blind to
+        # its writes, making the *outer* method's rollback incomplete.
+        if _ACTIVE_LOGS:
+            _ACTIVE_LOGS[-1].absorb(self)
 
 
 _BARRIER_ATTR = "_repro_original_setattr"
@@ -117,6 +140,40 @@ def remove_write_barrier(cls: type) -> None:
     cls.__delattr__ = vars(cls)[_BARRIER_DELATTR]  # type: ignore[method-assign]
     delattr(cls, _BARRIER_ATTR)
     delattr(cls, _BARRIER_DELATTR)
+
+
+def make_undolog_atomicity_wrapper(spec: Any, *, stats: Any = None) -> Callable:
+    """Spec-based atomicity wrapper backed by the undo log.
+
+    The counterpart of
+    :func:`repro.core.masking.make_atomicity_wrapper` for the write-barrier
+    strategy, so the masking validation can weave either strategy through
+    the same :class:`~repro.core.weaver.Weaver` machinery.  ``stats`` is a
+    :class:`~repro.core.masking.MaskingStats`; the checkpointed-object
+    count is reported as the number of *recorded writes* rolled back —
+    there is no up-front copy to count, which is the strategy's point.
+    """
+    original = spec.func
+
+    @functools.wraps(original)
+    def atomic_m(*args: Any, **kwargs: Any) -> Any:
+        log = UndoLog()
+        if stats is not None:
+            stats.note_call(spec.key, 0)
+        with log:
+            try:
+                return original(*args, **kwargs)
+            except BaseException:
+                log.rollback()
+                if stats is not None:
+                    stats.checkpointed_objects += log.recorded_writes
+                    stats.note_rollback(spec.key)
+                raise
+
+    atomic_m._repro_wrapped = original  # type: ignore[attr-defined]
+    atomic_m._repro_spec = spec  # type: ignore[attr-defined]
+    atomic_m._repro_kind = "atomicity-undolog"  # type: ignore[attr-defined]
+    return atomic_m
 
 
 def failure_atomic_undolog(func: Callable) -> Callable:

@@ -49,6 +49,7 @@ class InjectionCampaign:
         *,
         capture_args: bool = True,
         ignore_attrs: Optional[Callable[[str], bool]] = None,
+        max_graph_nodes: Optional[int] = None,
     ) -> None:
         self.point = 0
         self.injection_point = 0
@@ -56,6 +57,11 @@ class InjectionCampaign:
         self.enabled = False
         self.capture_args = capture_args
         self.ignore_attrs = ignore_attrs
+        #: Optional node budget for state captures.  A capture that
+        #: exceeds it raises CaptureLimitError *instead of* producing a
+        #: partial graph, so no truncated-graph verdict can ever be
+        #: recorded in the run log; the run surfaces as a genuine failure.
+        self.max_graph_nodes = max_graph_nodes
         self.current_run: Optional[RunRecord] = None
         self._suspended = 0
         self._owner_thread: Optional[int] = None
@@ -155,7 +161,9 @@ class InjectionCampaign:
         """
         with self.suspend():
             return capture_frame(
-                self._roots(spec, args, kwargs), ignore_attrs=self.ignore_attrs
+                self._roots(spec, args, kwargs),
+                ignore_attrs=self.ignore_attrs,
+                max_nodes=self.max_graph_nodes,
             )
 
     def _roots(

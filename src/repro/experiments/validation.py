@@ -8,6 +8,16 @@ masked program*: atomicity wrappers are woven first (innermost), then
 injection wrappers on top, so every injected or genuine exception passes
 through the rollback before the detector compares object graphs.
 
+Two checkpoint strategies can back the atomicity wrappers:
+
+* ``"snapshot"`` — the eager deep copy of Listing 2 (the default).
+* ``"undolog"`` — the §6.2 copy-on-write extension
+  (:mod:`repro.core.cow`): a write barrier is installed on every program
+  class for the duration of the masked campaign, and rollback replays
+  the undo log.  Only sound for programs whose state changes through
+  attribute (re)assignment; in-place container mutation bypasses the
+  barrier, so such an application honestly reports INEFFECTIVE.
+
 The expected verdict — asserted by tests and reported by the harness —
 is that every method that was wrapped is classified failure atomic in
 the second campaign.
@@ -15,20 +25,28 @@ the second campaign.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core import (
     Analyzer,
     InjectionCampaign,
-    Masker,
     MaskingStats,
     WrapPolicy,
     make_injection_wrapper,
     reclassify,
 )
 from repro.core.classify import CATEGORY_ATOMIC, ClassificationResult
-from repro.core.detector import Detector
+from repro.core.cow import (
+    install_write_barrier,
+    make_undolog_atomicity_wrapper,
+    remove_write_barrier,
+)
+from repro.core.detector import DetectionResult, Detector
+from repro.core.exceptions import InjectionAbort
+from repro.core.masking import make_atomicity_wrapper
+from repro.core.objgraph import capture_frame, graph_diff, graphs_equal
 from repro.core.policy import select_methods_to_wrap
 from repro.core.runlog import MethodKey
 from repro.core.weaver import Weaver
@@ -36,7 +54,31 @@ from repro.core.weaver import Weaver
 from .campaign import CampaignOutcome, run_app_campaign
 from .programs import AppProgram
 
-__all__ = ["MaskingValidation", "validate_masking"]
+__all__ = [
+    "GraphCheck",
+    "MaskingValidation",
+    "STRATEGIES",
+    "mask_and_redetect",
+    "validate_masking",
+]
+
+#: Supported checkpoint strategies for the masked re-detection.
+STRATEGIES = ("snapshot", "undolog")
+
+
+@dataclass
+class GraphCheck:
+    """One rollback observation from the checker layer.
+
+    Recorded every time an exception propagates out of a masked method:
+    ``restored`` says whether the receiver's post-rollback object graph
+    equals the graph captured on entry (the observable definition of
+    failure atomicity), ``detail`` carries the first difference when not.
+    """
+
+    method: MethodKey
+    restored: bool
+    detail: Optional[str] = None
 
 
 @dataclass
@@ -48,6 +90,7 @@ class MaskingValidation:
     wrapped: List[MethodKey]
     second_classification: ClassificationResult
     masking_stats: MaskingStats
+    strategy: str = "snapshot"
 
     @property
     def still_nonatomic(self) -> List[MethodKey]:
@@ -67,7 +110,8 @@ class MaskingValidation:
     def summary(self) -> str:
         verdict = "EFFECTIVE" if self.masking_effective else "INEFFECTIVE"
         return (
-            f"{self.program_name}: masked {len(self.wrapped)} methods, "
+            f"{self.program_name}: masked {len(self.wrapped)} methods "
+            f"({self.strategy}), "
             f"{self.masking_stats.rollbacks} rollbacks during re-detection, "
             f"masking {verdict}"
             + (
@@ -78,12 +122,153 @@ class MaskingValidation:
         )
 
 
+def _make_graph_checker(spec, records: List[GraphCheck]):
+    """Wrapper layer observing whether rollback actually restored state.
+
+    Woven *between* the atomicity wrapper (inner) and the injection
+    wrapper (outer), it captures the receiver's graph on entry and, when
+    an exception unwinds through it — i.e. after the atomicity wrapper's
+    rollback ran — captures again and records whether the graphs match.
+    It adds no injection points and never swallows the exception.
+    """
+    original = spec.func
+    has_receiver = spec.has_receiver
+
+    @functools.wraps(original)
+    def check_m(*args, **kwargs):
+        receiver = args[0] if has_receiver and args else None
+        if receiver is None:
+            return original(*args, **kwargs)
+        before = capture_frame([("self", receiver)])
+        try:
+            return original(*args, **kwargs)
+        except InjectionAbort:
+            raise
+        except BaseException:
+            after = capture_frame([("self", receiver)])
+            if graphs_equal(before, after):
+                records.append(GraphCheck(spec.key, True))
+            else:
+                records.append(
+                    GraphCheck(spec.key, False, str(graph_diff(before, after)))
+                )
+            raise
+
+    check_m._repro_wrapped = original  # type: ignore[attr-defined]
+    check_m._repro_spec = spec  # type: ignore[attr-defined]
+    check_m._repro_kind = "graph-checker"  # type: ignore[attr-defined]
+    return check_m
+
+
+def mask_and_redetect(
+    program: AppProgram,
+    to_wrap: List[MethodKey],
+    *,
+    strategy: str = "snapshot",
+    stride: int = 1,
+    policy: Optional[WrapPolicy] = None,
+    stats: Optional[MaskingStats] = None,
+    graph_checks: Optional[List[GraphCheck]] = None,
+    atomic_factory=None,
+) -> Tuple[DetectionResult, ClassificationResult]:
+    """Weave atomicity wrappers for *to_wrap*, re-run the campaign.
+
+    Layering, innermost first: original method → atomicity wrapper
+    (masked methods only) → graph checker (masked methods, when
+    ``graph_checks`` is given — observations are appended to that list)
+    → injection wrapper (every method).  All wrappers preserve the
+    method's declared-exception metadata, so the masked campaign has the
+    same injection points, in the same order, as the original one.
+
+    Args:
+        strategy: ``"snapshot"`` or ``"undolog"`` (see module docstring).
+        policy: merged into the woven specs' exception-free policy before
+            the final classification.
+        atomic_factory: override the strategy's wrapper factory (a
+            ``MethodSpec -> callable``); the fuzz harness's self-check
+            uses this to plant a rollback-free wrapper and assert the
+            differential checks notice.
+
+    Returns:
+        ``(detection, classification)`` of the masked campaign.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if stats is None:
+        stats = MaskingStats()
+    wrap_set = set(to_wrap)
+    analyzer = Analyzer(exclude=program.exclude)
+    if atomic_factory is None:
+        if strategy == "snapshot":
+            atomic_factory = lambda spec: make_atomicity_wrapper(  # noqa: E731
+                spec, stats=stats
+            )
+        else:
+            atomic_factory = lambda spec: make_undolog_atomicity_wrapper(  # noqa: E731
+                spec, stats=stats
+            )
+    campaign = InjectionCampaign()
+    atomic_weaver = Weaver(atomic_factory, analyzer)
+    checker_weaver = (
+        Weaver(lambda spec: _make_graph_checker(spec, graph_checks), analyzer)
+        if graph_checks is not None
+        else None
+    )
+    injection_weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    )
+
+    def weave_selected(weaver: Weaver) -> None:
+        for cls in program.classes:
+            wanted = [
+                spec.name
+                for spec in analyzer.analyze_class(cls)
+                if spec.key in wrap_set
+            ]
+            if wanted:
+                weaver.weave_class(cls, methods=wanted)
+
+    barriered: List[type] = []
+    try:
+        if strategy == "undolog":
+            for cls in program.classes:
+                install_write_barrier(cls)
+                barriered.append(cls)
+        with atomic_weaver:
+            weave_selected(atomic_weaver)
+            if checker_weaver is not None:
+                with checker_weaver:
+                    weave_selected(checker_weaver)
+                    with injection_weaver:
+                        specs = injection_weaver.weave_classes(program.classes)
+                        detection = Detector(
+                            program, campaign, stride=stride
+                        ).detect()
+            else:
+                with injection_weaver:
+                    specs = injection_weaver.weave_classes(program.classes)
+                    detection = Detector(
+                        program, campaign, stride=stride
+                    ).detect()
+        effective = WrapPolicy.from_specs(specs)
+        if policy is not None:
+            effective = effective.merged_with(policy)
+        classification = reclassify(detection.log, effective)
+    finally:
+        for cls in barriered:
+            remove_write_barrier(cls)
+    return detection, classification
+
+
 def validate_masking(
     program: AppProgram,
     *,
     stride: int = 1,
     policy: Optional[WrapPolicy] = None,
     wrap_conditional: bool = False,
+    strategy: str = "snapshot",
 ) -> MaskingValidation:
     """Detect, mask, and re-detect; return both campaigns' verdicts.
 
@@ -94,6 +279,7 @@ def validate_masking(
         wrap_conditional: also wrap conditional methods (§4.3 says this
             is unnecessary — the validation proves it, since conditional
             methods come back atomic once their pure callees are masked).
+        strategy: checkpoint strategy for the masked campaign's wrappers.
     """
     first = run_app_campaign(program, stride=stride, policy=policy)
     selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
@@ -102,28 +288,19 @@ def validate_masking(
     to_wrap = select_methods_to_wrap(first.classification, selection_policy)
 
     stats = MaskingStats()
-    analyzer = Analyzer(exclude=program.exclude)
-    masker = Masker(to_wrap, stats=stats, analyzer=analyzer)
-    campaign = InjectionCampaign()
-    injection_weaver = Weaver(
-        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    _, second = mask_and_redetect(
+        program,
+        to_wrap,
+        strategy=strategy,
+        stride=stride,
+        policy=policy,
+        stats=stats,
     )
-    with masker:
-        # innermost: the atomicity wrappers (the corrected program P_C)
-        masker.mask_classes(program.classes)
-        with injection_weaver:
-            # outermost: the injection wrappers observing P_C
-            specs = injection_weaver.weave_classes(program.classes)
-            detector = Detector(program, campaign, stride=stride)
-            detection = detector.detect()
-        effective = WrapPolicy.from_specs(specs)
-        if policy is not None:
-            effective = effective.merged_with(policy)
-        second = reclassify(detection.log, effective)
     return MaskingValidation(
         program_name=program.name,
         first=first,
         wrapped=to_wrap,
         second_classification=second,
         masking_stats=stats,
+        strategy=strategy,
     )

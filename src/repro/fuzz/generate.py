@@ -1,0 +1,142 @@
+"""Seeded, deterministic generation of random subject programs.
+
+Each program is derived from ``random.Random(seed * 1000003 + index)``,
+so program *index* of a batch is a pure function of ``(seed, index)`` —
+the same seed always yields byte-identical specs (and therefore
+byte-identical campaign logs and fuzz reports), independent of batch
+size or which other programs ran before it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .spec import (
+    OP_APPEND,
+    OP_CALL,
+    OP_INC,
+    OP_NOOP_WRITE,
+    OP_RAISE,
+    OP_SELF_CALL,
+    ClassDef,
+    MethodDef,
+    ProgramSpec,
+)
+
+__all__ = ["generate_program", "generate_batch"]
+
+#: Multiplier decorrelating per-program streams derived from one seed.
+_STREAM_STRIDE = 1000003
+
+#: Upper bound on classes per program (small keeps campaigns fast while
+#: still producing every category mix).
+_MAX_CLASSES = 4
+_MAX_METHODS = 2
+_MAX_OPS = 3
+_MAX_CHILDREN = 2
+_MAX_WORKLOAD = 3
+
+
+def _gen_ops(
+    rng: random.Random,
+    method_index: int,
+    method_count: int,
+    children: Tuple[int, ...],
+    method_counts: List[int],
+) -> Tuple[Tuple, ...]:
+    """A random straight-line body for method ``m<method_index>``."""
+    ops: List[Tuple] = []
+    for _ in range(rng.randint(1, _MAX_OPS)):
+        choices = [(OP_INC, 30), (OP_APPEND, 15), (OP_NOOP_WRITE, 10), (OP_RAISE, 10)]
+        if children:
+            choices.append((OP_CALL, 30))
+        if method_index < method_count - 1:
+            choices.append((OP_SELF_CALL, 10))
+        total = sum(weight for _, weight in choices)
+        pick = rng.randrange(total)
+        for kind, weight in choices:
+            if pick < weight:
+                break
+            pick -= weight
+        if kind == OP_APPEND:
+            ops.append((OP_APPEND, rng.randint(0, 9)))
+        elif kind == OP_CALL:
+            slot = rng.randrange(len(children))
+            target = rng.randrange(method_counts[children[slot]])
+            ops.append((OP_CALL, slot, target))
+        elif kind == OP_SELF_CALL:
+            ops.append((OP_SELF_CALL, rng.randint(method_index + 1, method_count - 1)))
+        else:
+            ops.append((kind,))
+    return tuple(ops)
+
+
+def generate_program(seed: int, index: int, *, max_depth: int = 3) -> ProgramSpec:
+    """Generate program *index* of the batch for *seed*.
+
+    Args:
+        max_depth: bound on the class-DAG depth (children always have a
+            strictly larger class index, so capping the class count at
+            ``max_depth + 1`` caps every root-to-leaf chain).
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    rng = random.Random(seed * _STREAM_STRIDE + index)
+    class_count = rng.randint(1, min(_MAX_CLASSES, max_depth + 1))
+
+    classes: List[ClassDef] = []
+    method_counts: List[int] = [
+        rng.randint(1, _MAX_METHODS) for _ in range(class_count)
+    ]
+    for i in range(class_count):
+        child_budget = min(_MAX_CHILDREN, class_count - 1 - i)
+        children = tuple(
+            rng.randint(i + 1, class_count - 1)
+            for _ in range(rng.randint(0, child_budget))
+        )
+        methods: List[MethodDef] = []
+        for m in range(method_counts[i]):
+            declares = rng.random() < 0.3
+            ops = _gen_ops(rng, m, method_counts[i], children, method_counts)
+            raises = any(
+                op[0] in (OP_RAISE, OP_CALL, OP_SELF_CALL) for op in ops
+            )
+            methods.append(
+                MethodDef(
+                    name=f"m{m}",
+                    ops=ops,
+                    declares=declares,
+                    exception_free=(
+                        not declares and not raises and rng.random() < 0.3
+                    ),
+                )
+            )
+        classes.append(
+            ClassDef(
+                name=f"F{i}",
+                children=children,
+                methods=tuple(methods),
+                scalars_first=rng.random() < 0.5,
+            )
+        )
+
+    workload = tuple(
+        rng.randrange(method_counts[0])
+        for _ in range(rng.randint(1, _MAX_WORKLOAD))
+    )
+    return ProgramSpec(
+        name=f"fuzz-{seed}-{index}",
+        classes=tuple(classes),
+        workload=workload,
+    )
+
+
+def generate_batch(
+    seed: int, count: int, *, max_depth: int = 3
+) -> List[ProgramSpec]:
+    """Generate ``count`` independent programs for *seed*."""
+    return [
+        generate_program(seed, index, max_depth=max_depth)
+        for index in range(count)
+    ]

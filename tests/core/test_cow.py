@@ -77,6 +77,54 @@ def test_nested_logs_innermost_records(barriered):
     assert counter.value == 0
 
 
+def test_nested_commit_absorbed_into_outer(barriered):
+    """A nested log that commits hands its entries to the enclosing log:
+    the outer rollback must undo the inner region's writes too."""
+    counter = Counter()
+    outer = UndoLog()
+    with outer:
+        counter.value = 1
+        with UndoLog():
+            counter.history = 7  # inner region commits
+    assert outer.recorded_writes == 2
+    outer.rollback()
+    assert counter.value == 0
+    assert counter.history == 0
+
+
+def test_absorb_keeps_oldest_saved_value(barriered):
+    """When both logs recorded the same attribute, the outer log's own
+    (older) saved value wins over the absorbed child entry."""
+    counter = Counter()
+    outer = UndoLog()
+    with outer:
+        counter.value = 1  # outer records old value 0
+        with UndoLog():
+            counter.value = 2  # inner records old value 1, then commits
+    outer.rollback()
+    assert counter.value == 0  # not 1
+
+
+def test_nested_masked_commit_then_outer_failure_restores_all(barriered):
+    """Regression: an outer masked method must roll back the writes of an
+    inner masked method that completed successfully before the outer
+    failure (absent commit-to-parent, history stayed at 1)."""
+
+    def inner(counter):
+        counter.history += 1
+
+    def outer_body(counter):
+        counter.value = 10
+        failure_atomic_undolog(inner)(counter)
+        raise ValueError("late failure")
+
+    counter = Counter()
+    with pytest.raises(ValueError):
+        failure_atomic_undolog(outer_body)(counter)
+    assert counter.value == 0
+    assert counter.history == 0
+
+
 def test_failure_atomic_undolog_wrapper(barriered):
     wrapped = failure_atomic_undolog(Counter.bump_then_fail)
     counter = Counter()

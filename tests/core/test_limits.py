@@ -62,6 +62,99 @@ def test_budget_failure_leaves_target_untouched():
     assert head.value == snapshot_of_value  # capture never mutates
 
 
+# -- capture budget during detection ---------------------------------------
+#
+# When a state capture inside the injection wrapper blows the node budget
+# the run must surface as a genuine failure and record *no* verdict: a
+# graph truncated mid-traversal must never leak into the detection log as
+# if it were a faithful snapshot.
+
+
+def _detect(cls, workload, max_graph_nodes=None):
+    from repro.core.detector import CallableProgram, Detector
+    from repro.core.injection import InjectionCampaign, make_injection_wrapper
+    from repro.core.weaver import Weaver
+
+    campaign = InjectionCampaign(max_graph_nodes=max_graph_nodes)
+    weaver = Weaver(lambda spec: make_injection_wrapper(spec, campaign))
+    weaver.weave_class(cls)
+    try:
+        return Detector(CallableProgram("limit-test", workload), campaign).detect()
+    finally:
+        weaver.unweave_all()
+
+
+class FatReceiver:
+    """Receiver too large to capture even before the method runs."""
+
+    def __init__(self):
+        self.blobs = [[i] for i in range(40)]
+        self.flag = 0
+
+    def poke(self):
+        self.flag += 1
+        raise ValueError("boom")
+
+
+def _fat_workload():
+    receiver = FatReceiver()
+    try:
+        receiver.poke()
+    except ValueError:
+        pass
+
+
+def test_before_capture_budget_is_genuine_failure_not_verdict():
+    result = _detect(FatReceiver, _fat_workload, max_graph_nodes=30)
+    assert any("CaptureLimitError" in f for f in result.genuine_failures)
+    for run in result.log.runs:
+        assert not run.marks  # no partial-graph verdict leaked
+
+
+class Grower:
+    """Receiver small at entry; the method inflates it past the budget
+    before raising, so only the *after* capture can exceed."""
+
+    def __init__(self):
+        self.blobs = []
+
+    def grow_then_fail(self):
+        self.blobs = self.blobs + [[i] for i in range(60)]
+        raise ValueError("boom")
+
+
+def _grower_workload():
+    grower = Grower()
+    try:
+        grower.grow_then_fail()
+    except ValueError:
+        pass
+
+
+def test_after_capture_budget_is_genuine_failure_not_verdict():
+    result = _detect(Grower, _grower_workload, max_graph_nodes=40)
+    assert any("CaptureLimitError" in f for f in result.genuine_failures)
+    for run in result.log.runs:
+        for mark in run.marks:
+            assert "grow_then_fail" not in str(mark.method)
+
+
+def test_unbudgeted_control_marks_grower_nonatomic():
+    """Without a budget the same program yields a NON-ATOMIC verdict,
+    proving the budget (not something else) suppressed it above."""
+    result = _detect(Grower, _grower_workload)
+    assert not any(
+        "CaptureLimitError" in f for f in result.genuine_failures
+    )
+    marked = {
+        mark.method
+        for run in result.log.runs
+        for mark in run.marks
+        if mark.verdict == "nonatomic"
+    }
+    assert any("grow_then_fail" in str(method) for method in marked)
+
+
 def test_atomicity_wrapper_budget():
     from repro.core.analyzer import Analyzer
     from repro.core.masking import make_atomicity_wrapper

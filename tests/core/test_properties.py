@@ -12,9 +12,15 @@ Three invariants carry the correctness of the whole system:
 
 import copy
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.cow import (
+    failure_atomic_undolog,
+    install_write_barrier,
+    remove_write_barrier,
+)
 from repro.core.masking import failure_atomic
 from repro.core.objgraph import capture, graph_diff, graphs_equal
 from repro.core.snapshot import checkpoint
@@ -139,6 +145,104 @@ def test_masked_method_is_failure_atomic(value, amounts):
         assert diff is None, str(diff)
     else:
         assert store.applied == list(amounts)
+
+
+# -- invariant 4: the undo-log checkpoint path ------------------------------
+#
+# The undo log only intercepts attribute (re)assignment and deletion, so
+# these mutation scripts stay within that contract: every step is a plain
+# ``setattr``/``delattr`` on the barriered class.
+
+
+class Record:
+    def __init__(self, payload):
+        self.a = payload
+        self.b = 0
+
+
+attr_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set_a", "push_b", "set_new", "del_a", "wrap_a"]),
+        st.integers(-50, 50),
+    ),
+    max_size=6,
+)
+
+
+def apply_attr_ops(record, ops):
+    for name, value in ops:
+        if name == "set_a":
+            record.a = value
+        elif name == "push_b":
+            record.b = (value, record.b)
+        elif name == "set_new":
+            setattr(record, "x%d" % (abs(value) % 3), value)
+        elif name == "del_a" and hasattr(record, "a"):
+            del record.a
+        elif name == "wrap_a" and hasattr(record, "a"):
+            record.a = [record.a]
+
+
+@given(values, attr_ops)
+@settings(max_examples=60)
+def test_undolog_masked_failure_is_atomic(value, ops):
+    """failure_atomic_undolog is a left inverse of any attribute-write
+    script that ends in a raise: the receiver graph is unchanged."""
+    install_write_barrier(Record)
+    try:
+        record = Record(value)
+
+        def body(rec):
+            apply_attr_ops(rec, ops)
+            raise ValueError("forced failure")
+
+        before = capture(record)
+        with pytest.raises(ValueError):
+            failure_atomic_undolog(body)(record)
+        diff = graph_diff(before, capture(record))
+        assert diff is None, str(diff)
+    finally:
+        remove_write_barrier(Record)
+
+
+@given(values, attr_ops)
+@settings(max_examples=60)
+def test_undolog_masked_success_commits(value, ops):
+    """On success the wrapper must be invisible: the masked run leaves the
+    same graph as running the body unwrapped on an identical record."""
+    install_write_barrier(Record)
+    try:
+        masked = Record(value)
+        plain = Record(copy.deepcopy(value))
+        failure_atomic_undolog(apply_attr_ops)(masked, ops)
+        apply_attr_ops(plain, ops)
+        diff = graph_diff(capture(masked), capture(plain))
+        assert diff is None, str(diff)
+    finally:
+        remove_write_barrier(Record)
+
+
+@given(values, attr_ops, attr_ops)
+@settings(max_examples=60)
+def test_undolog_nested_commit_then_outer_failure(value, inner_ops, outer_ops):
+    """An inner masked call that succeeds commits into the enclosing log,
+    so an outer failure still restores the pre-call graph exactly."""
+    install_write_barrier(Record)
+    try:
+        record = Record(value)
+
+        def outer(rec):
+            apply_attr_ops(rec, outer_ops)
+            failure_atomic_undolog(apply_attr_ops)(rec, inner_ops)
+            raise RuntimeError("late failure")
+
+        before = capture(record)
+        with pytest.raises(RuntimeError):
+            failure_atomic_undolog(outer)(record)
+        diff = graph_diff(before, capture(record))
+        assert diff is None, str(diff)
+    finally:
+        remove_write_barrier(Record)
 
 
 @given(st.lists(st.integers(), max_size=5), st.integers(0, 10))

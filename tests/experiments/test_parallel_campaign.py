@@ -171,6 +171,72 @@ def test_journal_tolerates_old_headers_and_corrupt_tail(tmp_path):
     assert rebuilt.escaped and not rebuilt.crashed
 
 
+def test_resume_reattempts_crashed_tail_record(sequential, tmp_path):
+    """A journal whose *last* record is crashed (the worker died mid-run
+    and the crash marker was the final write) must not be treated as
+    done: resume re-attempts exactly that point and converges to the
+    sequential result."""
+    journal = str(tmp_path / "campaign.jsonl")
+    run_app_campaign(program_by_name(APP), workers=2, journal=journal)
+
+    lines = open(journal, encoding="utf-8").read().splitlines()
+    tail = json.loads(lines[-1])
+    assert tail["kind"] == "run"
+    tail["record"]["crashed"] = True
+    tail["record"]["marks"] = []
+    with open(journal, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines[:-1] + [json.dumps(tail)]) + "\n")
+
+    resumed = run_app_campaign(
+        program_by_name(APP), workers=2, journal=journal, resume=True
+    )
+    _same_result(sequential, resumed)
+    telemetry = resumed.detection.telemetry
+    assert telemetry.runs_executed == 1  # only the crashed point re-ran
+    assert telemetry.runs_resumed == telemetry.runs_total - 1
+    assert not any(run.crashed for run in resumed.detection.log.runs)
+
+
+class _Tiny:
+    """Two injection points total: ``__init__`` and ``poke``."""
+
+    def __init__(self):
+        self.count = 0
+
+    def poke(self):
+        self.count += 1
+
+
+def _tiny_body():
+    _Tiny().poke()
+
+
+def _tiny_program() -> AppProgram:
+    return AppProgram(
+        name="tinybox",
+        language="Java",
+        classes=[_Tiny],
+        body=_tiny_body,
+    )
+
+
+def test_more_workers_than_injection_points():
+    """A pool wider than the campaign must neither wedge nor duplicate
+    runs — idle workers simply never receive a point."""
+    seq = run_app_campaign(_tiny_program())
+    detector = ParallelDetector(
+        _tiny_program(),
+        workers=8,
+        program_ref=ProgramRef(factory=_tiny_program),
+    )
+    par = detector.detect()
+    assert par.total_points < 8
+    assert par.runs_executed == seq.detection.runs_executed
+    assert par.log.to_json() == seq.detection.log.to_json()
+    assert par.genuine_failures == seq.detection.genuine_failures
+    assert par.telemetry.workers == 8
+
+
 # ---------------------------------------------------------------------------
 # timeouts and crashed points
 # ---------------------------------------------------------------------------

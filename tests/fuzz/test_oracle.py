@@ -1,0 +1,141 @@
+"""Tests of the independent oracle on handcrafted specs.
+
+Each spec here is small enough to reason about by hand, so the expected
+category of every method is stated in the test — the oracle must match
+the hand analysis, and (via ``check_program``) the real pipeline must
+match the oracle.
+"""
+
+from repro.fuzz import ProgramSpec, check_program, simulate
+from repro.fuzz.spec import (
+    OP_CALL,
+    OP_INC,
+    OP_RAISE,
+    OP_SELF_CALL,
+    ClassDef,
+    MethodDef,
+)
+
+
+def _spec(name, classes, workload):
+    return ProgramSpec(name=name, classes=tuple(classes), workload=tuple(workload))
+
+
+def _assert_pipeline_agrees(spec):
+    verdict = check_program(spec, engine="sequential")
+    assert verdict.ok, [m.to_dict() for m in verdict.mismatches]
+
+
+def test_pure_write_then_raise_is_never_marked():
+    """A method whose only injection point is at entry is never active
+    when an exception fires inside it, so it stays atomic."""
+    spec = _spec(
+        "hand-atomic",
+        [ClassDef("F0", (), (MethodDef("m0", ((OP_INC,),)),))],
+        [0],
+    )
+    oracle = simulate(spec)
+    assert oracle.categories == {
+        "F0.__init__": "atomic",
+        "F0.m0": "atomic",
+    }
+    assert oracle.to_wrap == []
+    # __init__ (1 point) + m0 (1 point)
+    assert oracle.total_points == 2
+    _assert_pipeline_agrees(spec)
+
+
+def test_dirty_write_before_genuine_raise_is_pure():
+    spec = _spec(
+        "hand-pure",
+        [ClassDef("F0", (), (MethodDef("m0", ((OP_INC,), (OP_RAISE,))),))],
+        [0],
+    )
+    oracle = simulate(spec)
+    assert oracle.categories["F0.m0"] == "pure"
+    assert oracle.categories["F0.__init__"] == "atomic"
+    assert oracle.to_wrap == ["F0.m0"]
+    _assert_pipeline_agrees(spec)
+
+
+def test_caller_dirty_only_through_callee_is_conditional():
+    """The parent writes nothing itself; its graph changes only because
+    the child's state is reachable from it.  The child's failure is
+    always marked first (innermost), so the parent is conditional."""
+    spec = _spec(
+        "hand-conditional",
+        [
+            ClassDef("F0", (1,), (MethodDef("m0", ((OP_CALL, 0, 0),)),)),
+            ClassDef("F1", (), (MethodDef("m0", ((OP_INC,), (OP_RAISE,))),)),
+        ],
+        [0],
+    )
+    oracle = simulate(spec)
+    assert oracle.categories["F1.m0"] == "pure"
+    assert oracle.categories["F0.m0"] == "conditional"
+    assert oracle.to_wrap == ["F1.m0"]
+    _assert_pipeline_agrees(spec)
+
+
+def test_declared_exception_doubles_injection_points():
+    plain = _spec(
+        "hand-plain",
+        [ClassDef("F0", (), (MethodDef("m0", ((OP_INC,),)),))],
+        [0],
+    )
+    declared = _spec(
+        "hand-declared",
+        [ClassDef("F0", (), (MethodDef("m0", ((OP_INC,),), declares=True),))],
+        [0],
+    )
+    assert simulate(declared).total_points == simulate(plain).total_points + 1
+    _assert_pipeline_agrees(declared)
+
+
+def test_exception_free_runs_are_dropped_before_classification():
+    """Injecting at the entry of an ``@exception_free`` method would mark
+    the caller non-atomic; the policy filter discards those runs, so the
+    caller stays atomic."""
+    template = [
+        ClassDef(
+            "F0",
+            (),
+            (
+                MethodDef("m0", ((OP_INC,), (OP_SELF_CALL, 1))),
+                MethodDef("m1", ((OP_INC,),), exception_free=True),
+            ),
+        )
+    ]
+    spec = _spec("hand-excfree", template, [0])
+    oracle = simulate(spec)
+    assert set(oracle.exception_free) == {"F0.m1"}
+    assert oracle.categories["F0.m0"] == "atomic"
+
+    unfiltered = _spec(
+        "hand-excfree-off",
+        [
+            ClassDef(
+                "F0",
+                (),
+                (
+                    MethodDef("m0", ((OP_INC,), (OP_SELF_CALL, 1))),
+                    MethodDef("m1", ((OP_INC,),)),
+                ),
+            )
+        ],
+        [0],
+    )
+    assert simulate(unfiltered).categories["F0.m0"] == "pure"
+    _assert_pipeline_agrees(spec)
+    _assert_pipeline_agrees(unfiltered)
+
+
+def test_simulation_is_deterministic():
+    from repro.fuzz import generate_batch
+
+    for spec in generate_batch(17, 5):
+        first = simulate(spec)
+        second = simulate(spec)
+        assert first.categories == second.categories
+        assert first.runs == second.runs
+        assert first.total_points == second.total_points

@@ -75,6 +75,41 @@ def test_validate_exits_zero_when_effective(capsys):
     assert "EFFECTIVE" in out
 
 
+def test_validate_undolog_strategy(capsys):
+    code, out, _ = run_cli(
+        capsys, "validate", "LLMap", "--stride", "2",
+        "--strategy", "undolog",
+    )
+    assert code == 0
+    assert "undolog" in out
+
+
+def test_fuzz_subcommand_smoke(capsys, tmp_path):
+    report_path = tmp_path / "fuzz-report.json"
+    code, out, _ = run_cli(
+        capsys, "fuzz", "--seed", "7", "--programs", "3",
+        "--engine", "sequential", "--report-out", str(report_path),
+    )
+    assert code == 0
+    assert "zero oracle mismatches" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["seed"] == 7
+    assert payload["mismatches"] == []
+
+
+def test_fuzz_replay_clean_spec(capsys, tmp_path):
+    from repro.fuzz import generate_program
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(generate_program(7, 0).to_json())
+    code, out, _ = run_cli(
+        capsys, "fuzz", "--engine", "sequential",
+        "--replay", str(spec_path),
+    )
+    assert code == 0
+    assert "all checks pass" in out
+
+
 def test_figure_subcommand(capsys):
     code, out, _ = run_cli(capsys, "figure", "3", "--stride", "6")
     assert code == 0
