@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke fuzz-smoke reproduce examples clean
+.PHONY: install test bench bench-smoke bench-state fuzz-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,14 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_parallel_campaign.py --benchmark-only -s
+
+# Graph vs fingerprint state backend on the Figure-5 detection sweep.
+# Smoke budget in CI (REPRO_BENCH_SMOKE=1 skips the >=2x assertion, which
+# only holds for non-trivial state sizes); run without the env var for
+# the full grid.  Emits BENCH_state_backends.json.
+bench-state:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_state_backends.py --benchmark-only -s
 
 # Fixed-seed differential fuzzing sweep plus the classifier-mutation
 # self-check (< 60 s).  A failure shrinks the first failing program and

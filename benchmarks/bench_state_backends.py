@@ -1,0 +1,158 @@
+"""Benchmark — fingerprint vs. graph state backend on a detection sweep.
+
+The detection phase spends most of its time in the state layer: every
+call of a woven method captures the reachable state before and after so
+the injector can compare them (Definition 2).  The graph backend
+materializes two full :class:`ObjectGraph` snapshots per comparison; the
+fingerprint backend reduces each side to a 128-bit structural digest in
+one traversal and compares 16 bytes, falling back to a graph re-run only
+for points that report non-atomicity (so diagnostics — and the run log
+bytes — are identical).
+
+The workload is the Figure-5 synthetic service: the checkpointed-object
+size is the knob the paper turns, and it is exactly the knob that
+decides how much a cheaper traversal is worth.  The benchmark runs the
+*same* sweep under both backends, verifies the results are bit-identical
+(the refinement guarantee), reports the speedup per object size, and
+writes the measurements to ``BENCH_state_backends.json``.
+
+Modes:
+
+* full (default): sizes 64/256/1024, ≥ 2× end-to-end speedup enforced on
+  the aggregate sweep.
+* smoke (``REPRO_BENCH_SMOKE=1``, used by ``make bench-state``): one tiny
+  size that exercises both backends and the equivalence assertion in
+  seconds; the speedup bar is not enforced because fixed per-run costs
+  dominate tiny states.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments import run_app_campaign
+from repro.experiments.fig5 import SyntheticService
+from repro.experiments.programs import AppProgram
+
+from conftest import emit
+
+#: Smoke mode: tiny state budget for CI sanity runs (make bench-state).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Where the machine-readable measurements land (consumed by CI logs and
+#: docs/BENCHMARKS.md).
+REPORT_PATH = os.environ.get(
+    "REPRO_BENCH_STATE_OUT", "BENCH_state_backends.json"
+)
+
+#: (object size, workload calls) per measured point.
+FULL_GRID = ((64, 30), (256, 30), (1024, 20))
+SMOKE_GRID = ((16, 8),)
+
+
+def _fig5_program(size: int, calls: int) -> AppProgram:
+    """A detection subject around the Figure-5 synthetic service."""
+
+    def body() -> None:
+        service = SyntheticService(size)
+        for index in range(calls):
+            service.step(index)
+
+    return AppProgram(
+        name=f"Fig5Service{size}",
+        language="synthetic",
+        classes=[SyntheticService],
+        body=body,
+    )
+
+
+def _timed_sweep(program: AppProgram, backend: str):
+    started = time.perf_counter()
+    outcome = run_app_campaign(program, state_backend=backend)
+    return time.perf_counter() - started, outcome
+
+
+def bench_state_backends(benchmark):
+    grid = SMOKE_GRID if SMOKE else FULL_GRID
+    rows = []
+    graph_total = fingerprint_total = 0.0
+    for size, calls in grid:
+        program = _fig5_program(size, calls)
+        graph_seconds, graph_outcome = _timed_sweep(program, "graph")
+        fp_seconds, fp_outcome = _timed_sweep(program, "fingerprint")
+
+        # The refinement guarantee: identical run logs, bit for bit.
+        assert (
+            graph_outcome.detection.log.to_json()
+            == fp_outcome.detection.log.to_json()
+        ), f"fingerprint backend diverged from graph at size {size}"
+        assert (
+            graph_outcome.classification.to_json()
+            == fp_outcome.classification.to_json()
+        )
+
+        graph_total += graph_seconds
+        fingerprint_total += fp_seconds
+        telemetry = fp_outcome.detection.telemetry
+        rows.append(
+            {
+                "size": size,
+                "calls": calls,
+                "points": graph_outcome.detection.total_points,
+                "graph_seconds": graph_seconds,
+                "fingerprint_seconds": fp_seconds,
+                "speedup": graph_seconds / fp_seconds,
+                "fingerprints": telemetry.state_fingerprints,
+                "refinement_captures": telemetry.state_captures,
+            }
+        )
+
+    speedup = graph_total / fingerprint_total
+    report = {
+        "workload": "fig5-synthetic-service",
+        "smoke": SMOKE,
+        "rows": rows,
+        "graph_seconds": graph_total,
+        "fingerprint_seconds": fingerprint_total,
+        "speedup": speedup,
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    lines = [
+        f"size={row['size']:5d}: graph {row['graph_seconds']:.3f}s   "
+        f"fingerprint {row['fingerprint_seconds']:.3f}s   "
+        f"speedup {row['speedup']:.2f}x   "
+        f"(fingerprints={row['fingerprints']}, "
+        f"refinement captures={row['refinement_captures']})"
+        for row in rows
+    ]
+    lines.append(
+        f"aggregate: graph {graph_total:.3f}s   "
+        f"fingerprint {fingerprint_total:.3f}s   speedup {speedup:.2f}x"
+    )
+    lines.append(f"results bit-identical: yes   report: {REPORT_PATH}")
+    emit("State backends: detection sweep, graph vs fingerprint",
+         "\n".join(lines))
+
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["graph_seconds"] = graph_total
+    benchmark.extra_info["fingerprint_seconds"] = fingerprint_total
+    benchmark.extra_info["report_path"] = REPORT_PATH
+
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"expected the fingerprint backend to sweep >= 2x faster, "
+            f"measured {speedup:.2f}x"
+        )
+
+    # the benchmarked unit: one small end-to-end sweep on the fast path
+    benchmark.pedantic(
+        lambda: run_app_campaign(
+            _fig5_program(16, 8), state_backend="fingerprint"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -20,6 +20,8 @@ Subcommands::
     python -m repro validate LinkedList      detect -> mask -> re-detect
     python -m repro validate LinkedList --strategy undolog
                                              undo-log checkpointing
+    python -m repro detect Stack --state-backend fingerprint
+                                             one-pass state fingerprints
     python -m repro fuzz --seed 7 --programs 200
                                              differential fuzzing vs oracle
     python -m repro fuzz --self-check        plant defects, assert caught
@@ -86,6 +88,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         journal=args.journal,
         timeout=args.timeout,
         retries=args.retries,
+        state_backend=args.state_backend,
     )
     report = outcome.report
     print(
@@ -120,6 +123,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         policy=load_policy(args.policy),
         wrap_conditional=args.wrap_conditional,
         strategy=args.strategy,
+        state_backend=args.state_backend,
     )
     print(validation.summary())
     return 0 if validation.masking_effective else 1
@@ -154,7 +158,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.replay:
         with open(args.replay, "r", encoding="utf-8") as handle:
             spec = ProgramSpec.from_json(handle.read())
-        verdict = check_program(spec, engine=args.engine, workers=args.workers)
+        verdict = check_program(
+            spec,
+            engine=args.engine,
+            workers=args.workers,
+            state_backend=args.state_backend,
+        )
         if verdict.ok:
             print(f"{spec.name}: all checks pass")
             return 0
@@ -177,6 +186,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         progress=progress,
+        state_backend=args.state_backend,
     )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -207,7 +217,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         spec = shrink(
             spec,
             make_failure_predicate(
-                checks, engine=args.engine, workers=args.workers
+                checks,
+                engine=args.engine,
+                workers=args.workers,
+                state_backend=args.state_backend,
             ),
             max_evals=args.max_shrink_evals,
         )
@@ -317,6 +330,17 @@ def _cmd_fixes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_state_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.core.state import DETECTION_BACKENDS
+
+    parser.add_argument(
+        "--state-backend", choices=DETECTION_BACKENDS, default="graph",
+        help="how campaigns compare before/after state: full object-graph "
+             "isomorphism (graph, the reference) or one-pass 128-bit "
+             "digests with a graph fallback for diagnostics (fingerprint; "
+             "identical classification, faster)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -352,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--retries", type=int, default=1,
         help="retries per timed-out point before marking it crashed")
+    _add_state_backend_flag(detect)
     detect.set_defaults(func=_cmd_detect)
 
     validate = sub.add_parser(
@@ -366,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint strategy for the masked re-detection: eager deep "
              "copy (snapshot) or write-barrier undo log (undolog; only "
              "sound for attribute-reassignment state)")
+    _add_state_backend_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     fuzz = sub.add_parser(
@@ -397,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the original failing spec without shrinking")
     fuzz.add_argument("--max-shrink-evals", type=int, default=200,
                       help="budget of harness evaluations while shrinking")
+    _add_state_backend_flag(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     table = sub.add_parser("table1", help="regenerate Table 1")

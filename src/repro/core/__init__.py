@@ -15,6 +15,10 @@ Public API map (mirrors the phases of the paper, Figure 1):
   wrappers; :class:`WrapPolicy` decides what to wrap (Section 4.3).
 * Reporting — :func:`build_app_report` and the ``format_*`` helpers
   reproduce Table 1 and Figures 2–4.
+* State layer — :mod:`repro.core.state` owns all reachable-state
+  concerns (graphs, fingerprints, checkpoints) behind the
+  :class:`StateBackend` protocol; campaigns select a backend by name
+  (``graph``, ``fingerprint``, ``undolog``).
 """
 
 from .analyzer import Analyzer, MethodSpec, method_key
@@ -55,16 +59,6 @@ from .harden import HardeningResult, harden
 from .htmlreport import policy_template, render_campaign_html
 from .injection import InjectionCampaign, make_injection_wrapper
 from .masking import Masker, MaskingStats, atomic_block, failure_atomic, make_atomicity_wrapper
-from .objgraph import (
-    CaptureLimitError,
-    GraphDifference,
-    ObjectGraph,
-    capture,
-    capture_frame,
-    graph_diff,
-    graph_diff_all,
-    graphs_equal,
-)
 from .policy import WrapPolicy, filter_log, reclassify, select_methods_to_wrap
 from .report import (
     AppReport,
@@ -75,7 +69,31 @@ from .report import (
     render_bars,
 )
 from .runlog import ATOMIC, NONATOMIC, Mark, RunLog, RunRecord, merge_logs
-from .snapshot import Checkpoint, CheckpointError, RestoreError, checkpoint, restore
+from .state import (
+    BACKENDS,
+    CaptureLimitError,
+    Checkpoint,
+    CheckpointError,
+    FingerprintBackend,
+    GraphBackend,
+    GraphDifference,
+    ObjectGraph,
+    RestoreError,
+    StateBackend,
+    StateFingerprint,
+    StateStats,
+    UndoLogBackend,
+    capture,
+    capture_frame,
+    checkpoint,
+    fingerprint,
+    fingerprint_frame,
+    get_backend,
+    graph_diff,
+    graph_diff_all,
+    graphs_equal,
+    restore,
+)
 from .telemetry import CampaignTelemetry
 from .weaver import LoadTimeWeaver, Weaver, WeavingError, weave_with
 
@@ -92,7 +110,15 @@ __all__ = [
     "InjectionAbort",
     "DEFAULT_RUNTIME_EXCEPTIONS",
     "is_injected",
-    # object graphs
+    # state layer: backends
+    "StateBackend",
+    "GraphBackend",
+    "FingerprintBackend",
+    "UndoLogBackend",
+    "StateStats",
+    "BACKENDS",
+    "get_backend",
+    # state layer: object graphs
     "ObjectGraph",
     "GraphDifference",
     "capture",
@@ -101,7 +127,11 @@ __all__ = [
     "graph_diff",
     "graph_diff_all",
     "CaptureLimitError",
-    # checkpointing
+    # state layer: fingerprints
+    "StateFingerprint",
+    "fingerprint",
+    "fingerprint_frame",
+    # state layer: checkpointing
     "Checkpoint",
     "CheckpointError",
     "RestoreError",

@@ -145,35 +145,19 @@ def remove_write_barrier(cls: type) -> None:
 def make_undolog_atomicity_wrapper(spec: Any, *, stats: Any = None) -> Callable:
     """Spec-based atomicity wrapper backed by the undo log.
 
-    The counterpart of
-    :func:`repro.core.masking.make_atomicity_wrapper` for the write-barrier
-    strategy, so the masking validation can weave either strategy through
-    the same :class:`~repro.core.weaver.Weaver` machinery.  ``stats`` is a
-    :class:`~repro.core.masking.MaskingStats`; the checkpointed-object
-    count is reported as the number of *recorded writes* rolled back —
-    there is no up-front copy to count, which is the strategy's point.
+    Equivalent to
+    ``make_atomicity_wrapper(spec, stats=stats, backend="undolog")`` and
+    kept as a named entry point for the write-barrier strategy.  ``stats``
+    is a :class:`~repro.core.masking.MaskingStats`; the
+    checkpointed-object count is reported as the number of *recorded
+    writes* rolled back — there is no up-front copy to count, which is
+    the strategy's point.
     """
-    original = spec.func
+    # Lazy import: masking builds on the state layer, which builds on the
+    # UndoLog defined in this module.
+    from .masking import make_atomicity_wrapper
 
-    @functools.wraps(original)
-    def atomic_m(*args: Any, **kwargs: Any) -> Any:
-        log = UndoLog()
-        if stats is not None:
-            stats.note_call(spec.key, 0)
-        with log:
-            try:
-                return original(*args, **kwargs)
-            except BaseException:
-                log.rollback()
-                if stats is not None:
-                    stats.checkpointed_objects += log.recorded_writes
-                    stats.note_rollback(spec.key)
-                raise
-
-    atomic_m._repro_wrapped = original  # type: ignore[attr-defined]
-    atomic_m._repro_spec = spec  # type: ignore[attr-defined]
-    atomic_m._repro_kind = "atomicity-undolog"  # type: ignore[attr-defined]
-    return atomic_m
+    return make_atomicity_wrapper(spec, stats=stats, backend="undolog")
 
 
 def failure_atomic_undolog(func: Callable) -> Callable:

@@ -26,6 +26,7 @@ from typing import (
 from .exceptions import InjectionAbort, is_injected
 from .injection import InjectionCampaign
 from .runlog import RunLog, RunRecord
+from .state import get_backend
 from .telemetry import CampaignTelemetry
 
 __all__ = [
@@ -123,6 +124,16 @@ def run_injection_point(
         reraise: exception types to re-raise instead of recording — the
             parallel engine passes its timeout exception here so a timed
             out run is retried rather than logged as a genuine failure.
+
+    When the campaign uses a lossy-diff backend (fingerprints) and the
+    run produced non-atomic marks, the run is transparently re-executed
+    under the graph backend and the refined record replaces the lossy
+    one: digests can witness *that* state changed but not *where*, and
+    the run log's ``difference`` strings are part of the deliverable.
+    Programs are re-runnable by contract (:class:`Program`), so the
+    refinement run observes the identical execution — the emitted log is
+    bit-identical to an all-graph campaign's.  Atomic-only runs (the vast
+    majority in a sweep, Figure 5) never pay for a second execution.
     """
     record = campaign.begin_run(injection_point)
     completed = False
@@ -143,7 +154,29 @@ def run_injection_point(
             failure = f"point={injection_point}: {type(exc).__name__}: {exc}"
     finally:
         campaign.end_run(completed=completed, escaped=escaped)
+    if campaign.backend.lossy_diff and record.first_nonatomic() is not None:
+        return _refine_run(program, campaign, injection_point, record, reraise)
     return record, failure
+
+
+def _refine_run(
+    program: Program,
+    campaign: InjectionCampaign,
+    injection_point: int,
+    lossy_record: RunRecord,
+    reraise: Tuple[Type[BaseException], ...],
+) -> Tuple[RunRecord, Optional[str]]:
+    """Re-execute one run under the graph backend for full diagnostics."""
+    if campaign.log.runs and campaign.log.runs[-1] is lossy_record:
+        campaign.log.runs.pop()
+    saved_backend = campaign.backend
+    campaign.backend = get_backend("graph")
+    try:
+        return run_injection_point(
+            program, campaign, injection_point, reraise=reraise
+        )
+    finally:
+        campaign.backend = saved_backend
 
 
 class Detector:
@@ -235,6 +268,7 @@ class Detector:
                 self.progress(runs, len(points))
         finished = time.perf_counter()
         wall = finished - started
+        state_stats = self.campaign.state_stats
         telemetry = CampaignTelemetry(
             engine="sequential",
             workers=1,
@@ -246,6 +280,11 @@ class Detector:
                 "profile": profiled - started,
                 "execute": finished - profiled,
             },
+            state_backend=self.campaign.backend.name,
+            state_captures=state_stats.captures,
+            state_fingerprints=state_stats.fingerprints,
+            state_compares=state_stats.compares,
+            state_seconds=state_stats.seconds,
         )
         return DetectionResult(
             program=self.program.name,

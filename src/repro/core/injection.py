@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import functools
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .analyzer import MethodSpec
 from .exceptions import InjectionAbort, make_injected
-from .objgraph import ObjectGraph, capture_frame, graph_diff, is_opaque, is_scalar
 from .runlog import ATOMIC, NONATOMIC, MethodKey, RunLog, RunRecord
+from .state import GraphDifference, StateBackend, StateStats, get_backend
+from .state.introspect import is_opaque, is_scalar
 
 __all__ = ["InjectionCampaign", "make_injection_wrapper"]
 
@@ -50,6 +51,7 @@ class InjectionCampaign:
         capture_args: bool = True,
         ignore_attrs: Optional[Callable[[str], bool]] = None,
         max_graph_nodes: Optional[int] = None,
+        state_backend: Union[str, StateBackend, None] = None,
     ) -> None:
         self.point = 0
         self.injection_point = 0
@@ -62,6 +64,13 @@ class InjectionCampaign:
         #: partial graph, so no truncated-graph verdict can ever be
         #: recorded in the run log; the run surfaces as a genuine failure.
         self.max_graph_nodes = max_graph_nodes
+        #: The state backend deciding how before/after summaries are
+        #: materialized and compared.  Defaults to the graph backend (the
+        #: reference semantics); the fingerprint backend answers the same
+        #: question from a 128-bit digest compare.
+        self.backend = get_backend(state_backend)
+        #: Where the campaign's state-machinery time goes (telemetry).
+        self.state_stats = StateStats()
         self.current_run: Optional[RunRecord] = None
         self._suspended = 0
         self._owner_thread: Optional[int] = None
@@ -151,20 +160,28 @@ class InjectionCampaign:
 
     def capture_state(
         self, spec: MethodSpec, args: Tuple[Any, ...], kwargs: Dict[str, Any]
-    ) -> ObjectGraph:
-        """Snapshot the receiver and mutable arguments of a call.
+    ) -> Any:
+        """Summarize the receiver and mutable arguments of a call.
 
         Mirrors Listing 1: the deep copy covers ``this`` plus all
         arguments passed as non-constant references.  In Python every
         argument is a reference, so we include each argument that holds
-        mutable state.
+        mutable state.  The summary type is backend-specific (a full
+        :class:`~repro.core.state.ObjectGraph` or a digest); callers only
+        ever hand it back to :meth:`compare_states`.
         """
         with self.suspend():
-            return capture_frame(
+            return self.backend.capture_frame(
                 self._roots(spec, args, kwargs),
                 ignore_attrs=self.ignore_attrs,
                 max_nodes=self.max_graph_nodes,
+                stats=self.state_stats,
             )
+
+    def compare_states(self, before: Any, after: Any) -> Optional[GraphDifference]:
+        """First difference between two state summaries, or None if equal."""
+        with self.suspend():
+            return self.backend.diff(before, after, stats=self.state_stats)
 
     def _roots(
         self, spec: MethodSpec, args: Tuple[Any, ...], kwargs: Dict[str, Any]
@@ -232,8 +249,7 @@ def make_injection_wrapper(
             raise
         except BaseException:
             after = campaign.capture_state(spec, args, kwargs)
-            with campaign.suspend():
-                difference = graph_diff(before, after)
+            difference = campaign.compare_states(before, after)
             if difference is None:
                 campaign.mark(spec.key, ATOMIC)
             else:

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from .analyzer import Analyzer, MethodSpec
 from .classify import ClassificationResult
-from .objgraph import is_opaque, is_scalar
 from .policy import WrapPolicy, select_methods_to_wrap
 from .runlog import MethodKey
-from .snapshot import checkpoint
+from .state import StateBackend, checkpoint, get_backend
+from .state.introspect import is_opaque, is_scalar
 from .weaver import Weaver
 
 __all__ = [
@@ -89,38 +89,47 @@ def make_atomicity_wrapper(
     checkpoint_args: bool = True,
     ignore_attrs: Optional[Callable[[str], bool]] = None,
     max_objects: Optional[int] = None,
+    backend: Union[str, StateBackend, None] = None,
 ) -> Callable:
     """Build the atomicity wrapper of Listing 2 for one method.
 
     Args:
         max_objects: optional checkpoint budget; a receiver whose
             reachable state exceeds it fails the call with
-            :class:`~repro.core.snapshot.CheckpointError` *before* the
+            :class:`~repro.core.state.CheckpointError` *before* the
             method runs (an explicit bound on the paper's "no upper bound
             on the size of objects", §6.2).
+        backend: how to checkpoint and restore — the default (graph)
+            backend copies the reachable state eagerly; the ``undolog``
+            backend records writes through the class's write barrier
+            instead (cost ∝ writes, not object size).
     """
     original = spec.func
     has_receiver = spec.has_receiver
+    state = get_backend(backend)
 
     @functools.wraps(original)
     def atomic_m(*args: Any, **kwargs: Any) -> Any:
         roots = _mutable_roots(has_receiver, args, kwargs, checkpoint_args)
-        saved = checkpoint(
+        saved = state.checkpoint(
             *roots, ignore_attrs=ignore_attrs, max_objects=max_objects
         )
         if stats is not None:
-            stats.note_call(spec.key, saved.recorded_count)
+            stats.note_call(spec.key, state.checkpoint_size(saved))
         try:
-            return original(*args, **kwargs)
+            result = original(*args, **kwargs)
         except BaseException:
-            saved.restore()
+            state.restore(saved)
             if stats is not None:
+                stats.checkpointed_objects += state.rollback_size(saved)
                 stats.note_rollback(spec.key)
             raise
+        state.commit(saved)
+        return result
 
     atomic_m._repro_wrapped = original  # type: ignore[attr-defined]
     atomic_m._repro_spec = spec  # type: ignore[attr-defined]
-    atomic_m._repro_kind = "atomicity"  # type: ignore[attr-defined]
+    atomic_m._repro_kind = state.wrapper_kind  # type: ignore[attr-defined]
     return atomic_m
 
 
@@ -145,11 +154,13 @@ class Masker:
         analyzer: Optional[Analyzer] = None,
         checkpoint_args: bool = True,
         ignore_attrs: Optional[Callable[[str], bool]] = None,
+        state_backend: Union[str, StateBackend, None] = None,
     ) -> None:
         self.methods = set(methods)
         self.stats = stats if stats is not None else MaskingStats()
         self._checkpoint_args = checkpoint_args
         self._ignore_attrs = ignore_attrs
+        self._backend = get_backend(state_backend)
         self._weaver = Weaver(self._factory, analyzer)
         self.wrapped: List[MethodKey] = []
 
@@ -170,6 +181,7 @@ class Masker:
             stats=self.stats,
             checkpoint_args=self._checkpoint_args,
             ignore_attrs=self._ignore_attrs,
+            backend=self._backend,
         )
 
     def mask_class(self, cls: type) -> List[MethodKey]:

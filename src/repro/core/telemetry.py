@@ -46,6 +46,13 @@ class CampaignTelemetry:
             (the pool worker's pid as a string).
         worker_utilization: mean fraction of the execute phase the
             workers spent busy (1.0 = perfectly utilized).
+        state_backend: name of the state backend the campaign compared
+            state with (``graph``, ``fingerprint``).
+        state_captures: full graph/checkpoint captures performed.
+        state_fingerprints: one-pass digest computations performed.
+        state_compares: state comparisons (graph diff or digest equality).
+        state_seconds: cumulative wall time inside the state layer —
+            the "where does sweep time go" number the backend swap targets.
     """
 
     engine: str = ENGINE_SEQUENTIAL
@@ -60,6 +67,11 @@ class CampaignTelemetry:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
     worker_utilization: float = 0.0
+    state_backend: str = "graph"
+    state_captures: int = 0
+    state_fingerprints: int = 0
+    state_compares: int = 0
+    state_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize to a JSON-ready dict (the ``meta.json`` format)."""
@@ -76,6 +88,11 @@ class CampaignTelemetry:
             "phase_seconds": dict(self.phase_seconds),
             "worker_busy_seconds": dict(self.worker_busy_seconds),
             "worker_utilization": self.worker_utilization,
+            "state_backend": self.state_backend,
+            "state_captures": self.state_captures,
+            "state_fingerprints": self.state_fingerprints,
+            "state_compares": self.state_compares,
+            "state_seconds": self.state_seconds,
         }
 
     @classmethod
@@ -105,6 +122,11 @@ class CampaignTelemetry:
                 for k, v in dict(data.get("worker_busy_seconds", {})).items()
             },
             worker_utilization=float(data.get("worker_utilization", 0.0)),
+            state_backend=str(data.get("state_backend", "graph")),
+            state_captures=int(data.get("state_captures", 0)),
+            state_fingerprints=int(data.get("state_fingerprints", 0)),
+            state_compares=int(data.get("state_compares", 0)),
+            state_seconds=float(data.get("state_seconds", 0.0)),
         )
 
     def summary(self) -> str:
@@ -127,5 +149,13 @@ class CampaignTelemetry:
             lines.append(
                 f"worker utilization: {100.0 * self.worker_utilization:.0f}% "
                 f"mean over {len(self.worker_busy_seconds)} worker(s)"
+            )
+        if self.state_captures or self.state_fingerprints or self.state_compares:
+            lines.append(
+                f"state: backend={self.state_backend} "
+                f"captures={self.state_captures} "
+                f"fingerprints={self.state_fingerprints} "
+                f"compares={self.state_compares} "
+                f"time={self.state_seconds:.3f}s"
             )
         return "\n".join(lines)

@@ -71,6 +71,7 @@ def run_app_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    state_backend: str = "graph",
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -94,6 +95,10 @@ def run_app_campaign(
         retries: retry attempts per timed-out point before marking it
             crashed (parallel engine only).
         progress: optional ``(runs_done, runs_total)`` callback.
+        state_backend: how the campaign compares before/after state —
+            ``graph`` (full object-graph isomorphism, the reference) or
+            ``fingerprint`` (one-pass 128-bit digests with a graph
+            fallback for diagnostics; same classification, faster).
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
@@ -110,12 +115,15 @@ def run_app_campaign(
             journal_path=journal,
             resume=resume,
             progress=progress,
+            state_backend=state_backend,
         )
         detection = parallel_detector.detect()
         specs = parallel_detector.woven_specs
         return _classify_and_report(program, detection, specs, policy)
     analyzer = Analyzer(exclude=program.exclude)
-    campaign = InjectionCampaign(capture_args=capture_args)
+    campaign = InjectionCampaign(
+        capture_args=capture_args, state_backend=state_backend
+    )
     weaver = Weaver(
         lambda spec: make_injection_wrapper(spec, campaign), analyzer
     )

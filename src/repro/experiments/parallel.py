@@ -55,6 +55,7 @@ from repro.core import (
     run_injection_point,
 )
 from repro.core.runlog import RunLog, RunRecord, merge_logs
+from repro.core.state import StateStats, get_backend
 from repro.core.telemetry import CampaignTelemetry
 from repro.core.detector import DetectionResult
 from repro.core.weaver import Weaver
@@ -111,9 +112,9 @@ class ProgramRef:
     @classmethod
     def for_program(cls, program) -> "ProgramRef":
         """Build a ref for a registry program (``repro.experiments.programs``)."""
-        from .programs import _BY_NAME
+        from .programs import is_registered
 
-        if program.name not in _BY_NAME:
+        if not is_registered(program.name):
             raise ValueError(
                 f"program {program.name!r} is not in the registry; pass an "
                 "explicit ProgramRef(factory=...) so workers can rebuild it"
@@ -242,11 +243,20 @@ class _RunTimeout(BaseException):
 class _WorkerState:
     """Per-process campaign: the worker's own weave of the subject."""
 
-    def __init__(self, program, capture_args: bool, timeout: Optional[float], retries: int) -> None:
+    def __init__(
+        self,
+        program,
+        capture_args: bool,
+        timeout: Optional[float],
+        retries: int,
+        state_backend: str = "graph",
+    ) -> None:
         self.program = program
         self.timeout = timeout
         self.retries = retries
-        self.campaign = InjectionCampaign(capture_args=capture_args)
+        self.campaign = InjectionCampaign(
+            capture_args=capture_args, state_backend=state_backend
+        )
         self.weaver = Weaver(
             lambda spec: make_injection_wrapper(spec, self.campaign),
             Analyzer(exclude=program.exclude),
@@ -258,10 +268,16 @@ _WORKER: Optional[_WorkerState] = None
 
 
 def _init_worker(
-    ref: ProgramRef, capture_args: bool, timeout: Optional[float], retries: int
+    ref: ProgramRef,
+    capture_args: bool,
+    timeout: Optional[float],
+    retries: int,
+    state_backend: str = "graph",
 ) -> None:
     global _WORKER
-    _WORKER = _WorkerState(ref.resolve(), capture_args, timeout, retries)
+    _WORKER = _WorkerState(
+        ref.resolve(), capture_args, timeout, retries, state_backend
+    )
 
 
 def _alarm_handler(signum, frame):
@@ -307,6 +323,10 @@ def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:
     chunk_index, points = task
     assert _WORKER is not None, "worker initializer did not run"
     started = time.perf_counter()
+    # The campaign's state counters accumulate for the lifetime of the
+    # worker process; report this chunk's contribution as a delta so the
+    # parent can sum chunk outcomes without double counting.
+    stats_before = _WORKER.campaign.state_stats.to_dict()
     results = []
     for point in points:
         record, failure, attempts, crashed = _run_point_with_retry(_WORKER, point)
@@ -319,10 +339,14 @@ def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:
                 "crashed": crashed,
             }
         )
+    stats_after = _WORKER.campaign.state_stats.to_dict()
     return {
         "chunk": chunk_index,
         "worker": os.getpid(),
         "busy_seconds": time.perf_counter() - started,
+        "state_stats": {
+            key: stats_after[key] - stats_before[key] for key in stats_after
+        },
         "results": results,
     }
 
@@ -356,6 +380,11 @@ class ParallelDetector:
         program_ref: explicit worker-side recipe for non-registry programs.
         mp_start_method: multiprocessing start method (default ``fork``
             when available, else the platform default).
+        state_backend: name of the state backend workers compare state
+            with (``graph`` or ``fingerprint``).  Recorded in the journal
+            header, so a ``--resume`` against a journal written under a
+            different backend is rejected instead of silently mixing
+            runs.
     """
 
     def __init__(
@@ -373,6 +402,7 @@ class ParallelDetector:
         progress: Optional[Callable[[int, int], None]] = None,
         program_ref: Optional[ProgramRef] = None,
         mp_start_method: Optional[str] = None,
+        state_backend: str = "graph",
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -394,6 +424,8 @@ class ParallelDetector:
         self.progress = progress
         self.ref = program_ref or ProgramRef.for_program(program)
         self.mp_start_method = mp_start_method
+        # Resolve eagerly so an unknown name fails here, not in a worker.
+        self.state_backend = get_backend(state_backend).name
         self.woven_specs: List[MethodSpec] = []
 
     # -- phases ------------------------------------------------------
@@ -459,6 +491,7 @@ class ParallelDetector:
             "stride": self.stride,
             "total_points": total,
             "capture_args": self.capture_args,
+            "state_backend": self.state_backend,
         }
 
         journal: Optional[CampaignJournal] = None
@@ -481,12 +514,19 @@ class ParallelDetector:
         busy: Dict[str, float] = {}
         retry_count = 0
         crashed_count = 0
+        state_stats = StateStats()
         if chunks:
             ctx = self._pool_context()
             pool = ctx.Pool(
                 processes=min(self.workers, len(chunks)),
                 initializer=_init_worker,
-                initargs=(self.ref, self.capture_args, self.timeout, self.retries),
+                initargs=(
+                    self.ref,
+                    self.capture_args,
+                    self.timeout,
+                    self.retries,
+                    self.state_backend,
+                ),
             )
             try:
                 for outcome in pool.imap_unordered(_run_chunk, chunks):
@@ -494,6 +534,13 @@ class ParallelDetector:
                     busy[worker_id] = (
                         busy.get(worker_id, 0.0) + outcome["busy_seconds"]
                     )
+                    chunk_stats = outcome.get("state_stats") or {}
+                    state_stats.captures += int(chunk_stats.get("captures", 0))
+                    state_stats.fingerprints += int(
+                        chunk_stats.get("fingerprints", 0)
+                    )
+                    state_stats.compares += int(chunk_stats.get("compares", 0))
+                    state_stats.seconds += float(chunk_stats.get("seconds", 0.0))
                     for result in outcome["results"]:
                         point = result["point"]
                         by_point[point] = result
@@ -554,6 +601,11 @@ class ParallelDetector:
             },
             worker_busy_seconds=busy,
             worker_utilization=utilization,
+            state_backend=self.state_backend,
+            state_captures=state_stats.captures,
+            state_fingerprints=state_stats.fingerprints,
+            state_compares=state_stats.compares,
+            state_seconds=state_stats.seconds,
         )
         return DetectionResult(
             program=self.program.name,

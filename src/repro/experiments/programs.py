@@ -56,7 +56,14 @@ from repro.selfstar.apps import (
 )
 from repro.selfstar.apps.samples import XML_DOCUMENTS
 
-__all__ = ["AppProgram", "CPP_PROGRAMS", "JAVA_PROGRAMS", "ALL_PROGRAMS", "program_by_name"]
+__all__ = [
+    "AppProgram",
+    "CPP_PROGRAMS",
+    "JAVA_PROGRAMS",
+    "ALL_PROGRAMS",
+    "program_by_name",
+    "is_registered",
+]
 
 LANGUAGE_CPP = "C++"
 LANGUAGE_JAVA = "Java"
@@ -541,3 +548,8 @@ def program_by_name(name: str) -> AppProgram:
         raise KeyError(
             f"unknown application {name!r}; choose from {sorted(_BY_NAME)}"
         ) from None
+
+
+def is_registered(name: str) -> bool:
+    """True when *name* is one of the sixteen evaluation applications."""
+    return name in _BY_NAME

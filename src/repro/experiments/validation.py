@@ -46,8 +46,8 @@ from repro.core.cow import (
 from repro.core.detector import DetectionResult, Detector
 from repro.core.exceptions import InjectionAbort
 from repro.core.masking import make_atomicity_wrapper
-from repro.core.objgraph import capture_frame, graph_diff, graphs_equal
 from repro.core.policy import select_methods_to_wrap
+from repro.core.state import capture_frame, graph_diff, graphs_equal
 from repro.core.runlog import MethodKey
 from repro.core.weaver import Weaver
 
@@ -170,6 +170,7 @@ def mask_and_redetect(
     stats: Optional[MaskingStats] = None,
     graph_checks: Optional[List[GraphCheck]] = None,
     atomic_factory=None,
+    state_backend: str = "graph",
 ) -> Tuple[DetectionResult, ClassificationResult]:
     """Weave atomicity wrappers for *to_wrap*, re-run the campaign.
 
@@ -188,6 +189,10 @@ def mask_and_redetect(
             ``MethodSpec -> callable``); the fuzz harness's self-check
             uses this to plant a rollback-free wrapper and assert the
             differential checks notice.
+        state_backend: backend the *re-detection* campaign compares
+            state with.  The graph-checker layer always uses full graph
+            captures regardless — it is the independent observer whose
+            verdict must not depend on the backend under test.
 
     Returns:
         ``(detection, classification)`` of the masked campaign.
@@ -209,7 +214,7 @@ def mask_and_redetect(
             atomic_factory = lambda spec: make_undolog_atomicity_wrapper(  # noqa: E731
                 spec, stats=stats
             )
-    campaign = InjectionCampaign()
+    campaign = InjectionCampaign(state_backend=state_backend)
     atomic_weaver = Weaver(atomic_factory, analyzer)
     checker_weaver = (
         Weaver(lambda spec: _make_graph_checker(spec, graph_checks), analyzer)
@@ -269,6 +274,7 @@ def validate_masking(
     policy: Optional[WrapPolicy] = None,
     wrap_conditional: bool = False,
     strategy: str = "snapshot",
+    state_backend: str = "graph",
 ) -> MaskingValidation:
     """Detect, mask, and re-detect; return both campaigns' verdicts.
 
@@ -280,8 +286,11 @@ def validate_masking(
             is unnecessary — the validation proves it, since conditional
             methods come back atomic once their pure callees are masked).
         strategy: checkpoint strategy for the masked campaign's wrappers.
+        state_backend: state backend both campaigns compare state with.
     """
-    first = run_app_campaign(program, stride=stride, policy=policy)
+    first = run_app_campaign(
+        program, stride=stride, policy=policy, state_backend=state_backend
+    )
     selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
     if policy is not None:
         selection_policy = selection_policy.merged_with(policy)
@@ -295,6 +304,7 @@ def validate_masking(
         stride=stride,
         policy=policy,
         stats=stats,
+        state_backend=state_backend,
     )
     return MaskingValidation(
         program_name=program.name,

@@ -14,6 +14,10 @@ Every generated program is cross-checked four ways:
    injection wrappers asserts that whenever an exception leaves a masked
    method, the receiver's post-rollback object graph equals the graph
    captured on entry.
+5. **Backend equivalence** (when fuzzing with a non-graph
+   ``state_backend``) — the campaign's run log and classification under
+   that backend must be byte-identical to a graph-backend campaign on
+   the same program.
 
 A **self-check** mode plants a known defect in one of the checked
 components and asserts the harness reports mismatches — guarding against
@@ -111,6 +115,7 @@ class FuzzReport:
     category_counts: Dict[str, int]
     mismatches: List[Mismatch]
     failing_programs: List[str]
+    state_backend: str = "graph"
 
     @property
     def ok(self) -> bool:
@@ -124,6 +129,7 @@ class FuzzReport:
             "engine": self.engine,
             "workers": self.workers,
             "defect": self.defect,
+            "state_backend": self.state_backend,
             "total_points": self.total_points,
             "total_runs": self.total_runs,
             "category_counts": self.category_counts,
@@ -141,20 +147,21 @@ class FuzzReport:
 
 
 def _sequential_campaign(
-    spec: ProgramSpec,
+    spec: ProgramSpec, state_backend: str = "graph"
 ) -> Tuple[DetectionResult, ClassificationResult]:
-    outcome = run_app_campaign(build_program(spec))
+    outcome = run_app_campaign(build_program(spec), state_backend=state_backend)
     return outcome.detection, outcome.classification
 
 
 def _parallel_campaign(
-    spec: ProgramSpec, workers: int
+    spec: ProgramSpec, workers: int, state_backend: str = "graph"
 ) -> Tuple[DetectionResult, ClassificationResult]:
     program = build_program(spec)
     detector = ParallelDetector(
         program,
         workers=workers,
         program_ref=ProgramRef(factory=functools.partial(build_program, spec)),
+        state_backend=state_backend,
     )
     detection = detector.detect()
     classification = reclassify(
@@ -268,6 +275,7 @@ def _check_masking(
     oracle: OracleResult,
     strategy: str,
     defect: Optional[str],
+    state_backend: str = "graph",
 ) -> List[Mismatch]:
     """Checks 3+4: iterated mask → re-detect for one strategy.
 
@@ -307,6 +315,7 @@ def _check_masking(
             atomic_factory=(
                 _no_rollback_factory if defect == "mask_no_rollback" else None
             ),
+            state_backend=state_backend,
         )
         # Wrapper layering must not change the campaign's shape: same
         # points, no genuine failures escaping.
@@ -381,8 +390,17 @@ def check_program(
     engine: str = "both",
     workers: int = 2,
     defect: Optional[str] = None,
+    state_backend: str = "graph",
 ) -> ProgramVerdict:
-    """Run every differential check for one generated program."""
+    """Run every differential check for one generated program.
+
+    With a non-graph ``state_backend``, every campaign-based check runs
+    under that backend *and* an extra **backend-equivalence** check
+    compares its sequential run log and classification byte-for-byte
+    against a graph-backend campaign — the fuzzer is the equivalence
+    oracle proving the fingerprint backend classifies every generated
+    program identically to the reference semantics.
+    """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if defect is not None and defect not in DEFECTS:
@@ -392,15 +410,38 @@ def check_program(
 
     sequential: Optional[Tuple[DetectionResult, ClassificationResult]] = None
     if engine in ("sequential", "both"):
-        detection, classification = _sequential_campaign(spec)
+        detection, classification = _sequential_campaign(spec, state_backend)
         if defect == "swap_pure_conditional":
             classification = _swap_pure_conditional(classification)
         sequential = (detection, classification)
         mismatches.extend(
             _check_oracle(spec, oracle, detection, classification, "oracle-sequential")
         )
+        if state_backend != "graph":
+            # Check 5: backend equivalence against the reference backend.
+            ref_detection, ref_classification = _sequential_campaign(
+                spec, "graph"
+            )
+            if detection.log.to_json() != ref_detection.log.to_json():
+                mismatches.append(
+                    Mismatch(
+                        "backend-equivalence",
+                        spec.name,
+                        f"{state_backend} and graph run logs differ",
+                    )
+                )
+            elif classification.to_json() != ref_classification.to_json():
+                mismatches.append(
+                    Mismatch(
+                        "backend-equivalence",
+                        spec.name,
+                        f"{state_backend} and graph classifications differ",
+                    )
+                )
     if engine in ("parallel", "both"):
-        detection, classification = _parallel_campaign(spec, workers)
+        detection, classification = _parallel_campaign(
+            spec, workers, state_backend
+        )
         if defect == "merge_reversed":
             detection.log.runs.reverse()
         if sequential is not None:
@@ -430,7 +471,9 @@ def check_program(
             )
 
     for strategy in ("snapshot", "undolog"):
-        mismatches.extend(_check_masking(spec, oracle, strategy, defect))
+        mismatches.extend(
+            _check_masking(spec, oracle, strategy, defect, state_backend)
+        )
 
     stats = {
         "total_points": oracle.total_points,
@@ -451,11 +494,15 @@ def run_fuzz(
     engine: str = "both",
     workers: int = 2,
     defect: Optional[str] = None,
+    state_backend: str = "graph",
     progress: Optional[Callable[[int, int, ProgramVerdict], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``programs`` generated subjects; return the aggregate report.
 
     Args:
+        state_backend: backend the checked campaigns compare state with;
+            a non-graph value additionally enables the per-program
+            backend-equivalence check (see :func:`check_program`).
         progress: optional ``(done, total, verdict)`` callback after each
             program (the CLI prints a line per failure).
     """
@@ -467,7 +514,11 @@ def run_fuzz(
     category_counts = {category: 0 for category in CATEGORIES}
     for index, spec in enumerate(specs):
         verdict = check_program(
-            spec, engine=engine, workers=workers, defect=defect
+            spec,
+            engine=engine,
+            workers=workers,
+            defect=defect,
+            state_backend=state_backend,
         )
         total_points += verdict.stats["total_points"]
         total_runs += verdict.stats["runs"]
@@ -490,6 +541,7 @@ def run_fuzz(
         category_counts=category_counts,
         mismatches=mismatches,
         failing_programs=failing,
+        state_backend=state_backend,
     )
 
 

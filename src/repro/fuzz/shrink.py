@@ -134,6 +134,7 @@ def make_failure_predicate(
     engine: str = "both",
     workers: int = 2,
     defect: Optional[str] = None,
+    state_backend: str = "graph",
 ) -> Callable[[ProgramSpec], bool]:
     """Predicate: does any of the *same* checks still fail on a spec?
 
@@ -147,7 +148,11 @@ def make_failure_predicate(
 
     def fails(candidate: ProgramSpec) -> bool:
         verdict = check_program(
-            candidate, engine=engine, workers=workers, defect=defect
+            candidate,
+            engine=engine,
+            workers=workers,
+            defect=defect,
+            state_backend=state_backend,
         )
         return any(m.check in wanted for m in verdict.mismatches)
 

@@ -1,0 +1,195 @@
+"""The StateBackend protocol: registry, semantics, checkpoint contracts."""
+
+import pytest
+
+from repro.core.cow import install_write_barrier, remove_write_barrier
+from repro.core.state import (
+    BACKENDS,
+    DETECTION_BACKENDS,
+    FingerprintBackend,
+    GraphBackend,
+    StateBackend,
+    StateFingerprint,
+    StateStats,
+    UndoLogBackend,
+    get_backend,
+)
+
+
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+
+# -- registry -------------------------------------------------------------
+
+
+def test_registry_names():
+    assert set(BACKENDS) == {"graph", "fingerprint", "undolog"}
+    for name, backend in BACKENDS.items():
+        assert backend.name == name
+
+
+def test_detection_backends_excludes_undolog():
+    assert DETECTION_BACKENDS == ("graph", "fingerprint")
+    assert "undolog" not in DETECTION_BACKENDS
+
+
+def test_get_backend_resolution():
+    assert get_backend(None) is BACKENDS["graph"]
+    assert get_backend("fingerprint") is BACKENDS["fingerprint"]
+    instance = GraphBackend()
+    assert get_backend(instance) is instance
+
+
+def test_get_backend_unknown_name_lists_known():
+    with pytest.raises(ValueError, match="unknown state backend"):
+        get_backend("merkle")
+    with pytest.raises(ValueError, match="fingerprint"):
+        get_backend("nope")
+
+
+# -- capture/diff semantics agree across backends -------------------------
+
+
+@pytest.mark.parametrize("name", DETECTION_BACKENDS)
+def test_equal_states_have_no_diff(name):
+    backend = get_backend(name)
+    a = backend.capture(Point(1, [2, 3]))
+    b = backend.capture(Point(1, [2, 3]))
+    assert backend.diff(a, b) is None
+    assert backend.equal(a, b)
+
+
+@pytest.mark.parametrize("name", DETECTION_BACKENDS)
+def test_changed_states_diff(name):
+    backend = get_backend(name)
+    a = backend.capture(Point(1, [2, 3]))
+    b = backend.capture(Point(1, [2, 3, 4]))
+    difference = backend.diff(a, b)
+    assert difference is not None
+    assert not backend.equal(a, b)
+
+
+def test_fingerprint_backend_is_lossy_graph_is_not():
+    assert get_backend("fingerprint").lossy_diff
+    assert not get_backend("graph").lossy_diff
+    assert not get_backend("undolog").lossy_diff
+
+
+def test_fingerprint_diff_reason_names_the_digests():
+    backend = FingerprintBackend()
+    a = backend.capture([1])
+    b = backend.capture([2])
+    difference = backend.diff(a, b)
+    assert "fingerprint changed" in difference.reason
+    assert a in difference.reason and b in difference.reason
+
+
+def test_fingerprint_capture_returns_digest():
+    summary = get_backend("fingerprint").capture(Point(0, 0))
+    assert isinstance(summary, StateFingerprint)
+
+
+def test_every_backend_offers_fingerprint():
+    for backend in BACKENDS.values():
+        digest = backend.fingerprint(Point(3, 4))
+        assert isinstance(digest, StateFingerprint)
+    assert (
+        BACKENDS["graph"].fingerprint(Point(3, 4))
+        == BACKENDS["fingerprint"].fingerprint(Point(3, 4))
+    )
+
+
+# -- checkpoint / restore / commit ----------------------------------------
+
+
+@pytest.mark.parametrize("name", ("graph", "fingerprint"))
+def test_eager_checkpoint_roundtrip(name):
+    backend = get_backend(name)
+    obj = Point(1, [2, 3])
+    cp = backend.checkpoint(obj)
+    assert backend.checkpoint_size(cp) > 0
+    assert backend.rollback_size(cp) == 0
+    obj.x = 99
+    obj.y.append(4)
+    backend.restore(cp)
+    assert obj.x == 1 and obj.y == [2, 3]
+    backend.commit(cp)  # no-op for eager checkpoints
+
+
+def test_undolog_checkpoint_rollback():
+    backend = get_backend("undolog")
+    install_write_barrier(Point)
+    try:
+        obj = Point(1, 2)
+        cp = backend.checkpoint(obj)
+        assert backend.checkpoint_size(cp) == 0  # nothing copied up front
+        obj.x = 99
+        assert backend.rollback_size(cp) == 1
+        backend.restore(cp)
+        assert obj.x == 1
+    finally:
+        remove_write_barrier(Point)
+
+
+def test_undolog_commit_retires_the_log():
+    backend = get_backend("undolog")
+    install_write_barrier(Point)
+    try:
+        obj = Point(1, 2)
+        cp = backend.checkpoint(obj)
+        obj.x = 5
+        backend.commit(cp)
+        obj.x = 7  # writes after commit land nowhere
+        assert obj.x == 7
+    finally:
+        remove_write_barrier(Point)
+
+
+def test_wrapper_kinds():
+    assert get_backend("graph").wrapper_kind == "atomicity"
+    assert get_backend("fingerprint").wrapper_kind == "atomicity"
+    assert get_backend("undolog").wrapper_kind == "atomicity-undolog"
+
+
+# -- stats ----------------------------------------------------------------
+
+
+def test_stats_counted_per_operation():
+    stats = StateStats()
+    backend = get_backend("graph")
+    a = backend.capture(Point(1, 2), stats=stats)
+    b = backend.capture(Point(1, 2), stats=stats)
+    backend.diff(a, b, stats=stats)
+    assert stats.captures == 2
+    assert stats.compares == 1
+    assert stats.seconds >= 0.0
+
+    fp_stats = StateStats()
+    fp = get_backend("fingerprint")
+    x = fp.capture(Point(1, 2), stats=fp_stats)
+    y = fp.capture(Point(1, 2), stats=fp_stats)
+    fp.diff(x, y, stats=fp_stats)
+    assert fp_stats.fingerprints == 2
+    assert fp_stats.captures == 0
+    assert fp_stats.compares == 1
+
+
+def test_stats_merge_and_to_dict():
+    one = StateStats(captures=1, fingerprints=2, compares=3, seconds=0.5)
+    two = StateStats(captures=10, fingerprints=20, compares=30, seconds=1.5)
+    one.merge(two)
+    assert one.to_dict() == {
+        "captures": 11,
+        "fingerprints": 22,
+        "compares": 33,
+        "seconds": 2.0,
+    }
+
+
+def test_backend_repr_names_backend():
+    assert "graph" in repr(get_backend("graph"))
+    assert isinstance(get_backend("graph"), StateBackend)
+    assert isinstance(get_backend("undolog"), UndoLogBackend)

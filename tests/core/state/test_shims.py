@@ -1,0 +1,76 @@
+"""The deprecated import paths must keep their full historical surface."""
+
+import repro.core.objgraph as objgraph_shim
+import repro.core.snapshot as snapshot_shim
+
+#: The exact ``__all__`` of repro.core.objgraph before the state-layer
+#: refactor.  Shrinking it would break downstream imports silently.
+OBJGRAPH_HISTORICAL_ALL = [
+    "GraphNode",
+    "ObjectGraph",
+    "CaptureLimitError",
+    "capture",
+    "capture_frame",
+    "graphs_equal",
+    "graph_diff",
+    "graph_diff_all",
+    "GraphDifference",
+    "SCALAR_TYPES",
+    "is_scalar",
+    "is_opaque",
+]
+
+#: Likewise for repro.core.snapshot.
+SNAPSHOT_HISTORICAL_ALL = [
+    "Checkpoint",
+    "CheckpointError",
+    "RestoreError",
+    "checkpoint",
+    "restore",
+]
+
+
+def test_objgraph_shim_reexports_full_historical_all():
+    assert list(objgraph_shim.__all__) == OBJGRAPH_HISTORICAL_ALL
+    for name in OBJGRAPH_HISTORICAL_ALL:
+        assert hasattr(objgraph_shim, name), name
+
+
+def test_snapshot_shim_reexports_full_historical_all():
+    assert list(snapshot_shim.__all__) == SNAPSHOT_HISTORICAL_ALL
+    for name in SNAPSHOT_HISTORICAL_ALL:
+        assert hasattr(snapshot_shim, name), name
+
+
+def test_objgraph_shim_keeps_historical_private_helper():
+    # snapshot.py (and possibly third parties) imported _slot_names from
+    # objgraph; the shim keeps the old name aliased to the public API.
+    from repro.core.objgraph import _slot_names
+    from repro.core.state.introspect import slot_names
+
+    assert _slot_names is slot_names
+
+
+def test_shims_are_the_same_objects_as_the_state_layer():
+    import repro.core.state as state
+
+    assert objgraph_shim.capture is state.capture
+    assert objgraph_shim.graphs_equal is state.graphs_equal
+    assert objgraph_shim.ObjectGraph is state.ObjectGraph
+    assert snapshot_shim.checkpoint is state.checkpoint
+    assert snapshot_shim.Checkpoint is state.Checkpoint
+
+
+def test_shim_capture_roundtrip_still_works():
+    class Pair:
+        def __init__(self):
+            self.left = [1]
+            self.right = {"a": 2}
+
+    obj = Pair()
+    graph_before = objgraph_shim.capture(obj)
+    cp = snapshot_shim.checkpoint(obj)
+    obj.left.append(99)
+    obj.right["b"] = 3
+    cp.restore()
+    assert objgraph_shim.graphs_equal(graph_before, objgraph_shim.capture(obj))
