@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-state fuzz-smoke reproduce examples clean
+.PHONY: install test bench bench-smoke bench-state bench-static fuzz-smoke fuzz-prune-smoke reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,15 @@ bench-state:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_state_backends.py --benchmark-only -s
 
+# Static purity pre-analysis vs the fully dynamic sweep on the Table-1
+# Java campaign.  Asserts >= 10% of injection points pruned with
+# bit-identical classification in both modes (smoke runs three small
+# applications; run without the env var for all ten).  Emits
+# BENCH_static_prune.json.
+bench-static:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_static_prune.py --benchmark-only -s
+
 # Fixed-seed differential fuzzing sweep plus the classifier-mutation
 # self-check (< 60 s).  A failure shrinks the first failing program and
 # leaves fuzz-reproducer.json behind; CI uploads it as an artifact.
@@ -36,6 +45,14 @@ fuzz-smoke:
 	$(PYTHON) -m repro fuzz --seed 20260806 --programs 50 \
 		--reproducer-out fuzz-reproducer.json
 	$(PYTHON) -m repro fuzz --self-check --seed 20260806 --programs 8
+
+# Differential prune oracle: every fuzzed program is swept twice
+# (dynamic, statically pruned) and the run logs must agree bit for bit
+# modulo provenance.  Same reproducer protocol as fuzz-smoke.
+fuzz-prune-smoke:
+	$(PYTHON) -m repro fuzz --seed 20260806 --programs 25 \
+		--engine sequential --static-prune \
+		--reproducer-out fuzz-reproducer.json
 
 reproduce:
 	$(PYTHON) -m repro reproduce --out RESULTS.md

@@ -1,0 +1,155 @@
+"""Benchmark — static purity pre-analysis pruning the injection sweep.
+
+The static pass (:mod:`repro.core.staticpass`) proves methods
+transitively receiver-pure before the dynamic sweep and synthesizes the
+run records of injection points whose whole context is certified: every
+enclosing wrapper pure, every other frame exception-transparent, and no
+caught genuine failure earlier in the run.  Each synthesized record is
+one full program execution the campaign never pays for.
+
+This benchmark runs the Table-1 Java campaign (the Doug Lea collections
+plus Jakarta Regexp) twice — fully dynamic and with ``static_prune=True``
+— and asserts the acceptance contract:
+
+* the pruned sweep skips at least 10% of all injection points, and
+* classification and run log are **bit-identical** (modulo the per-run
+  ``provenance`` tag that records *how* each point was decided).
+
+Measurements (points pruned, wall-clock both ways, per-program rows) go
+to ``BENCH_static_prune.json``.
+
+Modes:
+
+* full (default): all ten Java applications.
+* smoke (``REPRO_BENCH_SMOKE=1``, used by ``make bench-static``): three
+  small applications; same assertions, seconds instead of minutes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.staticpass import log_json_without_provenance
+from repro.experiments import JAVA_PROGRAMS, program_by_name, run_app_campaign
+
+from conftest import emit
+
+#: Smoke mode: a small program subset for CI sanity runs (make bench-static).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Where the machine-readable measurements land (consumed by CI logs and
+#: docs/BENCHMARKS.md).
+REPORT_PATH = os.environ.get(
+    "REPRO_BENCH_STATIC_PRUNE_OUT", "BENCH_static_prune.json"
+)
+
+SMOKE_NAMES = ("LLMap", "Dynarray", "CircularList")
+
+#: The acceptance floor: the pruned sweep must skip at least this
+#: fraction of all injection points across the campaign.
+MIN_PRUNED_FRACTION = 0.10
+
+
+def _timed_sweep(name: str, static_prune: bool):
+    started = time.perf_counter()
+    outcome = run_app_campaign(
+        program_by_name(name), static_prune=static_prune
+    )
+    return time.perf_counter() - started, outcome
+
+
+def bench_static_prune(benchmark):
+    names = SMOKE_NAMES if SMOKE else tuple(p.name for p in JAVA_PROGRAMS)
+    rows = []
+    dynamic_total = pruned_total = 0.0
+    total_points = total_pruned = 0
+    for name in names:
+        dynamic_seconds, dynamic_outcome = _timed_sweep(name, False)
+        pruned_seconds, pruned_outcome = _timed_sweep(name, True)
+
+        # The soundness contract: identical output, bit for bit, with
+        # only the provenance tags telling the sweeps apart.
+        assert log_json_without_provenance(
+            pruned_outcome.detection.log
+        ) == log_json_without_provenance(dynamic_outcome.detection.log), (
+            f"pruned sweep diverged from the dynamic one on {name}"
+        )
+        assert (
+            pruned_outcome.classification.to_json()
+            == dynamic_outcome.classification.to_json()
+        ), f"pruned classification diverged on {name}"
+
+        telemetry = pruned_outcome.detection.telemetry
+        points = pruned_outcome.detection.total_points
+        dynamic_total += dynamic_seconds
+        pruned_total += pruned_seconds
+        total_points += points
+        total_pruned += telemetry.runs_pruned
+        rows.append(
+            {
+                "program": name,
+                "points": points,
+                "points_pruned": telemetry.runs_pruned,
+                "pruned_fraction": telemetry.runs_pruned / points,
+                "pure_methods": telemetry.static_pure_methods,
+                "dynamic_seconds": dynamic_seconds,
+                "pruned_seconds": pruned_seconds,
+                "static_seconds": telemetry.static_seconds,
+                "speedup": dynamic_seconds / pruned_seconds,
+            }
+        )
+
+    fraction = total_pruned / total_points
+    report = {
+        "workload": "table1-java-collections-regexp",
+        "smoke": SMOKE,
+        "rows": rows,
+        "points": total_points,
+        "points_pruned": total_pruned,
+        "pruned_fraction": fraction,
+        "dynamic_seconds": dynamic_total,
+        "pruned_seconds": pruned_total,
+        "speedup": dynamic_total / pruned_total,
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    lines = [
+        f"{row['program']:14s} points={row['points']:5d}   "
+        f"pruned={row['points_pruned']:4d} ({row['pruned_fraction']:5.1%})   "
+        f"dynamic {row['dynamic_seconds']:.3f}s   "
+        f"pruned {row['pruned_seconds']:.3f}s   "
+        f"speedup {row['speedup']:.2f}x"
+        for row in rows
+    ]
+    lines.append(
+        f"aggregate: {total_pruned}/{total_points} points pruned "
+        f"({fraction:.1%})   dynamic {dynamic_total:.3f}s   "
+        f"pruned {pruned_total:.3f}s   "
+        f"speedup {dynamic_total / pruned_total:.2f}x"
+    )
+    lines.append(f"results bit-identical: yes   report: {REPORT_PATH}")
+    emit("Static prune: Table-1 Java sweep, dynamic vs pruned",
+         "\n".join(lines))
+
+    benchmark.extra_info["pruned_fraction"] = fraction
+    benchmark.extra_info["points_pruned"] = total_pruned
+    benchmark.extra_info["dynamic_seconds"] = dynamic_total
+    benchmark.extra_info["pruned_seconds"] = pruned_total
+    benchmark.extra_info["report_path"] = REPORT_PATH
+
+    assert fraction >= MIN_PRUNED_FRACTION, (
+        f"expected the static pass to prune >= {MIN_PRUNED_FRACTION:.0%} "
+        f"of injection points, measured {fraction:.1%}"
+    )
+
+    # the benchmarked unit: one small pruned end-to-end sweep
+    benchmark.pedantic(
+        lambda: run_app_campaign(
+            program_by_name("LLMap"), static_prune=True
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -38,7 +38,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.core import WrapPolicy, render_bars
+from repro.core import WrapPolicy, format_run_provenance, render_bars
 from repro.core.policy import select_methods_to_wrap
 
 __all__ = ["main", "build_parser", "load_policy"]
@@ -89,6 +89,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         state_backend=args.state_backend,
+        static_prune=args.static_prune,
     )
     report = outcome.report
     print(
@@ -96,6 +97,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         f"{report.method_count} methods, "
         f"{report.injection_count} injections"
     )
+    print(format_run_provenance(outcome.classification))
     print(render_bars(report.fractions_by_methods()))
     print()
     for key in sorted(outcome.classification.methods):
@@ -124,6 +126,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         wrap_conditional=args.wrap_conditional,
         strategy=args.strategy,
         state_backend=args.state_backend,
+        static_prune=args.static_prune,
     )
     print(validation.summary())
     return 0 if validation.masking_effective else 1
@@ -163,6 +166,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             state_backend=args.state_backend,
+            static_prune=args.static_prune,
         )
         if verdict.ok:
             print(f"{spec.name}: all checks pass")
@@ -187,6 +191,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=progress,
         state_backend=args.state_backend,
+        static_prune=args.static_prune,
     )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -197,6 +202,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"{report.total_points} injection points, methods by category "
         f"{report.category_counts}"
     )
+    if report.static_prune:
+        print(
+            f"prune equivalence checked: {report.total_pruned} point(s) "
+            f"decided statically across all programs"
+        )
     if report.ok:
         print("zero oracle mismatches across engines and checkpoint strategies")
         return 0
@@ -221,6 +231,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 workers=args.workers,
                 state_backend=args.state_backend,
+                static_prune=args.static_prune,
             ),
             max_evals=args.max_shrink_evals,
         )
@@ -330,6 +341,17 @@ def _cmd_fixes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_static_prune_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--static-prune",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="prove methods receiver-pure with a static pre-analysis and "
+             "synthesize the records of provably decided injection points "
+             "instead of executing them (classification is identical; "
+             "--no-static-prune is the default)")
+
+
 def _add_state_backend_flag(parser: argparse.ArgumentParser) -> None:
     from repro.core.state import DETECTION_BACKENDS
 
@@ -377,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="retries per timed-out point before marking it crashed")
     _add_state_backend_flag(detect)
+    _add_static_prune_flag(detect)
     detect.set_defaults(func=_cmd_detect)
 
     validate = sub.add_parser(
@@ -392,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
              "copy (snapshot) or write-barrier undo log (undolog; only "
              "sound for attribute-reassignment state)")
     _add_state_backend_flag(validate)
+    _add_static_prune_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     fuzz = sub.add_parser(
@@ -424,6 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-shrink-evals", type=int, default=200,
                       help="budget of harness evaluations while shrinking")
     _add_state_backend_flag(fuzz)
+    fuzz.add_argument(
+        "--static-prune", action="store_true", default=False,
+        help="additionally run each program's sequential campaign under "
+             "the static pruning pass and assert the pruned sweep's log "
+             "and classification equal the full sweep's")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     table = sub.add_parser("table1", help="regenerate Table 1")

@@ -65,10 +65,19 @@ from .report import (
     build_app_report,
     format_class_distribution,
     format_method_classification,
+    format_run_provenance,
     format_table1,
     render_bars,
 )
 from .runlog import ATOMIC, NONATOMIC, Mark, RunLog, RunRecord, merge_logs
+from .staticpass import (
+    PROVENANCE_DYNAMIC,
+    PROVENANCE_STATIC,
+    PurityAnalysis,
+    StaticPruner,
+    syntactic_effects,
+    transitive_purity,
+)
 from .state import (
     BACKENDS,
     CaptureLimitError,
@@ -147,6 +156,13 @@ __all__ = [
     "CallableProgram",
     "plan_points",
     "run_injection_point",
+    # static purity pre-analysis
+    "PROVENANCE_DYNAMIC",
+    "PROVENANCE_STATIC",
+    "PurityAnalysis",
+    "StaticPruner",
+    "syntactic_effects",
+    "transitive_purity",
     # telemetry
     "CampaignTelemetry",
     # run logs
@@ -197,5 +213,6 @@ __all__ = [
     "format_table1",
     "format_method_classification",
     "format_class_distribution",
+    "format_run_provenance",
     "render_bars",
 ]

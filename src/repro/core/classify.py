@@ -60,9 +60,22 @@ class MethodClassification:
 
 @dataclass
 class ClassificationResult:
-    """The per-method classification of one application."""
+    """The per-method classification of one application.
+
+    ``crashed_runs`` and ``run_provenance`` are summary metadata about
+    the evidence base — how many runs were discarded as crashed and how
+    many of the counted runs were executed (``"dynamic"``) versus
+    synthesized by the static pruning pass (``"static"``).  They are
+    intentionally not part of the serialized per-method payload: two
+    campaigns with the same verdicts are the same classification.
+    """
 
     methods: Dict[MethodKey, MethodClassification]
+    #: Runs excluded from the evidence because they never finished
+    #: (timeout / worker loss); their marks may be truncated mid-method.
+    crashed_runs: int = 0
+    #: Counted (non-crashed) runs per provenance tag.
+    run_provenance: Dict[str, int] = field(default_factory=dict)
 
     def category_of(self, method: MethodKey) -> str:
         return self.methods[method].category
@@ -204,20 +217,34 @@ def classify(log: RunLog) -> ClassificationResult:
     that received a mark; a method with no non-atomic mark in any run is
     failure atomic (Definition 2 quantifies over the executions actually
     explored, exactly as the paper's experiments do).
+
+    Crashed runs (timeout / worker loss) are excluded from the evidence
+    entirely: a run killed mid-method may have recorded a spurious
+    first-non-atomic mark, or been cut short before the caller marks
+    that would have demoted it to conditional.  They are counted in
+    ``crashed_runs`` instead.
     """
+    counted_runs = [run for run in log.runs if not run.crashed]
+    crashed_runs = len(log.runs) - len(counted_runs)
+
     universe: List[MethodKey] = list(log.methods_seen)
     seen = set(universe)
-    for method in log.marked_methods():
-        if method not in seen:
-            universe.append(method)
-            seen.add(method)
+    for run in counted_runs:
+        for mark in run.marks:
+            if mark.method not in seen:
+                universe.append(mark.method)
+                seen.add(mark.method)
 
     atomic_marks: Dict[MethodKey, int] = {m: 0 for m in universe}
     nonatomic_marks: Dict[MethodKey, int] = {m: 0 for m in universe}
     pure_evidence: Dict[MethodKey, List[int]] = {m: [] for m in universe}
     blamed: Dict[MethodKey, List[MethodKey]] = {m: [] for m in universe}
+    run_provenance: Dict[str, int] = {}
 
-    for run in log.runs:
+    for run in counted_runs:
+        run_provenance[run.provenance] = (
+            run_provenance.get(run.provenance, 0) + 1
+        )
         first = run.first_nonatomic()
         if first is not None:
             pure_evidence[first.method].append(run.injection_point)
@@ -254,4 +281,8 @@ def classify(log: RunLog) -> ClassificationResult:
             pure_evidence=pure_evidence[method],
             blamed_callees=blamed[method],
         )
-    return ClassificationResult(methods=methods)
+    return ClassificationResult(
+        methods=methods,
+        crashed_runs=crashed_runs,
+        run_provenance=run_provenance,
+    )

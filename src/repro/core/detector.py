@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Container,
     Iterable,
     List,
     Optional,
@@ -23,10 +24,12 @@ from typing import (
     runtime_checkable,
 )
 
+from .analyzer import MethodSpec
 from .exceptions import InjectionAbort, is_injected
 from .injection import InjectionCampaign
 from .runlog import RunLog, RunRecord
 from .state import get_backend
+from .staticpass import StaticPruner, call_through_boundary
 from .telemetry import CampaignTelemetry
 
 __all__ = [
@@ -87,6 +90,7 @@ def plan_points(
     stride: int = 1,
     injection_points: Optional[Iterable[int]] = None,
     baseline_run: bool = True,
+    pruned: Optional[Container[int]] = None,
 ) -> List[int]:
     """The ordered list of thresholds a campaign will sweep.
 
@@ -94,6 +98,13 @@ def plan_points(
     *same* plan: points ``1..total`` thinned by ``stride`` (or an explicit
     point list), plus the trailing baseline run at ``total + 1`` that
     observes genuine (non-injected) failures without injecting anything.
+
+    Args:
+        pruned: points the static pass decided without execution
+            (``repro.core.staticpass``); they are dropped from the plan
+            so both engines skip them the same way.  The baseline run is
+            never pruned — genuine failures are only observable
+            dynamically.
     """
     if stride < 1:
         raise ValueError("stride must be >= 1")
@@ -101,6 +112,8 @@ def plan_points(
         points = list(range(1, total + 1, stride))
     else:
         points = list(injection_points)
+    if pruned is not None:
+        points = [point for point in points if point not in pruned]
     if baseline_run:
         points.append(total + 1)
     return points
@@ -189,6 +202,13 @@ class Detector:
         stride: sample every *stride*-th injection point instead of all of
             them.  The paper sweeps every point; a stride > 1 trades
             completeness for speed and is used by some benchmarks.
+        static_prune: run the static purity pre-analysis
+            (``repro.core.staticpass``) over the profiling run and
+            synthesize the records of provably decided points instead of
+            executing them.
+        woven_specs: the campaign's woven method specs — the universe the
+            static pass analyzes.  Optional; without it only points whose
+            whole stack context is wrapper-free can be pruned.
     """
 
     def __init__(
@@ -198,6 +218,8 @@ class Detector:
         *,
         stride: int = 1,
         progress: Optional[Callable[[int, int], None]] = None,
+        static_prune: bool = False,
+        woven_specs: Optional[List[MethodSpec]] = None,
     ) -> None:
         """
         Args:
@@ -211,12 +233,14 @@ class Detector:
         self.campaign = campaign
         self.stride = stride
         self.progress = progress
+        self.static_prune = static_prune
+        self.woven_specs = woven_specs
 
     def profile(self) -> int:
         """Count injection points and record call counts (no injection)."""
         self.campaign.begin_profile()
         try:
-            self.program()
+            call_through_boundary(self.program)
         except BaseException as exc:
             raise DetectionError(
                 f"program {self.program.name!r} failed during profiling: "
@@ -247,7 +271,16 @@ class Detector:
                 failures; the baseline run observes them.
         """
         started = time.perf_counter()
-        total = self.profile()
+        pruner: Optional[StaticPruner] = None
+        if self.static_prune:
+            pruner = StaticPruner(self.woven_specs)
+            pruner.attach(self.campaign)
+        try:
+            total = self.profile()
+        finally:
+            if pruner is not None:
+                pruner.detach(self.campaign)
+        prune_map = pruner.prune_map() if pruner is not None else {}
         profiled = time.perf_counter()
         points = plan_points(
             total,
@@ -255,17 +288,35 @@ class Detector:
             injection_points=injection_points,
             baseline_run=baseline_run,
         )
-        genuine_failures: List[str] = []
-        runs = 0
-        for injection_point in points:
-            _, failure = run_injection_point(
-                self.program, self.campaign, injection_point
+        executable = set(
+            plan_points(
+                total,
+                stride=self.stride,
+                injection_points=injection_points,
+                baseline_run=baseline_run,
+                pruned=prune_map,
             )
-            if failure is not None:
-                genuine_failures.append(failure)
-            runs += 1
+        )
+        genuine_failures: List[str] = []
+        executed = 0
+        pruned = 0
+        done = 0
+        for injection_point in points:
+            if injection_point in executable:
+                _, failure = run_injection_point(
+                    self.program, self.campaign, injection_point
+                )
+                if failure is not None:
+                    genuine_failures.append(failure)
+                executed += 1
+            else:
+                # Decided statically: append the synthesized record in
+                # plan order, bypassing begin_run (nothing executes).
+                self.campaign.log.runs.append(prune_map[injection_point])
+                pruned += 1
+            done += 1
             if self.progress is not None:
-                self.progress(runs, len(points))
+                self.progress(done, len(points))
         finished = time.perf_counter()
         wall = finished - started
         state_stats = self.campaign.state_stats
@@ -273,9 +324,10 @@ class Detector:
             engine="sequential",
             workers=1,
             runs_total=len(points),
-            runs_executed=runs,
+            runs_executed=executed,
+            runs_pruned=pruned,
             wall_seconds=wall,
-            runs_per_second=(runs / wall) if wall > 0 else 0.0,
+            runs_per_second=(executed / wall) if wall > 0 else 0.0,
             phase_seconds={
                 "profile": profiled - started,
                 "execute": finished - profiled,
@@ -285,12 +337,16 @@ class Detector:
             state_fingerprints=state_stats.fingerprints,
             state_compares=state_stats.compares,
             state_seconds=state_stats.seconds,
+            static_pure_methods=(
+                pruner.pure_method_count if pruner is not None else 0
+            ),
+            static_seconds=pruner.seconds if pruner is not None else 0.0,
         )
         return DetectionResult(
             program=self.program.name,
             log=self.campaign.log,
             total_points=total,
-            runs_executed=runs,
+            runs_executed=len(points),
             genuine_failures=genuine_failures,
             telemetry=telemetry,
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import functools
 import threading
+import types
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .analyzer import MethodSpec
@@ -24,7 +25,7 @@ from .runlog import ATOMIC, NONATOMIC, MethodKey, RunLog, RunRecord
 from .state import GraphDifference, StateBackend, StateStats, get_backend
 from .state.introspect import is_opaque, is_scalar
 
-__all__ = ["InjectionCampaign", "make_injection_wrapper"]
+__all__ = ["INJ_WRAPPER_CODE", "InjectionCampaign", "make_injection_wrapper"]
 
 
 class InjectionCampaign:
@@ -71,6 +72,18 @@ class InjectionCampaign:
         self.backend = get_backend(state_backend)
         #: Where the campaign's state-machinery time goes (telemetry).
         self.state_stats = StateStats()
+        #: Profiling-only hook: called as ``observer(spec, point)`` at
+        #: every wrapper entry with the base value of the point counter
+        #: (the entry's repertoire occupies the next ``len(exceptions)``
+        #: points).  The static pruning pass attaches here to pair each
+        #: injection point with its live call stack.
+        self.point_observer: Optional[Callable[[MethodSpec, int], None]] = None
+        #: Profiling-only hook: called as ``escape_observer(spec)`` when a
+        #: wrapped call exits via an exception during profiling.  A genuine
+        #: failure leaves a mark in every detection run that executes past
+        #: it, which only execution can produce — the pruning pass uses
+        #: this to stop synthesizing records for later points.
+        self.escape_observer: Optional[Callable[[MethodSpec], None]] = None
         self.current_run: Optional[RunRecord] = None
         self._suspended = 0
         self._owner_thread: Optional[int] = None
@@ -232,6 +245,9 @@ def make_injection_wrapper(
         if not campaign.enabled or campaign.suspended:
             return original(*args, **kwargs)
         campaign.note_call(spec.key)
+        observer = campaign.point_observer
+        if observer is not None and campaign.injection_point == 0:
+            observer(spec, campaign.point)
         for exc_type in exceptions:
             campaign.point += 1
             if campaign.point == campaign.injection_point:
@@ -241,7 +257,14 @@ def make_injection_wrapper(
                 campaign.note_injection(spec.key, exc)
                 raise exc
         if not campaign.detecting:
-            return original(*args, **kwargs)
+            escape = campaign.escape_observer
+            if escape is None:
+                return original(*args, **kwargs)
+            try:
+                return original(*args, **kwargs)
+            except BaseException:
+                escape(spec)
+                raise
         before = campaign.capture_state(spec, args, kwargs)
         try:
             return original(*args, **kwargs)
@@ -260,3 +283,13 @@ def make_injection_wrapper(
     inj_wrapper._repro_spec = spec  # type: ignore[attr-defined]
     inj_wrapper._repro_kind = "injection"  # type: ignore[attr-defined]
     return inj_wrapper
+
+
+#: Code object shared by every injection wrapper — the static pruning
+#: pass recognizes wrapper frames in a stack walk by identity against
+#: this constant (closures share one code object across instantiations).
+INJ_WRAPPER_CODE = next(
+    const
+    for const in make_injection_wrapper.__code__.co_consts
+    if isinstance(const, types.CodeType) and const.co_name == "inj_wrapper"
+)

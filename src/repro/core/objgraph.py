@@ -10,7 +10,17 @@ in a future major version.
 
 from __future__ import annotations
 
-from .state.graph import (
+import warnings
+
+warnings.warn(
+    "repro.core.objgraph is deprecated; object graphs moved to "
+    "repro.core.state (import from repro.core.state or "
+    "repro.core.state.graph instead)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .state.graph import (  # noqa: E402
     CaptureLimitError,
     GraphDifference,
     GraphNode,
@@ -21,11 +31,11 @@ from .state.graph import (
     graph_diff_all,
     graphs_equal,
 )
-from .state.introspect import SCALAR_TYPES, is_opaque, is_scalar
+from .state.introspect import SCALAR_TYPES, is_opaque, is_scalar  # noqa: E402
 
 # Historical private helper, formerly defined here and imported by
 # snapshot.py; kept under its old name for third-party code.
-from .state.introspect import slot_names as _slot_names  # noqa: F401
+from .state.introspect import slot_names as _slot_names  # noqa: F401,E402
 
 __all__ = [
     "GraphNode",

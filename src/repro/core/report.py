@@ -37,6 +37,7 @@ __all__ = [
     "format_table1",
     "format_method_classification",
     "format_class_distribution",
+    "format_run_provenance",
     "render_bars",
 ]
 
@@ -166,6 +167,33 @@ def format_class_distribution(reports: Iterable[AppReport]) -> str:
         f"{_CATEGORY_LABELS[c]} classes" for c in CATEGORIES
     ]
     return _render_table(headers, rows)
+
+
+def format_run_provenance(classification: ClassificationResult) -> str:
+    """One-line evidence summary: counted runs by provenance + crashed.
+
+    Example: ``evidence: 23 dynamic + 15 static run(s), 0 crashed run(s)
+    excluded``.  The static count is how many records the pruning pass
+    synthesized instead of executing (:mod:`repro.core.staticpass`);
+    crashed runs are excluded from classification entirely.
+    """
+    provenance = classification.run_provenance
+    dynamic = provenance.get("dynamic", 0)
+    static = provenance.get("static", 0)
+    other = sum(
+        count
+        for tag, count in provenance.items()
+        if tag not in ("dynamic", "static")
+    )
+    parts = [f"{dynamic} dynamic"]
+    if static:
+        parts.append(f"{static} static")
+    if other:
+        parts.append(f"{other} other")
+    return (
+        f"evidence: {' + '.join(parts)} run(s), "
+        f"{classification.crashed_runs} crashed run(s) excluded"
+    )
 
 
 def render_bars(

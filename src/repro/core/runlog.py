@@ -71,6 +71,9 @@ class RunRecord:
     completed: bool = False  # True if the program finished without injection
     escaped: bool = False  # True if the injected exception reached the top
     crashed: bool = False  # True if the run never finished (timeout/worker loss)
+    #: "dynamic" for executed runs, "static" for records synthesized by
+    #: the static pruning pass (repro.core.staticpass) instead of run.
+    provenance: str = "dynamic"
 
     def add_mark(
         self,
@@ -108,6 +111,7 @@ class RunRecord:
             "completed": self.completed,
             "escaped": self.escaped,
             "crashed": self.crashed,
+            "provenance": self.provenance,
             "marks": [asdict(mark) for mark in self.marks],
         }
 
@@ -121,6 +125,7 @@ class RunRecord:
             completed=data.get("completed", False),
             escaped=data.get("escaped", False),
             crashed=data.get("crashed", False),
+            provenance=data.get("provenance", "dynamic"),
         )
         for mark_data in data.get("marks", []):
             record.marks.append(Mark(**mark_data))

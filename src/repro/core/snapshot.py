@@ -9,7 +9,17 @@ version.
 
 from __future__ import annotations
 
-from .state.checkpoint import (
+import warnings
+
+warnings.warn(
+    "repro.core.snapshot is deprecated; checkpoints moved to "
+    "repro.core.state (import from repro.core.state or "
+    "repro.core.state.checkpoint instead)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .state.checkpoint import (  # noqa: E402
     Checkpoint,
     CheckpointError,
     RestoreError,

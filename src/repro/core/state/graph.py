@@ -46,6 +46,7 @@ from .introspect import (
     iter_children,
     kind_of,
     opaque_token,
+    safe_repr,
     type_name,
 )
 
@@ -149,7 +150,7 @@ class ObjectGraph:
             return
         seen.add(node_id)
         for label, child in node.edges:
-            lines.append(f"{indent}  [{label[0]}={label[1]!r}] ->")
+            lines.append(f"{indent}  [{label[0]}={safe_repr(label[1])}] ->")
             self._describe(child, depth - 1, indent + "    ", lines, seen)
 
 
@@ -376,14 +377,19 @@ def graph_diff_all(
         for (label_a, _), (label_b, _) in zip(na.edges, nb.edges):
             if label_a != label_b:
                 labels_match = False
-                if note(path, f"edge label {label_a!r} != {label_b!r}"):
+                # safe_repr: a dict-key label embeds the raw key object,
+                # whose __repr__ may raise — the diff must not.
+                if note(
+                    path,
+                    f"edge label {safe_repr(label_a)} != {safe_repr(label_b)}",
+                ):
                     return differences
                 break
         if not labels_match:
             continue
         for (label_a, child_a), (_, child_b) in zip(na.edges, nb.edges):
             queue.append(
-                (child_a, child_b, f"{path}/{label_a[0]}={label_a[1]!r}")
+                (child_a, child_b, f"{path}/{label_a[0]}={safe_repr(label_a[1])}")
             )
     return differences
 

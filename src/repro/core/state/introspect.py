@@ -198,7 +198,19 @@ def safe_repr(value: Any) -> str:
 
 
 def scalar_sort_key(value: Any) -> Tuple[str, str]:
-    """Canonical ordering key for scalar dict keys and set members."""
+    """Canonical ordering key for scalar dict keys and set members.
+
+    The repr is computed by the *base* scalar type, not the value's own
+    ``__repr__``: a scalar subclass may override ``__repr__`` with one
+    that raises, and ``safe_repr``'s ``<unreprable T>`` fallback would
+    then collapse every instance of that type onto one key.  Colliding
+    keys make the canonical sort fall back to insertion order, so two
+    captures of the same set could disagree.  ``int.__repr__(value)``
+    etc. read the underlying value directly and never raise.
+    """
+    for base in SCALAR_TYPES:
+        if isinstance(value, base):
+            return (type(value).__name__, base.__repr__(value))
     return (type(value).__name__, safe_repr(value))
 
 

@@ -1,0 +1,46 @@
+"""Static purity pre-analysis that prunes the injection sweep.
+
+The detection phase (Listing 1, Step 3) re-executes the test program
+once per injection point.  This package proves — before the sweep —
+that many of those executions can only produce one possible run record,
+and synthesizes the record instead of paying for the run:
+
+* :mod:`.effects` — AST-based receiver-purity scan of each woven method
+  (no heap writes, no ``del``, no handlers, no calls into unanalyzed
+  code; anything unprovable stays dynamic).
+* :mod:`.callgraph` — greatest-fixpoint closure: a method counts as
+  pure only when its whole reachable callee set is proven pure.
+* :mod:`.transparency` — line-level certificates that a suspended frame
+  passes a propagating exception through untouched.
+* :mod:`.pruner` — combines the three with per-entry stack observations
+  from the profiling run and emits synthesized ``provenance="static"``
+  run records.
+
+See ``docs/GUIDE.md`` ("The static pruning pass") for the soundness
+argument and the precise list of what is and is not provable.
+"""
+
+from .callgraph import PurityAnalysis, transitive_purity
+from .effects import EffectReport, PURE_BUILTINS, syntactic_effects
+from .pruner import (
+    PROVENANCE_DYNAMIC,
+    PROVENANCE_STATIC,
+    StaticPruner,
+    call_through_boundary,
+    log_json_without_provenance,
+)
+from .transparency import TransparencyIndex
+
+__all__ = [
+    "EffectReport",
+    "PURE_BUILTINS",
+    "PROVENANCE_DYNAMIC",
+    "PROVENANCE_STATIC",
+    "PurityAnalysis",
+    "StaticPruner",
+    "TransparencyIndex",
+    "call_through_boundary",
+    "log_json_without_provenance",
+    "syntactic_effects",
+    "transitive_purity",
+]

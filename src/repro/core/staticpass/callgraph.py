@@ -1,0 +1,102 @@
+"""Transitive receiver-purity closure over the woven method universe.
+
+:func:`syntactic_effects` proves single bodies effect-free but leaves
+``self.<name>(...)`` call edges unresolved.  A method is only *pruned*
+when its whole reachable callee set is proven pure, so this module
+computes the greatest fixpoint: start from every syntactically clean
+method and iteratively evict any whose call edges cannot be discharged.
+Starting from the greatest solution keeps mutually recursive clean
+methods pure (the least fixpoint would spuriously reject them).
+
+Dynamic dispatch is handled by over-approximation: an edge ``self.m()``
+is discharged only when *every* analyzed method named ``m`` anywhere in
+the woven universe is pure, at least one exists, and the name is not
+*shadowed* — defined by an unanalyzed class member (a property, an
+excluded method, an inherited helper outside the weave) or stored as an
+instance attribute by any analyzed method.  If any method in the
+universe performs statically invisible attribute writes (``setattr``,
+``vars``, unavailable source), shadow detection itself is defeated and
+no call edge is trusted at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..analyzer import MethodSpec
+from .effects import EffectReport, syntactic_effects, unwrap_original
+
+__all__ = ["PurityAnalysis", "transitive_purity"]
+
+
+@dataclass
+class PurityAnalysis:
+    """Per-method transitive receiver-purity verdicts."""
+
+    #: Keys of methods whose whole reachable callee set is proven pure.
+    pure: Set[str] = field(default_factory=set)
+    #: The underlying per-body scan results (diagnostics).
+    reports: Dict[str, EffectReport] = field(default_factory=dict)
+
+    def is_pure(self, key: str) -> bool:
+        return key in self.pure
+
+    def reason(self, key: str) -> Optional[str]:
+        report = self.reports.get(key)
+        return report.reason if report is not None else "not analyzed"
+
+
+def _unanalyzed_class_members(specs: List[MethodSpec]) -> Set[str]:
+    """Names defined on any woven class (or its bases) that do not map to
+    an analyzed spec — possible dynamic-dispatch targets we never saw."""
+    analyzed = {id(unwrap_original(spec.func)) for spec in specs}
+    shadowed: Set[str] = set()
+    owners = {spec.owner for spec in specs if isinstance(spec.owner, type)}
+    for owner in owners:
+        for klass in owner.__mro__:
+            if klass is object:
+                continue
+            for name, raw in vars(klass).items():
+                func = raw
+                if isinstance(raw, (staticmethod, classmethod)):
+                    func = raw.__func__
+                func = unwrap_original(func)
+                if id(func) not in analyzed:
+                    shadowed.add(name)
+    return shadowed
+
+
+def transitive_purity(specs: Iterable[MethodSpec]) -> PurityAnalysis:
+    """Greatest-fixpoint purity of every woven method."""
+    spec_list = list(specs)
+    reports = {spec.key: syntactic_effects(spec) for spec in spec_list}
+
+    by_name: Dict[str, List[str]] = {}
+    for spec in spec_list:
+        by_name.setdefault(spec.name, []).append(spec.key)
+
+    shadowed = _unanalyzed_class_members(spec_list)
+    for report in reports.values():
+        shadowed |= report.attr_stores
+    opaque_universe = any(report.opaque for report in reports.values())
+
+    pure = {key for key, report in reports.items() if report.clean}
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(pure):
+            report = reports[key]
+            for name in report.self_calls:
+                candidates = by_name.get(name, [])
+                resolvable = (
+                    not opaque_universe
+                    and name not in shadowed
+                    and bool(candidates)
+                    and all(candidate in pure for candidate in candidates)
+                )
+                if not resolvable:
+                    pure.discard(key)
+                    changed = True
+                    break
+    return PurityAnalysis(pure=pure, reports=reports)

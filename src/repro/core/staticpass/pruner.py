@@ -1,0 +1,239 @@
+"""Stack-certified pruning of injection points (the dynamic half).
+
+The profiling run (threshold 0, Listing 1) already executes every
+injection point once.  With a :class:`StaticPruner` attached, the
+campaign reports each wrapper entry's base ``Point`` value together with
+the live call stack, and the pruner decides — per entry — whether the
+dynamic run for each of its points can be *synthesized* instead of
+executed:
+
+1. every enclosing injection-wrapper frame belongs to a method proven
+   transitively receiver-pure (:mod:`.callgraph`) — its before/after
+   state comparison is therefore guaranteed equal, i.e. an ``atomic``
+   mark, because nothing the method executed between its own entry and
+   the injection moment can have mutated reachable state;
+2. every other frame between the entry and the profile boundary is
+   exception-transparent at its suspended line (:mod:`.transparency`) —
+   the injected exception provably reaches the top uncaught and
+   untransformed, touching exactly the enclosing wrappers;
+3. no wrapped call exited via an exception earlier in the profiling run
+   (``escape_observer``): a genuine failure the workload catches leaves
+   an atomic/non-atomic mark in every detection run that executes past
+   it, and that mark's verdict needs a real before/after state
+   comparison — so every later point stays dynamic; and
+4. the exception type passes an injectability probe: ``make_injected``
+   can actually tag an instance (``__slots__`` types that reject the
+   tag would escape as *genuine* failures, not injected ones).
+
+The injected method's own body never runs (the wrapper raises at entry,
+before capture), so its purity is irrelevant; what must be certified is
+the *context* of the point.  Determinism of the test program
+(:class:`~repro.core.detector.Program` contract) guarantees the
+detection run for that point would meet the identical stack.  Anything
+unprovable — an unidentifiable wrapper frame, a frame without source, a
+missing boundary — leaves the point dynamic, so pruning is sound by
+construction.
+
+The synthesized :class:`~repro.core.runlog.RunRecord` carries
+``provenance="static"``; dynamically executed runs carry ``"dynamic"``.
+Pruned and unpruned sweeps agree bit-for-bit on everything else, which
+is exactly what :func:`log_json_without_provenance` lets benchmarks and
+the fuzz harness assert.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analyzer import MethodSpec
+from ..exceptions import is_injected, make_injected
+from ..injection import INJ_WRAPPER_CODE, InjectionCampaign
+from ..runlog import ATOMIC, RunLog, RunRecord
+from .callgraph import PurityAnalysis, transitive_purity
+from .transparency import TransparencyIndex
+
+__all__ = [
+    "PROVENANCE_DYNAMIC",
+    "PROVENANCE_STATIC",
+    "StaticPruner",
+    "call_through_boundary",
+    "log_json_without_provenance",
+]
+
+PROVENANCE_DYNAMIC = "dynamic"
+PROVENANCE_STATIC = "static"
+
+
+def call_through_boundary(program) -> None:
+    """Invoke the test program under the profile-boundary sentinel.
+
+    The pruner's stack walk terminates at this function's code object;
+    frames below it (engine, test runner) are harness machinery the
+    detection run reproduces identically and need no certificate.  Both
+    engines route their profiling run through here.
+    """
+    return program()
+
+
+PROFILE_BOUNDARY_CODE = call_through_boundary.__code__
+
+
+@dataclass(frozen=True)
+class _Span:
+    """One wrapper entry observed during profiling.
+
+    The entry's repertoire occupies points ``base_point + 1 ..
+    base_point + len(spec.exceptions)``; all of them share this stack
+    observation.
+    """
+
+    base_point: int
+    spec: MethodSpec
+    #: Enclosing injection-wrapper methods, innermost first — the mark
+    #: order of the dynamic run.
+    enclosing: Tuple[MethodSpec, ...]
+    #: (code object, suspended line) of every other frame up to the
+    #: boundary.
+    frames: Tuple[Tuple[Any, int], ...]
+    #: False when the walk hit the top without finding the boundary or
+    #: met a wrapper frame it could not identify.
+    usable: bool
+    #: True when a genuine failure escaped some wrapped call earlier in
+    #: the profiling run — the detection run for this point would carry
+    #: that failure's mark, which only execution can produce.
+    tainted: bool = False
+
+
+class StaticPruner:
+    """Combines purity, transparency and the stack observations."""
+
+    def __init__(self, woven_specs: Optional[List[MethodSpec]] = None) -> None:
+        started = time.perf_counter()
+        self.purity: PurityAnalysis = transitive_purity(list(woven_specs or []))
+        self.transparency = TransparencyIndex()
+        self.spans: List[_Span] = []
+        self._probe: Dict[type, bool] = {}
+        self._escape_seen = False
+        self.seconds = time.perf_counter() - started
+
+    # -- observation (campaign hook) ----------------------------------
+
+    def observe(self, spec: MethodSpec, base_point: int) -> None:
+        """``InjectionCampaign.point_observer`` — records one entry."""
+        frame = sys._getframe(2)  # skip observe() and the wrapper itself
+        enclosing: List[MethodSpec] = []
+        frames: List[Tuple[Any, int]] = []
+        usable = True
+        complete = False
+        try:
+            while frame is not None:
+                code = frame.f_code
+                if code is PROFILE_BOUNDARY_CODE:
+                    complete = True
+                    break
+                if code is INJ_WRAPPER_CODE:
+                    enclosing_spec = frame.f_locals.get("spec")
+                    if isinstance(enclosing_spec, MethodSpec):
+                        enclosing.append(enclosing_spec)
+                    else:
+                        usable = False
+                else:
+                    frames.append((code, frame.f_lineno))
+                frame = frame.f_back
+        finally:
+            del frame
+        self.spans.append(
+            _Span(
+                base_point=base_point,
+                spec=spec,
+                enclosing=tuple(enclosing),
+                frames=tuple(frames),
+                usable=usable and complete,
+                tainted=self._escape_seen,
+            )
+        )
+
+    def observe_escape(self, spec: MethodSpec) -> None:
+        """``InjectionCampaign.escape_observer`` — a genuine failure
+        escaped a wrapped call; every later point stays dynamic."""
+        self._escape_seen = True
+
+    def attach(self, campaign: InjectionCampaign) -> None:
+        campaign.point_observer = self.observe
+        campaign.escape_observer = self.observe_escape
+
+    def detach(self, campaign: InjectionCampaign) -> None:
+        campaign.point_observer = None
+        campaign.escape_observer = None
+
+    # -- decision ------------------------------------------------------
+
+    def _injectable(self, exc_type: type) -> bool:
+        cached = self._probe.get(exc_type)
+        if cached is None:
+            try:
+                probe = make_injected(
+                    exc_type, method="<probe>", injection_point=0
+                )
+                cached = is_injected(probe)
+            except Exception:
+                cached = False
+            self._probe[exc_type] = cached
+        return cached
+
+    def _span_prunable(self, span: _Span) -> bool:
+        if not span.usable or span.tainted:
+            return False
+        for enclosing in span.enclosing:
+            if not self.purity.is_pure(enclosing.key):
+                return False
+        for code, lineno in span.frames:
+            if not self.transparency.transparent_at(code, lineno):
+                return False
+        return True
+
+    def prune_map(self) -> Dict[int, RunRecord]:
+        """Synthesized records, keyed by injection point."""
+        started = time.perf_counter()
+        records: Dict[int, RunRecord] = {}
+        for span in self.spans:
+            if not self._span_prunable(span):
+                continue
+            for offset, exc_type in enumerate(span.spec.exceptions):
+                if not self._injectable(exc_type):
+                    continue
+                point = span.base_point + offset + 1
+                record = RunRecord(
+                    injection_point=point,
+                    injected_method=span.spec.key,
+                    injected_exception=exc_type.__name__,
+                    completed=False,
+                    escaped=True,
+                    provenance=PROVENANCE_STATIC,
+                )
+                for enclosing in span.enclosing:
+                    record.add_mark(enclosing.key, ATOMIC)
+                records[point] = record
+        self.seconds += time.perf_counter() - started
+        return records
+
+    @property
+    def pure_method_count(self) -> int:
+        return len(self.purity.pure)
+
+
+def log_json_without_provenance(log: RunLog) -> str:
+    """The log's JSON with per-run provenance erased.
+
+    A pruned and an unpruned sweep differ *only* in which runs carry
+    ``"static"``; equality of this projection is the differential
+    oracle's bit-identicality check.
+    """
+    payload = json.loads(log.to_json())
+    for run in payload.get("runs", []):
+        run.pop("provenance", None)
+    return json.dumps(payload, indent=2, sort_keys=True)

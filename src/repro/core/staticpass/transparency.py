@@ -1,0 +1,75 @@
+"""Line-level exception-transparency certificates for stack frames.
+
+A pruned injection point must reproduce the dynamic run's record without
+executing it, and the record depends on what the in-flight exception
+meets on its way out: a frame suspended *inside* a ``try`` (or ``with``)
+statement may catch or transform it, changing marks, escape status and
+everything downstream.  A frame is certified *exception-transparent* at
+a given line when its source is available and the line falls outside
+every ``try``/``with`` span of the enclosing code block — then the only
+thing the frame can do with a propagating exception is pass it on.
+
+The whole statement span (handlers, ``else``, ``finally``, context
+managers) is treated as guarded even though e.g. an ``else`` clause is
+not actually covered by its handlers: over-approximating the guarded
+region can only keep points dynamic, never prune one wrongly.  Frames
+whose source cannot be fetched or parsed (builtins, exec'd code without
+a linecache entry, lambdas) are never transparent.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, Optional, Tuple
+
+__all__ = ["TransparencyIndex"]
+
+_GUARD_NODES = tuple(
+    getattr(ast, name)
+    for name in ("Try", "TryStar", "With", "AsyncWith")
+    if hasattr(ast, name)
+)
+
+#: Cache sentinel distinguishing "not computed" from "uncertifiable".
+_MISSING = object()
+
+_Spans = Optional[Tuple[Tuple[int, int], ...]]
+
+
+def _guarded_spans(code) -> _Spans:
+    """Absolute line spans of every guarded statement in *code*'s block,
+    or None when the block cannot be certified at all."""
+    try:
+        lines, start = inspect.getsourcelines(code)
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+    except (SyntaxError, ValueError):
+        return None
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, _GUARD_NODES):
+            end = getattr(node, "end_lineno", None)
+            if end is None:
+                return None
+            spans.append((start + node.lineno - 1, start + end - 1))
+    return tuple(spans)
+
+
+class TransparencyIndex:
+    """Memoized per-code-object transparency queries."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[object, _Spans] = {}
+
+    def transparent_at(self, code, lineno: int) -> bool:
+        spans = self._spans.get(code, _MISSING)
+        if spans is _MISSING:
+            spans = _guarded_spans(code)
+            self._spans[code] = spans
+        if spans is None:
+            return False
+        return not any(low <= lineno <= high for low, high in spans)

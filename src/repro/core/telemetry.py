@@ -36,6 +36,12 @@ class CampaignTelemetry:
             runs are *not* re-executed and are counted separately).
         runs_resumed: runs skipped because a journal already held their
             results (``--resume``).
+        runs_pruned: runs whose records were synthesized by the static
+            pruning pass (``--static-prune``) instead of executed.
+        static_pure_methods: woven methods the static pass proved
+            transitively receiver-pure.
+        static_seconds: wall time spent in the static pass (analysis,
+            stack bookkeeping, record synthesis).
         runs_crashed: points marked ``crashed`` after exhausting retries.
         retries: total retry attempts across all points.
         wall_seconds: end-to-end campaign duration.
@@ -60,8 +66,11 @@ class CampaignTelemetry:
     runs_total: int = 0
     runs_executed: int = 0
     runs_resumed: int = 0
+    runs_pruned: int = 0
     runs_crashed: int = 0
     retries: int = 0
+    static_pure_methods: int = 0
+    static_seconds: float = 0.0
     wall_seconds: float = 0.0
     runs_per_second: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -81,8 +90,11 @@ class CampaignTelemetry:
             "runs_total": self.runs_total,
             "runs_executed": self.runs_executed,
             "runs_resumed": self.runs_resumed,
+            "runs_pruned": self.runs_pruned,
             "runs_crashed": self.runs_crashed,
             "retries": self.retries,
+            "static_pure_methods": self.static_pure_methods,
+            "static_seconds": self.static_seconds,
             "wall_seconds": self.wall_seconds,
             "runs_per_second": self.runs_per_second,
             "phase_seconds": dict(self.phase_seconds),
@@ -109,8 +121,11 @@ class CampaignTelemetry:
             runs_total=int(data.get("runs_total", 0)),
             runs_executed=int(data.get("runs_executed", 0)),
             runs_resumed=int(data.get("runs_resumed", 0)),
+            runs_pruned=int(data.get("runs_pruned", 0)),
             runs_crashed=int(data.get("runs_crashed", 0)),
             retries=int(data.get("retries", 0)),
+            static_pure_methods=int(data.get("static_pure_methods", 0)),
+            static_seconds=float(data.get("static_seconds", 0.0)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             runs_per_second=float(data.get("runs_per_second", 0.0)),
             phase_seconds={
@@ -134,8 +149,8 @@ class CampaignTelemetry:
         lines = [
             f"engine={self.engine} workers={self.workers} "
             f"runs={self.runs_executed}/{self.runs_total} "
-            f"(resumed={self.runs_resumed}, crashed={self.runs_crashed}, "
-            f"retries={self.retries})",
+            f"(resumed={self.runs_resumed}, pruned={self.runs_pruned}, "
+            f"crashed={self.runs_crashed}, retries={self.retries})",
             f"wall={self.wall_seconds:.3f}s "
             f"throughput={self.runs_per_second:.1f} runs/s",
         ]
@@ -149,6 +164,12 @@ class CampaignTelemetry:
             lines.append(
                 f"worker utilization: {100.0 * self.worker_utilization:.0f}% "
                 f"mean over {len(self.worker_busy_seconds)} worker(s)"
+            )
+        if self.runs_pruned or self.static_pure_methods:
+            lines.append(
+                f"static prune: {self.runs_pruned} point(s) synthesized, "
+                f"{self.static_pure_methods} method(s) proven pure, "
+                f"pass time {self.static_seconds:.3f}s"
             )
         if self.state_captures or self.state_fingerprints or self.state_compares:
             lines.append(

@@ -72,6 +72,7 @@ def run_app_campaign(
     retries: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     state_backend: str = "graph",
+    static_prune: bool = False,
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -99,6 +100,11 @@ def run_app_campaign(
             ``graph`` (full object-graph isomorphism, the reference) or
             ``fingerprint`` (one-pass 128-bit digests with a graph
             fallback for diagnostics; same classification, faster).
+        static_prune: run the static purity pre-analysis
+            (:mod:`repro.core.staticpass`) and synthesize the records of
+            provably decided injection points instead of executing them.
+            The classification is identical; only provenance and
+            telemetry reveal the pruning.
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
@@ -116,6 +122,7 @@ def run_app_campaign(
             resume=resume,
             progress=progress,
             state_backend=state_backend,
+            static_prune=static_prune,
         )
         detection = parallel_detector.detect()
         specs = parallel_detector.woven_specs
@@ -131,7 +138,14 @@ def run_app_campaign(
         specs = weaver.weave_classes(program.classes)
         # AppProgram satisfies the Program protocol (name + __call__ with
         # scaling applied), so it is the detector's test program directly
-        detector = Detector(program, campaign, stride=stride, progress=progress)
+        detector = Detector(
+            program,
+            campaign,
+            stride=stride,
+            progress=progress,
+            static_prune=static_prune,
+            woven_specs=specs,
+        )
         detection = detector.detect()
     return _classify_and_report(program, detection, specs, policy)
 

@@ -56,6 +56,7 @@ from repro.core import (
 )
 from repro.core.runlog import RunLog, RunRecord, merge_logs
 from repro.core.state import StateStats, get_backend
+from repro.core.staticpass import StaticPruner, call_through_boundary
 from repro.core.telemetry import CampaignTelemetry
 from repro.core.detector import DetectionResult
 from repro.core.weaver import Weaver
@@ -385,6 +386,12 @@ class ParallelDetector:
             header, so a ``--resume`` against a journal written under a
             different backend is rejected instead of silently mixing
             runs.
+        static_prune: run the static purity pre-analysis
+            (``repro.core.staticpass``) over the parent's profiling run
+            and synthesize the records of provably decided points
+            instead of dispatching them to workers.  Recorded in the
+            journal header; pruned points are never journaled (they are
+            re-derived from a fresh profile on resume).
     """
 
     def __init__(
@@ -403,6 +410,7 @@ class ParallelDetector:
         program_ref: Optional[ProgramRef] = None,
         mp_start_method: Optional[str] = None,
         state_backend: str = "graph",
+        static_prune: bool = False,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -426,27 +434,36 @@ class ParallelDetector:
         self.mp_start_method = mp_start_method
         # Resolve eagerly so an unknown name fails here, not in a worker.
         self.state_backend = get_backend(state_backend).name
+        self.static_prune = static_prune
         self.woven_specs: List[MethodSpec] = []
 
     # -- phases ------------------------------------------------------
 
-    def _profile(self) -> Tuple[int, RunLog]:
-        """Weave + profile in the parent; returns (total points, profile log).
+    def _profile(self) -> Tuple[int, RunLog, Optional[StaticPruner]]:
+        """Weave + profile in the parent; returns (total points, profile
+        log, attached static pruner if any).
 
         The profile log carries the per-method call counts (Figures
         2b/3b) and no runs; the parent unweaves immediately so worker
-        processes (forked afterwards) start from clean classes.
+        processes (forked afterwards) start from clean classes.  With
+        ``static_prune`` the pruner observes this profiling run's call
+        stacks — the sweep itself happens in workers, but the decision of
+        which points need a worker at all is made here in the parent.
         """
         campaign = InjectionCampaign(capture_args=self.capture_args)
         weaver = Weaver(
             lambda spec: make_injection_wrapper(spec, campaign),
             Analyzer(exclude=self.program.exclude),
         )
+        pruner: Optional[StaticPruner] = None
         with weaver:
             self.woven_specs = weaver.weave_classes(self.program.classes)
+            if self.static_prune:
+                pruner = StaticPruner(self.woven_specs)
+                pruner.attach(campaign)
             campaign.begin_profile()
             try:
-                self.program()
+                call_through_boundary(self.program)
             except BaseException as exc:
                 raise DetectionError(
                     f"program {self.program.name!r} failed during profiling: "
@@ -454,7 +471,9 @@ class ParallelDetector:
                 ) from exc
             finally:
                 total = campaign.end_profile()
-        return total, campaign.log
+                if pruner is not None:
+                    pruner.detach(campaign)
+        return total, campaign.log, pruner
 
     def _chunks(self, points: List[int]) -> List[Tuple[int, List[int]]]:
         if not points:
@@ -481,7 +500,8 @@ class ParallelDetector:
 
     def detect(self) -> DetectionResult:
         started = time.perf_counter()
-        total, profile_log = self._profile()
+        total, profile_log, pruner = self._profile()
+        prune_map = pruner.prune_map() if pruner is not None else {}
         profiled = time.perf_counter()
 
         points = plan_points(total, stride=self.stride)
@@ -492,6 +512,7 @@ class ParallelDetector:
             "total_points": total,
             "capture_args": self.capture_args,
             "state_backend": self.state_backend,
+            "static_prune": self.static_prune,
         }
 
         journal: Optional[CampaignJournal] = None
@@ -504,9 +525,18 @@ class ParallelDetector:
             if not resumed:
                 journal.start(header)
 
-        remaining = [p for p in points if p not in resumed]
+        # Points decided statically are never dispatched (and never
+        # journaled: a resumed campaign re-derives them from its own
+        # fresh profiling run).  A resumed record wins over a synthesized
+        # one — both describe the same outcome.
+        pruned_points = [
+            p for p in points if p not in resumed and p in prune_map
+        ]
+        remaining = [
+            p for p in points if p not in resumed and p not in prune_map
+        ]
         chunks = self._chunks(remaining)
-        done = len(resumed)
+        done = len(resumed) + len(pruned_points)
         if self.progress is not None and done:
             self.progress(done, len(points))
 
@@ -568,7 +598,11 @@ class ParallelDetector:
         runs_log = RunLog()
         genuine_failures: List[str] = []
         for point in points:
-            entry = by_point[point]
+            entry = by_point.get(point)
+            if entry is None:
+                # Decided statically: splice in the synthesized record.
+                runs_log.runs.append(prune_map[point])
+                continue
             runs_log.runs.append(RunRecord.from_dict(entry["record"]))
             if entry.get("genuine_failure"):
                 genuine_failures.append(entry["genuine_failure"])
@@ -577,7 +611,7 @@ class ParallelDetector:
 
         wall = finished - started
         execute_wall = executed - profiled
-        executed_runs = len(points) - len(resumed)
+        executed_runs = len(points) - len(resumed) - len(pruned_points)
         utilization = 0.0
         if busy and execute_wall > 0:
             pool_size = min(self.workers, len(chunks)) or 1
@@ -590,8 +624,13 @@ class ParallelDetector:
             runs_total=len(points),
             runs_executed=executed_runs,
             runs_resumed=len(resumed),
+            runs_pruned=len(pruned_points),
             runs_crashed=crashed_count,
             retries=retry_count,
+            static_pure_methods=(
+                pruner.pure_method_count if pruner is not None else 0
+            ),
+            static_seconds=pruner.seconds if pruner is not None else 0.0,
             wall_seconds=wall,
             runs_per_second=(executed_runs / wall) if wall > 0 else 0.0,
             phase_seconds={

@@ -275,6 +275,7 @@ def validate_masking(
     wrap_conditional: bool = False,
     strategy: str = "snapshot",
     state_backend: str = "graph",
+    static_prune: bool = False,
 ) -> MaskingValidation:
     """Detect, mask, and re-detect; return both campaigns' verdicts.
 
@@ -287,9 +288,17 @@ def validate_masking(
             methods come back atomic once their pure callees are masked).
         strategy: checkpoint strategy for the masked campaign's wrappers.
         state_backend: state backend both campaigns compare state with.
+        static_prune: prune the *first* campaign with the static purity
+            pre-analysis.  The masked re-detection always runs fully
+            dynamic: atomicity wrappers rebind the woven methods, so the
+            purity proofs from the unmasked program do not carry over.
     """
     first = run_app_campaign(
-        program, stride=stride, policy=policy, state_backend=state_backend
+        program,
+        stride=stride,
+        policy=policy,
+        state_backend=state_backend,
+        static_prune=static_prune,
     )
     selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
     if policy is not None:

@@ -12,6 +12,7 @@ the spec for exactly that purpose).
 from __future__ import annotations
 
 import functools
+import linecache
 from typing import Any, Callable, Dict, List
 
 from repro.core.exceptions import exception_free, throws
@@ -119,7 +120,16 @@ def build_classes(spec: ProgramSpec) -> List[type]:
         "FuzzDeclaredError": FuzzDeclaredError,
     }
     source = render_source(spec)
-    exec(compile(source, f"<{spec.name}>", "exec"), namespace)
+    filename = f"<{spec.name}>"
+    # Register the rendered source so inspect.getsource works on the
+    # generated methods — the static pruning pass reads method bodies.
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(True),
+        filename,
+    )
+    exec(compile(source, filename, "exec"), namespace)
     return [namespace[cd.name] for cd in spec.classes]
 
 

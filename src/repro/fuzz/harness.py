@@ -43,6 +43,7 @@ from repro.core.classify import (
     ClassificationResult,
 )
 from repro.core.detector import DetectionResult
+from repro.core.staticpass import log_json_without_provenance
 from repro.core.masking import MaskingStats
 from repro.core.policy import select_methods_to_wrap
 from repro.experiments.campaign import run_app_campaign
@@ -116,6 +117,8 @@ class FuzzReport:
     mismatches: List[Mismatch]
     failing_programs: List[str]
     state_backend: str = "graph"
+    static_prune: bool = False
+    total_pruned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -130,6 +133,8 @@ class FuzzReport:
             "workers": self.workers,
             "defect": self.defect,
             "state_backend": self.state_backend,
+            "static_prune": self.static_prune,
+            "total_pruned": self.total_pruned,
             "total_points": self.total_points,
             "total_runs": self.total_runs,
             "category_counts": self.category_counts,
@@ -147,9 +152,15 @@ class FuzzReport:
 
 
 def _sequential_campaign(
-    spec: ProgramSpec, state_backend: str = "graph"
+    spec: ProgramSpec,
+    state_backend: str = "graph",
+    static_prune: bool = False,
 ) -> Tuple[DetectionResult, ClassificationResult]:
-    outcome = run_app_campaign(build_program(spec), state_backend=state_backend)
+    outcome = run_app_campaign(
+        build_program(spec),
+        state_backend=state_backend,
+        static_prune=static_prune,
+    )
     return outcome.detection, outcome.classification
 
 
@@ -391,6 +402,7 @@ def check_program(
     workers: int = 2,
     defect: Optional[str] = None,
     state_backend: str = "graph",
+    static_prune: bool = False,
 ) -> ProgramVerdict:
     """Run every differential check for one generated program.
 
@@ -400,6 +412,12 @@ def check_program(
     against a graph-backend campaign — the fuzzer is the equivalence
     oracle proving the fingerprint backend classifies every generated
     program identically to the reference semantics.
+
+    With ``static_prune``, a sixth **prune-equivalence** check runs the
+    sequential campaign again under ``--static-prune`` and asserts its
+    run log (modulo per-run provenance) and its classification are
+    byte-identical to the unpruned sweep — the fuzzer is the soundness
+    oracle for the static purity pre-analysis.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -470,6 +488,36 @@ def check_program(
                 )
             )
 
+    runs_pruned = 0
+    if static_prune:
+        # Check 6: prune equivalence against the unpruned sweep.
+        reference = sequential
+        if reference is None:
+            reference = _sequential_campaign(spec, state_backend)
+        pruned_detection, pruned_classification = _sequential_campaign(
+            spec, state_backend, static_prune=True
+        )
+        if pruned_detection.telemetry is not None:
+            runs_pruned = pruned_detection.telemetry.runs_pruned
+        if log_json_without_provenance(
+            pruned_detection.log
+        ) != log_json_without_provenance(reference[0].log):
+            mismatches.append(
+                Mismatch(
+                    "prune-equivalence",
+                    spec.name,
+                    "pruned and full run logs differ (modulo provenance)",
+                )
+            )
+        elif pruned_classification.to_json() != reference[1].to_json():
+            mismatches.append(
+                Mismatch(
+                    "prune-equivalence",
+                    spec.name,
+                    "pruned and full classifications differ",
+                )
+            )
+
     for strategy in ("snapshot", "undolog"):
         mismatches.extend(
             _check_masking(spec, oracle, strategy, defect, state_backend)
@@ -478,6 +526,7 @@ def check_program(
     stats = {
         "total_points": oracle.total_points,
         "runs": len(oracle.runs),
+        "runs_pruned": runs_pruned,
     }
     for category in CATEGORIES:
         stats[f"methods_{category}"] = sum(
@@ -495,6 +544,7 @@ def run_fuzz(
     workers: int = 2,
     defect: Optional[str] = None,
     state_backend: str = "graph",
+    static_prune: bool = False,
     progress: Optional[Callable[[int, int, ProgramVerdict], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``programs`` generated subjects; return the aggregate report.
@@ -503,6 +553,9 @@ def run_fuzz(
         state_backend: backend the checked campaigns compare state with;
             a non-graph value additionally enables the per-program
             backend-equivalence check (see :func:`check_program`).
+        static_prune: additionally run each program's sequential campaign
+            under the static pruning pass and assert prune equivalence
+            (see :func:`check_program`).
         progress: optional ``(done, total, verdict)`` callback after each
             program (the CLI prints a line per failure).
     """
@@ -511,6 +564,7 @@ def run_fuzz(
     failing: List[str] = []
     total_points = 0
     total_runs = 0
+    total_pruned = 0
     category_counts = {category: 0 for category in CATEGORIES}
     for index, spec in enumerate(specs):
         verdict = check_program(
@@ -519,9 +573,11 @@ def run_fuzz(
             workers=workers,
             defect=defect,
             state_backend=state_backend,
+            static_prune=static_prune,
         )
         total_points += verdict.stats["total_points"]
         total_runs += verdict.stats["runs"]
+        total_pruned += verdict.stats.get("runs_pruned", 0)
         for category in CATEGORIES:
             category_counts[category] += verdict.stats[f"methods_{category}"]
         if not verdict.ok:
@@ -542,6 +598,8 @@ def run_fuzz(
         mismatches=mismatches,
         failing_programs=failing,
         state_backend=state_backend,
+        static_prune=static_prune,
+        total_pruned=total_pruned,
     )
 
 

@@ -135,6 +135,7 @@ def make_failure_predicate(
     workers: int = 2,
     defect: Optional[str] = None,
     state_backend: str = "graph",
+    static_prune: bool = False,
 ) -> Callable[[ProgramSpec], bool]:
     """Predicate: does any of the *same* checks still fail on a spec?
 
@@ -153,6 +154,7 @@ def make_failure_predicate(
             workers=workers,
             defect=defect,
             state_backend=state_backend,
+            static_prune=static_prune,
         )
         return any(m.check in wanted for m in verdict.mismatches)
 

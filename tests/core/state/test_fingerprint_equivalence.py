@@ -186,6 +186,64 @@ def test_fingerprint_is_stringy():
     assert digest == str(digest)
 
 
+# -- canonical ordering of scalar keys/members -----------------------------
+
+
+class RudeInt(int):
+    """A scalar subclass whose repr raises (regression subject)."""
+
+    def __repr__(self):
+        raise RuntimeError("no repr for you")
+
+
+class RudeStr(str):
+    def __repr__(self):
+        raise RuntimeError("no repr for you")
+
+
+def test_unreprable_scalar_subclasses_keep_distinct_sort_keys():
+    from repro.core.state.introspect import scalar_sort_key
+
+    keys = {scalar_sort_key(RudeInt(n)) for n in range(10)}
+    assert len(keys) == 10  # one key per value, no <unreprable> collapse
+
+
+def test_unreprable_scalar_set_members_compare_deterministically():
+    # Before the fix every RudeInt collapsed onto one "<unreprable>" sort
+    # key, so the canonical order degraded to insertion order and two
+    # captures of the same set could disagree.
+    forward = {RudeInt(n) for n in range(8)}
+    backward = {RudeInt(n) for n in reversed(range(8))}
+    assert graphs_equal(capture(forward), capture(backward))
+    assert fingerprint(forward) == fingerprint(backward)
+
+
+@given(st.lists(st.integers(-100, 100), unique=True, min_size=2, max_size=8))
+def test_scalar_subclass_sets_hash_like_their_orderings(values):
+    one = {RudeInt(v) for v in values}
+    two = {RudeInt(v) for v in reversed(values)}
+    assert fingerprint(one) == fingerprint(two)
+    different = {RudeInt(v + 1) for v in values}
+    assert fingerprint(one) != fingerprint(different)
+
+
+def test_unreprable_dict_keys_compare_deterministically():
+    forward = {RudeStr(chr(97 + n)): n for n in range(6)}
+    backward = {RudeStr(chr(97 + n)): n for n in reversed(range(6))}
+    assert graphs_equal(capture(forward), capture(backward))
+    assert fingerprint(forward) == fingerprint(backward)
+
+
+def test_sort_key_uses_base_repr_but_keeps_subclass_type_name():
+    from repro.core.state.introspect import scalar_sort_key
+
+    kind, rendered = scalar_sort_key(RudeInt(3))
+    assert kind == "RudeInt"
+    assert rendered == "3"
+    # bool is matched before int, so True never renders as "1"
+    assert scalar_sort_key(True) == ("bool", "True")
+
+
 # -- seeded collision-resistance smoke ------------------------------------
 
 

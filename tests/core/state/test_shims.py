@@ -1,5 +1,10 @@
 """The deprecated import paths must keep their full historical surface."""
 
+import importlib
+import sys
+
+import pytest
+
 import repro.core.objgraph as objgraph_shim
 import repro.core.snapshot as snapshot_shim
 
@@ -59,6 +64,41 @@ def test_shims_are_the_same_objects_as_the_state_layer():
     assert objgraph_shim.ObjectGraph is state.ObjectGraph
     assert snapshot_shim.checkpoint is state.checkpoint
     assert snapshot_shim.Checkpoint is state.Checkpoint
+
+
+def _reimport_with_warnings(module_name):
+    """Re-import *module_name* fresh so its import-time warning fires again.
+
+    The module-level DeprecationWarning is emitted once per import; the
+    module cached in sys.modules would otherwise make a second import a
+    silent no-op.
+    """
+    sys.modules.pop(module_name, None)
+    try:
+        return importlib.import_module(module_name)
+    finally:
+        # Make sure the shim is back in sys.modules even if the import
+        # raised, so the module-level aliases above stay importable.
+        importlib.import_module(module_name)
+
+
+def test_objgraph_shim_warns_deprecation_on_import():
+    with pytest.warns(DeprecationWarning, match="moved to"):
+        module = _reimport_with_warnings("repro.core.objgraph")
+    assert module.capture is objgraph_shim.capture
+
+
+def test_snapshot_shim_warns_deprecation_on_import():
+    with pytest.warns(DeprecationWarning, match="moved to"):
+        module = _reimport_with_warnings("repro.core.snapshot")
+    assert module.checkpoint is snapshot_shim.checkpoint
+
+
+def test_shim_warning_names_the_replacement_module():
+    with pytest.warns(DeprecationWarning, match=r"repro\.core\.state"):
+        _reimport_with_warnings("repro.core.objgraph")
+    with pytest.warns(DeprecationWarning, match=r"repro\.core\.state"):
+        _reimport_with_warnings("repro.core.snapshot")
 
 
 def test_shim_capture_roundtrip_still_works():

@@ -164,3 +164,41 @@ def test_marked_but_never_profiled_method_included():
     result = classify(log)
     assert result.category_of("Ghost.m") == CATEGORY_PURE
     assert result.methods["Ghost.m"].calls == 0
+
+
+def test_crashed_runs_excluded_from_evidence():
+    # A run killed mid-method (timeout / worker loss) may carry a
+    # truncated, spurious first-non-atomic mark; its marks must not count.
+    log = build_log([[("C.m", ATOMIC)]], call_counts={"C.m": 2})
+    crashed = log.begin_run(2)
+    crashed.injected_method = "?"
+    crashed.crashed = True
+    crashed.add_mark("C.m", NONATOMIC)
+    crashed.add_mark("Ghost.n", NONATOMIC)
+    result = classify(log)
+    assert result.category_of("C.m") == CATEGORY_ATOMIC
+    assert result.methods["C.m"].nonatomic_marks == 0
+    # a method seen only in the crashed run is not in the universe at all
+    assert "Ghost.n" not in result.methods
+    assert result.crashed_runs == 1
+
+
+def test_crashed_runs_counted_separately_from_provenance():
+    log = build_log([[("C.m", ATOMIC)], [("C.m", ATOMIC)]])
+    log.runs[1].provenance = "static"
+    crashed = log.begin_run(3)
+    crashed.crashed = True
+    result = classify(log)
+    assert result.crashed_runs == 1
+    assert result.run_provenance == {"dynamic": 1, "static": 1}
+
+
+def test_all_crashed_log_classifies_profiled_methods_atomic():
+    log = build_log([], call_counts={"C.m": 1})
+    crashed = log.begin_run(1)
+    crashed.crashed = True
+    crashed.add_mark("C.m", NONATOMIC)
+    result = classify(log)
+    assert result.category_of("C.m") == CATEGORY_ATOMIC
+    assert result.crashed_runs == 1
+    assert result.run_provenance == {}

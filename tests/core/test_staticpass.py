@@ -1,0 +1,349 @@
+"""Tests for the static purity pre-analysis (repro.core.staticpass)."""
+
+import json
+
+from repro.core import InjectionCampaign, make_injection_wrapper
+from repro.core.analyzer import Analyzer
+from repro.core.detector import CallableProgram, Detector, plan_points
+from repro.core.runlog import NONATOMIC
+from repro.core.staticpass import (
+    StaticPruner,
+    TransparencyIndex,
+    log_json_without_provenance,
+    syntactic_effects,
+    transitive_purity,
+)
+from repro.core.weaver import Weaver
+
+
+# -- subject classes ------------------------------------------------------
+
+
+class Ledger:
+    def __init__(self):
+        self.balance = 0
+        self.history = []
+
+    def read_balance(self):
+        return self.balance
+
+    def describe(self):
+        return "bal=" + str(self.read_balance())
+
+    def deposit(self, amount):
+        self.history.append(amount)
+        self.balance = self.balance + amount
+
+    def mutate_then_call(self, amount):
+        self.balance = self.balance + amount
+        return self.read_balance()
+
+
+class Augmenter:
+    def bump(self, x):
+        x += 1
+        return x
+
+
+class Guarded:
+    def swallow(self):
+        try:
+            return 1
+        except ValueError:
+            return 0
+
+
+class Raiser:
+    def check(self, flag):
+        if not flag:
+            raise ValueError("flag required")
+        return flag
+
+
+class Shadower:
+    def sneaky(self, items):
+        len = max  # noqa: F841 — shadows the builtin on purpose
+        return len(items)
+
+
+class Dynamic:
+    def poke(self, obj):
+        setattr(obj, "x", 1)
+
+
+class PingPong:
+    def ping(self, n):
+        if n <= 0:
+            return 0
+        return self.pong(n - 1)
+
+    def pong(self, n):
+        if n <= 0:
+            return 1
+        return self.ping(n - 1)
+
+
+def _specs(*classes):
+    analyzer = Analyzer()
+    out = []
+    for cls in classes:
+        out.extend(analyzer.analyze_class(cls))
+    return out
+
+
+def _spec(cls, name):
+    return next(s for s in _specs(cls) if s.name == name)
+
+
+# -- syntactic effects ----------------------------------------------------
+
+
+def test_pure_getter_is_clean():
+    report = syntactic_effects(_spec(Ledger, "read_balance"))
+    assert report.clean
+    assert report.self_calls == set()
+    assert not report.opaque
+
+
+def test_self_call_recorded_as_edge():
+    report = syntactic_effects(_spec(Ledger, "describe"))
+    assert report.clean
+    assert report.self_calls == {"read_balance"}
+
+
+def test_attribute_write_is_unclean_and_profiled():
+    report = syntactic_effects(_spec(Ledger, "deposit"))
+    assert not report.clean
+    assert "balance" in report.attr_stores
+
+
+def test_augmented_assignment_is_unclean():
+    report = syntactic_effects(_spec(Augmenter, "bump"))
+    assert not report.clean
+    assert "augmented assignment" in report.reason
+
+
+def test_exception_handler_is_unclean():
+    report = syntactic_effects(_spec(Guarded, "swallow"))
+    assert not report.clean
+    assert "exception handler" in report.reason
+
+
+def test_raising_builtin_exception_is_clean():
+    assert syntactic_effects(_spec(Raiser, "check")).clean
+
+
+def test_shadowed_builtin_call_is_unclean():
+    report = syntactic_effects(_spec(Shadower, "sneaky"))
+    assert not report.clean
+
+
+def test_setattr_marks_opaque():
+    report = syntactic_effects(_spec(Dynamic, "poke"))
+    assert not report.clean
+    assert report.opaque
+
+
+# -- call-graph closure ---------------------------------------------------
+
+
+def test_closure_resolves_self_calls():
+    analysis = transitive_purity(_specs(Ledger))
+    assert analysis.is_pure("Ledger.read_balance")
+    assert analysis.is_pure("Ledger.describe")
+    assert not analysis.is_pure("Ledger.deposit")
+    assert not analysis.is_pure("Ledger.mutate_then_call")
+
+
+def test_mutual_recursion_between_clean_methods_stays_pure():
+    analysis = transitive_purity(_specs(PingPong))
+    assert analysis.is_pure("PingPong.ping")
+    assert analysis.is_pure("PingPong.pong")
+
+
+def test_opaque_universe_poisons_self_call_resolution():
+    # Dynamic.poke mentions setattr, so no self-call edge anywhere in the
+    # universe can be trusted — but leaf methods with no edges survive.
+    analysis = transitive_purity(_specs(Ledger, Dynamic))
+    assert analysis.is_pure("Ledger.read_balance")
+    assert not analysis.is_pure("Ledger.describe")
+
+
+def test_attr_store_shadowing_method_name_poisons_edge():
+    class Shadowed:
+        def target(self):
+            return 1
+
+        def caller(self):
+            return self.target()
+
+        def overwrite(self):
+            self.target = None
+
+    analysis = transitive_purity(_specs(Shadowed))
+    assert analysis.is_pure("Shadowed.target")
+    assert not analysis.is_pure("Shadowed.caller")
+
+
+# -- transparency ---------------------------------------------------------
+
+
+def _plain_frame(x):
+    return x + 1
+
+
+def _guarded_frame(x):
+    try:
+        return x + 1
+    except ValueError:
+        return 0
+
+
+def test_plain_line_is_transparent():
+    index = TransparencyIndex()
+    code = _plain_frame.__code__
+    assert index.transparent_at(code, code.co_firstlineno + 1)
+
+
+def test_line_inside_try_is_not_transparent():
+    index = TransparencyIndex()
+    code = _guarded_frame.__code__
+    assert not index.transparent_at(code, code.co_firstlineno + 2)
+
+
+def test_sourceless_code_is_never_transparent():
+    index = TransparencyIndex()
+    code = compile("x = 1", "<nosource>", "exec")
+    assert not index.transparent_at(code, 1)
+
+
+# -- plan_points ----------------------------------------------------------
+
+
+def test_plan_points_pruned_filter_keeps_baseline():
+    assert plan_points(4, pruned={2, 3}) == [1, 4, 5]
+    assert plan_points(4, pruned={5}) == [1, 2, 3, 4, 5]
+
+
+# -- end-to-end pruning (the soundness counterexample) --------------------
+
+
+def _run_campaign(static_prune):
+    campaign = InjectionCampaign()
+    weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), Analyzer()
+    )
+
+    def body():
+        ledger = Ledger()
+        ledger.read_balance()
+        ledger.mutate_then_call(5)
+
+    program = CallableProgram(name="ledger-mini", body=body)
+    with weaver:
+        specs = weaver.weave_classes([Ledger])
+        detector = Detector(
+            program,
+            campaign,
+            static_prune=static_prune,
+            woven_specs=specs,
+        )
+        return detector.detect()
+
+
+def test_impure_enclosing_frame_is_not_pruned():
+    # Injecting into read_balance while mutate_then_call's half-done
+    # mutation is on the stack MUST stay dynamic: the enclosing method is
+    # impure, so its non-atomic mark can only be observed by running.
+    full = _run_campaign(static_prune=False)
+    pruned = _run_campaign(static_prune=True)
+    assert pruned.telemetry.runs_pruned > 0
+    for record in pruned.log.runs:
+        if record.provenance == "static":
+            assert record.escaped and not record.completed
+            assert all(m.verdict != NONATOMIC for m in record.marks)
+    nonatomic_runs = [
+        r.injection_point
+        for r in pruned.log.runs
+        if any(m.is_nonatomic for m in r.marks)
+    ]
+    assert nonatomic_runs, "counterexample must surface a non-atomic mark"
+    for point in nonatomic_runs:
+        record = next(
+            r for r in pruned.log.runs if r.injection_point == point
+        )
+        assert record.provenance == "dynamic"
+    assert log_json_without_provenance(full.log) == log_json_without_provenance(
+        pruned.log
+    )
+
+
+def test_baseline_run_is_never_synthesized():
+    pruned = _run_campaign(static_prune=True)
+    baseline = pruned.log.runs[-1]
+    assert baseline.injection_point == pruned.total_points + 1
+    assert baseline.provenance == "dynamic"
+
+
+def test_log_json_without_provenance_strips_only_provenance():
+    result = _run_campaign(static_prune=True)
+    stripped = json.loads(log_json_without_provenance(result.log))
+    assert all("provenance" not in run for run in stripped["runs"])
+    full = json.loads(result.log.to_json())
+    for run in full["runs"]:
+        run.pop("provenance")
+    assert stripped == full
+
+
+def test_caught_genuine_failure_taints_later_points():
+    # A genuine failure that the workload catches leaves a mark in every
+    # detection run that executes past it; that verdict needs a real
+    # state comparison, so every later point must stay dynamic even when
+    # its own context is provably pure.
+    campaign = InjectionCampaign()
+    weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), Analyzer()
+    )
+
+    def body():
+        ledger = Ledger()
+        ledger.read_balance()
+        try:
+            ledger.deposit(None)  # int + None: genuine TypeError, caught
+        except TypeError:
+            pass
+        ledger.read_balance()
+
+    program = CallableProgram(name="ledger-taint", body=body)
+    with weaver:
+        specs = weaver.weave_classes([Ledger])
+
+        def run(static_prune):
+            return Detector(
+                program,
+                campaign,
+                static_prune=static_prune,
+                woven_specs=specs,
+            ).detect()
+
+        full = run(False)
+        pruned = run(True)
+    assert pruned.telemetry.runs_pruned > 0  # the pre-failure getter
+    static_points = {
+        r.injection_point
+        for r in pruned.log.runs
+        if r.provenance == "static"
+    }
+    # every run that carries the caught failure's mark stayed dynamic
+    for record in full.log.runs:
+        if any(m.method == "Ledger.deposit" for m in record.marks):
+            assert record.injection_point not in static_points
+    assert log_json_without_provenance(full.log) == log_json_without_provenance(
+        pruned.log
+    )
+
+
+def test_pruner_without_specs_only_uses_transparency():
+    pruner = StaticPruner(None)
+    assert pruner.pure_method_count == 0
+    assert pruner.prune_map() == {}

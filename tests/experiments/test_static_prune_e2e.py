@@ -1,0 +1,101 @@
+"""End-to-end equivalence of the static purity prune on the synthetic suite.
+
+The acceptance contract of the static pre-analysis: under
+``static_prune=True`` the campaign must reproduce the ground-truth
+classification of :data:`repro.experiments.synthetic.GROUND_TRUTH`
+**bit-identically** — on both engines (sequential, and parallel with 1
+and 4 workers), under both state backends — while actually skipping
+injection runs.  Only the per-run ``provenance`` tags and the telemetry
+may reveal that pruning happened.
+"""
+
+import pytest
+
+from repro.core import WrapPolicy, reclassify
+from repro.core.staticpass import log_json_without_provenance
+from repro.experiments import (
+    GROUND_TRUTH,
+    ParallelDetector,
+    ProgramRef,
+    load_outcome,
+    run_app_campaign,
+    save_outcome,
+    synthetic_program,
+)
+
+BACKENDS = ["graph", "fingerprint"]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The fully dynamic sequential campaign (the trusted oracle)."""
+    return run_app_campaign(synthetic_program())
+
+
+def _parallel_pruned(workers, backend):
+    detector = ParallelDetector(
+        synthetic_program(),
+        workers=workers,
+        program_ref=ProgramRef(factory=synthetic_program),
+        state_backend=backend,
+        static_prune=True,
+    )
+    detection = detector.detect()
+    policy = WrapPolicy.from_specs(detector.woven_specs)
+    return detection, reclassify(detection.log, policy)
+
+
+def _assert_equivalent(reference, detection, classification):
+    assert detection.telemetry.runs_pruned > 0
+    assert detection.telemetry.static_pure_methods > 0
+    assert log_json_without_provenance(detection.log) == (
+        log_json_without_provenance(reference.detection.log)
+    )
+    assert classification.to_json() == reference.classification.to_json()
+    for method, expected in GROUND_TRUTH.items():
+        assert classification.category_of(method) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sequential_prune_matches_ground_truth(reference, backend):
+    outcome = run_app_campaign(
+        synthetic_program(), state_backend=backend, static_prune=True
+    )
+    _assert_equivalent(reference, outcome.detection, outcome.classification)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", [1, 4])
+def test_parallel_prune_matches_ground_truth(reference, workers, backend):
+    detection, classification = _parallel_pruned(workers, backend)
+    _assert_equivalent(reference, detection, classification)
+
+
+def test_pruned_and_dynamic_provenance_coexist(reference):
+    outcome = run_app_campaign(synthetic_program(), static_prune=True)
+    tags = {run.provenance for run in outcome.detection.log.runs}
+    assert tags == {"static", "dynamic"}
+    static_count = sum(
+        1 for run in outcome.detection.log.runs if run.provenance == "static"
+    )
+    assert static_count == outcome.detection.telemetry.runs_pruned
+    # the fully dynamic oracle never carries a static tag
+    assert all(
+        run.provenance == "dynamic" for run in reference.detection.log.runs
+    )
+
+
+def test_provenance_roundtrips_through_persistence(tmp_path):
+    outcome = run_app_campaign(synthetic_program(), static_prune=True)
+    save_outcome(outcome, str(tmp_path))
+    meta, log, classification = load_outcome(str(tmp_path))
+    assert log.to_json() == outcome.detection.log.to_json()
+    revived = {run.injection_point: run.provenance for run in log.runs}
+    original = {
+        run.injection_point: run.provenance
+        for run in outcome.detection.log.runs
+    }
+    assert revived == original
+    assert "static" in set(revived.values())
+    assert classification.to_json() == outcome.classification.to_json()
+    assert meta["telemetry"].runs_pruned == outcome.detection.telemetry.runs_pruned
