@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-state bench-static fuzz-smoke fuzz-prune-smoke reproduce examples clean
+.PHONY: install test bench bench-smoke bench-state bench-static bench-trace fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke docs-check reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +37,15 @@ bench-static:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_static_prune.py --benchmark-only -s
 
+# One-trace-many-points derivation vs the fully dynamic sweep on the
+# Table-1 Java campaign.  Asserts >= 5x fewer subject executions with
+# bit-identical classification in both modes (smoke runs three small
+# applications; run without the env var for all ten).  Emits
+# BENCH_trace_derive.json.
+bench-trace:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_trace_derive.py --benchmark-only -s
+
 # Fixed-seed differential fuzzing sweep plus the classifier-mutation
 # self-check (< 60 s).  A failure shrinks the first failing program and
 # leaves fuzz-reproducer.json behind; CI uploads it as an artifact.
@@ -53,6 +62,19 @@ fuzz-prune-smoke:
 	$(PYTHON) -m repro fuzz --seed 20260806 --programs 25 \
 		--engine sequential --static-prune \
 		--reproducer-out fuzz-reproducer.json
+
+# Differential trace oracle: every fuzzed program is swept twice
+# (dynamic, trace-derived) and the run logs must agree bit for bit
+# modulo provenance.  Same reproducer protocol as fuzz-smoke.
+fuzz-trace-smoke:
+	$(PYTHON) -m repro fuzz --seed 20260806 --programs 25 \
+		--engine sequential --trace-derive \
+		--reproducer-out fuzz-reproducer.json
+
+# Every internal link in docs/*.md and every `src/repro/...` module
+# path mentioned in the docs must resolve to a real file.
+docs-check:
+	$(PYTHON) tools/check_docs_links.py
 
 reproduce:
 	$(PYTHON) -m repro reproduce --out RESULTS.md

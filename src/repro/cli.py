@@ -90,6 +90,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         retries=args.retries,
         state_backend=args.state_backend,
         static_prune=args.static_prune,
+        trace_derive=args.trace_derive,
     )
     report = outcome.report
     print(
@@ -127,6 +128,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         state_backend=args.state_backend,
         static_prune=args.static_prune,
+        trace_derive=args.trace_derive,
     )
     print(validation.summary())
     return 0 if validation.masking_effective else 1
@@ -167,6 +169,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             workers=args.workers,
             state_backend=args.state_backend,
             static_prune=args.static_prune,
+            trace_derive=args.trace_derive,
         )
         if verdict.ok:
             print(f"{spec.name}: all checks pass")
@@ -192,6 +195,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         progress=progress,
         state_backend=args.state_backend,
         static_prune=args.static_prune,
+        trace_derive=args.trace_derive,
     )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -206,6 +210,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"prune equivalence checked: {report.total_pruned} point(s) "
             f"decided statically across all programs"
+        )
+    if report.trace_derive:
+        print(
+            f"trace equivalence checked: {report.total_derived} point(s) "
+            f"derived from reference traces across all programs"
         )
     if report.ok:
         print("zero oracle mismatches across engines and checkpoint strategies")
@@ -232,6 +241,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 state_backend=args.state_backend,
                 static_prune=args.static_prune,
+                trace_derive=args.trace_derive,
             ),
             max_evals=args.max_shrink_evals,
         )
@@ -348,8 +358,24 @@ def _add_static_prune_flag(parser: argparse.ArgumentParser) -> None:
         default=False,
         help="prove methods receiver-pure with a static pre-analysis and "
              "synthesize the records of provably decided injection points "
-             "instead of executing them (classification is identical; "
-             "--no-static-prune is the default)")
+             "instead of executing them (default: off; classification is "
+             "identical, synthesized runs carry provenance=static; "
+             "composes with --trace-derive, the static tag winning on "
+             "points both passes decide)")
+
+
+def _add_trace_derive_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-derive",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="derive the verdicts of trace-decidable injection points "
+             "from ONE instrumented reference execution instead of "
+             "re-running the subject per point (default: off; "
+             "classification is identical, derived runs carry "
+             "provenance=trace; composes with --static-prune and every "
+             "--state-backend; note the instrumented reference run still "
+             "happens even when every point is decided without execution)")
 
 
 def _add_state_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -357,10 +383,11 @@ def _add_state_backend_flag(parser: argparse.ArgumentParser) -> None:
 
     parser.add_argument(
         "--state-backend", choices=DETECTION_BACKENDS, default="graph",
-        help="how campaigns compare before/after state: full object-graph "
-             "isomorphism (graph, the reference) or one-pass 128-bit "
-             "digests with a graph fallback for diagnostics (fingerprint; "
-             "identical classification, faster)")
+        help="how campaigns compare before/after state (default: graph): "
+             "full object-graph isomorphism (graph, the reference) or "
+             "one-pass 128-bit digests with a graph fallback for "
+             "diagnostics (fingerprint; identical classification and "
+             "identical logs, faster)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per timed-out point before marking it crashed")
     _add_state_backend_flag(detect)
     _add_static_prune_flag(detect)
+    _add_trace_derive_flag(detect)
     detect.set_defaults(func=_cmd_detect)
 
     validate = sub.add_parser(
@@ -416,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
              "sound for attribute-reassignment state)")
     _add_state_backend_flag(validate)
     _add_static_prune_flag(validate)
+    _add_trace_derive_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     fuzz = sub.add_parser(
@@ -453,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run each program's sequential campaign under "
              "the static pruning pass and assert the pruned sweep's log "
              "and classification equal the full sweep's")
+    fuzz.add_argument(
+        "--trace-derive", action="store_true", default=False,
+        help="additionally run each program's sequential campaign under "
+             "the trace-derivation pass and assert the derived sweep's "
+             "log and classification are bit-identical (modulo "
+             "provenance) to the dynamic sweep's")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     table = sub.add_parser("table1", help="regenerate Table 1")

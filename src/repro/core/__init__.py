@@ -78,6 +78,11 @@ from .staticpass import (
     syntactic_effects,
     transitive_purity,
 )
+from .tracepass import (
+    PROVENANCE_TRACE,
+    TraceDeriver,
+    TraceRecorder,
+)
 from .state import (
     BACKENDS,
     CaptureLimitError,
@@ -163,6 +168,10 @@ __all__ = [
     "StaticPruner",
     "syntactic_effects",
     "transitive_purity",
+    # trace-derived verdicts
+    "PROVENANCE_TRACE",
+    "TraceDeriver",
+    "TraceRecorder",
     # telemetry
     "CampaignTelemetry",
     # run logs

@@ -31,6 +31,7 @@ from .runlog import RunLog, RunRecord
 from .state import get_backend
 from .staticpass import StaticPruner, call_through_boundary
 from .telemetry import CampaignTelemetry
+from .tracepass import TraceDeriver, TraceRecorder
 
 __all__ = [
     "Program",
@@ -206,8 +207,14 @@ class Detector:
             (``repro.core.staticpass``) over the profiling run and
             synthesize the records of provably decided points instead of
             executing them.
+        trace_derive: instrument the profiling run (``repro.core.tracepass``)
+            and derive the records of every trace-decidable point from
+            that one execution; only trace-undecidable points run for
+            real.  Composes with ``static_prune`` on the same profiling
+            run (statically decided points win the provenance tag).
         woven_specs: the campaign's woven method specs — the universe the
-            static pass analyzes.  Optional; without it only points whose
+            static pass analyzes and the classes the trace pass puts
+            write barriers on.  Optional; without it only points whose
             whole stack context is wrapper-free can be pruned.
     """
 
@@ -219,6 +226,7 @@ class Detector:
         stride: int = 1,
         progress: Optional[Callable[[int, int], None]] = None,
         static_prune: bool = False,
+        trace_derive: bool = False,
         woven_specs: Optional[List[MethodSpec]] = None,
     ) -> None:
         """
@@ -234,6 +242,7 @@ class Detector:
         self.stride = stride
         self.progress = progress
         self.static_prune = static_prune
+        self.trace_derive = trace_derive
         self.woven_specs = woven_specs
 
     def profile(self) -> int:
@@ -272,15 +281,36 @@ class Detector:
         """
         started = time.perf_counter()
         pruner: Optional[StaticPruner] = None
+        deriver: Optional[TraceDeriver] = None
+        recorder: Optional[TraceRecorder] = None
         if self.static_prune:
             pruner = StaticPruner(self.woven_specs)
+        if self.trace_derive:
+            recorder = TraceRecorder()
+            recorder.start(
+                {spec.owner for spec in self.woven_specs or [] if spec.owner}
+            )
+            deriver = TraceDeriver(
+                self.campaign, pruner=pruner, recorder=recorder
+            )
+            deriver.attach(self.campaign)
+        elif pruner is not None:
             pruner.attach(self.campaign)
         try:
             total = self.profile()
         finally:
-            if pruner is not None:
+            if deriver is not None:
+                deriver.detach(self.campaign)
+            elif pruner is not None:
                 pruner.detach(self.campaign)
+            if recorder is not None:
+                recorder.stop()
         prune_map = pruner.prune_map() if pruner is not None else {}
+        derive_map = deriver.derive_map() if deriver is not None else {}
+        # Statically decided points win the provenance tag; the records
+        # agree modulo provenance whenever both passes decide a point.
+        decided = dict(derive_map)
+        decided.update(prune_map)
         profiled = time.perf_counter()
         points = plan_points(
             total,
@@ -294,12 +324,13 @@ class Detector:
                 stride=self.stride,
                 injection_points=injection_points,
                 baseline_run=baseline_run,
-                pruned=prune_map,
+                pruned=decided,
             )
         )
         genuine_failures: List[str] = []
         executed = 0
         pruned = 0
+        derived = 0
         done = 0
         for injection_point in points:
             if injection_point in executable:
@@ -310,10 +341,13 @@ class Detector:
                     genuine_failures.append(failure)
                 executed += 1
             else:
-                # Decided statically: append the synthesized record in
-                # plan order, bypassing begin_run (nothing executes).
-                self.campaign.log.runs.append(prune_map[injection_point])
-                pruned += 1
+                # Decided without execution: append the synthesized
+                # record in plan order, bypassing begin_run.
+                self.campaign.log.runs.append(decided[injection_point])
+                if injection_point in prune_map:
+                    pruned += 1
+                else:
+                    derived += 1
             done += 1
             if self.progress is not None:
                 self.progress(done, len(points))
@@ -326,6 +360,7 @@ class Detector:
             runs_total=len(points),
             runs_executed=executed,
             runs_pruned=pruned,
+            runs_derived=derived,
             wall_seconds=wall,
             runs_per_second=(executed / wall) if wall > 0 else 0.0,
             phase_seconds={
@@ -341,6 +376,13 @@ class Detector:
                 pruner.pure_method_count if pruner is not None else 0
             ),
             static_seconds=pruner.seconds if pruner is not None else 0.0,
+            trace_seconds=deriver.seconds if deriver is not None else 0.0,
+            trace_writes=(
+                recorder.recorded_writes if recorder is not None else 0
+            ),
+            trace_captures=(
+                deriver.stats.captures if deriver is not None else 0
+            ),
         )
         return DetectionResult(
             program=self.program.name,

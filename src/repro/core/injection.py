@@ -185,7 +185,7 @@ class InjectionCampaign:
         """
         with self.suspend():
             return self.backend.capture_frame(
-                self._roots(spec, args, kwargs),
+                self.capture_roots(spec, args, kwargs),
                 ignore_attrs=self.ignore_attrs,
                 max_nodes=self.max_graph_nodes,
                 stats=self.state_stats,
@@ -196,9 +196,13 @@ class InjectionCampaign:
         with self.suspend():
             return self.backend.diff(before, after, stats=self.state_stats)
 
-    def _roots(
+    def capture_roots(
         self, spec: MethodSpec, args: Tuple[Any, ...], kwargs: Dict[str, Any]
     ) -> List[Tuple[Any, Any]]:
+        """The labeled roots a state capture of this call starts from:
+        the receiver plus (under ``capture_args``) every non-scalar,
+        non-opaque argument.  Public so the trace pass captures exactly
+        the same frame a dynamic run would."""
         roots: List[Tuple[Any, Any]] = []
         positional = args
         if spec.has_receiver and args:

@@ -125,6 +125,16 @@ class StaticPruner:
     def observe(self, spec: MethodSpec, base_point: int) -> None:
         """``InjectionCampaign.point_observer`` — records one entry."""
         frame = sys._getframe(2)  # skip observe() and the wrapper itself
+        try:
+            self.observe_frame(spec, base_point, frame)
+        finally:
+            del frame
+
+    def observe_frame(self, spec: MethodSpec, base_point: int, start) -> None:
+        """Record one entry, walking the stack from *start* (the frame
+        that called the injection wrapper).  The trace pass chains here
+        with an explicit frame so both passes share one observer slot."""
+        frame = start
         enclosing: List[MethodSpec] = []
         frames: List[Tuple[Any, int]] = []
         usable = True

@@ -38,10 +38,20 @@ class CampaignTelemetry:
             results (``--resume``).
         runs_pruned: runs whose records were synthesized by the static
             pruning pass (``--static-prune``) instead of executed.
+        runs_derived: runs whose records were derived from the
+            instrumented reference trace (``--trace-derive``) instead of
+            executed.  A point both passes decide counts as pruned, not
+            derived (the static tag wins).
         static_pure_methods: woven methods the static pass proved
             transitively receiver-pure.
         static_seconds: wall time spent in the static pass (analysis,
             stack bookkeeping, record synthesis).
+        trace_seconds: wall time spent in the trace pass (stack
+            reconciliation, entry captures, verdict derivation).
+        trace_writes: attribute writes/deletes the trace recorder's
+            write barrier observed during the reference execution.
+        trace_captures: state captures the trace pass performed (on its
+            own meter — not included in ``state_captures``).
         runs_crashed: points marked ``crashed`` after exhausting retries.
         retries: total retry attempts across all points.
         wall_seconds: end-to-end campaign duration.
@@ -67,10 +77,14 @@ class CampaignTelemetry:
     runs_executed: int = 0
     runs_resumed: int = 0
     runs_pruned: int = 0
+    runs_derived: int = 0
     runs_crashed: int = 0
     retries: int = 0
     static_pure_methods: int = 0
     static_seconds: float = 0.0
+    trace_seconds: float = 0.0
+    trace_writes: int = 0
+    trace_captures: int = 0
     wall_seconds: float = 0.0
     runs_per_second: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -91,10 +105,14 @@ class CampaignTelemetry:
             "runs_executed": self.runs_executed,
             "runs_resumed": self.runs_resumed,
             "runs_pruned": self.runs_pruned,
+            "runs_derived": self.runs_derived,
             "runs_crashed": self.runs_crashed,
             "retries": self.retries,
             "static_pure_methods": self.static_pure_methods,
             "static_seconds": self.static_seconds,
+            "trace_seconds": self.trace_seconds,
+            "trace_writes": self.trace_writes,
+            "trace_captures": self.trace_captures,
             "wall_seconds": self.wall_seconds,
             "runs_per_second": self.runs_per_second,
             "phase_seconds": dict(self.phase_seconds),
@@ -122,10 +140,14 @@ class CampaignTelemetry:
             runs_executed=int(data.get("runs_executed", 0)),
             runs_resumed=int(data.get("runs_resumed", 0)),
             runs_pruned=int(data.get("runs_pruned", 0)),
+            runs_derived=int(data.get("runs_derived", 0)),
             runs_crashed=int(data.get("runs_crashed", 0)),
             retries=int(data.get("retries", 0)),
             static_pure_methods=int(data.get("static_pure_methods", 0)),
             static_seconds=float(data.get("static_seconds", 0.0)),
+            trace_seconds=float(data.get("trace_seconds", 0.0)),
+            trace_writes=int(data.get("trace_writes", 0)),
+            trace_captures=int(data.get("trace_captures", 0)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             runs_per_second=float(data.get("runs_per_second", 0.0)),
             phase_seconds={
@@ -150,7 +172,8 @@ class CampaignTelemetry:
             f"engine={self.engine} workers={self.workers} "
             f"runs={self.runs_executed}/{self.runs_total} "
             f"(resumed={self.runs_resumed}, pruned={self.runs_pruned}, "
-            f"crashed={self.runs_crashed}, retries={self.retries})",
+            f"derived={self.runs_derived}, crashed={self.runs_crashed}, "
+            f"retries={self.retries})",
             f"wall={self.wall_seconds:.3f}s "
             f"throughput={self.runs_per_second:.1f} runs/s",
         ]
@@ -170,6 +193,13 @@ class CampaignTelemetry:
                 f"static prune: {self.runs_pruned} point(s) synthesized, "
                 f"{self.static_pure_methods} method(s) proven pure, "
                 f"pass time {self.static_seconds:.3f}s"
+            )
+        if self.runs_derived or self.trace_captures:
+            lines.append(
+                f"trace derive: {self.runs_derived} point(s) derived, "
+                f"{self.trace_writes} write(s) traced, "
+                f"{self.trace_captures} capture(s), "
+                f"pass time {self.trace_seconds:.3f}s"
             )
         if self.state_captures or self.state_fingerprints or self.state_compares:
             lines.append(

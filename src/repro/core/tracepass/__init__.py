@@ -1,0 +1,15 @@
+"""One-trace-many-points detection (trace-derived verdicts).
+
+See :mod:`repro.core.tracepass.deriver` for the derivation rules and
+:mod:`repro.core.tracepass.recorder` for the write-trace instrumentation.
+"""
+
+from .deriver import PROVENANCE_TRACE, TraceDeriver
+from .recorder import TraceRecorder, barrier_covered
+
+__all__ = [
+    "PROVENANCE_TRACE",
+    "TraceDeriver",
+    "TraceRecorder",
+    "barrier_covered",
+]

@@ -73,6 +73,7 @@ def run_app_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -105,6 +106,13 @@ def run_app_campaign(
             provably decided injection points instead of executing them.
             The classification is identical; only provenance and
             telemetry reveal the pruning.
+        trace_derive: instrument the profiling run
+            (:mod:`repro.core.tracepass`) and derive the records of
+            every trace-decidable injection point from that single
+            reference execution; only trace-undecidable points execute.
+            Composes with ``static_prune`` and every ``state_backend``;
+            the classification is identical, with derived runs tagged
+            ``provenance="trace"``.
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
@@ -123,6 +131,7 @@ def run_app_campaign(
             progress=progress,
             state_backend=state_backend,
             static_prune=static_prune,
+            trace_derive=trace_derive,
         )
         detection = parallel_detector.detect()
         specs = parallel_detector.woven_specs
@@ -144,6 +153,7 @@ def run_app_campaign(
             stride=stride,
             progress=progress,
             static_prune=static_prune,
+            trace_derive=trace_derive,
             woven_specs=specs,
         )
         detection = detector.detect()

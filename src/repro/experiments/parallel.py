@@ -58,6 +58,7 @@ from repro.core.runlog import RunLog, RunRecord, merge_logs
 from repro.core.state import StateStats, get_backend
 from repro.core.staticpass import StaticPruner, call_through_boundary
 from repro.core.telemetry import CampaignTelemetry
+from repro.core.tracepass import TraceDeriver, TraceRecorder
 from repro.core.detector import DetectionResult
 from repro.core.weaver import Weaver
 
@@ -392,6 +393,13 @@ class ParallelDetector:
             instead of dispatching them to workers.  Recorded in the
             journal header; pruned points are never journaled (they are
             re-derived from a fresh profile on resume).
+        trace_derive: instrument the parent's profiling run
+            (``repro.core.tracepass``) and derive the records of every
+            trace-decidable point from that one execution; only
+            trace-undecidable points are dispatched to workers.  Same
+            journal-header/resume semantics as ``static_prune``: derived
+            points are never journaled and are re-derived from a fresh
+            profile on resume.
     """
 
     def __init__(
@@ -411,6 +419,7 @@ class ParallelDetector:
         mp_start_method: Optional[str] = None,
         state_backend: str = "graph",
         static_prune: bool = False,
+        trace_derive: bool = False,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -435,20 +444,31 @@ class ParallelDetector:
         # Resolve eagerly so an unknown name fails here, not in a worker.
         self.state_backend = get_backend(state_backend).name
         self.static_prune = static_prune
+        self.trace_derive = trace_derive
         self.woven_specs: List[MethodSpec] = []
 
     # -- phases ------------------------------------------------------
 
-    def _profile(self) -> Tuple[int, RunLog, Optional[StaticPruner]]:
+    def _profile(
+        self,
+    ) -> Tuple[
+        int,
+        RunLog,
+        Optional[StaticPruner],
+        Optional[TraceDeriver],
+        Optional[TraceRecorder],
+    ]:
         """Weave + profile in the parent; returns (total points, profile
-        log, attached static pruner if any).
+        log, attached static pruner / trace deriver / trace recorder).
 
         The profile log carries the per-method call counts (Figures
         2b/3b) and no runs; the parent unweaves immediately so worker
         processes (forked afterwards) start from clean classes.  With
-        ``static_prune`` the pruner observes this profiling run's call
-        stacks — the sweep itself happens in workers, but the decision of
-        which points need a worker at all is made here in the parent.
+        ``static_prune``/``trace_derive`` the passes observe this
+        profiling run's call stacks — the sweep itself happens in
+        workers, but the decision of which points need a worker at all is
+        made here in the parent.  The trace recorder's write barriers are
+        removed before any worker forks.
         """
         campaign = InjectionCampaign(capture_args=self.capture_args)
         weaver = Weaver(
@@ -456,10 +476,20 @@ class ParallelDetector:
             Analyzer(exclude=self.program.exclude),
         )
         pruner: Optional[StaticPruner] = None
+        deriver: Optional[TraceDeriver] = None
+        recorder: Optional[TraceRecorder] = None
         with weaver:
             self.woven_specs = weaver.weave_classes(self.program.classes)
             if self.static_prune:
                 pruner = StaticPruner(self.woven_specs)
+            if self.trace_derive:
+                recorder = TraceRecorder()
+                recorder.start(
+                    {spec.owner for spec in self.woven_specs if spec.owner}
+                )
+                deriver = TraceDeriver(campaign, pruner=pruner, recorder=recorder)
+                deriver.attach(campaign)
+            elif pruner is not None:
                 pruner.attach(campaign)
             campaign.begin_profile()
             try:
@@ -471,9 +501,13 @@ class ParallelDetector:
                 ) from exc
             finally:
                 total = campaign.end_profile()
-                if pruner is not None:
+                if deriver is not None:
+                    deriver.detach(campaign)
+                elif pruner is not None:
                     pruner.detach(campaign)
-        return total, campaign.log, pruner
+                if recorder is not None:
+                    recorder.stop()
+        return total, campaign.log, pruner, deriver, recorder
 
     def _chunks(self, points: List[int]) -> List[Tuple[int, List[int]]]:
         if not points:
@@ -500,8 +534,13 @@ class ParallelDetector:
 
     def detect(self) -> DetectionResult:
         started = time.perf_counter()
-        total, profile_log, pruner = self._profile()
+        total, profile_log, pruner, deriver, recorder = self._profile()
         prune_map = pruner.prune_map() if pruner is not None else {}
+        derive_map = deriver.derive_map() if deriver is not None else {}
+        # Statically decided points win the provenance tag; the records
+        # agree modulo provenance whenever both passes decide a point.
+        decided = dict(derive_map)
+        decided.update(prune_map)
         profiled = time.perf_counter()
 
         points = plan_points(total, stride=self.stride)
@@ -513,6 +552,7 @@ class ParallelDetector:
             "capture_args": self.capture_args,
             "state_backend": self.state_backend,
             "static_prune": self.static_prune,
+            "trace_derive": self.trace_derive,
         }
 
         journal: Optional[CampaignJournal] = None
@@ -525,18 +565,23 @@ class ParallelDetector:
             if not resumed:
                 journal.start(header)
 
-        # Points decided statically are never dispatched (and never
-        # journaled: a resumed campaign re-derives them from its own
-        # fresh profiling run).  A resumed record wins over a synthesized
-        # one — both describe the same outcome.
+        # Points decided without execution are never dispatched (and
+        # never journaled: a resumed campaign re-derives them from its
+        # own fresh profiling run).  A resumed record wins over a
+        # synthesized one — both describe the same outcome.
         pruned_points = [
             p for p in points if p not in resumed and p in prune_map
         ]
+        derived_points = [
+            p
+            for p in points
+            if p not in resumed and p in decided and p not in prune_map
+        ]
         remaining = [
-            p for p in points if p not in resumed and p not in prune_map
+            p for p in points if p not in resumed and p not in decided
         ]
         chunks = self._chunks(remaining)
-        done = len(resumed) + len(pruned_points)
+        done = len(resumed) + len(pruned_points) + len(derived_points)
         if self.progress is not None and done:
             self.progress(done, len(points))
 
@@ -600,8 +645,9 @@ class ParallelDetector:
         for point in points:
             entry = by_point.get(point)
             if entry is None:
-                # Decided statically: splice in the synthesized record.
-                runs_log.runs.append(prune_map[point])
+                # Decided without execution: splice in the synthesized
+                # (static) or derived (trace) record.
+                runs_log.runs.append(decided[point])
                 continue
             runs_log.runs.append(RunRecord.from_dict(entry["record"]))
             if entry.get("genuine_failure"):
@@ -611,7 +657,12 @@ class ParallelDetector:
 
         wall = finished - started
         execute_wall = executed - profiled
-        executed_runs = len(points) - len(resumed) - len(pruned_points)
+        executed_runs = (
+            len(points)
+            - len(resumed)
+            - len(pruned_points)
+            - len(derived_points)
+        )
         utilization = 0.0
         if busy and execute_wall > 0:
             pool_size = min(self.workers, len(chunks)) or 1
@@ -625,12 +676,20 @@ class ParallelDetector:
             runs_executed=executed_runs,
             runs_resumed=len(resumed),
             runs_pruned=len(pruned_points),
+            runs_derived=len(derived_points),
             runs_crashed=crashed_count,
             retries=retry_count,
             static_pure_methods=(
                 pruner.pure_method_count if pruner is not None else 0
             ),
             static_seconds=pruner.seconds if pruner is not None else 0.0,
+            trace_seconds=deriver.seconds if deriver is not None else 0.0,
+            trace_writes=(
+                recorder.recorded_writes if recorder is not None else 0
+            ),
+            trace_captures=(
+                deriver.stats.captures if deriver is not None else 0
+            ),
             wall_seconds=wall,
             runs_per_second=(executed_runs / wall) if wall > 0 else 0.0,
             phase_seconds={

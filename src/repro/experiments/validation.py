@@ -276,6 +276,7 @@ def validate_masking(
     strategy: str = "snapshot",
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
 ) -> MaskingValidation:
     """Detect, mask, and re-detect; return both campaigns' verdicts.
 
@@ -292,6 +293,11 @@ def validate_masking(
             pre-analysis.  The masked re-detection always runs fully
             dynamic: atomicity wrappers rebind the woven methods, so the
             purity proofs from the unmasked program do not carry over.
+        trace_derive: derive the *first* campaign's trace-decidable
+            points from one instrumented reference run.  Like
+            ``static_prune``, it never applies to the masked
+            re-detection — the rollback behavior under test must be
+            observed by real execution.
     """
     first = run_app_campaign(
         program,
@@ -299,6 +305,7 @@ def validate_masking(
         policy=policy,
         state_backend=state_backend,
         static_prune=static_prune,
+        trace_derive=trace_derive,
     )
     selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
     if policy is not None:

@@ -119,6 +119,8 @@ class FuzzReport:
     state_backend: str = "graph"
     static_prune: bool = False
     total_pruned: int = 0
+    trace_derive: bool = False
+    total_derived: int = 0
 
     @property
     def ok(self) -> bool:
@@ -135,6 +137,8 @@ class FuzzReport:
             "state_backend": self.state_backend,
             "static_prune": self.static_prune,
             "total_pruned": self.total_pruned,
+            "trace_derive": self.trace_derive,
+            "total_derived": self.total_derived,
             "total_points": self.total_points,
             "total_runs": self.total_runs,
             "category_counts": self.category_counts,
@@ -155,11 +159,13 @@ def _sequential_campaign(
     spec: ProgramSpec,
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
 ) -> Tuple[DetectionResult, ClassificationResult]:
     outcome = run_app_campaign(
         build_program(spec),
         state_backend=state_backend,
         static_prune=static_prune,
+        trace_derive=trace_derive,
     )
     return outcome.detection, outcome.classification
 
@@ -403,6 +409,7 @@ def check_program(
     defect: Optional[str] = None,
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
 ) -> ProgramVerdict:
     """Run every differential check for one generated program.
 
@@ -418,6 +425,12 @@ def check_program(
     run log (modulo per-run provenance) and its classification are
     byte-identical to the unpruned sweep — the fuzzer is the soundness
     oracle for the static purity pre-analysis.
+
+    With ``trace_derive``, a seventh **trace-equivalence** check runs
+    the sequential campaign again under ``--trace-derive`` and asserts
+    the same bit-identity (run log modulo provenance, classification
+    byte-for-byte) against the dynamic sweep — the fuzzer is the
+    soundness oracle for the trace-derivation pass.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -518,6 +531,36 @@ def check_program(
                 )
             )
 
+    runs_derived = 0
+    if trace_derive:
+        # Check 7: trace equivalence against the fully dynamic sweep.
+        reference = sequential
+        if reference is None:
+            reference = _sequential_campaign(spec, state_backend)
+        derived_detection, derived_classification = _sequential_campaign(
+            spec, state_backend, trace_derive=True
+        )
+        if derived_detection.telemetry is not None:
+            runs_derived = derived_detection.telemetry.runs_derived
+        if log_json_without_provenance(
+            derived_detection.log
+        ) != log_json_without_provenance(reference[0].log):
+            mismatches.append(
+                Mismatch(
+                    "trace-equivalence",
+                    spec.name,
+                    "derived and dynamic run logs differ (modulo provenance)",
+                )
+            )
+        elif derived_classification.to_json() != reference[1].to_json():
+            mismatches.append(
+                Mismatch(
+                    "trace-equivalence",
+                    spec.name,
+                    "derived and dynamic classifications differ",
+                )
+            )
+
     for strategy in ("snapshot", "undolog"):
         mismatches.extend(
             _check_masking(spec, oracle, strategy, defect, state_backend)
@@ -527,6 +570,7 @@ def check_program(
         "total_points": oracle.total_points,
         "runs": len(oracle.runs),
         "runs_pruned": runs_pruned,
+        "runs_derived": runs_derived,
     }
     for category in CATEGORIES:
         stats[f"methods_{category}"] = sum(
@@ -545,6 +589,7 @@ def run_fuzz(
     defect: Optional[str] = None,
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
     progress: Optional[Callable[[int, int, ProgramVerdict], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``programs`` generated subjects; return the aggregate report.
@@ -556,6 +601,9 @@ def run_fuzz(
         static_prune: additionally run each program's sequential campaign
             under the static pruning pass and assert prune equivalence
             (see :func:`check_program`).
+        trace_derive: additionally run each program's sequential campaign
+            under the trace-derivation pass and assert trace equivalence
+            (see :func:`check_program`).
         progress: optional ``(done, total, verdict)`` callback after each
             program (the CLI prints a line per failure).
     """
@@ -565,6 +613,7 @@ def run_fuzz(
     total_points = 0
     total_runs = 0
     total_pruned = 0
+    total_derived = 0
     category_counts = {category: 0 for category in CATEGORIES}
     for index, spec in enumerate(specs):
         verdict = check_program(
@@ -574,10 +623,12 @@ def run_fuzz(
             defect=defect,
             state_backend=state_backend,
             static_prune=static_prune,
+            trace_derive=trace_derive,
         )
         total_points += verdict.stats["total_points"]
         total_runs += verdict.stats["runs"]
         total_pruned += verdict.stats.get("runs_pruned", 0)
+        total_derived += verdict.stats.get("runs_derived", 0)
         for category in CATEGORIES:
             category_counts[category] += verdict.stats[f"methods_{category}"]
         if not verdict.ok:
@@ -600,6 +651,8 @@ def run_fuzz(
         state_backend=state_backend,
         static_prune=static_prune,
         total_pruned=total_pruned,
+        trace_derive=trace_derive,
+        total_derived=total_derived,
     )
 
 

@@ -136,6 +136,7 @@ def make_failure_predicate(
     defect: Optional[str] = None,
     state_backend: str = "graph",
     static_prune: bool = False,
+    trace_derive: bool = False,
 ) -> Callable[[ProgramSpec], bool]:
     """Predicate: does any of the *same* checks still fail on a spec?
 
@@ -155,6 +156,7 @@ def make_failure_predicate(
             defect=defect,
             state_backend=state_backend,
             static_prune=static_prune,
+            trace_derive=trace_derive,
         )
         return any(m.check in wanted for m in verdict.mismatches)
 

@@ -1,0 +1,44 @@
+"""The documentation's links and module references must resolve.
+
+Runs the same checker as ``make docs-check`` (tools/check_docs_links.py)
+so a stale module path or broken relative link in docs/ fails the test
+suite, not just the CI lint step.
+"""
+
+import importlib.util
+import pathlib
+
+
+def _load_checker():
+    path = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "tools"
+        / "check_docs_links.py"
+    )
+    spec = importlib.util.spec_from_file_location("check_docs_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_links_resolve():
+    checker = _load_checker()
+    offences = checker.check()
+    assert offences == [], "\n".join(offences)
+
+
+def test_checker_flags_broken_references(tmp_path, monkeypatch):
+    checker = _load_checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "bad.md").write_text(
+        "[gone](missing.md) and `src/repro/never/was.py` and "
+        "`repro.not_a.module`\n",
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    offences = checker.check()
+    assert len(offences) == 3
+    assert any("broken link" in o for o in offences)
+    assert any("missing path" in o for o in offences)
+    assert any("unresolvable module" in o for o in offences)
