@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-state bench-static bench-trace fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke docs-check reproduce examples clean
+.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Slow-marked sweeps excluded from tier-1 (full Table-1 variant
+# invariance and friends).  Scheduled CI runs this nightly.
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -46,6 +51,20 @@ bench-trace:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_trace_derive.py --benchmark-only -s
 
+# The same derivation benchmark over all ten Java applications (no
+# smoke subset).  Takes minutes; the scheduled CI job runs it.
+bench-trace-full:
+	$(PYTHON) -m pytest \
+		benchmarks/bench_trace_derive.py --benchmark-only -s
+
+# Metamorphic variant corpus over grafted Table-1 applications: every
+# variant's campaign outputs must be bit-identical to the original's
+# (modulo provenance).  Smoke subset in CI; full grid without the env
+# var.  Emits BENCH_variants.json.
+bench-variants:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_variants.py --benchmark-only -s
+
 # Fixed-seed differential fuzzing sweep plus the classifier-mutation
 # self-check (< 60 s).  A failure shrinks the first failing program and
 # leaves fuzz-reproducer.json behind; CI uploads it as an artifact.
@@ -69,6 +88,15 @@ fuzz-prune-smoke:
 fuzz-trace-smoke:
 	$(PYTHON) -m repro fuzz --seed 20260806 --programs 25 \
 		--engine sequential --trace-derive \
+		--reproducer-out fuzz-reproducer.json
+
+# Detection-invariance oracle (Check 8): every fuzzed program is also
+# campaigned as three semantic-preserving variants, and the log,
+# classification, and masking fixpoints must match the original's bit
+# for bit.  Same reproducer protocol as fuzz-smoke.
+fuzz-variant-smoke:
+	$(PYTHON) -m repro fuzz --seed 20260806 --programs 20 \
+		--engine sequential --variants 3 \
 		--reproducer-out fuzz-reproducer.json
 
 # Every internal link in docs/*.md and every `src/repro/...` module

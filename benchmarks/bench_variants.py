@@ -1,0 +1,136 @@
+"""Benchmark — metamorphic variant corpus over the Table-1 campaign.
+
+The variants subsystem (:mod:`repro.core.variants`) rewrites subject
+methods with semantic-preserving transforms and requires every
+observable campaign output — run log modulo provenance, classification,
+masking fixpoints — to be bit-identical to the original's.  This
+benchmark grafts recipe variants onto real Table-1 Java applications
+and measures the cost of that invariance evidence:
+
+* transform applications per program (how much the corpus actually
+  rewrites), and
+* the wall-clock of original-vs-variant campaign pairs.
+
+Zero divergences is an assertion, not a statistic — one diverging
+variant fails the run.  Measurements go to ``BENCH_variants.json``.
+
+Modes:
+
+* full (default): all ten Java applications x 3 recipes.
+* smoke (``REPRO_BENCH_SMOKE=1``, used by ``make bench-variants``):
+  three small applications x 2 recipes; same assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.variants import (
+    campaign_bundle,
+    diff_bundles,
+    grafted_variant,
+    make_recipes,
+)
+from repro.experiments import JAVA_PROGRAMS, program_by_name
+
+from conftest import emit
+
+#: Smoke mode: a small subset for CI sanity runs (make bench-variants).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Where the machine-readable measurements land (consumed by CI logs and
+#: docs/BENCHMARKS.md).
+REPORT_PATH = os.environ.get(
+    "REPRO_BENCH_VARIANTS_OUT", "BENCH_variants.json"
+)
+
+SMOKE_NAMES = ("LLMap", "Dynarray", "CircularList")
+
+RECIPE_SEED = 20260806
+
+
+def bench_variants(benchmark):
+    names = SMOKE_NAMES if SMOKE else tuple(p.name for p in JAVA_PROGRAMS)
+    recipes = make_recipes(RECIPE_SEED, 2 if SMOKE else 3)
+    rows = []
+    divergences = []
+    total_applied = 0
+    total_seconds = 0.0
+    for name in names:
+        program = program_by_name(name)
+        started = time.perf_counter()
+        base = campaign_bundle(lambda: program)
+        base_seconds = time.perf_counter() - started
+        applied = 0
+        variant_seconds = 0.0
+        checked = 0
+        for tag, recipe in enumerate(recipes, start=1):
+            started = time.perf_counter()
+            with grafted_variant(program, recipe, tag=tag) as grafted:
+                if not grafted.applied:
+                    continue
+                bundle = campaign_bundle(lambda: grafted.program)
+            variant_seconds += time.perf_counter() - started
+            applied += len(grafted.applied)
+            checked += 1
+            divergences.extend(
+                diff_bundles(
+                    base, bundle, subject=name, variant=f"v{tag}"
+                )
+            )
+        total_applied += applied
+        total_seconds += base_seconds + variant_seconds
+        rows.append(
+            {
+                "program": name,
+                "variants_checked": checked,
+                "transform_applications": applied,
+                "base_seconds": base_seconds,
+                "variant_seconds": variant_seconds,
+            }
+        )
+
+    report = {
+        "workload": "table1-java-grafted-variants",
+        "smoke": SMOKE,
+        "recipes": [list(recipe) for recipe in recipes],
+        "rows": rows,
+        "transform_applications": total_applied,
+        "divergences": [d.to_dict() for d in divergences],
+        "seconds": total_seconds,
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    lines = [
+        f"{row['program']:14s} variants={row['variants_checked']}   "
+        f"applications={row['transform_applications']:4d}   "
+        f"base {row['base_seconds']:.3f}s   "
+        f"variants {row['variant_seconds']:.3f}s"
+        for row in rows
+    ]
+    lines.append(
+        f"aggregate: {total_applied} transform applications   "
+        f"{len(divergences)} divergences   {total_seconds:.3f}s"
+    )
+    lines.append(f"report: {REPORT_PATH}")
+    emit("Variants: grafted Table-1 invariance sweep", "\n".join(lines))
+
+    benchmark.extra_info["transform_applications"] = total_applied
+    benchmark.extra_info["divergences"] = len(divergences)
+    benchmark.extra_info["seconds"] = total_seconds
+    benchmark.extra_info["report_path"] = REPORT_PATH
+
+    assert total_applied > 0, "no recipe applied anywhere — vacuous sweep"
+    assert not divergences, [d.to_dict() for d in divergences]
+
+    # the benchmarked unit: one grafted variant campaign pair
+    def _pair():
+        program = program_by_name("LLMap")
+        campaign_bundle(lambda: program, masking=False)
+        with grafted_variant(program, recipes[0], tag=99) as grafted:
+            campaign_bundle(lambda: grafted.program, masking=False)
+
+    benchmark.pedantic(_pair, rounds=3, iterations=1)

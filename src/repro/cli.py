@@ -25,6 +25,9 @@ Subcommands::
     python -m repro fuzz --seed 7 --programs 200
                                              differential fuzzing vs oracle
     python -m repro fuzz --self-check        plant defects, assert caught
+    python -m repro fuzz --variants 3        invariance across AST variants
+    python -m repro variants LinkedList --check
+                                             metamorphic variant corpus
     python -m repro table1                   regenerate Table 1
     python -m repro figure 3                 regenerate Figure 2/3/4
     python -m repro fig5                     masking overhead grid
@@ -170,6 +173,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             state_backend=args.state_backend,
             static_prune=args.static_prune,
             trace_derive=args.trace_derive,
+            variants=args.variants,
+            variant_seed=args.seed,
         )
         if verdict.ok:
             print(f"{spec.name}: all checks pass")
@@ -196,6 +201,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         state_backend=args.state_backend,
         static_prune=args.static_prune,
         trace_derive=args.trace_derive,
+        variants=args.variants,
     )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -215,6 +221,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"trace equivalence checked: {report.total_derived} point(s) "
             f"derived from reference traces across all programs"
+        )
+    if report.variants:
+        print(
+            f"variant invariance checked: {report.variants} variant(s) per "
+            f"program, {report.total_variant_applied} transform "
+            f"application(s) across the corpus"
         )
     if report.ok:
         print("zero oracle mismatches across engines and checkpoint strategies")
@@ -242,6 +254,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 state_backend=args.state_backend,
                 static_prune=args.static_prune,
                 trace_derive=args.trace_derive,
+                variants=args.variants,
+                variant_seed=args.seed,
             ),
             max_evals=args.max_shrink_evals,
         )
@@ -252,6 +266,138 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"python -m repro fuzz --replay {args.reproducer_out}",
         file=sys.stderr,
     )
+    return 1
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    """Generate a metamorphic variant corpus for one subject, and
+    optionally run the detection-invariance oracle over it."""
+    import functools
+    import os
+
+    if args.app is None and args.fuzz_seed is None:
+        print("error: give an application name or --fuzz-seed",
+              file=sys.stderr)
+        return 2
+
+    from repro.core.variants import (
+        build_spec_variant,
+        campaign_bundle,
+        check_invariance,
+        diff_bundles,
+        grafted_variant,
+        make_recipes,
+    )
+
+    recipes = make_recipes(args.seed, args.count)
+    divergences = []
+
+    def emit(tag: int, label: str, module_dicts) -> None:
+        applied = sum(len(m["applied"]) for m in module_dicts)
+        print(
+            f"  v{tag}: {applied} transform application(s) "
+            f"(recipe {'+'.join(recipes[tag - 1])})"
+        )
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{label}.v{tag}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"subject": label, "tag": tag, "modules": module_dicts},
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+
+    if args.fuzz_seed is not None:
+        from repro.fuzz import build_program, generate_program
+
+        spec = generate_program(args.fuzz_seed, args.fuzz_index)
+        print(f"subject: fuzz spec {spec.name}")
+        factories = []
+        for index, recipe in enumerate(recipes):
+            tag = index + 1
+            _program, module = build_spec_variant(spec, recipe, tag=tag)
+            emit(tag, spec.name, [module.to_dict()])
+            factories.append(
+                (
+                    f"v{tag}",
+                    functools.partial(
+                        lambda r, t: build_spec_variant(spec, r, tag=t)[0],
+                        recipe,
+                        tag,
+                    ),
+                )
+            )
+        if args.check:
+            report = check_invariance(
+                spec.name,
+                functools.partial(build_program, spec),
+                factories,
+                static_prune=args.static_prune,
+                trace_derive=args.trace_derive,
+                state_backend=args.state_backend,
+            )
+            divergences = report.divergences
+    else:
+        from repro.experiments import program_by_name
+
+        program = program_by_name(args.app)
+        print(f"subject: application {program.name}")
+        base = (
+            campaign_bundle(
+                lambda: program,
+                static_prune=args.static_prune,
+                trace_derive=args.trace_derive,
+                state_backend=args.state_backend,
+            )
+            if args.check
+            else None
+        )
+        for index, recipe in enumerate(recipes):
+            tag = index + 1
+            with grafted_variant(program, recipe, tag=tag) as grafted:
+                emit(
+                    tag,
+                    program.name,
+                    [m.to_dict() for m in grafted.modules.values()],
+                )
+                if grafted.skipped_methods:
+                    print(
+                        f"      (skipped class-cell methods: "
+                        f"{', '.join(grafted.skipped_methods)})"
+                    )
+                if base is not None:
+                    bundle = campaign_bundle(
+                        lambda: grafted.program,
+                        static_prune=args.static_prune,
+                        trace_derive=args.trace_derive,
+                        state_backend=args.state_backend,
+                    )
+                    divergences.extend(
+                        diff_bundles(
+                            base,
+                            bundle,
+                            subject=program.name,
+                            variant=f"v{tag}",
+                        )
+                    )
+
+    if not args.check:
+        return 0
+    if not divergences:
+        print(
+            f"invariance holds: identical campaign outputs across "
+            f"{args.count} variant(s)"
+        )
+        return 0
+    for divergence in divergences:
+        print(
+            f"DIVERGENCE {divergence.variant} on {divergence.aspect}: "
+            f"{divergence.detail}",
+            file=sys.stderr,
+        )
     return 1
 
 
@@ -488,7 +634,43 @@ def build_parser() -> argparse.ArgumentParser:
              "the trace-derivation pass and assert the derived sweep's "
              "log and classification are bit-identical (modulo "
              "provenance) to the dynamic sweep's")
+    fuzz.add_argument(
+        "--variants", type=int, default=0, metavar="N",
+        help="additionally check detection invariance across N "
+             "semantic-preserving AST variants of every program "
+             "(Check 8; recipes seeded by --seed; default: 0 = off)")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    variants = sub.add_parser(
+        "variants",
+        help="generate semantic-preserving variants of a subject and "
+             "optionally assert detection invariance across them",
+    )
+    variants.add_argument(
+        "app", nargs="?", default=None,
+        help="application name (see `apps`); omit with --fuzz-seed")
+    variants.add_argument("--count", type=int, default=3,
+                          help="number of variants to generate (default 3)")
+    variants.add_argument("--seed", type=int, default=20260806,
+                          help="recipe seed (deterministic corpus)")
+    variants.add_argument(
+        "--fuzz-seed", type=int, default=None,
+        help="use a fuzz-generated spec as the subject instead of an "
+             "application (generated with this seed)")
+    variants.add_argument("--fuzz-index", type=int, default=0,
+                          help="index of the fuzz spec within its seed")
+    variants.add_argument(
+        "--out", metavar="DIR",
+        help="write each variant's transformed sources + transform "
+             "manifest as JSON into this directory")
+    variants.add_argument(
+        "--check", action="store_true",
+        help="run full campaigns on the original and every variant and "
+             "assert identical outputs (exit 1 on divergence)")
+    _add_state_backend_flag(variants)
+    _add_static_prune_flag(variants)
+    _add_trace_derive_flag(variants)
+    variants.set_defaults(func=_cmd_variants)
 
     table = sub.add_parser("table1", help="regenerate Table 1")
     table.add_argument("--stride", type=int, default=1)

@@ -62,6 +62,7 @@ __all__ = [
     "StaticPruner",
     "call_through_boundary",
     "log_json_without_provenance",
+    "nested_boundary",
 ]
 
 PROVENANCE_DYNAMIC = "dynamic"
@@ -80,6 +81,28 @@ def call_through_boundary(program) -> None:
 
 
 PROFILE_BOUNDARY_CODE = call_through_boundary.__code__
+
+
+def nested_boundary(boundary_frame) -> bool:
+    """True when another profiling-boundary frame lies *outward* of
+    *boundary_frame*.
+
+    Stack walks stop at the first boundary frame they meet.  When
+    subject code itself calls :func:`call_through_boundary`, that inner
+    boundary truncates the walk: the real enclosing wrappers and
+    suspended lines sit above it and would silently go missing, turning
+    a "complete" walk into an unsound one.  Walkers call this at their
+    stopping frame and treat the walk as unusable when it returns True.
+    """
+    outer = boundary_frame.f_back
+    try:
+        while outer is not None:
+            if outer.f_code is PROFILE_BOUNDARY_CODE:
+                return True
+            outer = outer.f_back
+        return False
+    finally:
+        del outer
 
 
 @dataclass(frozen=True)
@@ -143,7 +166,10 @@ class StaticPruner:
             while frame is not None:
                 code = frame.f_code
                 if code is PROFILE_BOUNDARY_CODE:
-                    complete = True
+                    # An inner boundary (subject code calling
+                    # call_through_boundary itself) hides the real
+                    # enclosing context above it — unusable then.
+                    complete = not nested_boundary(frame)
                     break
                 if code is INJ_WRAPPER_CODE:
                     enclosing_spec = frame.f_locals.get("spec")

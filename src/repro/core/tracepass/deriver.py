@@ -75,7 +75,11 @@ from ..exceptions import is_injected, make_injected
 from ..injection import INJ_WRAPPER_CODE, InjectionCampaign
 from ..runlog import ATOMIC, NONATOMIC, RunRecord
 from ..state import CaptureLimitError, StateStats, get_backend
-from ..staticpass.pruner import PROFILE_BOUNDARY_CODE, StaticPruner
+from ..staticpass.pruner import (
+    PROFILE_BOUNDARY_CODE,
+    StaticPruner,
+    nested_boundary,
+)
 from ..staticpass.transparency import TransparencyIndex
 from .recorder import TraceRecorder, barrier_covered
 
@@ -231,7 +235,10 @@ class TraceDeriver:
             while frame is not None:
                 code = frame.f_code
                 if code is PROFILE_BOUNDARY_CODE:
-                    complete = True
+                    # Same guard as the static pruner's walk: an inner
+                    # boundary called by subject code hides the real
+                    # enclosing context, so the walk is not trustworthy.
+                    complete = not nested_boundary(frame)
                     break
                 if code is INJ_WRAPPER_CODE:
                     enclosing_spec = frame.f_locals.get("spec")

@@ -12,10 +12,10 @@ the spec for exactly that purpose).
 from __future__ import annotations
 
 import functools
-import linecache
 from typing import Any, Callable, Dict, List
 
 from repro.core.exceptions import exception_free, throws
+from repro.core.virtualsource import register_virtual_source
 from repro.experiments.programs import AppProgram
 
 from .spec import (
@@ -33,7 +33,9 @@ __all__ = [
     "FuzzDeclaredError",
     "render_source",
     "build_classes",
+    "build_namespace",
     "build_program",
+    "make_workload",
     "program_factory",
 ]
 
@@ -111,29 +113,28 @@ def render_source(spec: ProgramSpec) -> str:
     return "\n".join(out)
 
 
-def build_classes(spec: ProgramSpec) -> List[type]:
-    """Exec the rendered source; return fresh class objects, spec order."""
-    namespace: Dict[str, Any] = {
+def build_namespace() -> Dict[str, Any]:
+    """The exec namespace every generated subject module runs in."""
+    return {
         "__name__": FUZZ_MODULE_NAME,
         "throws": throws,
         "exception_free": exception_free,
         "FuzzDeclaredError": FuzzDeclaredError,
     }
+
+
+def build_classes(spec: ProgramSpec) -> List[type]:
+    """Exec the rendered source; return fresh class objects, spec order."""
+    namespace = build_namespace()
     source = render_source(spec)
-    filename = f"<{spec.name}>"
     # Register the rendered source so inspect.getsource works on the
     # generated methods — the static pruning pass reads method bodies.
-    linecache.cache[filename] = (
-        len(source),
-        None,
-        source.splitlines(True),
-        filename,
-    )
+    filename = register_virtual_source(f"<{spec.name}>", source)
     exec(compile(source, filename, "exec"), namespace)
     return [namespace[cd.name] for cd in spec.classes]
 
 
-def _workload(spec: ProgramSpec, root_cls: type) -> Callable[[], None]:
+def make_workload(spec: ProgramSpec, root_cls: type) -> Callable[[], None]:
     method_names = [
         spec.classes[0].methods[index].name for index in spec.workload
     ]
@@ -161,7 +162,7 @@ def build_program(spec: ProgramSpec) -> AppProgram:
         name=spec.name,
         language=FUZZ_LANGUAGE,
         classes=classes,
-        body=_workload(spec, classes[0]),
+        body=make_workload(spec, classes[0]),
     )
 
 

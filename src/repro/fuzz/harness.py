@@ -121,6 +121,8 @@ class FuzzReport:
     total_pruned: int = 0
     trace_derive: bool = False
     total_derived: int = 0
+    variants: int = 0
+    total_variant_applied: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,6 +141,8 @@ class FuzzReport:
             "total_pruned": self.total_pruned,
             "trace_derive": self.trace_derive,
             "total_derived": self.total_derived,
+            "variants": self.variants,
+            "total_variant_applied": self.total_variant_applied,
             "total_points": self.total_points,
             "total_runs": self.total_runs,
             "category_counts": self.category_counts,
@@ -401,6 +405,72 @@ def _check_masking(
     return out
 
 
+def _check_variants(
+    spec: ProgramSpec,
+    variants: int,
+    variant_seed: int,
+    state_backend: str,
+    static_prune: bool,
+    trace_derive: bool,
+) -> Tuple[List[Mismatch], int]:
+    """Check 8: detection invariance across semantic-preserving variants.
+
+    Builds ``variants`` transformed editions of the subject (seeded
+    recipes over :mod:`repro.core.variants`) and requires every
+    campaign observable — run log modulo provenance, classification,
+    per-strategy masking fixpoints, and (when the respective flags are
+    on) the pruned/derived campaign outputs — to be identical between
+    the original and each variant.  Returns the mismatches plus the
+    total number of rule applications (so reports can prove the corpus
+    was not vacuously untransformed).
+    """
+    from repro.core.variants import (
+        build_spec_variant,
+        check_invariance,
+        make_recipes,
+    )
+
+    recipes = make_recipes(variant_seed, variants)
+    factories = []
+    applications = 0
+    for index, recipe in enumerate(recipes):
+        tag = index + 1
+        _program, module = build_spec_variant(spec, recipe, tag=tag)
+        applications += len(module.applied)
+        factories.append(
+            (
+                f"v{tag}",
+                functools.partial(
+                    _build_variant_program, spec, recipe, tag
+                ),
+            )
+        )
+    report = check_invariance(
+        spec.name,
+        functools.partial(build_program, spec),
+        factories,
+        state_backend=state_backend,
+        static_prune=static_prune,
+        trace_derive=trace_derive,
+    )
+    mismatches = [
+        Mismatch(
+            "variant-invariance",
+            spec.name,
+            f"{d.variant} diverges on {d.aspect}: {d.detail}",
+        )
+        for d in report.divergences
+    ]
+    return mismatches, applications
+
+
+def _build_variant_program(spec: ProgramSpec, recipe, tag: int):
+    """Module-level so the factory stays picklable like build_program."""
+    from repro.core.variants import build_spec_variant
+
+    return build_spec_variant(spec, recipe, tag=tag)[0]
+
+
 def check_program(
     spec: ProgramSpec,
     *,
@@ -410,6 +480,8 @@ def check_program(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    variants: int = 0,
+    variant_seed: int = 0,
 ) -> ProgramVerdict:
     """Run every differential check for one generated program.
 
@@ -431,6 +503,13 @@ def check_program(
     the same bit-identity (run log modulo provenance, classification
     byte-for-byte) against the dynamic sweep — the fuzzer is the
     soundness oracle for the trace-derivation pass.
+
+    With ``variants > 0``, an eighth **variant-invariance** check
+    generates that many semantic-preserving AST variants of the subject
+    (seeded by ``variant_seed``) and asserts the campaign's observable
+    outputs — run log modulo provenance, classification, and both
+    masking fixpoints — are identical across the original and every
+    variant (see :mod:`repro.core.variants`).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -566,11 +645,25 @@ def check_program(
             _check_masking(spec, oracle, strategy, defect, state_backend)
         )
 
+    variant_applied = 0
+    if variants > 0:
+        # Check 8: variant invariance (see _check_variants).
+        variant_mismatches, variant_applied = _check_variants(
+            spec,
+            variants,
+            variant_seed,
+            state_backend,
+            static_prune,
+            trace_derive,
+        )
+        mismatches.extend(variant_mismatches)
+
     stats = {
         "total_points": oracle.total_points,
         "runs": len(oracle.runs),
         "runs_pruned": runs_pruned,
         "runs_derived": runs_derived,
+        "variant_applied": variant_applied,
     }
     for category in CATEGORIES:
         stats[f"methods_{category}"] = sum(
@@ -590,6 +683,7 @@ def run_fuzz(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    variants: int = 0,
     progress: Optional[Callable[[int, int, ProgramVerdict], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``programs`` generated subjects; return the aggregate report.
@@ -604,6 +698,9 @@ def run_fuzz(
         trace_derive: additionally run each program's sequential campaign
             under the trace-derivation pass and assert trace equivalence
             (see :func:`check_program`).
+        variants: when positive, additionally check detection invariance
+            across this many semantic-preserving AST variants of every
+            program — Check 8 (recipes seeded by the fuzz seed).
         progress: optional ``(done, total, verdict)`` callback after each
             program (the CLI prints a line per failure).
     """
@@ -614,6 +711,7 @@ def run_fuzz(
     total_runs = 0
     total_pruned = 0
     total_derived = 0
+    total_variant_applied = 0
     category_counts = {category: 0 for category in CATEGORIES}
     for index, spec in enumerate(specs):
         verdict = check_program(
@@ -624,11 +722,14 @@ def run_fuzz(
             state_backend=state_backend,
             static_prune=static_prune,
             trace_derive=trace_derive,
+            variants=variants,
+            variant_seed=seed,
         )
         total_points += verdict.stats["total_points"]
         total_runs += verdict.stats["runs"]
         total_pruned += verdict.stats.get("runs_pruned", 0)
         total_derived += verdict.stats.get("runs_derived", 0)
+        total_variant_applied += verdict.stats.get("variant_applied", 0)
         for category in CATEGORIES:
             category_counts[category] += verdict.stats[f"methods_{category}"]
         if not verdict.ok:
@@ -653,6 +754,8 @@ def run_fuzz(
         total_pruned=total_pruned,
         trace_derive=trace_derive,
         total_derived=total_derived,
+        variants=variants,
+        total_variant_applied=total_variant_applied,
     )
 
 

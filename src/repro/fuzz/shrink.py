@@ -137,6 +137,8 @@ def make_failure_predicate(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    variants: int = 0,
+    variant_seed: int = 0,
 ) -> Callable[[ProgramSpec], bool]:
     """Predicate: does any of the *same* checks still fail on a spec?
 
@@ -157,6 +159,8 @@ def make_failure_predicate(
             state_backend=state_backend,
             static_prune=static_prune,
             trace_derive=trace_derive,
+            variants=variants,
+            variant_seed=variant_seed,
         )
         return any(m.check in wanted for m in verdict.mismatches)
 

@@ -1,0 +1,75 @@
+"""The shared virtual-source registry (repro.core.virtualsource).
+
+The regression these tests guard: classes materialized from generated
+source (fuzz builder, variant builder) must always have retrievable
+source through the ordinary ``inspect`` machinery — the static purity
+scan and the transparency index read method bodies that way, and a
+silently sourceless subject would degrade both passes to fallbacks.
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.variants import build_spec_variant, make_recipes
+from repro.core.virtualsource import (
+    register_virtual_source,
+    unregister_virtual_source,
+    virtual_source_registered,
+)
+from repro.fuzz.build import build_classes, render_source
+from repro.fuzz.generate import generate_batch
+
+
+def test_register_requires_angle_brackets():
+    with pytest.raises(ValueError):
+        register_virtual_source("plain_name.py", "x = 1\n")
+
+
+def test_register_roundtrip_and_unregister():
+    filename = register_virtual_source("<vs-test>", "a = 1\nb = 2\n")
+    assert filename == "<vs-test>"
+    assert virtual_source_registered("<vs-test>")
+    unregister_virtual_source("<vs-test>")
+    assert not virtual_source_registered("<vs-test>")
+    # unregistering twice is a no-op, not an error
+    unregister_virtual_source("<vs-test>")
+
+
+def test_registered_module_supports_inspect_getsource():
+    source = "class Probe:\n    def poke(self):\n        return 1\n"
+    filename = register_virtual_source("<vs-inspect>", source)
+    try:
+        namespace = {"__name__": "vs_inspect_mod"}
+        exec(compile(source, filename, "exec"), namespace)
+        method_source = inspect.getsource(namespace["Probe"].poke)
+        assert "return 1" in method_source
+    finally:
+        unregister_virtual_source(filename)
+
+
+def test_every_generated_fuzz_class_has_retrievable_source():
+    for spec in generate_batch(20260806, 5):
+        classes = build_classes(spec)
+        rendered = render_source(spec)
+        for cls in classes:
+            for name, member in vars(cls).items():
+                if not inspect.isfunction(member):
+                    continue
+                body = inspect.getsource(member)
+                assert body.strip(), f"{cls.__name__}.{name} has no source"
+                assert body in rendered
+
+
+def test_every_variant_class_has_retrievable_source():
+    spec = generate_batch(20260806, 1)[0]
+    recipe = make_recipes(20260806, 1)[0]
+    program, variant = build_spec_variant(spec, recipe, tag=1)
+    assert variant.applied, "recipe applied nothing — vacuous subject"
+    for cls in program.classes:
+        for name, member in vars(cls).items():
+            if not inspect.isfunction(member):
+                continue
+            body = inspect.getsource(member)
+            assert body.strip(), f"{cls.__name__}.{name} has no source"
+            assert body in variant.source

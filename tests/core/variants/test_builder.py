@@ -1,0 +1,155 @@
+"""Variant program construction (variants.builder).
+
+The grafting contextmanager mutates live Table-1 classes in place, so
+its restore path is load-bearing for every test that runs after it —
+these tests pin the exact restoration contract: original function
+objects back on the class, helpers gone, virtual sources unregistered.
+"""
+
+import inspect
+
+from repro.core.analyzer import Analyzer
+from repro.core.variants import (
+    build_spec_variant,
+    grafted_variant,
+    make_recipes,
+)
+from repro.core.virtualsource import virtual_source_registered
+from repro.experiments.programs import program_by_name
+from repro.fuzz.generate import generate_batch
+
+
+def _program(name):
+    return program_by_name(name)
+
+
+def test_grafted_variant_swaps_and_restores_methods():
+    program = _program("Dynarray")
+    recipe = make_recipes(11, 1)[0]
+    saved = {
+        cls: dict(vars(cls)) for cls in program.classes
+    }
+    with grafted_variant(program, recipe, tag=1) as grafted:
+        assert grafted.applied, "recipe applied nothing — vacuous graft"
+        changed = 0
+        for applied in grafted.applied:
+            cls = next(
+                c
+                for c in program.classes
+                if c.__name__ == applied.class_name
+            )
+            if vars(cls)[applied.method] is not saved[cls].get(
+                applied.method
+            ):
+                changed += 1
+        assert changed, "no method object was actually replaced"
+    # byte-for-byte restoration: same function objects, no leftovers
+    for cls in program.classes:
+        now = {
+            k: v for k, v in vars(cls).items() if not k.startswith("__")
+        }
+        before = {
+            k: v
+            for k, v in saved[cls].items()
+            if not k.startswith("__")
+        }
+        assert now == before, f"{cls.__name__} not restored"
+
+
+def test_grafted_variant_unregisters_virtual_sources():
+    program = _program("Dynarray")
+    recipe = make_recipes(11, 1)[0]
+    filenames = []
+    with grafted_variant(program, recipe, tag=2) as grafted:
+        for cls in program.classes:
+            for applied in grafted.applied:
+                if applied.class_name != cls.__name__:
+                    continue
+                fn = vars(cls)[applied.method]
+                filenames.append(fn.__code__.co_filename)
+    assert filenames
+    for filename in set(filenames):
+        assert filename.startswith("<variant:")
+        assert not virtual_source_registered(filename)
+
+
+def test_grafted_variant_source_retrievable_inside_context():
+    program = _program("CircularList")
+    recipe = make_recipes(11, 1)[0]
+    with grafted_variant(program, recipe, tag=3) as grafted:
+        for applied in grafted.applied:
+            cls = next(
+                c
+                for c in program.classes
+                if c.__name__ == applied.class_name
+            )
+            body = inspect.getsource(vars(cls)[applied.method])
+            assert body.strip()
+
+
+def test_grafted_variant_excludes_helpers_from_weaving():
+    program = _program("LinkedList")
+    recipe = ("extract-try-body", "constant-guard")
+    with grafted_variant(program, recipe, tag=4) as grafted:
+        assert set(grafted.program.exclude) >= set(grafted.helper_keys)
+        # the variant program reuses the live classes and the same body
+        assert grafted.program.classes == program.classes
+        assert grafted.program.body is program.body
+
+
+def test_grafted_variant_keeps_analyzer_view_stable():
+    """Weaving the variant sees the same method set as the original.
+
+    Injection-point numbering is the dynamic order of woven-method
+    calls, so the analyzer must produce identical spec names for the
+    variant (helpers are excluded, everything else unchanged).
+    """
+    program = _program("Dynarray")
+    recipe = make_recipes(11, 1)[0]
+
+    def spec_names(app):
+        analyzer = Analyzer(exclude=app.exclude)
+        return {
+            cls.__name__: [s.name for s in analyzer.analyze_class(cls)]
+            for cls in app.classes
+        }
+
+    base = spec_names(program)
+    with grafted_variant(program, recipe, tag=5) as grafted:
+        assert spec_names(grafted.program) == base
+
+
+def test_build_spec_variant_matches_original_method_surface():
+    spec = generate_batch(20260806, 1)[0]
+    recipe = make_recipes(20260806, 1)[0]
+    program, variant = build_spec_variant(spec, recipe, tag=1)
+
+    analyzer = Analyzer(exclude=program.exclude)
+    woven = {
+        cls.__name__: [s.name for s in analyzer.analyze_class(cls)]
+        for cls in program.classes
+    }
+    helper_names = {key.partition(".")[2] for key in variant.helper_keys}
+    for names in woven.values():
+        assert not helper_names & set(names), "a helper would be woven"
+
+
+def test_grafted_variant_restores_after_body_exception():
+    program = _program("Dynarray")
+    recipe = make_recipes(11, 1)[0]
+    saved = {cls: dict(vars(cls)) for cls in program.classes}
+    try:
+        with grafted_variant(program, recipe, tag=6):
+            raise RuntimeError("mid-campaign crash")
+    except RuntimeError:
+        pass
+    for cls in program.classes:
+        now = {
+            k: v for k, v in vars(cls).items() if not k.startswith("__")
+        }
+        before = {
+            k: v
+            for k, v in saved[cls].items()
+            if not k.startswith("__")
+        }
+        assert now == before

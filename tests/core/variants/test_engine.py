@@ -1,0 +1,118 @@
+"""Recipe generation and whole-source transformation (variants.engine)."""
+
+import ast
+
+from repro.core.variants import (
+    AppliedTransform,
+    all_rule_names,
+    make_recipes,
+    transform_source,
+)
+
+SOURCE = '''\
+class Counter:
+    def __init__(self):
+        self.count = 0
+        self.items = []
+
+    def bump(self):
+        self.count += 1
+
+    def collect(self):
+        out = []
+        for item in self.items:
+            out.append(item * 2)
+        self.total = out
+
+
+class Other:
+    def poke(self):
+        self.count = self.count + 1
+'''
+
+
+def test_make_recipes_deterministic_and_first_is_full():
+    first = make_recipes(7, 4)
+    second = make_recipes(7, 4)
+    assert first == second
+    assert first[0] == tuple(all_rule_names())
+    assert make_recipes(8, 4) != first
+
+
+def test_make_recipes_are_valid_rule_subsets():
+    known = set(all_rule_names())
+    for recipe in make_recipes(3, 6):
+        assert recipe, "empty recipe would be a vacuous variant"
+        assert set(recipe) <= known
+        assert len(set(recipe)) == len(recipe)
+
+
+def test_transform_source_records_applications():
+    variant = transform_source(SOURCE, make_recipes(1, 1)[0], tag=1)
+    assert variant.changed
+    assert variant.tag == 1
+    for applied in variant.applied:
+        assert isinstance(applied, AppliedTransform)
+        assert applied.class_name in ("Counter", "Other")
+        assert applied.rule in all_rule_names()
+    # the transformed module still parses and keeps both classes
+    tree = ast.parse(variant.source)
+    names = [n.name for n in tree.body if isinstance(n, ast.ClassDef)]
+    assert names == ["Counter", "Other"]
+
+
+def test_transform_source_class_names_filter():
+    recipe = make_recipes(1, 1)[0]
+    variant = transform_source(SOURCE, recipe, tag=2, class_names=["Other"])
+    touched = {a.class_name for a in variant.applied}
+    assert touched == {"Other"}
+    # Counter's text is untouched in the round-tripped source
+    tree = ast.parse(variant.source)
+    counter = next(
+        n
+        for n in tree.body
+        if isinstance(n, ast.ClassDef) and n.name == "Counter"
+    )
+    original_counter = next(
+        n
+        for n in ast.parse(SOURCE).body
+        if isinstance(n, ast.ClassDef) and n.name == "Counter"
+    )
+    assert ast.dump(counter) == ast.dump(original_counter)
+
+
+def test_transform_source_helpers_are_underscored_and_keyed():
+    # force the extract rule alone so any helper comes from it
+    variant = transform_source(SOURCE, ("extract-try-body",), tag=3)
+    for key in variant.helper_keys:
+        class_name, _, helper = key.partition(".")
+        assert class_name and helper.startswith("_")
+
+
+def test_transform_source_identity_recipe_on_unmatched_code():
+    # no rule in this recipe applies to a bare pass-only class
+    source = "class Empty:\n    def noop(self):\n        pass\n"
+    variant = transform_source(source, ("for-to-comprehension",), tag=4)
+    assert not variant.changed
+    assert not variant.applied
+    assert ast.dump(ast.parse(variant.source)) == ast.dump(ast.parse(source))
+
+
+def test_transform_source_distinct_tags_yield_distinct_fresh_names():
+    recipe = ("temp-assign", "alpha-rename")
+    one = transform_source(SOURCE, recipe, tag=1)
+    two = transform_source(SOURCE, recipe, tag=2)
+    assert "_v1_" in one.source and "_v1_" not in two.source
+    assert "_v2_" in two.source
+
+
+def test_variant_to_dict_is_json_shaped():
+    variant = transform_source(SOURCE, make_recipes(1, 1)[0], tag=5)
+    payload = variant.to_dict()
+    assert payload["tag"] == 5
+    assert payload["recipe"] == list(variant.recipe)
+    assert payload["source"] == variant.source
+    assert all(
+        set(entry) == {"rule", "class", "method"}
+        for entry in payload["applied"]
+    )

@@ -1,0 +1,652 @@
+"""Per-rule unit tests: every applicability predicate's reject path,
+plus apply-behavior checks that the rewrite means the same thing.
+
+Each rule's predicate is its soundness boundary — the reject cases here
+are exactly the shapes where the rewrite would change behavior, so a
+predicate regression would surface as a test failure long before the
+invariance oracle has to catch the resulting verdict flip.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.core.variants.rules import (
+    RULES,
+    TransformContext,
+    all_identifiers,
+    all_rule_names,
+    rule_by_name,
+)
+
+
+def fn_of(source: str) -> ast.FunctionDef:
+    node = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def ctx_for(fn: ast.FunctionDef, tag: int = 1) -> TransformContext:
+    return TransformContext(tag=tag, class_name="C", taken=all_identifiers(fn))
+
+
+def applies(rule_name: str, source: str) -> bool:
+    fn = fn_of(source)
+    return rule_by_name(rule_name).applies(fn, ctx_for(fn))
+
+
+def transform(rule_name: str, source: str):
+    fn = fn_of(source)
+    ctx = ctx_for(fn)
+    rule = rule_by_name(rule_name)
+    assert rule.applies(fn, ctx), f"{rule_name} must apply to:\n{source}"
+    rule.apply(fn, ctx)
+    return ast.unparse(ast.Module(body=[fn], type_ignores=[])), ctx
+
+
+def run_method(source: str, args=(), state=None):
+    """Exec a single function def; call it with a fresh object receiver
+    carrying *state* attributes; return (result, receiver __dict__)."""
+    namespace = {}
+    exec(compile(ast.parse(textwrap.dedent(source)), "<rule-test>", "exec"), namespace)
+    (name,) = [k for k in namespace if not k.startswith("__")]
+
+    class Receiver:
+        pass
+
+    receiver = Receiver()
+    for key, value in (state or {}).items():
+        setattr(receiver, key, value)
+    result = namespace[name](receiver, *args)
+    return result, dict(vars(receiver))
+
+
+def assert_equivalent(source: str, rule_name: str, args=(), state=None):
+    """Original and transformed method agree on result and receiver."""
+    transformed, _ = transform(rule_name, source)
+    expected = run_method(source, args, dict(state or {}))
+    got = run_method(transformed, args, dict(state or {}))
+    assert got == expected, f"behavior changed under {rule_name}:\n{transformed}"
+    return transformed
+
+
+# -- registry ------------------------------------------------------------
+
+
+def test_registry_is_consistent():
+    assert len(RULES) >= 5
+    assert all_rule_names() == [rule.name for rule in RULES]
+    for rule in RULES:
+        assert rule_by_name(rule.name) is rule
+        assert rule.description
+    with pytest.raises(KeyError):
+        rule_by_name("no-such-rule")
+
+
+# -- for-to-comprehension ------------------------------------------------
+
+LOOP = """
+def m(self):
+    out = []
+    for item in self.items:
+        out.append(item * 2)
+    self.total = out
+"""
+
+
+def test_for_to_comprehension_applies_and_preserves():
+    transformed = assert_equivalent(
+        LOOP, "for-to-comprehension", state={"items": [1, 2, 3]}
+    )
+    assert "ListComp" in ast.dump(ast.parse(transformed))
+
+
+def test_for_to_comprehension_rejects_loop_var_used_after():
+    assert not applies(
+        "for-to-comprehension",
+        """
+        def m(self):
+            out = []
+            for item in self.items:
+                out.append(item)
+            self.last = item
+        """,
+    )
+
+
+def test_for_to_comprehension_rejects_accumulator_in_element():
+    assert not applies(
+        "for-to-comprehension",
+        """
+        def m(self):
+            out = []
+            for item in self.items:
+                out.append(len(out))
+            self.total = out
+        """,
+    )
+
+
+def test_for_to_comprehension_rejects_nonempty_init():
+    assert not applies(
+        "for-to-comprehension",
+        """
+        def m(self):
+            out = [0]
+            for item in self.items:
+                out.append(item)
+            self.total = out
+        """,
+    )
+
+
+def test_for_to_comprehension_rejects_conditional_body():
+    assert not applies(
+        "for-to-comprehension",
+        """
+        def m(self):
+            out = []
+            for item in self.items:
+                if item:
+                    out.append(item)
+            self.total = out
+        """,
+    )
+
+
+def test_for_to_comprehension_rejects_frame_introspection():
+    assert not applies(
+        "for-to-comprehension",
+        """
+        def m(self):
+            out = []
+            for item in self.items:
+                out.append(item)
+            self.view = locals()
+        """,
+    )
+
+
+# -- comprehension-to-for ------------------------------------------------
+
+COMP = """
+def m(self):
+    doubled = [value * 2 for value in self.items if value > 1]
+    self.total = doubled
+"""
+
+
+def test_comprehension_to_for_applies_and_preserves():
+    transformed = assert_equivalent(
+        COMP, "comprehension-to-for", state={"items": [1, 2, 3]}
+    )
+    assert "For" in ast.dump(ast.parse(transformed))
+    # the expanded loop uses a fresh variable, not the comprehension's
+    assert "for value in" not in transformed
+
+
+def test_comprehension_to_for_rejects_multiple_generators():
+    assert not applies(
+        "comprehension-to-for",
+        """
+        def m(self):
+            pairs = [(a, b) for a in self.left for b in self.right]
+            self.pairs = pairs
+        """,
+    )
+
+
+def test_comprehension_to_for_rejects_tuple_target():
+    assert not applies(
+        "comprehension-to-for",
+        """
+        def m(self):
+            keys = [k for k, v in self.entries]
+            self.keys = keys
+        """,
+    )
+
+
+def test_comprehension_to_for_rejects_nested_comprehension():
+    assert not applies(
+        "comprehension-to-for",
+        """
+        def m(self):
+            rows = [[x for x in row] for row in self.grid]
+            self.rows = rows
+        """,
+    )
+
+
+def test_comprehension_to_for_rejects_frame_introspection():
+    assert not applies(
+        "comprehension-to-for",
+        """
+        def m(self):
+            out = [v for v in self.items]
+            self.view = vars(self)
+        """,
+    )
+
+
+# -- else-flatten --------------------------------------------------------
+
+ELSE = """
+def m(self, flag):
+    if flag:
+        raise ValueError("boom")
+    else:
+        self.count = self.count + 1
+        self.state = "ok"
+"""
+
+
+def test_else_flatten_applies_and_preserves():
+    transformed = assert_equivalent(
+        ELSE, "else-flatten", args=(False,), state={"count": 0}
+    )
+    tree = ast.parse(transformed)
+    branch = tree.body[0].body[0]
+    assert isinstance(branch, ast.If) and not branch.orelse
+
+
+def test_else_flatten_preserves_raising_path():
+    transformed, _ = transform("else-flatten", ELSE)
+    with pytest.raises(ValueError):
+        run_method(transformed, args=(True,), state={"count": 0})
+
+
+def test_else_flatten_rejects_nonterminal_then_branch():
+    assert not applies(
+        "else-flatten",
+        """
+        def m(self, flag):
+            if flag:
+                self.count = 1
+            else:
+                self.count = 2
+        """,
+    )
+
+
+def test_else_flatten_rejects_missing_else():
+    assert not applies(
+        "else-flatten",
+        """
+        def m(self, flag):
+            if flag:
+                raise ValueError("boom")
+            self.count = 2
+        """,
+    )
+
+
+# -- augassign-expand ----------------------------------------------------
+
+
+def test_augassign_expand_applies_and_preserves():
+    transformed = assert_equivalent(
+        "def m(self):\n    self.count += 2\n",
+        "augassign-expand",
+        state={"count": 5},
+    )
+    assert "self.count = self.count + 2" in transformed
+
+
+def test_augassign_expand_rejects_nonnumeric_rhs():
+    # list += mutates in place; the expansion rebinds — different
+    # objects, and a rollback-soundness difference under the undo log.
+    assert not applies(
+        "augassign-expand", "def m(self):\n    self.items += [1]\n"
+    )
+
+
+def test_augassign_expand_rejects_variable_rhs():
+    assert not applies(
+        "augassign-expand", "def m(self, n):\n    self.count += n\n"
+    )
+
+
+def test_augassign_expand_rejects_subscript_target():
+    assert not applies(
+        "augassign-expand", "def m(self):\n    self.slots[0] += 1\n"
+    )
+
+
+def test_augassign_expand_rejects_bool_constant():
+    assert not applies(
+        "augassign-expand", "def m(self):\n    self.count += True\n"
+    )
+
+
+# -- augassign-contract --------------------------------------------------
+
+
+def test_augassign_contract_applies_and_preserves():
+    transformed = assert_equivalent(
+        "def m(self):\n    self.count = self.count + 1\n",
+        "augassign-contract",
+        state={"count": 41},
+    )
+    assert "self.count += 1" in transformed
+
+
+def test_augassign_contract_rejects_mismatched_target():
+    assert not applies(
+        "augassign-contract", "def m(self):\n    self.a = self.b + 1\n"
+    )
+
+
+def test_augassign_contract_rejects_list_rhs():
+    # `self.items = self.items + [x]` must NOT become `+=`: the
+    # augmented form mutates the list in place, which the undo-log
+    # write barrier cannot observe.
+    assert not applies(
+        "augassign-contract",
+        "def m(self):\n    self.items = self.items + [1]\n",
+    )
+
+
+def test_augassign_contract_rejects_deep_attribute_target():
+    assert not applies(
+        "augassign-contract",
+        "def m(self):\n    self.node.count = self.node.count + 1\n",
+    )
+
+
+# -- alpha-rename --------------------------------------------------------
+
+ALPHA = """
+def m(self, amount):
+    total = self.count + amount
+    rest = total - 1
+    self.count = rest
+    return total
+"""
+
+
+def test_alpha_rename_applies_and_preserves():
+    transformed = assert_equivalent(
+        ALPHA, "alpha-rename", args=(4,), state={"count": 10}
+    )
+    assert "total" not in transformed.replace("total_v1", "")
+    # parameters are never renamed
+    assert "amount" in transformed
+
+
+def test_alpha_rename_renames_exception_handler_names():
+    transformed, _ = transform(
+        "alpha-rename",
+        """
+        def m(self):
+            try:
+                self.poke()
+            except ValueError as err:
+                self.last = str(err)
+        """,
+    )
+    assert "as err:" not in transformed
+
+
+def test_alpha_rename_rejects_no_locals():
+    assert not applies(
+        "alpha-rename", "def m(self):\n    return self.count\n"
+    )
+
+
+def test_alpha_rename_rejects_nested_function():
+    assert not applies(
+        "alpha-rename",
+        """
+        def m(self):
+            def helper():
+                return shared
+            shared = 1
+            return helper()
+        """,
+    )
+
+
+def test_alpha_rename_rejects_lambda():
+    assert not applies(
+        "alpha-rename",
+        """
+        def m(self):
+            pick = lambda: chosen
+            chosen = 2
+            return pick()
+        """,
+    )
+
+
+def test_alpha_rename_rejects_global_statement():
+    assert not applies(
+        "alpha-rename",
+        """
+        def m(self):
+            global shared
+            shared = 1
+        """,
+    )
+
+
+def test_alpha_rename_rejects_frame_introspection():
+    assert not applies(
+        "alpha-rename",
+        """
+        def m(self):
+            snapshot = locals()
+            return snapshot
+        """,
+    )
+
+
+# -- extract-try-body ----------------------------------------------------
+
+TRY = """
+def m(self):
+    self.count = self.count + 1
+    try:
+        self.count = self.count + 10
+    except ValueError:
+        self.count = 0
+"""
+
+
+def test_extract_try_body_applies_and_mints_helper():
+    fn = fn_of(TRY)
+    ctx = ctx_for(fn)
+    rule = rule_by_name("extract-try-body")
+    assert rule.applies(fn, ctx)
+    rule.apply(fn, ctx)
+    assert len(ctx.helpers) == 1
+    helper = ctx.helpers[0]
+    assert helper.name.startswith("_")
+    body = ast.unparse(ast.Module(body=[fn], type_ignores=[]))
+    assert f"self.{helper.name}()" in body
+
+
+def test_extract_try_body_helper_preserves_behavior():
+    fn = fn_of(TRY)
+    ctx = ctx_for(fn)
+    rule = rule_by_name("extract-try-body")
+    rule.apply(fn, ctx)
+    module = ast.Module(body=[fn] + ctx.helpers, type_ignores=[])
+    source = ast.unparse(module)
+    namespace = {}
+    exec(compile(source, "<extract-test>", "exec"), namespace)
+
+    class Receiver:
+        count = 0
+
+    receiver = Receiver()
+    receiver.m = namespace["m"].__get__(receiver)
+    for helper in ctx.helpers:
+        setattr(
+            receiver, helper.name, namespace[helper.name].__get__(receiver)
+        )
+    receiver.m()
+    assert receiver.count == 11
+
+
+def test_extract_try_body_rejects_local_reads():
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(self):
+            amount = 3
+            try:
+                self.count = self.count + amount
+            except ValueError:
+                pass
+        """,
+    )
+
+
+def test_extract_try_body_rejects_local_writes():
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(self):
+            try:
+                result = self.poke()
+            except ValueError:
+                pass
+        """,
+    )
+
+
+def test_extract_try_body_rejects_return():
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(self):
+            try:
+                return self.poke()
+            except ValueError:
+                pass
+        """,
+    )
+
+
+def test_extract_try_body_rejects_nested_handler():
+    # The outer try's body contains an except handler, so the outer
+    # block is not extractable as a whole.  The inner try is made
+    # non-extractable too (return in body) so nothing else applies.
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(self):
+            try:
+                try:
+                    return self.poke()
+                except KeyError:
+                    pass
+            except ValueError:
+                pass
+        """,
+    )
+
+
+def test_extract_try_body_rejects_non_self_receiver():
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(obj):
+            try:
+                obj.poke()
+            except ValueError:
+                pass
+        """,
+    )
+
+
+def test_extract_try_body_rejects_frame_introspection():
+    assert not applies(
+        "extract-try-body",
+        """
+        def m(self):
+            try:
+                self.view = locals()
+            except ValueError:
+                pass
+        """,
+    )
+
+
+# -- temp-assign ---------------------------------------------------------
+
+
+def test_temp_assign_applies_and_preserves():
+    transformed = assert_equivalent(
+        "def m(self):\n    self.count = self.count + 1\n",
+        "temp-assign",
+        state={"count": 1},
+    )
+    assert "tmp_v1_0" in transformed
+
+
+def test_temp_assign_routes_bare_calls_through_temp():
+    transformed, _ = transform(
+        "temp-assign",
+        """
+        def m(self):
+            self.items.append(1)
+        """,
+    )
+    assert "tmp_v1_0 = self.items.append(1)" in transformed
+
+
+def test_temp_assign_rejects_trivial_bodies():
+    assert not applies("temp-assign", "def m(self):\n    pass\n")
+    assert not applies(
+        "temp-assign", "def m(self):\n    raise ValueError('x')\n"
+    )
+
+
+def test_temp_assign_rejects_frame_introspection():
+    assert not applies(
+        "temp-assign",
+        """
+        def m(self):
+            self.view = dir(self)
+        """,
+    )
+
+
+# -- constant-guard ------------------------------------------------------
+
+
+def test_constant_guard_applies_and_preserves():
+    transformed = assert_equivalent(
+        "def m(self):\n    self.count = self.count + 1\n",
+        "constant-guard",
+        state={"count": 0},
+    )
+    assert "if True:" in transformed
+
+
+def test_constant_guard_keeps_docstring_on_top():
+    transformed, _ = transform(
+        "constant-guard",
+        'def m(self):\n    "doc"\n    self.count = 1\n',
+    )
+    tree = ast.parse(transformed)
+    first = tree.body[0].body[0]
+    assert isinstance(first, ast.Expr) and first.value.value == "doc"
+
+
+def test_constant_guard_rejects_docstring_only_body():
+    assert not applies("constant-guard", 'def m(self):\n    "doc"\n')
+
+
+# -- fresh names ---------------------------------------------------------
+
+
+def test_fresh_names_avoid_taken_and_differ_by_tag():
+    fn = fn_of("def m(self):\n    tmp_v1_0 = 1\n    return tmp_v1_0\n")
+    ctx = ctx_for(fn, tag=1)
+    assert ctx.fresh("tmp") != "tmp_v1_0"
+    other = TransformContext(tag=2, class_name="C", taken=set())
+    assert other.fresh("tmp").startswith("tmp_v2_")
