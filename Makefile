@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
+.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants bench-instrument fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -64,6 +64,14 @@ bench-trace-full:
 bench-variants:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_variants.py --benchmark-only -s
+
+# Instrumentation backends (weave vs sys.monitoring where available) on
+# the Table-1 smoke sweep: run logs and classifications must be
+# bit-identical across backends.  On < 3.12 only the weaving backend
+# runs.  Emits BENCH_instrumentors.json.
+bench-instrument:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_instrumentors.py --benchmark-only -s
 
 # Fixed-seed differential fuzzing sweep plus the classifier-mutation
 # self-check (< 60 s).  A failure shrinks the first failing program and

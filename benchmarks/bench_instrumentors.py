@@ -1,0 +1,138 @@
+"""Benchmark — instrumentation backends on the Table-1 smoke sweep.
+
+Runs the same trace-derived campaign (``static_prune=True,
+trace_derive=True`` — the configuration where event observation does
+the most work) under every instrumentation backend available on this
+interpreter and asserts the conformance contract end to end: run logs
+(modulo provenance) and classifications **bit-identical** across
+backends.  The weaving backend is the reference; ``sys.monitoring``
+(PEP 669) joins on CPython 3.12+ and is reported with its wall-clock
+ratio against weaving.
+
+Measurements go to ``BENCH_instrumentors.json``.  On interpreters
+without ``sys.monitoring`` the benchmark still runs the weaving
+backend (so ``make bench-instrument`` is callable anywhere) and the
+report records the backend as unavailable.
+
+Modes:
+
+* full (default): all ten Java applications.
+* smoke (``REPRO_BENCH_SMOKE=1``, used by ``make bench-instrument``):
+  three small applications; same assertions, seconds instead of
+  minutes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core import available_instrumentors
+from repro.core.instrument.monitoring import MONITORING_AVAILABLE
+from repro.core.staticpass import log_json_without_provenance
+from repro.experiments import JAVA_PROGRAMS, program_by_name, run_app_campaign
+
+from conftest import emit
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+REPORT_PATH = os.environ.get(
+    "REPRO_BENCH_INSTRUMENTORS_OUT", "BENCH_instrumentors.json"
+)
+
+SMOKE_NAMES = ("LLMap", "Dynarray", "CircularList")
+
+
+def _timed_sweep(name: str, instrumentor: str):
+    started = time.perf_counter()
+    outcome = run_app_campaign(
+        program_by_name(name),
+        static_prune=True,
+        trace_derive=True,
+        instrumentor=instrumentor,
+    )
+    return time.perf_counter() - started, outcome
+
+
+def bench_instrumentors(benchmark):
+    names = SMOKE_NAMES if SMOKE else tuple(p.name for p in JAVA_PROGRAMS)
+    backends = available_instrumentors()
+    rows = []
+    totals = {backend: 0.0 for backend in backends}
+    for name in names:
+        row = {"program": name}
+        outcomes = {}
+        for backend in backends:
+            seconds, outcome = _timed_sweep(name, backend)
+            assert outcome.detection.telemetry.instrumentor == backend
+            totals[backend] += seconds
+            outcomes[backend] = outcome
+            row[f"{backend}_seconds"] = seconds
+        reference = outcomes["weave"]
+        for backend, outcome in outcomes.items():
+            # conformance contract: every backend observes the same
+            # campaign, bytes for bytes
+            assert log_json_without_provenance(outcome.detection.log) == (
+                log_json_without_provenance(reference.detection.log)
+            ), f"{backend} run log diverged from weave on {name}"
+            assert outcome.classification.to_json() == (
+                reference.classification.to_json()
+            ), f"{backend} classification diverged from weave on {name}"
+        row["points"] = reference.detection.total_points
+        rows.append(row)
+
+    report = {
+        "workload": "table1-java-collections-regexp",
+        "smoke": SMOKE,
+        "backends": list(backends),
+        "monitoring_available": MONITORING_AVAILABLE,
+        "rows": rows,
+        "totals_seconds": totals,
+    }
+    if "monitoring" in totals:
+        report["monitoring_over_weave"] = (
+            totals["monitoring"] / totals["weave"]
+        )
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    lines = []
+    for row in rows:
+        cells = "   ".join(
+            f"{backend} {row[f'{backend}_seconds']:.3f}s"
+            for backend in backends
+        )
+        lines.append(f"{row['program']:14s} points={row['points']:5d}   {cells}")
+    if "monitoring" in totals:
+        lines.append(
+            f"aggregate: weave {totals['weave']:.3f}s   "
+            f"monitoring {totals['monitoring']:.3f}s   "
+            f"ratio {report['monitoring_over_weave']:.2f}x"
+        )
+    else:
+        lines.append(
+            f"aggregate: weave {totals['weave']:.3f}s   "
+            "(sys.monitoring unavailable on this interpreter)"
+        )
+    lines.append(f"results bit-identical: yes   report: {REPORT_PATH}")
+    emit(
+        "Instrumentors: Table-1 smoke sweep per observation backend",
+        "\n".join(lines),
+    )
+
+    benchmark.extra_info["backends"] = list(backends)
+    benchmark.extra_info["totals_seconds"] = totals
+    benchmark.extra_info["report_path"] = REPORT_PATH
+
+    # the benchmarked unit: one small end-to-end sweep on the default
+    # backend (monitoring, when available, is covered by the grid above)
+    benchmark.pedantic(
+        lambda: run_app_campaign(
+            program_by_name("LLMap"),
+            static_prune=True,
+            trace_derive=True,
+        ),
+        rounds=3,
+        iterations=1,
+    )

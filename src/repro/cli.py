@@ -42,6 +42,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core import WrapPolicy, format_run_provenance, render_bars
+from repro.core.instrument import InstrumentorError
 from repro.core.policy import select_methods_to_wrap
 
 __all__ = ["main", "build_parser", "load_policy"]
@@ -94,6 +95,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         state_backend=args.state_backend,
         static_prune=args.static_prune,
         trace_derive=args.trace_derive,
+        instrumentor=args.instrumentor,
     )
     report = outcome.report
     print(
@@ -132,6 +134,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         state_backend=args.state_backend,
         static_prune=args.static_prune,
         trace_derive=args.trace_derive,
+        instrumentor=args.instrumentor,
     )
     print(validation.summary())
     return 0 if validation.masking_effective else 1
@@ -175,6 +178,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             trace_derive=args.trace_derive,
             variants=args.variants,
             variant_seed=args.seed,
+            instrumentor=args.instrumentor,
         )
         if verdict.ok:
             print(f"{spec.name}: all checks pass")
@@ -202,6 +206,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         static_prune=args.static_prune,
         trace_derive=args.trace_derive,
         variants=args.variants,
+        instrumentor=args.instrumentor,
     )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -227,6 +232,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"variant invariance checked: {report.variants} variant(s) per "
             f"program, {report.total_variant_applied} transform "
             f"application(s) across the corpus"
+        )
+    if report.instrumentor != "weave":
+        print(
+            f"instrumentor equivalence checked: {report.instrumentor} vs "
+            f"weave on every program"
         )
     if report.ok:
         print("zero oracle mismatches across engines and checkpoint strategies")
@@ -256,6 +266,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 trace_derive=args.trace_derive,
                 variants=args.variants,
                 variant_seed=args.seed,
+                instrumentor=args.instrumentor,
             ),
             max_evals=args.max_shrink_evals,
         )
@@ -524,6 +535,19 @@ def _add_trace_derive_flag(parser: argparse.ArgumentParser) -> None:
              "happens even when every point is decided without execution)")
 
 
+def _add_instrumentor_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.core.instrument import DEFAULT_INSTRUMENTOR, INSTRUMENTOR_NAMES
+
+    parser.add_argument(
+        "--instrumentor", choices=INSTRUMENTOR_NAMES,
+        default=DEFAULT_INSTRUMENTOR,
+        help="instrumentation backend campaigns observe the subject "
+             "through (default: weave): method-replacement weaving "
+             "(weave, any Python) or PEP 669 sys.monitoring events "
+             "(monitoring, Python 3.12+; identical logs, zero overhead "
+             "on uninstrumented code paths)")
+
+
 def _add_state_backend_flag(parser: argparse.ArgumentParser) -> None:
     from repro.core.state import DETECTION_BACKENDS
 
@@ -574,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_state_backend_flag(detect)
     _add_static_prune_flag(detect)
     _add_trace_derive_flag(detect)
+    _add_instrumentor_flag(detect)
     detect.set_defaults(func=_cmd_detect)
 
     validate = sub.add_parser(
@@ -591,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_state_backend_flag(validate)
     _add_static_prune_flag(validate)
     _add_trace_derive_flag(validate)
+    _add_instrumentor_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     fuzz = sub.add_parser(
@@ -639,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally check detection invariance across N "
              "semantic-preserving AST variants of every program "
              "(Check 8; recipes seeded by --seed; default: 0 = off)")
+    _add_instrumentor_flag(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     variants = sub.add_parser(
@@ -723,7 +750,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+    except (
+        OSError, ValueError, json.JSONDecodeError, InstrumentorError
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -58,6 +58,20 @@ from .cow import (
 from .harden import HardeningResult, harden
 from .htmlreport import policy_template, render_campaign_html
 from .injection import InjectionCampaign, make_injection_wrapper
+from .instrument import (
+    DEFAULT_INSTRUMENTOR,
+    INSTRUMENTOR_NAMES,
+    INSTRUMENTORS,
+    EventObserver,
+    Instrumentor,
+    InstrumentorError,
+    InstrumentorUnavailable,
+    MonitoringInstrumentor,
+    WeavingInstrumentor,
+    available_instrumentors,
+    get_instrumentor,
+    resolve_instrumentor_name,
+)
 from .masking import Masker, MaskingStats, atomic_block, failure_atomic, make_atomicity_wrapper
 from .policy import WrapPolicy, filter_log, reclassify, select_methods_to_wrap
 from .report import (
@@ -89,6 +103,7 @@ from .state import (
     Checkpoint,
     CheckpointError,
     FingerprintBackend,
+    FingerprintCache,
     GraphBackend,
     GraphDifference,
     ObjectGraph,
@@ -145,6 +160,7 @@ __all__ = [
     "StateFingerprint",
     "fingerprint",
     "fingerprint_frame",
+    "FingerprintCache",
     # state layer: checkpointing
     "Checkpoint",
     "CheckpointError",
@@ -205,6 +221,19 @@ __all__ = [
     "WeavingError",
     "weave_with",
     "LoadTimeWeaver",
+    # instrumentation backends
+    "Instrumentor",
+    "InstrumentorError",
+    "InstrumentorUnavailable",
+    "EventObserver",
+    "WeavingInstrumentor",
+    "MonitoringInstrumentor",
+    "INSTRUMENTORS",
+    "INSTRUMENTOR_NAMES",
+    "DEFAULT_INSTRUMENTOR",
+    "available_instrumentors",
+    "get_instrumentor",
+    "resolve_instrumentor_name",
     # one-call facade
     "harden",
     "HardeningResult",

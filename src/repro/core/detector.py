@@ -27,8 +27,9 @@ from typing import (
 from .analyzer import MethodSpec
 from .exceptions import InjectionAbort, is_injected
 from .injection import InjectionCampaign
+from .instrument import Instrumentor, WeavingInstrumentor
 from .runlog import RunLog, RunRecord
-from .state import get_backend
+from .state import FingerprintCache, get_backend
 from .staticpass import StaticPruner, call_through_boundary
 from .telemetry import CampaignTelemetry
 from .tracepass import TraceDeriver, TraceRecorder
@@ -216,6 +217,15 @@ class Detector:
             static pass analyzes and the classes the trace pass puts
             write barriers on.  Optional; without it only points whose
             whole stack context is wrapper-free can be pruned.
+        instrumentor: the event substrate the profiling passes observe
+            through (:mod:`repro.core.instrument`).  Defaults to a
+            weaving instrumentor over this campaign; callers that wove
+            through an instrumentor pass it in so observation rides the
+            same backend.
+        fingerprint_cache: memoize frame digests between barriered
+            writes when the campaign's backend supports it
+            (fingerprint sweeps only; output is bit-identical either
+            way, this is purely a hot-path switch).
     """
 
     def __init__(
@@ -228,6 +238,8 @@ class Detector:
         static_prune: bool = False,
         trace_derive: bool = False,
         woven_specs: Optional[List[MethodSpec]] = None,
+        instrumentor: Optional[Instrumentor] = None,
+        fingerprint_cache: bool = True,
     ) -> None:
         """
         Args:
@@ -244,6 +256,8 @@ class Detector:
         self.static_prune = static_prune
         self.trace_derive = trace_derive
         self.woven_specs = woven_specs
+        self.instrumentor = instrumentor
+        self.fingerprint_cache = fingerprint_cache
 
     def profile(self) -> int:
         """Count injection points and record call counts (no injection)."""
@@ -280,31 +294,45 @@ class Detector:
                 failures; the baseline run observes them.
         """
         started = time.perf_counter()
+        instrumentor = self.instrumentor
+        if instrumentor is None:
+            # Observation-only adapter over the campaign's slots; the
+            # program was woven by the caller (any factory), so this
+            # instrumentor never instruments, it only dispatches events.
+            instrumentor = WeavingInstrumentor(self.campaign)
         pruner: Optional[StaticPruner] = None
         deriver: Optional[TraceDeriver] = None
         recorder: Optional[TraceRecorder] = None
+        woven_classes = {
+            spec.owner for spec in self.woven_specs or [] if spec.owner
+        }
         if self.static_prune:
             pruner = StaticPruner(self.woven_specs)
+        observers: List[object] = []
         if self.trace_derive:
             recorder = TraceRecorder()
-            recorder.start(
-                {spec.owner for spec in self.woven_specs or [] if spec.owner}
-            )
+            instrumentor.start_write_trace(recorder, woven_classes)
             deriver = TraceDeriver(
                 self.campaign, pruner=pruner, recorder=recorder
             )
-            deriver.attach(self.campaign)
+            # The deriver chains the pruner's observations internally,
+            # so composed passes still share one event subscription.
+            observers.append(deriver)
         elif pruner is not None:
-            pruner.attach(self.campaign)
+            observers.append(pruner)
+        for observer in observers:
+            instrumentor.subscribe(observer)
+        if observers:
+            instrumentor.attach()
         try:
             total = self.profile()
         finally:
-            if deriver is not None:
-                deriver.detach(self.campaign)
-            elif pruner is not None:
-                pruner.detach(self.campaign)
+            if instrumentor.attached:
+                instrumentor.detach()
+            for observer in observers:
+                instrumentor.unsubscribe(observer)
             if recorder is not None:
-                recorder.stop()
+                instrumentor.stop_write_trace(recorder)
         prune_map = pruner.prune_map() if pruner is not None else {}
         derive_map = deriver.derive_map() if deriver is not None else {}
         # Statically decided points win the provenance tag; the records
@@ -332,25 +360,44 @@ class Detector:
         pruned = 0
         derived = 0
         done = 0
-        for injection_point in points:
-            if injection_point in executable:
-                _, failure = run_injection_point(
-                    self.program, self.campaign, injection_point
-                )
-                if failure is not None:
-                    genuine_failures.append(failure)
-                executed += 1
-            else:
-                # Decided without execution: append the synthesized
-                # record in plan order, bypassing begin_run.
-                self.campaign.log.runs.append(decided[injection_point])
-                if injection_point in prune_map:
-                    pruned += 1
+        cache: Optional[FingerprintCache] = None
+        if (
+            self.fingerprint_cache
+            and woven_classes
+            and self.campaign.digest_cache is None
+            and getattr(self.campaign.backend, "supports_digest_cache", False)
+        ):
+            # Memoize frame digests across the sweep: the write barriers
+            # invalidate on any attribute write to a woven class, so the
+            # cached digest is only ever served when it is provably the
+            # digest the backend would recompute (bit-identical output).
+            cache = FingerprintCache()
+            cache.start(woven_classes)
+            self.campaign.digest_cache = cache
+        try:
+            for injection_point in points:
+                if injection_point in executable:
+                    _, failure = run_injection_point(
+                        self.program, self.campaign, injection_point
+                    )
+                    if failure is not None:
+                        genuine_failures.append(failure)
+                    executed += 1
                 else:
-                    derived += 1
-            done += 1
-            if self.progress is not None:
-                self.progress(done, len(points))
+                    # Decided without execution: append the synthesized
+                    # record in plan order, bypassing begin_run.
+                    self.campaign.log.runs.append(decided[injection_point])
+                    if injection_point in prune_map:
+                        pruned += 1
+                    else:
+                        derived += 1
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(points))
+        finally:
+            if cache is not None:
+                self.campaign.digest_cache = None
+                cache.stop()
         finished = time.perf_counter()
         wall = finished - started
         state_stats = self.campaign.state_stats
@@ -383,6 +430,12 @@ class Detector:
             trace_captures=(
                 deriver.stats.captures if deriver is not None else 0
             ),
+            trace_capture_retries=(
+                deriver.capture_retries if deriver is not None else 0
+            ),
+            instrumentor=instrumentor.name,
+            fingerprint_cache_hits=cache.hits if cache is not None else 0,
+            fingerprint_cache_misses=cache.misses if cache is not None else 0,
         )
         return DetectionResult(
             program=self.program.name,

@@ -84,6 +84,17 @@ class InjectionCampaign:
         #: it, which only execution can produce — the pruning pass uses
         #: this to stop synthesizing records for later points.
         self.escape_observer: Optional[Callable[[MethodSpec], None]] = None
+        #: Profiling-only hook: called as ``exit_observer(spec)`` when a
+        #: wrapped call returns normally during profiling.  Together with
+        #: the two hooks above this is the full event surface the
+        #: instrumentor protocol (:mod:`repro.core.instrument`) adapts.
+        self.exit_observer: Optional[Callable[[MethodSpec], None]] = None
+        #: Optional per-campaign digest cache
+        #: (:class:`repro.core.state.FingerprintCache`).  Installed by the
+        #: engines for fingerprint-backend sweeps; ``capture_state``
+        #: consults it only while the active backend supports digests, so
+        #: graph-backend refinement re-runs bypass it.
+        self.digest_cache = None
         self.current_run: Optional[RunRecord] = None
         self._suspended = 0
         self._owner_thread: Optional[int] = None
@@ -184,8 +195,20 @@ class InjectionCampaign:
         ever hand it back to :meth:`compare_states`.
         """
         with self.suspend():
+            roots = self.capture_roots(spec, args, kwargs)
+            cache = self.digest_cache
+            if cache is not None and getattr(
+                self.backend, "supports_digest_cache", False
+            ):
+                return cache.capture(
+                    self.backend,
+                    roots,
+                    ignore_attrs=self.ignore_attrs,
+                    max_nodes=self.max_graph_nodes,
+                    stats=self.state_stats,
+                )
             return self.backend.capture_frame(
-                self.capture_roots(spec, args, kwargs),
+                roots,
                 ignore_attrs=self.ignore_attrs,
                 max_nodes=self.max_graph_nodes,
                 stats=self.state_stats,
@@ -262,13 +285,18 @@ def make_injection_wrapper(
                 raise exc
         if not campaign.detecting:
             escape = campaign.escape_observer
-            if escape is None:
+            on_exit = campaign.exit_observer
+            if escape is None and on_exit is None:
                 return original(*args, **kwargs)
             try:
-                return original(*args, **kwargs)
+                result = original(*args, **kwargs)
             except BaseException:
-                escape(spec)
+                if escape is not None:
+                    escape(spec)
                 raise
+            if on_exit is not None:
+                on_exit(spec)
+            return result
         before = campaign.capture_state(spec, args, kwargs)
         try:
             return original(*args, **kwargs)

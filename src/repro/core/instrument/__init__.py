@@ -1,0 +1,99 @@
+"""Instrumentation backends behind one protocol (ROADMAP item 5).
+
+* :mod:`.protocol` — the :class:`Instrumentor` protocol and the
+  :class:`EventObserver` base every analysis pass implements.
+* :mod:`.weaving` — :class:`WeavingInstrumentor`, adapting the
+  method-replacement :mod:`~repro.core.weaver` (the paper's BCEL
+  analog); works on every supported Python.
+* :mod:`.monitoring` — :class:`MonitoringInstrumentor`, the PEP 669
+  ``sys.monitoring`` backend (Python 3.12+, exact line events, zero
+  overhead on uninstrumented paths).
+
+The registry mirrors the state-backend registry of
+:mod:`repro.core.state.backend`: campaigns name an instrumentor
+("weave" by default), engines resolve it with :func:`get_instrumentor`,
+and the parallel journal records the name so ``--resume`` refuses to
+mix event substrates within one campaign.
+"""
+
+from typing import Dict, List, Optional, Type, Union
+
+from .monitoring import MONITORING_AVAILABLE, MonitoringInstrumentor
+from .protocol import (
+    EventObserver,
+    Instrumentor,
+    InstrumentorError,
+    InstrumentorUnavailable,
+)
+from .weaving import WeavingInstrumentor
+
+__all__ = [
+    "DEFAULT_INSTRUMENTOR",
+    "EventObserver",
+    "INSTRUMENTORS",
+    "INSTRUMENTOR_NAMES",
+    "Instrumentor",
+    "InstrumentorError",
+    "InstrumentorUnavailable",
+    "MONITORING_AVAILABLE",
+    "MonitoringInstrumentor",
+    "WeavingInstrumentor",
+    "available_instrumentors",
+    "get_instrumentor",
+    "resolve_instrumentor_name",
+]
+
+#: Name used when a campaign does not ask for a specific backend.
+DEFAULT_INSTRUMENTOR = "weave"
+
+#: Every registered backend, available on this interpreter or not —
+#: the CLI offers all of them and construction reports availability.
+INSTRUMENTORS: Dict[str, Type[Instrumentor]] = {
+    "weave": WeavingInstrumentor,
+    "monitoring": MonitoringInstrumentor,
+}
+
+#: Stable choice tuple for CLI flags.
+INSTRUMENTOR_NAMES = tuple(INSTRUMENTORS)
+
+
+def resolve_instrumentor_name(
+    which: Union[str, Instrumentor, None]
+) -> str:
+    """Validate an instrumentor name without constructing the backend."""
+    if which is None:
+        return DEFAULT_INSTRUMENTOR
+    if isinstance(which, Instrumentor):
+        return which.name
+    if which not in INSTRUMENTORS:
+        known = ", ".join(sorted(INSTRUMENTORS))
+        raise ValueError(
+            f"unknown instrumentor {which!r} (known: {known})"
+        )
+    return which
+
+
+def get_instrumentor(
+    which: Union[str, Instrumentor, None],
+    campaign,
+    *,
+    analyzer=None,
+) -> Instrumentor:
+    """Resolve a name (or pass an instance through) to an instrumentor.
+
+    Raises :class:`InstrumentorUnavailable` when the named backend
+    cannot run on this interpreter (e.g. "monitoring" below 3.12) and
+    ``ValueError`` for names not in the registry.
+    """
+    if isinstance(which, Instrumentor):
+        return which
+    name = resolve_instrumentor_name(which)
+    return INSTRUMENTORS[name](campaign, analyzer=analyzer)
+
+
+def available_instrumentors() -> List[str]:
+    """Names of the backends that can run on this interpreter."""
+    names = ["weave"]
+    if MONITORING_AVAILABLE:
+        names.append("monitoring")
+    return names

@@ -1,0 +1,195 @@
+"""The ``Instrumentor`` protocol: one seam for Step-2/Step-5 plumbing.
+
+The paper instruments the subject twice over: Step 2 replaces every
+method with an injection wrapper (BCEL load-time weaving in the
+original), and the analysis passes bolt side channels onto that wrapper
+— the campaign's entry/escape observer slots, the trace recorder's
+write barrier, the static pass's stack probes.  Those channels were
+hard-wired to the method-replacement weaver.  This module extracts the
+*observation* half behind a small protocol so that a different
+substrate (``sys.monitoring``, PEP 669) can deliver the same events:
+
+===============  ====================================================
+event            fired when (profiling run only)
+===============  ====================================================
+``call-enter``   an instrumented method is entered, before its
+                 injection repertoire is walked; carries the method
+                 spec, the campaign's base point counter, and the
+                 live wrapper frame
+``call-exit``    the original method returned normally
+``escape``       an exception escaped the original method and is
+                 about to propagate past the wrapper
+``line``         a line of an instrumented method's body executed
+                 (only backends with ``exact_lines`` deliver these,
+                 and only to observers that ask)
+===============  ====================================================
+
+Observers receive the *wrapper frame* explicitly rather than counting
+stack depths themselves — the dispatch hop between wrapper and
+observer would otherwise shift every ``sys._getframe`` offset.
+
+Injection *delivery* (raising at point ``i``) stays method-replacement
+weaving in every backend: the repertoire walk needs to run inside the
+subject call, and replacing the bound method is the only way to do
+that without rewriting bytecode.  What backends differ in is how the
+events above are observed, and at what overhead.
+"""
+
+from __future__ import annotations
+
+from types import CodeType, FrameType
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analyzer import Analyzer, MethodSpec
+    from ..injection import InjectionCampaign
+    from ..tracepass.recorder import TraceRecorder
+
+__all__ = [
+    "EventObserver",
+    "Instrumentor",
+    "InstrumentorError",
+    "InstrumentorUnavailable",
+]
+
+
+class InstrumentorError(RuntimeError):
+    """Raised when an instrumentor cannot operate."""
+
+
+class InstrumentorUnavailable(InstrumentorError):
+    """Raised when a backend is not supported on this interpreter."""
+
+
+class EventObserver:
+    """Base class for instrumentation-event consumers.
+
+    Every hook is a no-op; subclasses override what they need.  The
+    ``frame`` argument is always the *wrapper* frame of the
+    instrumented call (its ``f_back`` is the caller, its ``f_locals``
+    hold ``spec``/``args``/``kwargs``), never the dispatcher's.
+    """
+
+    #: Set True to receive :meth:`on_line` events from backends that
+    #: support them (``Instrumentor.exact_lines``).
+    wants_line_events: bool = False
+
+    def on_call_enter(
+        self, spec: "MethodSpec", base_point: int, frame: FrameType
+    ) -> None:
+        """An instrumented method was entered during profiling."""
+
+    def on_call_exit(self, spec: "MethodSpec", frame: FrameType) -> None:
+        """The original method returned normally during profiling."""
+
+    def on_escape(self, spec: "MethodSpec", frame: FrameType) -> None:
+        """An exception escaped the original method during profiling."""
+
+    def on_line(self, code: CodeType, lineno: int) -> None:
+        """A line of an instrumented method executed (exact backends)."""
+
+
+class Instrumentor:
+    """Instrument a class set and emit events to registered observers.
+
+    Lifecycle::
+
+        inst = get_instrumentor("weave", campaign, analyzer=analyzer)
+        with inst:                      # uninstruments on exit
+            specs = inst.instrument(program.classes)
+            inst.subscribe(observer)
+            inst.attach()               # arm event delivery
+            ...profiling run...
+            inst.detach()
+
+    ``attach``/``detach`` are separate from ``instrument`` because the
+    detection sweep reuses the instrumented classes with event
+    delivery disarmed.
+    """
+
+    #: Registry name ("weave", "monitoring", ...).
+    name: str = "abstract"
+    #: True when the backend delivers exact per-line events.
+    exact_lines: bool = False
+
+    def __init__(
+        self,
+        campaign: "InjectionCampaign",
+        *,
+        analyzer: Optional["Analyzer"] = None,
+    ) -> None:
+        self.campaign = campaign
+        self.analyzer = analyzer
+        self._observers: List[EventObserver] = []
+        self._attached = False
+
+    # -- class-set instrumentation ------------------------------------
+
+    def instrument(self, classes: Iterable[type]) -> List["MethodSpec"]:
+        """Instrument every method of *classes*; return their specs."""
+        raise NotImplementedError
+
+    def instrument_class(
+        self, cls: type, *, methods: Optional[Iterable[str]] = None
+    ) -> List["MethodSpec"]:
+        """Instrument one class (optionally a subset of its methods)."""
+        raise NotImplementedError
+
+    def uninstrument(self) -> None:
+        """Undo all instrumentation, most recent first."""
+        raise NotImplementedError
+
+    @property
+    def woven_specs(self) -> List["MethodSpec"]:
+        """Specs of every currently instrumented method."""
+        raise NotImplementedError
+
+    # -- observers -----------------------------------------------------
+
+    def subscribe(self, observer: EventObserver) -> None:
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: EventObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # -- event delivery ------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def attach(self) -> None:
+        """Arm event delivery for the profiling run."""
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Disarm event delivery."""
+        raise NotImplementedError
+
+    # -- write-trace riding --------------------------------------------
+    #
+    # The trace pass needs attribute-write events; those come from the
+    # §6.2 copy-on-write barrier regardless of backend (sys.monitoring
+    # has no attribute-write event), so the protocol owns the riding.
+
+    def start_write_trace(
+        self, recorder: "TraceRecorder", classes: Iterable[type]
+    ) -> None:
+        """Point the write barrier of *classes* at *recorder*."""
+        recorder.start(set(classes))
+
+    def stop_write_trace(self, recorder: "TraceRecorder") -> None:
+        """Stop the write trace and remove barriers it installed."""
+        recorder.stop()
+
+    # -- context management --------------------------------------------
+
+    def __enter__(self) -> "Instrumentor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._attached:
+            self.detach()
+        self.uninstrument()

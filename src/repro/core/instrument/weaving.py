@@ -1,0 +1,132 @@
+"""Weaving-backed instrumentor: the paper's method-replacement path.
+
+``WeavingInstrumentor`` adapts the existing :class:`~repro.core.weaver.
+Weaver` and the campaign's observer slots to the
+:class:`~repro.core.instrument.protocol.Instrumentor` protocol with
+exactly the current semantics: the injection wrapper's entry hook
+becomes ``call-enter``, its profiling try/except becomes ``escape``,
+and the (new) normal-return hook becomes ``call-exit``.  Events exist
+only while :meth:`attach`\\ ed, so the wrapper fast paths (``None``
+slot checks) are untouched during the detection sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from ..injection import make_injection_wrapper
+from ..weaver import LoadTimeWeaver, Weaver
+from .protocol import Instrumentor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analyzer import Analyzer, MethodSpec
+    from ..injection import InjectionCampaign
+
+__all__ = ["WeavingInstrumentor"]
+
+
+class WeaverBacked(Instrumentor):
+    """Shared injection delivery: both backends weave the wrappers.
+
+    Raising at injection point *i* requires running the repertoire
+    walk inside the subject call; method replacement is the delivery
+    vehicle in every backend.  Subclasses differ only in how the
+    profiling events are *observed*.
+    """
+
+    def __init__(
+        self,
+        campaign: "InjectionCampaign",
+        *,
+        analyzer: Optional["Analyzer"] = None,
+    ) -> None:
+        super().__init__(campaign, analyzer=analyzer)
+        self._wrapper_factory: Callable = (
+            lambda spec: make_injection_wrapper(spec, campaign)
+        )
+        self._weaver = Weaver(self._wrapper_factory, analyzer)
+
+    def instrument(self, classes: Iterable[type]) -> List["MethodSpec"]:
+        return self._weaver.weave_classes(classes)
+
+    def instrument_class(
+        self, cls: type, *, methods: Optional[Iterable[str]] = None
+    ) -> List["MethodSpec"]:
+        return self._weaver.weave_class(cls, methods=methods)
+
+    def loadtime_weaver(
+        self, *, module_filter: Callable[[str], bool]
+    ) -> LoadTimeWeaver:
+        """An import hook delivering this instrumentor's wrappers."""
+        return LoadTimeWeaver(
+            self._wrapper_factory,
+            module_filter=module_filter,
+            analyzer=self.analyzer,
+        )
+
+    def uninstrument(self) -> None:
+        self._weaver.unweave_all()
+
+    @property
+    def woven_specs(self) -> List["MethodSpec"]:
+        return self._weaver.woven_specs
+
+
+class WeavingInstrumentor(WeaverBacked):
+    """Observation through the campaign's wrapper slots (any Python)."""
+
+    name = "weave"
+    exact_lines = False
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        campaign = self.campaign
+        self._saved = (
+            campaign.point_observer,
+            campaign.escape_observer,
+            campaign.exit_observer,
+        )
+        campaign.point_observer = self._dispatch_enter
+        campaign.escape_observer = self._dispatch_escape
+        campaign.exit_observer = self._dispatch_exit
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        campaign = self.campaign
+        (
+            campaign.point_observer,
+            campaign.escape_observer,
+            campaign.exit_observer,
+        ) = self._saved
+        self._attached = False
+
+    # The campaign slots are called directly from the wrapper frame, so
+    # sys._getframe(1) here is the wrapper; observers get it explicitly.
+
+    def _dispatch_enter(self, spec: "MethodSpec", base_point: int) -> None:
+        frame = sys._getframe(1)
+        try:
+            for observer in self._observers:
+                observer.on_call_enter(spec, base_point, frame)
+        finally:
+            del frame
+
+    def _dispatch_exit(self, spec: "MethodSpec") -> None:
+        frame = sys._getframe(1)
+        try:
+            for observer in self._observers:
+                observer.on_call_exit(spec, frame)
+        finally:
+            del frame
+
+    def _dispatch_escape(self, spec: "MethodSpec") -> None:
+        frame = sys._getframe(1)
+        try:
+            for observer in self._observers:
+                observer.on_escape(spec, frame)
+        finally:
+            del frame

@@ -48,7 +48,9 @@ from .fingerprint import (
     StateFingerprint,
     fingerprint,
     fingerprint_frame,
+    fingerprint_frame_covered,
 )
+from .fpcache import FingerprintCache
 from .graph import (
     CaptureLimitError,
     GraphDifference,
@@ -94,6 +96,8 @@ __all__ = [
     "StateFingerprint",
     "fingerprint",
     "fingerprint_frame",
+    "fingerprint_frame_covered",
+    "FingerprintCache",
     "DIGEST_BITS",
     # checkpoint
     "Checkpoint",

@@ -46,7 +46,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .introspect import (
     KIND_BYTEARRAY,
+    KIND_FROZENSET,
     KIND_OBJECT,
+    KIND_TUPLE,
     CaptureLimitError,
     default_ignore,
     is_opaque,
@@ -62,6 +64,7 @@ __all__ = [
     "StateFingerprint",
     "fingerprint",
     "fingerprint_frame",
+    "fingerprint_frame_covered",
     "DIGEST_BITS",
 ]
 
@@ -258,6 +261,12 @@ def _type_info(tp: type, sample: Any) -> Tuple[int, bytes, Optional[str]]:
     return info
 
 
+#: Flush the serialization buffer to the hasher once it crosses this
+#: size: the buffer stays cache-resident and never reallocates toward
+#: graph-sized peaks, while the hasher still sees few, large updates.
+_FLUSH_BYTES = 1 << 16
+
+
 class _Fingerprinter:
     """One-pass canonical-serialization hasher (iterative, cycle-safe)."""
 
@@ -265,6 +274,7 @@ class _Fingerprinter:
         self,
         ignore_attrs: Callable[[str], bool],
         max_nodes: Optional[int] = None,
+        barriered: Optional[Iterable[type]] = None,
     ) -> None:
         self._hasher = hashlib.blake2b(digest_size=DIGEST_BITS // 8)
         self._hasher.update(_FORMAT_TAG)
@@ -274,33 +284,50 @@ class _Fingerprinter:
         self._count = 0  # nodes serialized, mirrors ObjectGraph node count
         # Pin visited objects so id() values stay unique mid-traversal.
         self._pins: List[Any] = []
-        # Serialization accumulates here and is hashed in one update:
-        # thousands of tiny hasher.update calls cost more than the join.
-        self._parts: List[bytes] = []
+        # Serialization accumulates here and drains to the hasher in
+        # large zero-copy (memoryview) batches: thousands of tiny
+        # hasher.update calls cost more than the buffering.
+        self._buffer = bytearray()
+        # Optional write-barrier coverage tracking, fused into the same
+        # traversal (same rules as tracepass.recorder.barrier_covered):
+        # when a type set is supplied, ``covered`` ends True iff every
+        # reachable object is scalar, opaque, an exact tuple/frozenset,
+        # or an instance of a barriered class — i.e. iff any later
+        # mutation of the serialized state must pass a write barrier.
+        self._barriered = set(barriered) if barriered is not None else None
+        self.covered = barriered is not None
+
+    def _flush(self) -> None:
+        buffer = self._buffer
+        if buffer:
+            with memoryview(buffer) as view:
+                self._hasher.update(view)
+            del buffer[:]
 
     def digest(self) -> StateFingerprint:
-        if self._parts:
-            self._hasher.update(b"".join(self._parts))
-            self._parts = []
+        self._flush()
         return StateFingerprint(self._hasher.hexdigest())
 
     def add_frame(self, label_values: Iterable[Tuple[Any, Any]]) -> None:
         """Serialize a synthetic frame node over several labeled roots."""
         self._budget_check()
         self._count += 1
-        self._parts.append(b"F<frame>")
+        self._buffer += b"F<frame>"
         for key, value in label_values:
-            self._parts.append(_encode_label(("slot", key)))
+            self._buffer += _encode_label(("slot", key))
             self.add_value(value)
 
     def add_value(self, value: Any) -> None:
         """Serialize the subgraph rooted at *value* (explicit stack DFS)."""
-        parts = self._parts
-        feed = parts.append
+        buffer = self._buffer
+        feed = buffer.extend
+        hasher_update = self._hasher.update
         seen = self._seen
         pin = self._pins.append
         ignore_attrs = self._ignore_attrs
         max_nodes = self._max_nodes
+        barriered = self._barriered
+        covered = self.covered
         count = self._count
         stack: List[Tuple[bool, Any]] = [(False, value)]
         pop = stack.pop
@@ -308,6 +335,10 @@ class _Fingerprinter:
         scalar_fast = _SCALAR_FAST
         try:
             while stack:
+                if len(buffer) >= _FLUSH_BYTES:
+                    with memoryview(buffer) as view:
+                        hasher_update(view)
+                    del buffer[:]
                 is_token, item = pop()
                 if is_token:
                     feed(item)
@@ -343,6 +374,15 @@ class _Fingerprinter:
                 if category == _CAT_OPAQUE:
                     feed(_encode_str(opaque_token(item)))
                     continue
+                if barriered is not None:
+                    # barrier_covered's rules, fused into the traversal:
+                    # mutable nodes must be instances of barriered
+                    # classes; immutable shells (tuple/frozenset) pass.
+                    if kind == KIND_OBJECT:
+                        if tp not in barriered:
+                            covered = False
+                    elif kind != KIND_TUPLE and kind != KIND_FROZENSET:
+                        covered = False
                 if tp is list or tp is tuple:
                     # Exact builtin sequences: index-labeled items, no
                     # instance attributes — the generic path would yield
@@ -409,6 +449,7 @@ class _Fingerprinter:
                     push((True, _encode_label(label)))
         finally:
             self._count = count
+            self.covered = covered
 
     def _budget_check(self) -> None:
         if self._max_nodes is not None and self._count >= self._max_nodes:
@@ -453,3 +494,26 @@ def fingerprint_frame(
     hasher = _Fingerprinter(ignore_attrs or default_ignore, max_nodes)
     hasher.add_frame(label_values)
     return hasher.digest()
+
+
+def fingerprint_frame_covered(
+    label_values: Iterable[Tuple[Any, Any]],
+    *,
+    ignore_attrs: Optional[Callable[[str], bool]] = None,
+    max_nodes: Optional[int] = None,
+    barriered: Optional[Iterable[type]] = None,
+) -> Tuple[StateFingerprint, bool]:
+    """Digest labeled roots and report write-barrier coverage.
+
+    Identical digest to :func:`fingerprint_frame` (the coverage check is
+    fused into the same traversal and feeds no bytes to the hasher).
+    The second element is True iff every reachable object is immutable,
+    opaque, or an instance of one of the *barriered* classes — the
+    precondition for the digest cache to trust its version counter
+    (every later mutation of this state must cross a write barrier).
+    """
+    hasher = _Fingerprinter(
+        ignore_attrs or default_ignore, max_nodes, barriered=barriered
+    )
+    hasher.add_frame(label_values)
+    return hasher.digest(), hasher.covered

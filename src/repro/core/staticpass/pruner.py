@@ -52,6 +52,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..analyzer import MethodSpec
 from ..exceptions import is_injected, make_injected
 from ..injection import INJ_WRAPPER_CODE, InjectionCampaign
+from ..instrument.protocol import EventObserver
 from ..runlog import ATOMIC, RunLog, RunRecord
 from .callgraph import PurityAnalysis, transitive_purity
 from .transparency import TransparencyIndex
@@ -131,7 +132,7 @@ class _Span:
     tainted: bool = False
 
 
-class StaticPruner:
+class StaticPruner(EventObserver):
     """Combines purity, transparency and the stack observations."""
 
     def __init__(self, woven_specs: Optional[List[MethodSpec]] = None) -> None:
@@ -205,6 +206,17 @@ class StaticPruner:
     def detach(self, campaign: InjectionCampaign) -> None:
         campaign.point_observer = None
         campaign.escape_observer = None
+
+    # -- instrumentor-protocol observer hooks --------------------------
+    #
+    # The dispatch layer hands over the wrapper frame explicitly (the
+    # extra hop would break the raw slots' sys._getframe offsets).
+
+    def on_call_enter(self, spec: MethodSpec, base_point: int, frame) -> None:
+        self.observe_frame(spec, base_point, frame.f_back)
+
+    def on_escape(self, spec: MethodSpec, frame) -> None:
+        self.observe_escape(spec)
 
     # -- decision ------------------------------------------------------
 

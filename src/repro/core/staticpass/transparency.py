@@ -12,9 +12,18 @@ thing the frame can do with a propagating exception is pass it on.
 The whole statement span (handlers, ``else``, ``finally``, context
 managers) is treated as guarded even though e.g. an ``else`` clause is
 not actually covered by its handlers: over-approximating the guarded
-region can only keep points dynamic, never prune one wrongly.  Frames
-whose source cannot be fetched or parsed (builtins, exec'd code without
-a linecache entry, lambdas) are never transparent.
+region can only keep points dynamic, never prune one wrongly.
+
+Source is not the only certificate.  On CPython 3.11+ (zero-cost
+exceptions, PEP 626 era bytecode) every handler span of a code object —
+``try``, ``with``, ``async with``, generator cleanup — lives in
+``co_exceptiontable``; an *empty* table proves the frame cannot catch,
+transform, or run cleanup for a propagating exception at any line.
+That certifies the sourceless adapters real programs route calls
+through (``exec``-built decorator glue carrying ``functools.wraps``
+metadata, plugin trampolines) which the AST certificate can never
+reach.  Frames with a non-empty table and no retrievable source stay
+non-transparent, as do all sourceless frames on older interpreters.
 """
 
 from __future__ import annotations
@@ -41,6 +50,11 @@ _Spans = Optional[Tuple[Tuple[int, int], ...]]
 def _guarded_spans(code) -> _Spans:
     """Absolute line spans of every guarded statement in *code*'s block,
     or None when the block cannot be certified at all."""
+    if getattr(code, "co_exceptiontable", None) == b"":
+        # Zero-cost exceptions: an empty handler table is a bytecode-
+        # level proof the frame is exception-transparent everywhere —
+        # no source needed.
+        return ()
     try:
         lines, start = inspect.getsourcelines(code)
     except (OSError, TypeError):

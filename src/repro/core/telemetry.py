@@ -52,6 +52,15 @@ class CampaignTelemetry:
             write barrier observed during the reference execution.
         trace_captures: state captures the trace pass performed (on its
             own meter — not included in ``state_captures``).
+        trace_capture_retries: entry captures the trace pass retried at
+            a doubled node budget after the first attempt blew the
+            limit (the adaptive capture-budget lift).
+        instrumentor: name of the instrumentation backend the profiling
+            passes observed through (``weave``, ``monitoring``).
+        fingerprint_cache_hits: frame digests served from the
+            per-campaign digest cache instead of recomputed.
+        fingerprint_cache_misses: frame digests the cache had to
+            compute (including uncacheable captures).
         runs_crashed: points marked ``crashed`` after exhausting retries.
         retries: total retry attempts across all points.
         wall_seconds: end-to-end campaign duration.
@@ -85,6 +94,10 @@ class CampaignTelemetry:
     trace_seconds: float = 0.0
     trace_writes: int = 0
     trace_captures: int = 0
+    trace_capture_retries: int = 0
+    instrumentor: str = "weave"
+    fingerprint_cache_hits: int = 0
+    fingerprint_cache_misses: int = 0
     wall_seconds: float = 0.0
     runs_per_second: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -113,6 +126,10 @@ class CampaignTelemetry:
             "trace_seconds": self.trace_seconds,
             "trace_writes": self.trace_writes,
             "trace_captures": self.trace_captures,
+            "trace_capture_retries": self.trace_capture_retries,
+            "instrumentor": self.instrumentor,
+            "fingerprint_cache_hits": self.fingerprint_cache_hits,
+            "fingerprint_cache_misses": self.fingerprint_cache_misses,
             "wall_seconds": self.wall_seconds,
             "runs_per_second": self.runs_per_second,
             "phase_seconds": dict(self.phase_seconds),
@@ -148,6 +165,12 @@ class CampaignTelemetry:
             trace_seconds=float(data.get("trace_seconds", 0.0)),
             trace_writes=int(data.get("trace_writes", 0)),
             trace_captures=int(data.get("trace_captures", 0)),
+            trace_capture_retries=int(data.get("trace_capture_retries", 0)),
+            instrumentor=str(data.get("instrumentor", "weave")),
+            fingerprint_cache_hits=int(data.get("fingerprint_cache_hits", 0)),
+            fingerprint_cache_misses=int(
+                data.get("fingerprint_cache_misses", 0)
+            ),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             runs_per_second=float(data.get("runs_per_second", 0.0)),
             phase_seconds={
@@ -198,8 +221,16 @@ class CampaignTelemetry:
             lines.append(
                 f"trace derive: {self.runs_derived} point(s) derived, "
                 f"{self.trace_writes} write(s) traced, "
-                f"{self.trace_captures} capture(s), "
+                f"{self.trace_captures} capture(s) "
+                f"({self.trace_capture_retries} budget retries), "
                 f"pass time {self.trace_seconds:.3f}s"
+            )
+        if self.instrumentor != "weave":
+            lines.append(f"instrumentor: {self.instrumentor}")
+        if self.fingerprint_cache_hits or self.fingerprint_cache_misses:
+            lines.append(
+                f"fingerprint cache: {self.fingerprint_cache_hits} hit(s), "
+                f"{self.fingerprint_cache_misses} miss(es)"
             )
         if self.state_captures or self.state_fingerprints or self.state_compares:
             lines.append(

@@ -73,6 +73,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..analyzer import MethodSpec
 from ..exceptions import is_injected, make_injected
 from ..injection import INJ_WRAPPER_CODE, InjectionCampaign
+from ..instrument.protocol import EventObserver
 from ..runlog import ATOMIC, NONATOMIC, RunRecord
 from ..state import CaptureLimitError, StateStats, get_backend
 from ..staticpass.pruner import (
@@ -125,7 +126,7 @@ class _TraceSpan:
     reason: Optional[str] = None
 
 
-class TraceDeriver:
+class TraceDeriver(EventObserver):
     """Derives injection-run records from one instrumented trace.
 
     Attaches to the campaign's profiling-only observer hooks (sharing
@@ -162,6 +163,9 @@ class TraceDeriver:
         #: observed after it is undecidable (rule R5).
         self._ambient: List[Optional[_MarkTuple]] = []
         self._probe: Dict[type, bool] = {}
+        #: How often the adaptive budget lift re-captured after a
+        #: CaptureLimitError (telemetry ``trace_capture_retries``).
+        self.capture_retries = 0
         self.seconds = time.perf_counter() - started
 
     # -- campaign hooks -------------------------------------------------
@@ -176,8 +180,36 @@ class TraceDeriver:
 
     def observe(self, spec: MethodSpec, base_point: int) -> None:
         """``point_observer`` — called from the wrapper at entry."""
-        started = time.perf_counter()
         wrapper_frame = sys._getframe(1)
+        try:
+            self.observe_entry_frame(spec, base_point, wrapper_frame)
+        finally:
+            del wrapper_frame
+
+    def observe_escape(self, spec: MethodSpec) -> None:
+        """``escape_observer`` — a genuine exception is crossing the
+        innermost wrapper."""
+        wrapper_frame = sys._getframe(1)
+        try:
+            self.observe_escape_frame(spec, wrapper_frame)
+        finally:
+            del wrapper_frame
+
+    # -- instrumentor-protocol observer hooks ---------------------------
+
+    def on_call_enter(self, spec: MethodSpec, base_point: int, frame) -> None:
+        self.observe_entry_frame(spec, base_point, frame)
+
+    def on_escape(self, spec: MethodSpec, frame) -> None:
+        self.observe_escape_frame(spec, frame)
+
+    # -- frame-explicit observations ------------------------------------
+
+    def observe_entry_frame(
+        self, spec: MethodSpec, base_point: int, wrapper_frame
+    ) -> None:
+        """Record one wrapper entry, given the live wrapper frame."""
+        started = time.perf_counter()
         try:
             if self.pruner is not None:
                 self.pruner.observe_frame(spec, base_point, wrapper_frame.f_back)
@@ -188,15 +220,13 @@ class TraceDeriver:
             self._decide_span(spec, base_point, frames, usable, reconciled)
             self._stack.append(self._enter(spec, wrapper_frame))
         finally:
-            del wrapper_frame
             self.seconds += time.perf_counter() - started
 
-    def observe_escape(self, spec: MethodSpec) -> None:
-        """``escape_observer`` — a genuine exception is crossing the
-        innermost wrapper.  Pop its entry and record the ambient mark a
-        dynamic run would record at this same moment."""
+    def observe_escape_frame(self, spec: MethodSpec, wrapper_frame) -> None:
+        """A genuine exception is crossing the innermost wrapper: pop
+        its entry and record the ambient mark a dynamic run would
+        record at this same moment."""
         started = time.perf_counter()
-        wrapper_frame = sys._getframe(1)
         try:
             if self.pruner is not None:
                 self.pruner.observe_escape(spec)
@@ -216,7 +246,6 @@ class TraceDeriver:
             entry = self._stack.pop()
             self._ambient.append(self._verdict(entry))
         finally:
-            del wrapper_frame
             self.seconds += time.perf_counter() - started
 
     # -- trace mechanics ------------------------------------------------
@@ -298,17 +327,35 @@ class TraceDeriver:
         )
 
     def _capture(self, roots) -> Any:
-        """Graph capture under suspension; None when over budget."""
+        """Graph capture under suspension; None when over budget.
+
+        Budget overruns retry once with a doubled budget (the adaptive
+        lift of ROADMAP item 1): the deriver's captures exist only to
+        compare against each other, so a wider budget costs nothing in
+        soundness — a span the budget still defeats falls back to
+        execution with reason ``capture`` exactly as before, and
+        ``capture_retries`` records how often the lift was attempted.
+        """
+        budget = self.campaign.max_graph_nodes
         with self.campaign.suspend():
             try:
                 return self._graph.capture_frame(
                     roots,
                     ignore_attrs=self.campaign.ignore_attrs,
-                    max_nodes=self.campaign.max_graph_nodes,
+                    max_nodes=budget,
                     stats=self.stats,
                 )
             except CaptureLimitError:
-                return None
+                self.capture_retries += 1
+                try:
+                    return self._graph.capture_frame(
+                        roots,
+                        ignore_attrs=self.campaign.ignore_attrs,
+                        max_nodes=budget * 2,
+                        stats=self.stats,
+                    )
+                except CaptureLimitError:
+                    return None
 
     def _verdict(self, entry: _ActiveEntry) -> Optional[_MarkTuple]:
         """The mark *entry*'s wrapper would record if an exception

@@ -22,10 +22,9 @@ from repro.core import (
     InjectionCampaign,
     WrapPolicy,
     build_app_report,
-    make_injection_wrapper,
     reclassify,
 )
-from repro.core.weaver import Weaver
+from repro.core.instrument import get_instrumentor
 
 from .programs import ALL_PROGRAMS, AppProgram
 
@@ -74,6 +73,8 @@ def run_app_campaign(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    instrumentor: str = "weave",
+    fingerprint_cache: bool = True,
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -113,6 +114,14 @@ def run_app_campaign(
             Composes with ``static_prune`` and every ``state_backend``;
             the classification is identical, with derived runs tagged
             ``provenance="trace"``.
+        instrumentor: name of the instrumentation backend
+            (:mod:`repro.core.instrument`) the campaign weaves and
+            observes through — ``weave`` (method replacement, any
+            Python) or ``monitoring`` (PEP 669 ``sys.monitoring``
+            events, Python 3.12+).  The emitted log is identical.
+        fingerprint_cache: memoize frame digests between barriered
+            writes when ``state_backend`` supports it (fingerprint
+            sweeps only; output is bit-identical either way).
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
@@ -132,6 +141,8 @@ def run_app_campaign(
             state_backend=state_backend,
             static_prune=static_prune,
             trace_derive=trace_derive,
+            instrumentor=instrumentor,
+            fingerprint_cache=fingerprint_cache,
         )
         detection = parallel_detector.detect()
         specs = parallel_detector.woven_specs
@@ -140,11 +151,9 @@ def run_app_campaign(
     campaign = InjectionCampaign(
         capture_args=capture_args, state_backend=state_backend
     )
-    weaver = Weaver(
-        lambda spec: make_injection_wrapper(spec, campaign), analyzer
-    )
-    with weaver:
-        specs = weaver.weave_classes(program.classes)
+    engine = get_instrumentor(instrumentor, campaign, analyzer=analyzer)
+    with engine:
+        specs = engine.instrument(program.classes)
         # AppProgram satisfies the Program protocol (name + __call__ with
         # scaling applied), so it is the detector's test program directly
         detector = Detector(
@@ -155,6 +164,8 @@ def run_app_campaign(
             static_prune=static_prune,
             trace_derive=trace_derive,
             woven_specs=specs,
+            instrumentor=engine,
+            fingerprint_cache=fingerprint_cache,
         )
         detection = detector.detect()
     return _classify_and_report(program, detection, specs, policy)

@@ -50,17 +50,16 @@ from repro.core import (
     DetectionError,
     InjectionCampaign,
     MethodSpec,
-    make_injection_wrapper,
     plan_points,
     run_injection_point,
 )
+from repro.core.instrument import get_instrumentor, resolve_instrumentor_name
 from repro.core.runlog import RunLog, RunRecord, merge_logs
-from repro.core.state import StateStats, get_backend
+from repro.core.state import FingerprintCache, StateStats, get_backend
 from repro.core.staticpass import StaticPruner, call_through_boundary
 from repro.core.telemetry import CampaignTelemetry
 from repro.core.tracepass import TraceDeriver, TraceRecorder
 from repro.core.detector import DetectionResult
-from repro.core.weaver import Weaver
 
 __all__ = [
     "ProgramRef",
@@ -252,6 +251,8 @@ class _WorkerState:
         timeout: Optional[float],
         retries: int,
         state_backend: str = "graph",
+        instrumentor: str = "weave",
+        fingerprint_cache: bool = True,
     ) -> None:
         self.program = program
         self.timeout = timeout
@@ -259,11 +260,26 @@ class _WorkerState:
         self.campaign = InjectionCampaign(
             capture_args=capture_args, state_backend=state_backend
         )
-        self.weaver = Weaver(
-            lambda spec: make_injection_wrapper(spec, self.campaign),
-            Analyzer(exclude=program.exclude),
+        self.instrumentor = get_instrumentor(
+            instrumentor,
+            self.campaign,
+            analyzer=Analyzer(exclude=program.exclude),
         )
-        self.weaver.weave_classes(program.classes)
+        woven = self.instrumentor.instrument(program.classes)
+        # The digest cache lives for the worker process's whole lifetime:
+        # its write barriers stay installed across every chunk this
+        # worker executes, so digests memoized in one chunk keep serving
+        # later chunks (each run rebuilds fresh state, but class-level
+        # constants and shared structures survive between runs).
+        self.cache: Optional[FingerprintCache] = None
+        if fingerprint_cache and getattr(
+            self.campaign.backend, "supports_digest_cache", False
+        ):
+            classes = {spec.owner for spec in woven if spec.owner}
+            if classes:
+                self.cache = FingerprintCache()
+                self.cache.start(classes)
+                self.campaign.digest_cache = self.cache
 
 
 _WORKER: Optional[_WorkerState] = None
@@ -275,10 +291,18 @@ def _init_worker(
     timeout: Optional[float],
     retries: int,
     state_backend: str = "graph",
+    instrumentor: str = "weave",
+    fingerprint_cache: bool = True,
 ) -> None:
     global _WORKER
     _WORKER = _WorkerState(
-        ref.resolve(), capture_args, timeout, retries, state_backend
+        ref.resolve(),
+        capture_args,
+        timeout,
+        retries,
+        state_backend,
+        instrumentor,
+        fingerprint_cache,
     )
 
 
@@ -329,6 +353,9 @@ def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:
     # worker process; report this chunk's contribution as a delta so the
     # parent can sum chunk outcomes without double counting.
     stats_before = _WORKER.campaign.state_stats.to_dict()
+    cache_before = (
+        _WORKER.cache.to_dict() if _WORKER.cache is not None else {}
+    )
     results = []
     for point in points:
         record, failure, attempts, crashed = _run_point_with_retry(_WORKER, point)
@@ -342,12 +369,19 @@ def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:
             }
         )
     stats_after = _WORKER.campaign.state_stats.to_dict()
+    cache_after = (
+        _WORKER.cache.to_dict() if _WORKER.cache is not None else {}
+    )
     return {
         "chunk": chunk_index,
         "worker": os.getpid(),
         "busy_seconds": time.perf_counter() - started,
         "state_stats": {
             key: stats_after[key] - stats_before[key] for key in stats_after
+        },
+        "cache_stats": {
+            key: cache_after[key] - cache_before.get(key, 0)
+            for key in cache_after
         },
         "results": results,
     }
@@ -400,6 +434,16 @@ class ParallelDetector:
             journal-header/resume semantics as ``static_prune``: derived
             points are never journaled and are re-derived from a fresh
             profile on resume.
+        instrumentor: name of the instrumentation backend
+            (:mod:`repro.core.instrument`) the parent's profiling passes
+            and the workers' weaves route through (``weave`` or
+            ``monitoring``).  Recorded in the journal header, so a
+            ``--resume`` against a journal written under a different
+            instrumentor is rejected instead of silently mixing runs.
+        fingerprint_cache: let workers memoize frame digests for their
+            process lifetime when the state backend supports it
+            (fingerprint sweeps only; output is bit-identical either
+            way).
     """
 
     def __init__(
@@ -420,6 +464,8 @@ class ParallelDetector:
         state_backend: str = "graph",
         static_prune: bool = False,
         trace_derive: bool = False,
+        instrumentor: str = "weave",
+        fingerprint_cache: bool = True,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
@@ -445,6 +491,8 @@ class ParallelDetector:
         self.state_backend = get_backend(state_backend).name
         self.static_prune = static_prune
         self.trace_derive = trace_derive
+        self.instrumentor = resolve_instrumentor_name(instrumentor)
+        self.fingerprint_cache = fingerprint_cache
         self.woven_specs: List[MethodSpec] = []
 
     # -- phases ------------------------------------------------------
@@ -471,26 +519,33 @@ class ParallelDetector:
         removed before any worker forks.
         """
         campaign = InjectionCampaign(capture_args=self.capture_args)
-        weaver = Weaver(
-            lambda spec: make_injection_wrapper(spec, campaign),
-            Analyzer(exclude=self.program.exclude),
+        instrumentor = get_instrumentor(
+            self.instrumentor,
+            campaign,
+            analyzer=Analyzer(exclude=self.program.exclude),
         )
         pruner: Optional[StaticPruner] = None
         deriver: Optional[TraceDeriver] = None
         recorder: Optional[TraceRecorder] = None
-        with weaver:
-            self.woven_specs = weaver.weave_classes(self.program.classes)
+        with instrumentor:
+            self.woven_specs = instrumentor.instrument(self.program.classes)
             if self.static_prune:
                 pruner = StaticPruner(self.woven_specs)
+            observers: List[Any] = []
             if self.trace_derive:
                 recorder = TraceRecorder()
-                recorder.start(
-                    {spec.owner for spec in self.woven_specs if spec.owner}
+                instrumentor.start_write_trace(
+                    recorder,
+                    {spec.owner for spec in self.woven_specs if spec.owner},
                 )
                 deriver = TraceDeriver(campaign, pruner=pruner, recorder=recorder)
-                deriver.attach(campaign)
+                observers.append(deriver)
             elif pruner is not None:
-                pruner.attach(campaign)
+                observers.append(pruner)
+            for observer in observers:
+                instrumentor.subscribe(observer)
+            if observers:
+                instrumentor.attach()
             campaign.begin_profile()
             try:
                 call_through_boundary(self.program)
@@ -501,12 +556,12 @@ class ParallelDetector:
                 ) from exc
             finally:
                 total = campaign.end_profile()
-                if deriver is not None:
-                    deriver.detach(campaign)
-                elif pruner is not None:
-                    pruner.detach(campaign)
+                if instrumentor.attached:
+                    instrumentor.detach()
+                for observer in observers:
+                    instrumentor.unsubscribe(observer)
                 if recorder is not None:
-                    recorder.stop()
+                    instrumentor.stop_write_trace(recorder)
         return total, campaign.log, pruner, deriver, recorder
 
     def _chunks(self, points: List[int]) -> List[Tuple[int, List[int]]]:
@@ -553,6 +608,7 @@ class ParallelDetector:
             "state_backend": self.state_backend,
             "static_prune": self.static_prune,
             "trace_derive": self.trace_derive,
+            "instrumentor": self.instrumentor,
         }
 
         journal: Optional[CampaignJournal] = None
@@ -590,6 +646,8 @@ class ParallelDetector:
         retry_count = 0
         crashed_count = 0
         state_stats = StateStats()
+        cache_hits = 0
+        cache_misses = 0
         if chunks:
             ctx = self._pool_context()
             pool = ctx.Pool(
@@ -601,6 +659,8 @@ class ParallelDetector:
                     self.timeout,
                     self.retries,
                     self.state_backend,
+                    self.instrumentor,
+                    self.fingerprint_cache,
                 ),
             )
             try:
@@ -616,6 +676,9 @@ class ParallelDetector:
                     )
                     state_stats.compares += int(chunk_stats.get("compares", 0))
                     state_stats.seconds += float(chunk_stats.get("seconds", 0.0))
+                    chunk_cache = outcome.get("cache_stats") or {}
+                    cache_hits += int(chunk_cache.get("hits", 0))
+                    cache_misses += int(chunk_cache.get("misses", 0))
                     for result in outcome["results"]:
                         point = result["point"]
                         by_point[point] = result
@@ -690,6 +753,12 @@ class ParallelDetector:
             trace_captures=(
                 deriver.stats.captures if deriver is not None else 0
             ),
+            trace_capture_retries=(
+                deriver.capture_retries if deriver is not None else 0
+            ),
+            instrumentor=self.instrumentor,
+            fingerprint_cache_hits=cache_hits,
+            fingerprint_cache_misses=cache_misses,
             wall_seconds=wall,
             runs_per_second=(executed_runs / wall) if wall > 0 else 0.0,
             phase_seconds={

@@ -34,9 +34,9 @@ from repro.core import (
     InjectionCampaign,
     MaskingStats,
     WrapPolicy,
-    make_injection_wrapper,
     reclassify,
 )
+from repro.core.instrument import get_instrumentor
 from repro.core.classify import CATEGORY_ATOMIC, ClassificationResult
 from repro.core.cow import (
     install_write_barrier,
@@ -171,6 +171,7 @@ def mask_and_redetect(
     graph_checks: Optional[List[GraphCheck]] = None,
     atomic_factory=None,
     state_backend: str = "graph",
+    instrumentor: str = "weave",
 ) -> Tuple[DetectionResult, ClassificationResult]:
     """Weave atomicity wrappers for *to_wrap*, re-run the campaign.
 
@@ -193,6 +194,12 @@ def mask_and_redetect(
             state with.  The graph-checker layer always uses full graph
             captures regardless — it is the independent observer whose
             verdict must not depend on the backend under test.
+        instrumentor: instrumentation backend
+            (:mod:`repro.core.instrument`) the injection layer is woven
+            through.  The atomicity and checker layers always weave by
+            method replacement — they *change* behavior (rollback,
+            observation) rather than observe it, which is outside the
+            instrumentor protocol's scope.
 
     Returns:
         ``(detection, classification)`` of the masked campaign.
@@ -221,8 +228,8 @@ def mask_and_redetect(
         if graph_checks is not None
         else None
     )
-    injection_weaver = Weaver(
-        lambda spec: make_injection_wrapper(spec, campaign), analyzer
+    injection_engine = get_instrumentor(
+        instrumentor, campaign, analyzer=analyzer
     )
 
     def weave_selected(weaver: Weaver) -> None:
@@ -246,16 +253,22 @@ def mask_and_redetect(
             if checker_weaver is not None:
                 with checker_weaver:
                     weave_selected(checker_weaver)
-                    with injection_weaver:
-                        specs = injection_weaver.weave_classes(program.classes)
+                    with injection_engine:
+                        specs = injection_engine.instrument(program.classes)
                         detection = Detector(
-                            program, campaign, stride=stride
+                            program,
+                            campaign,
+                            stride=stride,
+                            instrumentor=injection_engine,
                         ).detect()
             else:
-                with injection_weaver:
-                    specs = injection_weaver.weave_classes(program.classes)
+                with injection_engine:
+                    specs = injection_engine.instrument(program.classes)
                     detection = Detector(
-                        program, campaign, stride=stride
+                        program,
+                        campaign,
+                        stride=stride,
+                        instrumentor=injection_engine,
                     ).detect()
         effective = WrapPolicy.from_specs(specs)
         if policy is not None:
@@ -277,6 +290,8 @@ def validate_masking(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    instrumentor: str = "weave",
+    fingerprint_cache: bool = True,
 ) -> MaskingValidation:
     """Detect, mask, and re-detect; return both campaigns' verdicts.
 
@@ -298,6 +313,12 @@ def validate_masking(
             ``static_prune``, it never applies to the masked
             re-detection — the rollback behavior under test must be
             observed by real execution.
+        instrumentor: instrumentation backend both campaigns' injection
+            layers route through (:mod:`repro.core.instrument`).
+        fingerprint_cache: enable the first campaign's frame-digest
+            cache when ``state_backend`` supports it.  The masked
+            re-detection never uses it: the atomicity wrappers' own
+            rollback writes must not race cache invalidation.
     """
     first = run_app_campaign(
         program,
@@ -306,6 +327,8 @@ def validate_masking(
         state_backend=state_backend,
         static_prune=static_prune,
         trace_derive=trace_derive,
+        instrumentor=instrumentor,
+        fingerprint_cache=fingerprint_cache,
     )
     selection_policy = WrapPolicy(wrap_conditional=wrap_conditional)
     if policy is not None:
@@ -321,6 +344,7 @@ def validate_masking(
         policy=policy,
         stats=stats,
         state_backend=state_backend,
+        instrumentor=instrumentor,
     )
     return MaskingValidation(
         program_name=program.name,

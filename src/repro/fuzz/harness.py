@@ -123,6 +123,7 @@ class FuzzReport:
     total_derived: int = 0
     variants: int = 0
     total_variant_applied: int = 0
+    instrumentor: str = "weave"
 
     @property
     def ok(self) -> bool:
@@ -143,6 +144,7 @@ class FuzzReport:
             "total_derived": self.total_derived,
             "variants": self.variants,
             "total_variant_applied": self.total_variant_applied,
+            "instrumentor": self.instrumentor,
             "total_points": self.total_points,
             "total_runs": self.total_runs,
             "category_counts": self.category_counts,
@@ -164,18 +166,23 @@ def _sequential_campaign(
     state_backend: str = "graph",
     static_prune: bool = False,
     trace_derive: bool = False,
+    instrumentor: str = "weave",
 ) -> Tuple[DetectionResult, ClassificationResult]:
     outcome = run_app_campaign(
         build_program(spec),
         state_backend=state_backend,
         static_prune=static_prune,
         trace_derive=trace_derive,
+        instrumentor=instrumentor,
     )
     return outcome.detection, outcome.classification
 
 
 def _parallel_campaign(
-    spec: ProgramSpec, workers: int, state_backend: str = "graph"
+    spec: ProgramSpec,
+    workers: int,
+    state_backend: str = "graph",
+    instrumentor: str = "weave",
 ) -> Tuple[DetectionResult, ClassificationResult]:
     program = build_program(spec)
     detector = ParallelDetector(
@@ -183,6 +190,7 @@ def _parallel_campaign(
         workers=workers,
         program_ref=ProgramRef(factory=functools.partial(build_program, spec)),
         state_backend=state_backend,
+        instrumentor=instrumentor,
     )
     detection = detector.detect()
     classification = reclassify(
@@ -482,6 +490,7 @@ def check_program(
     trace_derive: bool = False,
     variants: int = 0,
     variant_seed: int = 0,
+    instrumentor: str = "weave",
 ) -> ProgramVerdict:
     """Run every differential check for one generated program.
 
@@ -510,6 +519,14 @@ def check_program(
     outputs — run log modulo provenance, classification, and both
     masking fixpoints — are identical across the original and every
     variant (see :mod:`repro.core.variants`).
+
+    With a non-default ``instrumentor``, a ninth
+    **instrumentor-equivalence** check runs the sequential campaign
+    again with *both* profiling passes attached (so the observation
+    layer is actually exercised) under that instrumentor and under the
+    default weaving one, and asserts the run logs (modulo provenance)
+    and classifications are byte-identical — the fuzzer is the
+    conformance oracle for :mod:`repro.core.instrument` backends.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -520,7 +537,9 @@ def check_program(
 
     sequential: Optional[Tuple[DetectionResult, ClassificationResult]] = None
     if engine in ("sequential", "both"):
-        detection, classification = _sequential_campaign(spec, state_backend)
+        detection, classification = _sequential_campaign(
+            spec, state_backend, instrumentor=instrumentor
+        )
         if defect == "swap_pure_conditional":
             classification = _swap_pure_conditional(classification)
         sequential = (detection, classification)
@@ -550,7 +569,7 @@ def check_program(
                 )
     if engine in ("parallel", "both"):
         detection, classification = _parallel_campaign(
-            spec, workers, state_backend
+            spec, workers, state_backend, instrumentor
         )
         if defect == "merge_reversed":
             detection.log.runs.reverse()
@@ -640,6 +659,44 @@ def check_program(
                 )
             )
 
+    if instrumentor != "weave":
+        # Check 9: instrumentor equivalence.  Both profiling passes are
+        # attached so the event dispatch (call-enter stacks, escapes,
+        # write traces) is actually exercised, not just the weave.
+        alt = _sequential_campaign(
+            spec,
+            state_backend,
+            static_prune=True,
+            trace_derive=True,
+            instrumentor=instrumentor,
+        )
+        ref = _sequential_campaign(
+            spec,
+            state_backend,
+            static_prune=True,
+            trace_derive=True,
+            instrumentor="weave",
+        )
+        if log_json_without_provenance(
+            alt[0].log
+        ) != log_json_without_provenance(ref[0].log):
+            mismatches.append(
+                Mismatch(
+                    "instrumentor-equivalence",
+                    spec.name,
+                    f"{instrumentor} and weave run logs differ "
+                    "(modulo provenance)",
+                )
+            )
+        elif alt[1].to_json() != ref[1].to_json():
+            mismatches.append(
+                Mismatch(
+                    "instrumentor-equivalence",
+                    spec.name,
+                    f"{instrumentor} and weave classifications differ",
+                )
+            )
+
     for strategy in ("snapshot", "undolog"):
         mismatches.extend(
             _check_masking(spec, oracle, strategy, defect, state_backend)
@@ -684,6 +741,7 @@ def run_fuzz(
     static_prune: bool = False,
     trace_derive: bool = False,
     variants: int = 0,
+    instrumentor: str = "weave",
     progress: Optional[Callable[[int, int, ProgramVerdict], None]] = None,
 ) -> FuzzReport:
     """Fuzz ``programs`` generated subjects; return the aggregate report.
@@ -701,6 +759,10 @@ def run_fuzz(
         variants: when positive, additionally check detection invariance
             across this many semantic-preserving AST variants of every
             program — Check 8 (recipes seeded by the fuzz seed).
+        instrumentor: instrumentation backend the checked campaigns
+            observe through; a non-default value additionally enables
+            the per-program instrumentor-equivalence check — Check 9
+            (see :func:`check_program`).
         progress: optional ``(done, total, verdict)`` callback after each
             program (the CLI prints a line per failure).
     """
@@ -724,6 +786,7 @@ def run_fuzz(
             trace_derive=trace_derive,
             variants=variants,
             variant_seed=seed,
+            instrumentor=instrumentor,
         )
         total_points += verdict.stats["total_points"]
         total_runs += verdict.stats["runs"]
@@ -756,6 +819,7 @@ def run_fuzz(
         total_derived=total_derived,
         variants=variants,
         total_variant_applied=total_variant_applied,
+        instrumentor=instrumentor,
     )
 
 

@@ -139,6 +139,7 @@ def make_failure_predicate(
     trace_derive: bool = False,
     variants: int = 0,
     variant_seed: int = 0,
+    instrumentor: str = "weave",
 ) -> Callable[[ProgramSpec], bool]:
     """Predicate: does any of the *same* checks still fail on a spec?
 
@@ -161,6 +162,7 @@ def make_failure_predicate(
             trace_derive=trace_derive,
             variants=variants,
             variant_seed=variant_seed,
+            instrumentor=instrumentor,
         )
         return any(m.check in wanted for m in verdict.mismatches)
 

@@ -1,0 +1,286 @@
+"""Backend-agnostic conformance suite for the Instrumentor protocol.
+
+Every registered backend must be observationally equivalent: same event
+stream to subscribed observers, same campaign run logs, classifications
+and masking fixpoints on the Table-1 smoke subset.  The weaving backend
+runs everywhere; ``sys.monitoring`` cases are skipped below CPython
+3.12 (the backend stays importable and registered so the registry and
+gating behavior are testable on every interpreter).
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    DEFAULT_INSTRUMENTOR,
+    INSTRUMENTOR_NAMES,
+    INSTRUMENTORS,
+    EventObserver,
+    InjectionCampaign,
+    InstrumentorUnavailable,
+    WeavingInstrumentor,
+    available_instrumentors,
+    get_instrumentor,
+    resolve_instrumentor_name,
+)
+from repro.core.analyzer import Analyzer
+from repro.core.instrument.monitoring import MONITORING_AVAILABLE
+from repro.core.staticpass import log_json_without_provenance
+from repro.experiments import (
+    CampaignJournal,
+    JournalError,
+    program_by_name,
+    run_app_campaign,
+    validate_masking,
+)
+
+SMOKE_NAMES = ("LLMap", "Dynarray", "CircularList")
+
+needs_monitoring = pytest.mark.skipif(
+    not MONITORING_AVAILABLE,
+    reason="sys.monitoring needs CPython 3.12+",
+)
+
+#: Backends exercised end-to-end on this interpreter.
+CONFORMING = [
+    "weave",
+    pytest.param("monitoring", marks=needs_monitoring),
+]
+
+
+# -- registry and gating --------------------------------------------------
+
+
+def test_registry_names():
+    assert set(INSTRUMENTORS) == {"weave", "monitoring"}
+    assert tuple(INSTRUMENTOR_NAMES) == tuple(INSTRUMENTORS)
+    assert DEFAULT_INSTRUMENTOR == "weave"
+
+
+def test_resolve_instrumentor_name():
+    assert resolve_instrumentor_name(None) == DEFAULT_INSTRUMENTOR
+    assert resolve_instrumentor_name("monitoring") == "monitoring"
+    inst = WeavingInstrumentor(InjectionCampaign())
+    assert resolve_instrumentor_name(inst) == "weave"
+    with pytest.raises(ValueError, match="unknown instrumentor"):
+        resolve_instrumentor_name("bcel")
+
+
+def test_available_is_constructible_subset():
+    names = available_instrumentors()
+    assert "weave" in names
+    assert ("monitoring" in names) == MONITORING_AVAILABLE
+
+
+@pytest.mark.skipif(
+    MONITORING_AVAILABLE, reason="backend is available on this interpreter"
+)
+def test_monitoring_gated_on_old_interpreters():
+    with pytest.raises(InstrumentorUnavailable, match="3.12"):
+        get_instrumentor("monitoring", InjectionCampaign())
+
+
+@pytest.mark.skipif(
+    MONITORING_AVAILABLE, reason="backend is available on this interpreter"
+)
+def test_cli_reports_unavailable_backend_as_error(capsys):
+    from repro.cli import main
+
+    rc = main(["detect", "LLMap", "--instrumentor", "monitoring"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_backend_rejected_eagerly():
+    with pytest.raises(ValueError, match="unknown instrumentor"):
+        get_instrumentor("bcel", InjectionCampaign())
+
+
+# -- event delivery -------------------------------------------------------
+
+
+class _Recorder(EventObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_call_enter(self, spec, base_point, frame):
+        self.events.append(("enter", str(spec.key), frame.f_locals["spec"]))
+
+    def on_call_exit(self, spec, frame):
+        self.events.append(("exit", str(spec.key)))
+
+    def on_escape(self, spec, frame):
+        self.events.append(("escape", str(spec.key)))
+
+
+class _Subject:
+    def __init__(self):
+        self.value = 0
+
+    def get(self):
+        return self.value
+
+    def boom(self):
+        raise ValueError("genuine")
+
+
+def _observe(backend, body):
+    campaign = InjectionCampaign()
+    recorder = _Recorder()
+    with get_instrumentor(backend, campaign, analyzer=Analyzer()) as inst:
+        inst.instrument([_Subject])
+        inst.subscribe(recorder)
+        inst.attach()
+        assert inst.attached
+        campaign.begin_profile()
+        try:
+            body()
+        finally:
+            campaign.end_profile()
+            inst.detach()
+        assert not inst.attached
+    return recorder.events
+
+
+@pytest.mark.parametrize("backend", CONFORMING)
+def test_event_stream(backend):
+    def body():
+        subject = _Subject()
+        subject.get()
+        try:
+            subject.boom()
+        except ValueError:
+            pass
+
+    events = _observe(backend, body)
+    kinds = [event[:2] for event in events]
+    assert ("enter", "_Subject.__init__") in kinds
+    assert ("exit", "_Subject.get") in kinds
+    assert ("escape", "_Subject.boom") in kinds
+    # ordering: every exit/escape follows its own enter
+    seen = []
+    for event in events:
+        if event[0] == "enter":
+            seen.append(event[1])
+        else:
+            assert event[1] in seen
+    # the frame handed to on_call_enter is the wrapper frame itself: its
+    # locals hold the spec the event names
+    enters = [e for e in events if e[0] == "enter"]
+    assert all(str(e[2].key) == e[1] for e in enters)
+
+
+@pytest.mark.parametrize("backend", CONFORMING)
+def test_events_silent_outside_profiling(backend):
+    events = _observe(backend, lambda: None)
+    before = list(events)
+
+    # same instrumented call outside begin/end_profile fires nothing —
+    # exercised by driving the body before begin_profile in a new run
+    campaign = InjectionCampaign()
+    recorder = _Recorder()
+    with get_instrumentor(backend, campaign, analyzer=Analyzer()) as inst:
+        inst.instrument([_Subject])
+        inst.subscribe(recorder)
+        inst.attach()
+        _Subject().get()  # not profiling: must stay unobserved
+        inst.detach()
+    assert recorder.events == []
+    assert before == []
+
+
+def test_detach_is_idempotent_and_exit_uninstruments():
+    campaign = InjectionCampaign()
+    inst = WeavingInstrumentor(campaign, analyzer=Analyzer())
+    original = _Subject.__dict__["get"]
+    with inst:
+        inst.instrument([_Subject])
+        assert _Subject.__dict__["get"] is not original
+        inst.attach()
+        inst.detach()
+        inst.detach()  # second detach is a no-op
+    assert _Subject.__dict__["get"] is original
+    assert inst.woven_specs == []
+
+
+# -- journal header guard -------------------------------------------------
+
+
+def _header(instrumentor):
+    return {
+        "program": "smoke",
+        "stride": 1,
+        "total_points": 3,
+        "instrumentor": instrumentor,
+    }
+
+
+def test_journal_records_and_guards_instrumentor(tmp_path):
+    path = os.path.join(str(tmp_path), "journal.jsonl")
+    journal = CampaignJournal(path)
+    journal.start(_header("weave"))
+    assert journal.load(_header("weave")) == {}
+    with pytest.raises(JournalError, match="instrumentor"):
+        journal.load(_header("monitoring"))
+
+
+def test_old_journal_without_instrumentor_key_resumes(tmp_path):
+    # journals written before the key existed must keep resuming
+    path = os.path.join(str(tmp_path), "journal.jsonl")
+    journal = CampaignJournal(path)
+    header = _header("weave")
+    del header["instrumentor"]
+    journal.start(header)
+    assert journal.load(_header("weave")) == {}
+
+
+# -- campaign equivalence on the Table-1 smoke subset ---------------------
+
+
+@pytest.fixture(scope="module")
+def weave_reference():
+    return {
+        name: run_app_campaign(
+            program_by_name(name), static_prune=True, trace_derive=True
+        )
+        for name in SMOKE_NAMES
+    }
+
+
+@needs_monitoring
+@pytest.mark.parametrize("name", SMOKE_NAMES)
+def test_monitoring_campaign_is_bit_identical(weave_reference, name):
+    outcome = run_app_campaign(
+        program_by_name(name),
+        static_prune=True,
+        trace_derive=True,
+        instrumentor="monitoring",
+    )
+    reference = weave_reference[name]
+    assert outcome.detection.telemetry.instrumentor == "monitoring"
+    assert log_json_without_provenance(outcome.detection.log) == (
+        log_json_without_provenance(reference.detection.log)
+    )
+    assert outcome.classification.to_json() == (
+        reference.classification.to_json()
+    )
+
+
+@pytest.mark.parametrize("backend", CONFORMING)
+def test_masking_fixpoint(backend):
+    validation = validate_masking(
+        program_by_name("LLMap"), instrumentor=backend
+    )
+    assert validation.wrapped
+    assert validation.still_nonatomic == []
+
+
+@pytest.mark.parametrize("backend", CONFORMING)
+def test_telemetry_names_backend(backend):
+    outcome = run_app_campaign(
+        program_by_name("CircularList"), instrumentor=backend
+    )
+    assert outcome.detection.telemetry.instrumentor == backend
+    payload = outcome.detection.telemetry.to_dict()
+    assert payload["instrumentor"] == backend

@@ -211,10 +211,17 @@ def test_line_inside_try_is_not_transparent():
     assert not index.transparent_at(code, code.co_firstlineno + 2)
 
 
-def test_sourceless_code_is_never_transparent():
+def test_sourceless_code_with_handlers_is_never_transparent():
+    # A sourceless frame that *has* exception machinery (non-empty
+    # handler table on 3.11+, and no AST certificate ever) must stay
+    # uncertified at every line.  Handler-free sourceless frames are
+    # covered by test_transparency_sourceless.py.
     index = TransparencyIndex()
-    code = compile("x = 1", "<nosource>", "exec")
+    code = compile(
+        "try:\n    x = 1\nfinally:\n    pass", "<nosource>", "exec"
+    )
     assert not index.transparent_at(code, 1)
+    assert not index.transparent_at(code, 2)
 
 
 # -- plan_points ----------------------------------------------------------

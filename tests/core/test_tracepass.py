@@ -334,8 +334,12 @@ def test_recorder_fast_path_skips_recaptures():
 
 def test_sourceless_workload_is_undecidable_with_reason():
     # exec'd source NOT registered in linecache: every wrapper entry
-    # walks through the sourceless workload frame, which rule R2 cannot
-    # certify — every span must fall back to real execution.
+    # walks through the sourceless workload frame, which carries
+    # exception machinery (try/finally), so rule R2 cannot certify it —
+    # every span must fall back to real execution.  (A handler-FREE
+    # sourceless frame would be certified via its empty
+    # co_exceptiontable on 3.11+; see
+    # tests/core/test_transparency_sourceless.py.)
     namespace = {}
     exec(
         "class Opaque:\n"
@@ -344,7 +348,10 @@ def test_sourceless_workload_is_undecidable_with_reason():
         "    def peek(self):\n"
         "        return self.x\n"
         "def workload():\n"
-        "    Opaque().peek()\n",
+        "    try:\n"
+        "        Opaque().peek()\n"
+        "    finally:\n"
+        "        pass\n",
         namespace,
     )
     opaque_cls = namespace["Opaque"]

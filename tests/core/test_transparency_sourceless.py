@@ -1,0 +1,152 @@
+"""Transparency certificates for sourceless handler-free frames.
+
+Decorator glue built at runtime (``exec``-compiled adapters carrying
+``functools.wraps`` metadata) has no retrievable source, so the AST-based
+transparency certificate can never cover it — yet on CPython 3.11+ such
+a frame *can* be certified without source: zero-cost exceptions store
+every handler span in ``co_exceptiontable``, and an empty table proves
+the frame cannot catch, transform, or clean up after a propagating
+exception at any line.  These tests pin that certificate down, from the
+minimal reproducer (one sourceless glue frame between an injection point
+and the profile boundary keeps the point dynamic) to the end-to-end
+pruning win.
+"""
+
+import functools
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import InjectionCampaign, make_injection_wrapper
+from repro.core.analyzer import Analyzer
+from repro.core.detector import CallableProgram, Detector
+from repro.core.staticpass import (
+    TransparencyIndex,
+    log_json_without_provenance,
+)
+from repro.core.weaver import Weaver
+
+HAS_EXCEPTIONTABLE = hasattr(
+    (lambda: None).__code__, "co_exceptiontable"
+)
+
+_GLUE_SOURCE = textwrap.dedent(
+    """
+    import functools
+
+    def passthrough(func):
+        @functools.wraps(func)
+        def glue(*args, **kwargs):
+            return func(*args, **kwargs)
+        return glue
+
+    def guarded(func):
+        @functools.wraps(func)
+        def glue(*args, **kwargs):
+            try:
+                return func(*args, **kwargs)
+            finally:
+                pass
+        return glue
+    """
+)
+
+
+def _sourceless_factories():
+    """``exec``-build the decorator factories with no linecache entry."""
+    namespace = {"functools": functools}
+    exec(compile(_GLUE_SOURCE, "<glue-nosource>", "exec"), namespace)
+    return namespace["passthrough"], namespace["guarded"]
+
+
+# -- the certificate itself ----------------------------------------------
+
+
+@pytest.mark.skipif(
+    not HAS_EXCEPTIONTABLE, reason="co_exceptiontable needs CPython 3.11+"
+)
+def test_handlerless_sourceless_glue_is_certified():
+    passthrough, _ = _sourceless_factories()
+    glue = passthrough(lambda: None)
+    code = glue.__code__
+    assert code.co_exceptiontable == b""
+    index = TransparencyIndex()
+    assert index.transparent_at(code, code.co_firstlineno)
+    assert index.transparent_at(code, code.co_firstlineno + 1)
+
+
+def test_sourceless_frame_with_handlers_stays_uncertified():
+    _, guarded = _sourceless_factories()
+    glue = guarded(lambda: None)
+    code = glue.__code__
+    index = TransparencyIndex()
+    for lineno in range(code.co_firstlineno, code.co_firstlineno + 4):
+        assert not index.transparent_at(code, lineno)
+
+
+def test_sourced_frames_unaffected():
+    # The table fast path must not loosen the AST certificate for code
+    # whose source *is* available: guarded lines stay guarded.
+    def guarded_frame(x):
+        try:
+            return x + 1
+        except ValueError:
+            return 0
+
+    index = TransparencyIndex()
+    code = guarded_frame.__code__
+    assert not index.transparent_at(code, code.co_firstlineno + 2)
+
+
+# -- end-to-end: pruning through a sourceless adapter --------------------
+
+
+class Box:
+    def __init__(self):
+        self.value = 0
+
+    def get(self):
+        return self.value
+
+
+def _campaign_through_glue(glue_factory, static_prune):
+    campaign = InjectionCampaign()
+    weaver = Weaver(
+        lambda spec: make_injection_wrapper(spec, campaign), Analyzer()
+    )
+    call = glue_factory(lambda box: box.get())
+
+    def body():
+        box = Box()
+        call(box)
+
+    with weaver:
+        specs = weaver.weave_classes([Box])
+        result = Detector(
+            CallableProgram("glue-subject", body),
+            campaign,
+            static_prune=static_prune,
+            woven_specs=specs,
+        ).detect()
+    return result
+
+
+@pytest.mark.parametrize("flavor", ["passthrough", "guarded"])
+def test_pruning_through_sourceless_glue(flavor):
+    """The glue frame sits between ``Box.get``'s injection point and the
+    profile boundary.  Handler-free glue is certifiable on 3.11+ (the
+    point prunes); glue with exception machinery never is (the point
+    stays dynamic).  Either way the pruned log is bit-identical."""
+    passthrough, guarded = _sourceless_factories()
+    factory = passthrough if flavor == "passthrough" else guarded
+    full = _campaign_through_glue(factory, static_prune=False)
+    pruned = _campaign_through_glue(factory, static_prune=True)
+    assert log_json_without_provenance(
+        pruned.log
+    ) == log_json_without_provenance(full.log)
+    # Box.__init__'s points never cross the glue and prune on any
+    # version; only a certified glue frame lets Box.get's points join.
+    assert pruned.telemetry.runs_pruned >= 1
+    expect_glue_pruned = flavor == "passthrough" and HAS_EXCEPTIONTABLE
+    assert (pruned.telemetry.runs_pruned > 1) == expect_glue_pruned

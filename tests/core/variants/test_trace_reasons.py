@@ -135,12 +135,36 @@ class Nested:
 """
 
 
+NESTED_GUARDED = """
+class NestedGuarded:
+    def __init__(self):
+        self.a = 0
+        self.b = [1, 2]
+
+    def inner(self):
+        return self.a
+
+    def outer(self):
+        try:
+            return self.inner()
+        finally:
+            pass
+"""
+
+
 def test_transparency_reason(variant_class_factory):
     # unregistered variant source: outer's method frame sits between
     # inner's injection point and the boundary, and rule R2 cannot
-    # certify a frame whose source is unretrievable
+    # certify a frame that has exception machinery (a non-empty handler
+    # table) and whose source is unretrievable.  (A handler-FREE
+    # sourceless frame is certified via its empty co_exceptiontable on
+    # 3.11+ — see tests/core/test_transparency_sourceless.py — which is
+    # why this subject wraps the call in try/finally.)
     cls = variant_class_factory(
-        "<trace-reason-transparency>", NESTED, "Nested", register=False
+        "<trace-reason-transparency>",
+        NESTED_GUARDED,
+        "NestedGuarded",
+        register=False,
     )
     deriver = _run(InjectionCampaign(), cls, lambda: cls().outer())
     reasons = reasons_by_method(deriver)
@@ -155,6 +179,25 @@ def test_capture_reason(variant_class_factory):
     # inner's span must derive a verdict against the enclosing outer
     # entry, whose graph capture blew the one-node budget
     assert reasons[f"{cls.__name__}.inner"] == ["capture"]
+
+
+def test_capture_budget_retry_lifts_fallback(variant_class_factory):
+    # One notch up from the capture-reason budget: the entry capture
+    # still blows a 3-node budget, but the single doubled retry (6
+    # nodes) fits the whole instance graph, so the span derives instead
+    # of falling back — and the retry is counted for telemetry.
+    cls = variant_class_factory("<trace-reason-retry>", NESTED, "Nested")
+    campaign = InjectionCampaign(max_graph_nodes=3)
+    deriver = _run(campaign, cls, lambda: cls().outer())
+    reasons = reasons_by_method(deriver)
+    assert deriver.capture_retries >= 1
+    assert reasons[f"{cls.__name__}.inner"] == [None]
+
+
+def test_generous_budget_never_retries(variant_class_factory):
+    cls = variant_class_factory("<trace-reason-noretry>", NESTED, "Nested")
+    deriver = _run(InjectionCampaign(), cls, lambda: cls().outer())
+    assert deriver.capture_retries == 0
 
 
 VOLATILE = """
