@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants bench-instrument fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
+.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants bench-shard bench-instrument fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -64,6 +64,14 @@ bench-trace-full:
 bench-variants:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_variants.py --benchmark-only -s
+
+# Shard-able campaign service: a 2-shard (and wider) fragment merge
+# must be bit-identical to the sequential engine, and a repeat service
+# submission must be served from the result cache with zero subject
+# executions.  Emits BENCH_shard.json.
+bench-shard:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_shard.py --benchmark-only -s
 
 # Instrumentation backends (weave vs sys.monitoring where available) on
 # the Table-1 smoke sweep: run logs and classifications must be

@@ -22,6 +22,11 @@ Subcommands::
                                              undo-log checkpointing
     python -m repro detect Stack --state-backend fingerprint
                                              one-pass state fingerprints
+    python -m repro shard LinkedList --index 0 --count 4 --fragment s0.jsonl
+                                             run one campaign shard
+    python -m repro merge s0.jsonl s1.jsonl s2.jsonl s3.jsonl
+                                             coordinator merge of fragments
+    python -m repro serve --port 8642        campaign service (queue + cache)
     python -m repro fuzz --seed 7 --programs 200
                                              differential fuzzing vs oracle
     python -m repro fuzz --self-check        plant defects, assert caught
@@ -119,6 +124,79 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.save_log:
         outcome.detection.log.save(args.save_log)
         print(f"run log written to {args.save_log}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.experiments import program_by_name, run_shard
+
+    result = run_shard(
+        program_by_name(args.app),
+        args.index,
+        args.count,
+        args.fragment,
+        stride=args.stride,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        state_backend=args.state_backend,
+        static_prune=args.static_prune,
+        trace_derive=args.trace_derive,
+        instrumentor=args.instrumentor,
+    )
+    print(
+        f"shard {result.shard_index}/{result.shard_count}: "
+        f"{len(result.points)} of {result.total_points} point(s) -> "
+        f"{result.fragment_path}"
+    )
+    print(
+        f"  executed={result.executed} resumed={result.resumed} "
+        f"pruned={result.pruned} derived={result.derived} "
+        f"crashed={result.crashed} retries={result.retries}"
+    )
+    print(f"  wall={result.wall_seconds:.3f}s")
+    return 0 if result.crashed == 0 else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.core import format_run_provenance, render_bars
+    from repro.core.report import build_app_report
+    from repro.experiments import merge_fragments
+
+    merged = merge_fragments(args.fragments)
+    classification = merged.classify(load_policy(args.policy))
+    report = build_app_report(
+        merged.detection.program, merged.detection, classification
+    )
+    print(
+        f"{report.name}: merged {len(args.fragments)} fragment(s) -> "
+        f"{report.class_count} classes, {report.method_count} methods, "
+        f"{report.injection_count} injections"
+    )
+    print(format_run_provenance(classification))
+    print(render_bars(report.fractions_by_methods()))
+    print()
+    for key in sorted(classification.methods):
+        mc = classification.methods[key]
+        print(f"  {mc.category:12s} {key}  (calls={mc.calls})")
+    if merged.detection.telemetry is not None:
+        print("\n-- campaign telemetry --")
+        print(merged.detection.telemetry.summary())
+    if args.save_log:
+        merged.detection.log.save(args.save_log)
+        print(f"run log written to {args.save_log}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    serve(
+        args.host,
+        args.port,
+        queue_size=args.queue_size,
+        cache_capacity=args.cache_capacity,
+    )
     return 0
 
 
@@ -600,6 +678,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_derive_flag(detect)
     _add_instrumentor_flag(detect)
     detect.set_defaults(func=_cmd_detect)
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one deterministic shard of a campaign, writing a "
+             "journal fragment for the coordinator merge",
+    )
+    shard.add_argument("app", help="application name (see `apps`)")
+    shard.add_argument("--index", type=int, required=True,
+                       help="this worker's shard index (0-based)")
+    shard.add_argument("--count", type=int, required=True,
+                       help="total number of shards in the campaign")
+    shard.add_argument("--fragment", required=True,
+                       help="journal fragment path this shard writes")
+    shard.add_argument("--stride", type=int, default=1)
+    shard.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing fragment and run only unfinished points")
+    shard.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock budget in seconds")
+    shard.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per timed-out point before marking it crashed")
+    _add_state_backend_flag(shard)
+    _add_static_prune_flag(shard)
+    _add_trace_derive_flag(shard)
+    _add_instrumentor_flag(shard)
+    shard.set_defaults(func=_cmd_shard)
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge shard fragments into one campaign result "
+             "(bit-identical to the sequential engine)",
+    )
+    merge.add_argument("fragments", nargs="+",
+                       help="journal fragments, one per shard")
+    merge.add_argument("--policy", help="JSON policy file")
+    merge.add_argument("--save-log", help="write the merged run log (JSON)")
+    merge.set_defaults(func=_cmd_merge)
+
+    serve = sub.add_parser(
+        "serve",
+        help="campaign service: HTTP queue with bounded backpressure "
+             "and a digest-keyed result cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--queue-size", type=int, default=8,
+        help="max queued campaigns before submissions get 503")
+    serve.add_argument(
+        "--cache-capacity", type=int, default=128,
+        help="campaign results kept in the LRU result cache")
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser(
         "validate", help="detect, mask, and re-detect one application"

@@ -61,6 +61,11 @@ class CampaignTelemetry:
             per-campaign digest cache instead of recomputed.
         fingerprint_cache_misses: frame digests the cache had to
             compute (including uncacheable captures).
+        result_cache_hits: whole-campaign results the service layer
+            (:mod:`repro.service`) served from its digest-keyed result
+            cache instead of re-running the campaign.
+        result_cache_misses: campaign submissions the result cache had
+            to run for real.
         runs_crashed: points marked ``crashed`` after exhausting retries.
         retries: total retry attempts across all points.
         wall_seconds: end-to-end campaign duration.
@@ -98,6 +103,8 @@ class CampaignTelemetry:
     instrumentor: str = "weave"
     fingerprint_cache_hits: int = 0
     fingerprint_cache_misses: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
     wall_seconds: float = 0.0
     runs_per_second: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -130,6 +137,8 @@ class CampaignTelemetry:
             "instrumentor": self.instrumentor,
             "fingerprint_cache_hits": self.fingerprint_cache_hits,
             "fingerprint_cache_misses": self.fingerprint_cache_misses,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
             "wall_seconds": self.wall_seconds,
             "runs_per_second": self.runs_per_second,
             "phase_seconds": dict(self.phase_seconds),
@@ -171,6 +180,8 @@ class CampaignTelemetry:
             fingerprint_cache_misses=int(
                 data.get("fingerprint_cache_misses", 0)
             ),
+            result_cache_hits=int(data.get("result_cache_hits", 0)),
+            result_cache_misses=int(data.get("result_cache_misses", 0)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             runs_per_second=float(data.get("runs_per_second", 0.0)),
             phase_seconds={
@@ -231,6 +242,11 @@ class CampaignTelemetry:
             lines.append(
                 f"fingerprint cache: {self.fingerprint_cache_hits} hit(s), "
                 f"{self.fingerprint_cache_misses} miss(es)"
+            )
+        if self.result_cache_hits or self.result_cache_misses:
+            lines.append(
+                f"result cache: {self.result_cache_hits} hit(s), "
+                f"{self.result_cache_misses} miss(es)"
             )
         if self.state_captures or self.state_fingerprints or self.state_compares:
             lines.append(

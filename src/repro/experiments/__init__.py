@@ -42,6 +42,15 @@ from .programs import (
     AppProgram,
     program_by_name,
 )
+from .shard import (
+    MergedCampaign,
+    ShardError,
+    ShardFragment,
+    ShardResult,
+    merge_fragments,
+    run_shard,
+    shard_points,
+)
 from .reportall import reproduce_all
 from .synthetic import GROUND_TRUTH, synthetic_program
 from .validation import MaskingValidation, validate_masking
@@ -72,6 +81,13 @@ __all__ = [
     "CampaignJournal",
     "JournalError",
     "run_parallel_detection",
+    "MergedCampaign",
+    "ShardError",
+    "ShardFragment",
+    "ShardResult",
+    "merge_fragments",
+    "run_shard",
+    "shard_points",
     "table1",
     "figure2",
     "figure3",

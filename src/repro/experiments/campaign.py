@@ -75,6 +75,7 @@ def run_app_campaign(
     trace_derive: bool = False,
     instrumentor: str = "weave",
     fingerprint_cache: bool = True,
+    program_ref=None,
 ) -> CampaignOutcome:
     """Run detection + classification for one application.
 
@@ -122,6 +123,11 @@ def run_app_campaign(
         fingerprint_cache: memoize frame digests between barriered
             writes when ``state_backend`` supports it (fingerprint
             sweeps only; output is bit-identical either way).
+        program_ref: optional
+            :class:`~repro.experiments.parallel.ProgramRef` the parallel
+            engine's workers rebuild the program from.  Required when
+            *program* itself is not picklable — e.g. campaigns the
+            service layer runs over ``exec``'d submitted source.
     """
     if scale > 1:
         program = program.scaled(scale * program.rounds)
@@ -143,6 +149,7 @@ def run_app_campaign(
             trace_derive=trace_derive,
             instrumentor=instrumentor,
             fingerprint_cache=fingerprint_cache,
+            program_ref=program_ref,
         )
         detection = parallel_detector.detect()
         specs = parallel_detector.woven_specs

@@ -67,6 +67,7 @@ __all__ = [
     "JournalError",
     "ParallelDetector",
     "run_parallel_detection",
+    "run_point_with_timeout",
 ]
 
 #: Journal schema version; bump when the line format changes.
@@ -188,44 +189,98 @@ class CampaignJournal:
 
         Crashed points are *not* returned as done — a resume re-attempts
         them.  Raises :class:`JournalError` when a header key that is
-        present contradicts the expected plan.
+        present contradicts the expected plan; the error names **every**
+        differing key/value pair, not just the first.
+
+        A worker killed mid-``write`` leaves a truncated final line —
+        possibly torn inside a multi-byte UTF-8 sequence, so the file is
+        read in binary and decoded line by line.  The partial tail is
+        dropped (everything before it still counts) instead of raising,
+        and — because every caller of ``load`` is about to *append* —
+        the torn bytes are also truncated from the file, so the next
+        ``append_run`` starts on a fresh line instead of concatenating
+        onto the partial one (which would corrupt that record too).
         """
         done: Dict[int, Dict[str, Any]] = {}
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
+            with open(self.path, "rb") as handle:
+                data = handle.read()
         except FileNotFoundError:
             return done
-        if not lines:
+        if not data:
             return done
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError:
-            raise JournalError(f"journal {self.path!r} has a corrupt header")
-        if header.get("kind") != "header":
-            raise JournalError(f"journal {self.path!r} does not start with a header")
-        for key, expected in expected_header.items():
+        raw_lines = data.splitlines()
+        kept_lines = data.splitlines(keepends=True)
+        header = self._parse_header(raw_lines[0])
+        if header is None:
+            # The write was torn inside the header line itself: nothing
+            # was durably recorded, so the journal is effectively empty
+            # (the campaign restarts and rewrites it from scratch).
+            self._repair_tail(data, 0)
+            return done
+        mismatches = []
+        for key, expected in sorted(expected_header.items()):
             present = header.get(key)
             if present is not None and present != expected:
-                raise JournalError(
-                    f"journal {self.path!r} was written for a different "
-                    f"campaign ({key}={present!r}, expected {expected!r}); "
-                    "delete it or pass a different --journal path"
-                )
-        for line in lines[1:]:
-            line = line.strip()
-            if not line:
+                mismatches.append(f"{key}={present!r} (expected {expected!r})")
+        if mismatches:
+            raise JournalError(
+                f"journal {self.path!r} was written for a different "
+                f"campaign: " + ", ".join(mismatches) + "; delete it or "
+                "pass a different --journal path"
+            )
+        valid_end = len(kept_lines[0])
+        for index, raw in enumerate(raw_lines[1:], start=1):
+            if not raw.strip():
+                valid_end += len(kept_lines[index])
                 continue
             try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
+                entry = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 break  # interrupted write: everything before it still counts
-            if entry.get("kind") != "run" or "point" not in entry:
-                continue
-            if entry.get("record", {}).get("crashed", False):
-                continue
-            done[int(entry["point"])] = entry
+            if not isinstance(entry, dict):
+                break  # a torn tail can decode to a bare JSON scalar
+            if entry.get("kind") == "run" and "point" in entry:
+                record = entry.get("record")
+                if not isinstance(record, dict):
+                    break  # torn inside the record payload
+                if not record.get("crashed", False):
+                    done[int(entry["point"])] = entry
+            valid_end += len(kept_lines[index])
+        self._repair_tail(data, valid_end)
         return done
+
+    def _repair_tail(self, data: bytes, valid_end: int) -> None:
+        """Durably drop a torn tail so subsequent appends stay clean.
+
+        Truncates the file back to *valid_end* (the end of the last
+        fully-parsed line) and restores the trailing newline if the
+        tear landed exactly on a line boundary without one.
+        """
+        if valid_end < len(data):
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_end)
+        elif data and not data.endswith(b"\n"):
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def _parse_header(self, raw: bytes) -> Optional[Dict[str, Any]]:
+        """Parse the first journal line.
+
+        ``None`` means the line is a torn partial write (not valid
+        JSON): a crash artifact, treated as an empty journal.  A line
+        that *does* parse but is not a header marks a file that was
+        never a campaign journal — that is a caller error and raises.
+        """
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise JournalError(
+                f"journal {self.path!r} does not start with a header"
+            )
+        return header
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +294,87 @@ class _RunTimeout(BaseException):
     Derives from ``BaseException`` so application-level ``except
     Exception`` blocks inside the workload cannot swallow it.
     """
+
+
+class _TimeoutGuard:
+    """Arms a per-run wall-clock budget around one subject execution.
+
+    On the main thread this is the classic ``SIGALRM`` + ``setitimer``
+    pair.  ``signal.signal`` raises ``ValueError`` anywhere else — e.g.
+    when the engine is driven from a ``repro serve`` worker thread — so
+    off the main thread the guard falls back to a watchdog timer that
+    posts :class:`_RunTimeout` into the running thread as an async
+    exception.  The watchdog cannot preempt a call blocked in C (the
+    exception is delivered at the next bytecode boundary), so a stalled
+    run is detected late rather than interrupted instantly; the budget
+    is still enforced and the point still crashes after its retries.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        import threading
+
+        self.seconds = seconds
+        self._thread_id = threading.get_ident()
+        self._use_alarm = (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+        self._previous_handler: Any = None
+        self._timer: Optional["threading.Timer"] = None
+        self._fired = False
+
+    # -- watchdog plumbing -------------------------------------------
+
+    def _post_async(self, exc: Optional[type]) -> None:
+        """Raise *exc* in the guarded thread (``None`` clears a pending
+        one that was posted but not yet delivered)."""
+        import ctypes
+
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(self._thread_id),
+            ctypes.py_object(exc) if exc is not None else None,
+        )
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._post_async(_RunTimeout)
+
+    # -- context management ------------------------------------------
+
+    def __enter__(self) -> "_TimeoutGuard":
+        if self._use_alarm:
+            try:
+                self._previous_handler = signal.signal(
+                    signal.SIGALRM, _alarm_handler
+                )
+                signal.setitimer(signal.ITIMER_REAL, self.seconds)
+                return self
+            except ValueError:
+                # Lost a race against an interpreter that still considers
+                # this a non-main thread (e.g. right after a fork from a
+                # threaded parent): fall through to the watchdog.
+                self._use_alarm = False
+        import threading
+
+        self._timer = threading.Timer(self.seconds, self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous_handler)
+            return
+        assert self._timer is not None
+        self._timer.cancel()
+        if exc_type is not _RunTimeout:
+            # Wait the timer thread out so a concurrent _fire cannot post
+            # after this guard is gone, then clear any pending async raise
+            # the run outlived (it must not surface in later code).
+            self._timer.join()
+            if self._fired:
+                self._post_async(None)
 
 
 class _WorkerState:
@@ -310,38 +446,75 @@ def _alarm_handler(signum, frame):
     raise _RunTimeout()
 
 
+def run_point_with_timeout(
+    program,
+    campaign: InjectionCampaign,
+    point: int,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> Tuple[RunRecord, Optional[str], int, bool]:
+    """Execute one injection point under an optional wall-clock budget.
+
+    The single-point kernel shared by the pool workers and the shard
+    runner (:mod:`repro.experiments.shard`): retries a timed-out run up
+    to *retries* times, then marks the point crashed.  Returns
+    ``(record, genuine_failure, attempts, crashed)``.  Works from any
+    thread — see :class:`_TimeoutGuard` for the main-thread (SIGALRM)
+    vs. worker-thread (watchdog) budget enforcement.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        guard = (
+            _TimeoutGuard(timeout) if timeout is not None else _NULL_GUARD
+        )
+        try:
+            with guard:
+                record, failure = run_injection_point(
+                    program,
+                    campaign,
+                    point,
+                    reraise=(_RunTimeout,),
+                )
+            return record, failure, attempts, False
+        except _RunTimeout:
+            # Drop the partial record the aborted run left in the log.
+            runs = campaign.log.runs
+            if runs and runs[-1].injection_point == point:
+                runs.pop()
+            if attempts > retries:
+                return (
+                    RunRecord(injection_point=point, crashed=True),
+                    None,
+                    attempts,
+                    True,
+                )
+
+
+class _NullGuard:
+    def __enter__(self) -> "_NullGuard":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_GUARD = _NullGuard()
+
+
 def _run_point_with_retry(
     state: _WorkerState, point: int
 ) -> Tuple[RunRecord, Optional[str], int, bool]:
     """Execute one point, retrying on timeout; returns
     ``(record, genuine_failure, attempts, crashed)``."""
-    use_alarm = state.timeout is not None and hasattr(signal, "setitimer")
-    attempts = 0
-    while True:
-        attempts += 1
-        previous_handler = None
-        if use_alarm:
-            previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-            signal.setitimer(signal.ITIMER_REAL, state.timeout)
-        try:
-            record, failure = run_injection_point(
-                state.program,
-                state.campaign,
-                point,
-                reraise=(_RunTimeout,),
-            )
-            return record, failure, attempts, False
-        except _RunTimeout:
-            # Drop the partial record the aborted run left in the log.
-            runs = state.campaign.log.runs
-            if runs and runs[-1].injection_point == point:
-                runs.pop()
-            if attempts > state.retries:
-                return RunRecord(injection_point=point, crashed=True), None, attempts, True
-        finally:
-            if use_alarm:
-                signal.setitimer(signal.ITIMER_REAL, 0.0)
-                signal.signal(signal.SIGALRM, previous_handler)
+    return run_point_with_timeout(
+        state.program,
+        state.campaign,
+        point,
+        timeout=state.timeout,
+        retries=state.retries,
+    )
 
 
 def _run_chunk(task: Tuple[int, List[int]]) -> Dict[str, Any]:

@@ -1,0 +1,41 @@
+"""Campaign-as-a-service: queueing, caching HTTP front end.
+
+The distributed story in three layers:
+
+* :mod:`shard <repro.experiments.shard>` — deterministic point-range
+  shards, journal fragments, coordinator merge (bit-identical to the
+  sequential engine);
+* :mod:`subjects <repro.service.subjects>` /
+  :mod:`cache <repro.service.cache>` — submitted source compiled into
+  :class:`~repro.experiments.programs.AppProgram` subjects, campaign
+  results content-addressed by
+  ``digest(source, canonical config)``;
+* :mod:`server <repro.service.server>` — the stdlib-asyncio HTTP loop
+  behind ``repro serve``: bounded backpressure, NDJSON progress
+  streams, and cache-served repeat submissions with zero subject
+  executions.
+"""
+
+from .cache import ResultCache, submission_digest
+from .server import CampaignRecord, CampaignService, ServiceServer, serve
+from .subjects import (
+    SERVICE_MODULE_NAME,
+    SubmissionError,
+    build_subject,
+    canonical_config,
+    subject_factory,
+)
+
+__all__ = [
+    "ResultCache",
+    "submission_digest",
+    "CampaignRecord",
+    "CampaignService",
+    "ServiceServer",
+    "serve",
+    "SERVICE_MODULE_NAME",
+    "SubmissionError",
+    "build_subject",
+    "canonical_config",
+    "subject_factory",
+]

@@ -1,0 +1,96 @@
+"""Digest-keyed campaign result cache.
+
+A detection campaign is a pure function of ``(subject source, campaign
+config)``: the profiling run is deterministic and the plan, the sweep
+and the classification all derive from it.  That makes whole campaign
+results content-addressable — the same trick PR 7's
+:class:`~repro.core.state.FingerprintCache` plays per-frame, lifted to
+whole campaigns.  The service keys its cache on a 128-bit BLAKE2b digest
+of the submitted source plus the *canonicalized* config (defaults
+filled, keys sorted), so two submissions that mean the same campaign hit
+the same entry even when they spell the config differently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["ResultCache", "submission_digest"]
+
+
+def submission_digest(source: str, config: Mapping[str, Any]) -> str:
+    """The cache key of one submission: BLAKE2b-128 over source + config.
+
+    *config* must already be canonical (see
+    :func:`repro.service.subjects.canonical_config`); it is serialized
+    with sorted keys and compact separators so the digest is independent
+    of dict ordering and whitespace.
+    """
+    canonical = json.dumps(
+        dict(config), sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(source.encode("utf-8"))
+    digest.update(b"\x00")  # unambiguous source/config boundary
+    digest.update(canonical.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU of finished campaign payloads, keyed by digest.
+
+    Thread-safe: the service worker inserts from its executor thread
+    while the asyncio handlers look up from the event loop.  Counters
+    mirror the fingerprint cache's hit/miss telemetry and feed the
+    ``result_cache_hits``/``result_cache_misses`` fields of
+    :class:`~repro.core.telemetry.CampaignTelemetry`.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up a finished campaign; counts a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up without touching the counters or the LRU order."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

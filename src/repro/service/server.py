@@ -1,0 +1,517 @@
+"""Async campaign service: queue, worker, result cache, HTTP front end.
+
+``repro serve`` runs this.  The server is a minimal HTTP/1.1 loop on
+stdlib :mod:`asyncio` (no aiohttp — the container has none, and the
+protocol surface is four routes), designed around three properties:
+
+* **bounded backpressure** — submissions land in a bounded
+  :class:`asyncio.Queue`; when it is full the service answers ``503``
+  immediately instead of buffering unboundedly (the "millions of
+  users" failure mode is a full queue, not a dead server);
+* **one campaign at a time** — the weave instrumentor rewrites classes
+  process-globally, so a single worker coroutine drains the queue and
+  runs each campaign in an executor thread (which also means per-run
+  timeouts exercise the non-main-thread watchdog path, not SIGALRM);
+* **content-addressed results** — a finished campaign is cached under
+  :func:`~repro.service.cache.submission_digest`; a repeat submission
+  of the same source + canonical config is answered from the cache
+  with *zero* subject executions, verifiable via
+  ``runs_executed_total`` in ``GET /stats`` and the
+  ``result_cache_hits`` telemetry field of the response.
+
+Routes::
+
+    POST /campaigns            {"source": "...", "config": {...}, "name": "..."}
+                               -> 200 cached result | 202 queued | 400 | 503
+    GET  /campaigns/<id>       status (result embedded once done)
+    GET  /campaigns/<id>/events  NDJSON progress stream (Connection: close)
+    GET  /stats                queue depth, cache counters, runs_executed_total
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.campaign import run_app_campaign
+from repro.experiments.parallel import ProgramRef
+
+from .cache import ResultCache, submission_digest
+from .subjects import SubmissionError, build_subject, canonical_config, subject_factory
+
+__all__ = ["CampaignRecord", "CampaignService", "serve"]
+
+#: Campaign states a record moves through (terminal: done/failed).
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+TERMINAL = frozenset({STATUS_DONE, STATUS_FAILED})
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class CampaignRecord:
+    """One submitted campaign as the service tracks it."""
+
+    id: str
+    name: str
+    digest: str
+    source: str
+    config: Dict[str, Any]
+    status: str = STATUS_QUEUED
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        out = {
+            "id": self.id,
+            "name": self.name,
+            "digest": self.digest,
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class CampaignService:
+    """The queue + worker + cache core, independent of the HTTP layer.
+
+    Usable without a running event loop: :meth:`submit` is synchronous
+    (it only validates, consults the cache, and enqueues), and
+    :meth:`process_one` drains one queued campaign inline — which is
+    how the tests (and the bench smoke) drive the service
+    deterministically.  The HTTP layer adds a worker coroutine that
+    does the same draining in an executor thread.
+    """
+
+    def __init__(self, *, queue_size: int = 8, cache_capacity: int = 128) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.queue: "asyncio.Queue[CampaignRecord]" = asyncio.Queue(
+            maxsize=queue_size
+        )
+        self.cache = ResultCache(cache_capacity)
+        self.campaigns: Dict[str, CampaignRecord] = {}
+        #: Subject executions performed by campaigns this service ran —
+        #: the number a cache hit must leave untouched.
+        self.runs_executed_total = 0
+        self._ids = itertools.count(1)
+        self._events_lock = threading.Lock()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        config: Optional[Dict[str, Any]] = None,
+        name: str = "subject",
+    ) -> Tuple[Dict[str, Any], int]:
+        """Accept one submission; returns ``(response payload, status)``.
+
+        * cached result -> ``(payload, 200)`` with ``cached: true`` —
+          the campaign is *not* re-run;
+        * accepted -> ``(queued summary, 202)``;
+        * queue full -> ``(error, 503)`` (bounded backpressure);
+        * invalid source/config -> :class:`SubmissionError` (the HTTP
+          layer maps it to ``400``).
+        """
+        if not isinstance(source, str) or not source.strip():
+            raise SubmissionError("source must be non-empty Python source")
+        cfg = canonical_config(config)
+        # Compile eagerly so a broken submission is a 400 at submit
+        # time, not a failed campaign discovered via polling.
+        build_subject(source, name)
+        digest = submission_digest(source, cfg)
+        cached = self.cache.get(digest)
+        if cached is not None:
+            return self._cached_response(cached), 200
+        record = CampaignRecord(
+            id=f"c{next(self._ids)}",
+            name=name,
+            digest=digest,
+            source=source,
+            config=cfg,
+        )
+        try:
+            self.queue.put_nowait(record)
+        except asyncio.QueueFull:
+            return (
+                {
+                    "error": "campaign queue is full, retry later",
+                    "queue_depth": self.queue.qsize(),
+                    "queue_capacity": self.queue.maxsize,
+                },
+                503,
+            )
+        self.campaigns[record.id] = record
+        self._emit(record, {"event": "queued", "digest": digest})
+        return record.summary(), 202
+
+    def _cached_response(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        # Deep copy via JSON so the cached entry stays pristine, then
+        # mark the copy: this answer cost zero subject executions.
+        response = json.loads(json.dumps(payload))
+        response["cached"] = True
+        telemetry = response.setdefault("telemetry", {})
+        telemetry["result_cache_hits"] = 1
+        telemetry["result_cache_misses"] = 0
+        return response
+
+    # -- execution ---------------------------------------------------------
+
+    def process_one(self) -> Optional[CampaignRecord]:
+        """Drain and run one queued campaign inline (test/bench path)."""
+        try:
+            record = self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        self._run(record)
+        return record
+
+    def _emit(self, record: CampaignRecord, event: Dict[str, Any]) -> None:
+        payload = {"id": record.id}
+        payload.update(event)
+        with self._events_lock:
+            record.events.append(payload)
+
+    def _run(self, record: CampaignRecord) -> None:
+        """Run one campaign (called from the worker's executor thread)."""
+        record.status = STATUS_RUNNING
+        self._emit(record, {"event": "started"})
+        cfg = record.config
+
+        def progress(done: int, total: int) -> None:
+            self._emit(
+                record,
+                {"event": "progress", "runs_done": done, "runs_total": total},
+            )
+
+        try:
+            program = build_subject(record.source, record.name)
+            if cfg["rounds"] > 1:
+                program = program.scaled(cfg["rounds"])
+            program_ref = None
+            if cfg["workers"] is not None:
+                # Worker processes rebuild the subject from the picklable
+                # (source, name) recipe; rounds re-applies the scaling.
+                program_ref = ProgramRef(
+                    factory=subject_factory(record.source, record.name),
+                    rounds=cfg["rounds"],
+                )
+            outcome = run_app_campaign(
+                program,
+                stride=cfg["stride"],
+                capture_args=cfg["capture_args"],
+                workers=cfg["workers"],
+                timeout=cfg["timeout"],
+                retries=cfg["retries"],
+                state_backend=cfg["state_backend"],
+                static_prune=cfg["static_prune"],
+                trace_derive=cfg["trace_derive"],
+                instrumentor=cfg["instrumentor"],
+                fingerprint_cache=cfg["fingerprint_cache"],
+                progress=progress,
+                program_ref=program_ref,
+            )
+        except Exception as exc:  # the campaign, not the service, failed
+            record.status = STATUS_FAILED
+            record.error = f"{type(exc).__name__}: {exc}"
+            self._emit(record, {"event": "failed", "error": record.error})
+            return
+
+        detection = outcome.detection
+        telemetry = detection.telemetry
+        if telemetry is not None:
+            telemetry.result_cache_misses = 1
+        self.runs_executed_total += detection.runs_executed
+        payload = {
+            "id": record.id,
+            "name": record.name,
+            "digest": record.digest,
+            "config": dict(cfg),
+            "cached": False,
+            "total_points": detection.total_points,
+            "runs_executed": detection.runs_executed,
+            "genuine_failures": list(detection.genuine_failures),
+            "classes": outcome.report.class_count,
+            "methods": outcome.report.method_count,
+            "injections": outcome.report.injection_count,
+            "classification": json.loads(outcome.classification.to_json()),
+            "log": json.loads(detection.log.to_json()),
+            "telemetry": telemetry.to_dict() if telemetry is not None else {},
+        }
+        self.cache.put(record.digest, payload)
+        record.result = payload
+        record.status = STATUS_DONE
+        self._emit(
+            record,
+            {
+                "event": "completed",
+                "runs_executed": detection.runs_executed,
+                "total_points": detection.total_points,
+            },
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.queue.qsize(),
+            "queue_capacity": self.queue.maxsize,
+            "campaigns": len(self.campaigns),
+            "runs_executed_total": self.runs_executed_total,
+            "result_cache": self.cache.stats(),
+        }
+
+    def snapshot_events(
+        self, record: CampaignRecord, start: int
+    ) -> Tuple[List[Dict[str, Any]], str]:
+        """Events from *start* on, plus the status observed *after* the
+        copy — so a streamer that sees a terminal status with no newer
+        events knows the stream is complete."""
+        with self._events_lock:
+            events = list(record.events[start:])
+        return events, record.status
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceServer:
+    """The asyncio HTTP/1.1 front end around a :class:`CampaignService`."""
+
+    def __init__(self, service: Optional[CampaignService] = None, **kwargs) -> None:
+        self.service = service or CampaignService(**kwargs)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind, start the worker coroutine, return the bound port."""
+        self._worker = asyncio.ensure_future(self._work())
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _work(self) -> None:
+        """Drain the queue forever, one campaign at a time.
+
+        The campaign runs in an executor thread so the event loop keeps
+        serving requests — and so per-run timeouts take the
+        non-main-thread watchdog path (SIGALRM is unavailable there).
+        """
+        loop = asyncio.get_event_loop()
+        while True:
+            record = await self.queue_get()
+            try:
+                await loop.run_in_executor(None, self.service._run, record)
+            finally:
+                self.service.queue.task_done()
+
+    async def queue_get(self) -> CampaignRecord:
+        return await self.service.queue.get()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_request_head(reader)
+                body = await self._read_body(reader, headers)
+                await self._route(method, path, body, writer)
+            except _HttpError as exc:
+                await self._send_json(
+                    writer, exc.status, {"error": str(exc)}
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 3:
+            raise _HttpError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, path, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        length = int(headers.get("content-length", "0") or "0")
+        if length <= 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/campaigns" and method == "POST":
+            await self._post_campaign(body, writer)
+        elif path == "/stats" and method == "GET":
+            await self._send_json(writer, 200, self.service.stats())
+        elif path.startswith("/campaigns/") and method == "GET":
+            rest = path[len("/campaigns/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(rest[: -len("/events")].rstrip("/"), writer)
+            else:
+                record = self._find(rest)
+                await self._send_json(writer, 200, record.summary())
+        elif path in ("/campaigns", "/stats") or path.startswith("/campaigns/"):
+            raise _HttpError(405, f"method {method} not allowed on {path}")
+        else:
+            raise _HttpError(404, f"no route for {path}")
+
+    def _find(self, campaign_id: str) -> CampaignRecord:
+        record = self.service.campaigns.get(campaign_id)
+        if record is None:
+            raise _HttpError(404, f"no campaign {campaign_id!r}")
+        return record
+
+    async def _post_campaign(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            data = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        try:
+            payload, status = self.service.submit(
+                data.get("source", ""),
+                data.get("config"),
+                name=str(data.get("name", "subject")),
+            )
+        except SubmissionError as exc:
+            raise _HttpError(400, str(exc))
+        await self._send_json(writer, status, payload)
+
+    async def _stream_events(
+        self, campaign_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """NDJSON progress stream: one event per line, closed at the
+        campaign's terminal event (``Connection: close`` framing)."""
+        record = self._find(campaign_id)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        sent = 0
+        while True:
+            events, status = self.service.snapshot_events(record, sent)
+            for event in events:
+                writer.write(
+                    json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+                )
+            if events:
+                await writer.drain()
+                sent += len(events)
+            elif status in TERMINAL:
+                break
+            else:
+                await asyncio.sleep(0.02)
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    queue_size: int = 8,
+    cache_capacity: int = 128,
+) -> None:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+
+    async def _main() -> None:
+        server = ServiceServer(
+            queue_size=queue_size, cache_capacity=cache_capacity
+        )
+        bound = await server.start(host, port)
+        print(f"repro service listening on http://{host}:{bound}")
+        print("POST /campaigns  GET /campaigns/<id>[/events]  GET /stats")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

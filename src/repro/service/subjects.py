@@ -1,0 +1,190 @@
+"""Submitted subject programs: validation, canonicalization, compilation.
+
+The service accepts a subject as plain Python source that defines one or
+more classes and a ``workload()`` callable (the deterministic,
+re-runnable workload the detection campaign sweeps — same contract as
+:class:`~repro.experiments.programs.AppProgram`).  The source is
+``exec``'d in a fresh namespace whose ``__name__`` is the fixed
+:data:`SERVICE_MODULE_NAME`, so type names — which appear in run-log
+``difference`` strings and therefore in the bit-identical engine
+comparison — are deterministic across processes; the rendered source is
+registered with :mod:`repro.core.virtualsource` so ``inspect`` (and
+with it the static pruning pass) can read method bodies.
+
+Campaign configs are canonicalized before they reach the result cache:
+defaults filled, values coerced, keys sorted, unknown keys rejected.
+Two submissions that mean the same campaign therefore produce the same
+:func:`~repro.service.cache.submission_digest` even when they spell the
+config differently.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.exceptions import exception_free, throws
+from repro.core.instrument import resolve_instrumentor_name
+from repro.core.state import get_backend
+from repro.core.virtualsource import register_virtual_source
+from repro.experiments.programs import AppProgram
+
+__all__ = [
+    "SERVICE_MODULE_NAME",
+    "SERVICE_LANGUAGE",
+    "SubmissionError",
+    "canonical_config",
+    "build_subject",
+    "subject_factory",
+]
+
+#: ``__module__`` of every submitted class — fixed so graph type names
+#: are identical no matter which process (or shard) rebuilds the subject.
+SERVICE_MODULE_NAME = "repro_service_subject"
+
+#: Language tag of submitted programs (the registry uses "C++"/"Java").
+SERVICE_LANGUAGE = "Service"
+
+#: Campaign config keys the service accepts, with their defaults.  The
+#: canonical form of a config is this dict updated with the submitted
+#: values — every key present, every value coerced.
+CONFIG_DEFAULTS: Dict[str, Any] = {
+    "stride": 1,
+    "rounds": 1,
+    "capture_args": True,
+    "state_backend": "graph",
+    "static_prune": False,
+    "trace_derive": False,
+    "instrumentor": "weave",
+    "fingerprint_cache": True,
+    "workers": None,
+    "timeout": None,
+    "retries": 1,
+}
+
+
+class SubmissionError(ValueError):
+    """A submission (source or config) the service must reject."""
+
+
+def canonical_config(config: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Validate and canonicalize a campaign config.
+
+    Fills defaults, coerces value types, normalizes backend and
+    instrumentor names through their registries, and rejects unknown
+    keys — so the config that reaches the cache key is exactly the
+    config the campaign will run with.
+    """
+    config = dict(config or {})
+    unknown = set(config) - set(CONFIG_DEFAULTS)
+    if unknown:
+        raise SubmissionError(
+            f"unknown config keys: {sorted(unknown)} "
+            f"(known: {sorted(CONFIG_DEFAULTS)})"
+        )
+    out = dict(CONFIG_DEFAULTS)
+    out.update(config)
+    try:
+        out["stride"] = int(out["stride"])
+        out["rounds"] = int(out["rounds"])
+        out["retries"] = int(out["retries"])
+        out["capture_args"] = bool(out["capture_args"])
+        out["static_prune"] = bool(out["static_prune"])
+        out["trace_derive"] = bool(out["trace_derive"])
+        out["fingerprint_cache"] = bool(out["fingerprint_cache"])
+        if out["workers"] is not None:
+            out["workers"] = int(out["workers"])
+        if out["timeout"] is not None:
+            out["timeout"] = float(out["timeout"])
+    except (TypeError, ValueError) as exc:
+        raise SubmissionError(f"bad config value: {exc}") from exc
+    if out["stride"] < 1:
+        raise SubmissionError("stride must be >= 1")
+    if out["rounds"] < 1:
+        raise SubmissionError("rounds must be >= 1")
+    if out["retries"] < 0:
+        raise SubmissionError("retries must be >= 0")
+    if out["workers"] is not None and out["workers"] < 1:
+        raise SubmissionError("workers must be >= 1")
+    if out["timeout"] is not None and out["timeout"] <= 0:
+        raise SubmissionError("timeout must be > 0")
+    try:
+        out["state_backend"] = get_backend(str(out["state_backend"])).name
+        out["instrumentor"] = resolve_instrumentor_name(
+            str(out["instrumentor"])
+        )
+    except ValueError as exc:
+        raise SubmissionError(str(exc)) from exc
+    return out
+
+
+def _namespace() -> Dict[str, Any]:
+    """The exec namespace every submitted subject runs in.
+
+    The paper's programmer annotations are available without imports —
+    a submission can mark ``@exception_free`` accessors and ``@throws``
+    declarations exactly like the in-tree evaluation programs do.
+    """
+    return {
+        "__name__": SERVICE_MODULE_NAME,
+        "throws": throws,
+        "exception_free": exception_free,
+    }
+
+
+def build_subject(source: str, name: str = "subject") -> AppProgram:
+    """Compile submitted source into a fresh :class:`AppProgram`.
+
+    Module-level and driven purely by picklable strings, so
+    ``functools.partial(build_subject, source, name)`` is a valid
+    ``ProgramRef(factory=...)`` for the parallel engine's workers (see
+    :func:`subject_factory`).
+
+    Raises :class:`SubmissionError` when the source does not compile,
+    fails at definition time, defines no ``workload`` callable, or
+    defines no classes to instrument.
+    """
+    namespace = _namespace()
+    # Distinct sources get distinct virtual filenames (inspect reads
+    # sources by filename, and a long-running service sees many).
+    tag = hashlib.blake2b(source.encode("utf-8"), digest_size=6).hexdigest()
+    filename = register_virtual_source(f"<service:{name}:{tag}>", source)
+    try:
+        code = compile(source, filename, "exec")
+    except SyntaxError as exc:
+        raise SubmissionError(f"source does not compile: {exc}") from exc
+    try:
+        exec(code, namespace)
+    except Exception as exc:
+        raise SubmissionError(
+            f"source failed at definition time: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    workload = namespace.get("workload")
+    if not callable(workload):
+        raise SubmissionError(
+            "source must define a callable workload() — the deterministic "
+            "workload the campaign sweeps"
+        )
+    classes = [
+        value
+        for value in namespace.values()
+        if isinstance(value, type)
+        and getattr(value, "__module__", None) == SERVICE_MODULE_NAME
+    ]
+    if not classes:
+        raise SubmissionError("source defines no classes to instrument")
+    return AppProgram(
+        name=name,
+        language=SERVICE_LANGUAGE,
+        classes=classes,
+        body=workload,
+    )
+
+
+def subject_factory(
+    source: str, name: str = "subject"
+) -> "functools.partial[AppProgram]":
+    """The picklable worker-side factory for a submission."""
+    return functools.partial(build_subject, source, name)

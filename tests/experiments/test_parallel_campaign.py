@@ -11,12 +11,15 @@ The contract under test (see ``docs/GUIDE.md`` §"Campaign engines"):
 """
 
 import json
+import threading
 import time
 
 import pytest
 
-from repro.core import CampaignTelemetry, plan_points
+from repro.core import Analyzer, CampaignTelemetry, InjectionCampaign, plan_points
+from repro.core.instrument import get_instrumentor
 from repro.core.runlog import RunLog, RunRecord
+from repro.experiments.parallel import run_point_with_timeout
 from repro.experiments import (
     AppProgram,
     CampaignJournal,
@@ -366,3 +369,184 @@ def test_program_ref_rejects_unknown_programs():
         ProgramRef.for_program(_slow_program())
     with pytest.raises(ValueError, match="name or a factory"):
         ProgramRef().resolve()
+
+
+# ---------------------------------------------------------------------------
+# crash-safe journal loading (torn tails, header diagnostics)
+# ---------------------------------------------------------------------------
+
+
+def _journal_bytes() -> tuple:
+    """A journal with two completed runs whose lines carry real multibyte
+    UTF-8 (so a torn write can split a character, not just a brace).
+    Returns ``(prefix bytes, last line bytes incl. newline)``."""
+    header = json.dumps(
+        {"kind": "header", "program": "X", "stride": 1, "total_points": 7}
+    )
+    first = json.dumps(
+        {
+            "kind": "run",
+            "point": 1,
+            "record": RunRecord(injection_point=1, escaped=True).to_dict(),
+            "genuine_failure": None,
+            "attempts": 1,
+        },
+        ensure_ascii=False,
+    )
+    last = json.dumps(
+        {
+            "kind": "run",
+            "point": 2,
+            "record": RunRecord(injection_point=2, completed=True).to_dict(),
+            "genuine_failure": "naïve Σtate ☃ diverged",
+            "attempts": 1,
+        },
+        ensure_ascii=False,
+    )
+    prefix = (header + "\n" + first + "\n").encode("utf-8")
+    return prefix, (last + "\n").encode("utf-8")
+
+
+def test_journal_load_tolerates_truncation_at_every_byte(tmp_path):
+    """A worker killed mid-``write`` leaves the journal truncated at an
+    arbitrary byte of its final line — possibly inside a multibyte
+    character.  ``load`` must never raise: every byte prefix yields the
+    fully-written records, and the torn tail is simply dropped."""
+    expected_header = {"program": "X", "stride": 1, "total_points": 7}
+    prefix, last = _journal_bytes()
+    path = tmp_path / "torn.jsonl"
+    # the last line parses once its closing brace is present — with or
+    # without the trailing newline
+    complete_from = len(prefix) + len(last) - 1
+    for cut in range(len(prefix), len(prefix) + len(last) + 1):
+        path.write_bytes((prefix + last)[:cut])
+        done = CampaignJournal(str(path)).load(expected_header)
+        if cut >= complete_from:
+            assert sorted(done) == [1, 2], f"cut at byte {cut}"
+            assert done[2]["genuine_failure"] == "naïve Σtate ☃ diverged"
+        else:
+            assert sorted(done) == [1], f"cut at byte {cut}"
+
+
+def test_journal_load_tolerates_truncated_header(tmp_path):
+    """Truncation inside the *header* line means nothing was durably
+    recorded: the journal loads as empty rather than raising."""
+    prefix, last = _journal_bytes()
+    header_line = prefix.split(b"\n", 1)[0] + b"\n"
+    path = tmp_path / "torn-header.jsonl"
+    for cut in (1, len(header_line) // 2, len(header_line) - 2):
+        path.write_bytes(header_line[:cut])
+        done = CampaignJournal(str(path)).load({"program": "X"})
+        assert done == {}
+
+
+def test_parallel_resume_after_torn_tail_write(sequential, tmp_path):
+    """End-to-end: a campaign whose journal ends in a torn write resumes
+    cleanly — the partial line is dropped *and* the records appended by
+    the resumed campaign do not concatenate onto the torn bytes (the
+    journal must replay completely afterwards)."""
+    journal = str(tmp_path / "campaign.jsonl")
+    run_app_campaign(program_by_name(APP), workers=2, journal=journal)
+    data = open(journal, "rb").read()
+    with open(journal, "wb") as handle:
+        handle.write(data[:-7])  # tear the final record mid-line
+
+    resumed = run_app_campaign(
+        program_by_name(APP), workers=2, journal=journal, resume=True
+    )
+    _same_result(sequential, resumed)
+    assert resumed.detection.telemetry.runs_executed == 1
+
+    # the repaired + appended journal now holds every point: a second
+    # resume replays it fully and executes nothing
+    again = run_app_campaign(
+        program_by_name(APP), workers=2, journal=journal, resume=True
+    )
+    _same_result(sequential, again)
+    assert again.detection.telemetry.runs_executed == 0
+
+
+def test_journal_header_mismatch_reports_differing_keys(tmp_path):
+    """The resume error must say *which* header keys differ, not just
+    that the journal belongs to a different campaign."""
+    prefix, last = _journal_bytes()
+    path = tmp_path / "other.jsonl"
+    path.write_bytes(prefix + last)
+    with pytest.raises(JournalError) as excinfo:
+        CampaignJournal(str(path)).load(
+            {"program": "X", "stride": 2, "total_points": 9}
+        )
+    message = str(excinfo.value)
+    assert "stride=1 (expected 2)" in message
+    assert "total_points=7 (expected 9)" in message
+    assert "program" not in message.split("campaign:")[1]
+
+
+# ---------------------------------------------------------------------------
+# timeout enforcement on and off the main thread
+# ---------------------------------------------------------------------------
+
+
+def _run_slow_point(timeout, retries):
+    """Weave the slow subject and execute its first injection point
+    under a budget, via the shared single-point kernel."""
+    program = _slow_program()
+    campaign = InjectionCampaign(capture_args=True)
+    engine = get_instrumentor(
+        "weave", campaign, analyzer=Analyzer(exclude=program.exclude)
+    )
+    with engine:
+        engine.instrument(program.classes)
+        campaign.begin_profile()
+        program()
+        campaign.end_profile()
+        return run_point_with_timeout(
+            program, campaign, 1, timeout=timeout, retries=retries
+        )
+
+
+def test_timeout_on_main_thread_uses_sigalrm_path():
+    assert threading.current_thread() is threading.main_thread()
+    record, failure, attempts, crashed = _run_slow_point(0.05, retries=1)
+    assert crashed and record.crashed
+    assert failure is None
+    assert attempts == 2  # one attempt + one retry
+
+
+def test_timeout_on_worker_thread_uses_watchdog_path():
+    """SIGALRM is a main-thread-only facility (``signal.signal`` raises
+    ``ValueError`` elsewhere); driven from a thread — as under ``repro
+    serve`` — the budget must still be enforced via the watchdog."""
+    results = {}
+
+    def drive():
+        results["value"] = _run_slow_point(0.05, retries=1)
+
+    thread = threading.Thread(target=drive)
+    thread.start()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    record, failure, attempts, crashed = results["value"]
+    assert crashed and record.crashed
+    assert attempts == 2
+
+
+def test_generous_timeout_on_worker_thread_completes_cleanly():
+    """The watchdog arms but never fires: the run completes, and no
+    pending async exception leaks into later code on that thread."""
+    results = {}
+
+    def drive():
+        results["value"] = _run_slow_point(30.0, retries=0)
+        # anything pending would surface at the next bytecode boundaries
+        for _ in range(10000):
+            pass
+        results["clean"] = True
+
+    thread = threading.Thread(target=drive)
+    thread.start()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    record, failure, attempts, crashed = results["value"]
+    assert not crashed and not record.crashed
+    assert results["clean"]

@@ -1,0 +1,323 @@
+"""Tests for the shard-able campaign layer (``repro.experiments.shard``).
+
+The contract under test:
+
+* :func:`shard_points` is a stable balanced partition — every worker
+  computes the same assignment from ``(plan, shard_count)`` alone;
+* for **any** shard count, running every shard independently and
+  merging the fragments yields a run log byte-identical to the
+  sequential engine's, across state backends and the static-prune /
+  trace-derive passes — including shards that crashed mid-write and
+  resumed from their own fragment;
+* the coordinator merge validates before it trusts: mismatched
+  headers name the differing keys, incomplete coverage names the shard
+  to resume, diverged profiles are rejected outright.
+"""
+
+import json
+
+import pytest
+
+from repro.core import plan_points
+from repro.experiments import (
+    ShardError,
+    merge_fragments,
+    program_by_name,
+    run_app_campaign,
+    run_shard,
+    shard_points,
+)
+
+APP = "LLMap"  # small, fast campaign with real marks and an error path
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_app_campaign(program_by_name(APP))
+
+
+def _run_all_shards(tmp_path, count, app=APP, **kwargs):
+    paths = []
+    for index in range(count):
+        path = str(tmp_path / f"shard-{index}.jsonl")
+        run_shard(program_by_name(app), index, count, path, **kwargs)
+        paths.append(path)
+    return paths
+
+
+def _same_as_sequential(merged, sequential) -> None:
+    assert merged.detection.total_points == sequential.detection.total_points
+    assert (
+        merged.detection.genuine_failures
+        == sequential.detection.genuine_failures
+    )
+    assert merged.detection.log.to_json() == sequential.detection.log.to_json()
+    assert (
+        merged.classify().to_json() == sequential.classification.to_json()
+    )
+
+
+# ---------------------------------------------------------------------------
+# the partition
+# ---------------------------------------------------------------------------
+
+
+def test_shard_points_partitions_exactly():
+    points = plan_points(20)
+    for count in range(1, len(points) + 3):
+        shards = shard_points(points, count)
+        assert len(shards) == count
+        # covers the plan exactly once, in order, contiguously
+        assert [p for shard in shards for p in shard] == points
+        # balanced to within one point
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+        # stable: recomputing gives the identical assignment
+        assert shard_points(points, count) == shards
+
+
+def test_shard_points_rejects_bad_count():
+    with pytest.raises(ValueError, match="shard_count"):
+        shard_points([1, 2, 3], 0)
+
+
+def test_run_shard_validates_arguments(tmp_path):
+    program = program_by_name(APP)
+    path = str(tmp_path / "f.jsonl")
+    with pytest.raises(ValueError, match="shard_index"):
+        run_shard(program, 2, 2, path)
+    with pytest.raises(ValueError, match="shard_count"):
+        run_shard(program, 0, 0, path)
+    with pytest.raises(ValueError, match="stride"):
+        run_shard(program, 0, 1, path, stride=0)
+
+
+# ---------------------------------------------------------------------------
+# determinism: any shard count merges to the sequential result
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 5])
+def test_merge_is_byte_identical_for_any_shard_count(
+    sequential, tmp_path, count
+):
+    paths = _run_all_shards(tmp_path, count)
+    merged = merge_fragments(paths)
+    _same_as_sequential(merged, sequential)
+    telemetry = merged.detection.telemetry
+    assert telemetry.engine == "sharded"
+    assert telemetry.workers == count
+    assert telemetry.runs_executed == len(merged.detection.log.runs)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        {"state_backend": "fingerprint"},
+        {"static_prune": True, "trace_derive": True},
+        {"state_backend": "fingerprint", "static_prune": True,
+         "trace_derive": True},
+    ],
+    ids=["fingerprint", "prune+trace", "fingerprint+prune+trace"],
+)
+def test_merge_identical_across_backends_and_passes(tmp_path, config):
+    sequential = run_app_campaign(program_by_name(APP), **config)
+    paths = _run_all_shards(tmp_path, 3, **config)
+    merged = merge_fragments(paths)
+    _same_as_sequential(merged, sequential)
+    if config.get("static_prune"):
+        assert merged.detection.telemetry.runs_pruned > 0
+    if config.get("trace_derive"):
+        assert merged.detection.telemetry.runs_derived > 0
+
+
+def test_more_shards_than_points_leaves_empty_fragments(tmp_path):
+    """A shard count wider than the plan produces empty (but valid)
+    fragments; the merge still reconstructs the sequential result."""
+    sequential = run_app_campaign(program_by_name("Dynarray"), stride=5)
+    count = len(sequential.detection.log.runs) + 8
+    paths = []
+    for index in range(count):
+        path = str(tmp_path / f"shard-{index}.jsonl")
+        result = run_shard(
+            program_by_name("Dynarray"), index, count, path, stride=5
+        )
+        paths.append(path)
+        assert result.executed == len(result.points)
+    merged = merge_fragments(paths)
+    _same_as_sequential(merged, sequential)
+
+
+def test_classify_matches_policy_merge(tmp_path):
+    """``MergedCampaign.classify`` applies the programmer-declared
+    exception-free annotations recorded in the fragments, exactly like
+    ``run_app_campaign`` does from the live woven specs."""
+    sequential = run_app_campaign(program_by_name("LinkedBuffer"), stride=2)
+    paths = _run_all_shards(tmp_path, 2, app="LinkedBuffer", stride=2)
+    merged = merge_fragments(paths)
+    assert (
+        merged.classify().to_json() == sequential.classification.to_json()
+    )
+
+
+# ---------------------------------------------------------------------------
+# crash + resume from a fragment
+# ---------------------------------------------------------------------------
+
+
+def _truncate_fragment(path: str, keep_runs: int, torn_bytes: int = 10) -> None:
+    """Simulate a worker killed mid-write: keep header + profile +
+    *keep_runs* complete run lines, then a torn partial line."""
+    with open(path, "rb") as handle:
+        raw_lines = handle.read().splitlines(keepends=True)
+    kept = raw_lines[: 2 + keep_runs]
+    torn = raw_lines[2 + keep_runs][:torn_bytes]
+    with open(path, "wb") as handle:
+        handle.writelines(kept)
+        handle.write(torn)
+
+
+@pytest.mark.parametrize("count", [2, 4])
+def test_crashed_shard_resumes_from_fragment(sequential, tmp_path, count):
+    paths = _run_all_shards(tmp_path, count)
+    # shard 1 "crashed": torn tail after its first 3 completed points
+    _truncate_fragment(paths[1], keep_runs=3)
+    with pytest.raises(ShardError, match="shard 1 is missing point"):
+        merge_fragments(paths)
+    # resume re-runs only the lost points, then the merge converges
+    result = run_shard(
+        program_by_name(APP), 1, count, paths[1], resume=True
+    )
+    assert result.resumed == 3
+    assert result.executed == len(result.points) - 3
+    merged = merge_fragments(paths)
+    _same_as_sequential(merged, sequential)
+
+
+def test_resume_with_complete_fragment_executes_nothing(tmp_path):
+    path = str(tmp_path / "frag.jsonl")
+    run_shard(program_by_name(APP), 0, 2, path)
+    result = run_shard(program_by_name(APP), 0, 2, path, resume=True)
+    assert result.executed == 0
+    assert result.resumed == len(result.points)
+
+
+def test_shard_timeout_marks_crashed_and_resume_rescues(tmp_path):
+    """A shard whose runs blow their budget journals crashed records;
+    merging reports them (like the parallel engine), and a resume with
+    a generous budget re-attempts exactly those points."""
+    from repro.experiments.programs import AppProgram
+    import time as _time
+
+    class _Slow:
+        def __init__(self):
+            self.poked = 0
+
+        def poke(self):
+            self.poked += 1
+
+    def _slow_body():
+        _time.sleep(0.25)
+        _Slow().poke()
+
+    def make_program():
+        return AppProgram(
+            name="slowshard", language="Java", classes=[_Slow],
+            body=_slow_body,
+        )
+
+    path = str(tmp_path / "slow.jsonl")
+    result = run_shard(
+        make_program(), 0, 1, path, timeout=0.05, retries=1
+    )
+    assert result.crashed == len(result.points)
+    assert result.retries == len(result.points)
+    merged = merge_fragments([path])
+    assert merged.detection.telemetry.runs_crashed == result.crashed
+    rescued = run_shard(
+        make_program(), 0, 1, path, timeout=30.0, resume=True
+    )
+    assert rescued.resumed == 0  # crashed records are not "done"
+    assert rescued.crashed == 0
+    merged = merge_fragments([path])
+    assert not any(run.crashed for run in merged.detection.log.runs)
+
+
+# ---------------------------------------------------------------------------
+# merge validation
+# ---------------------------------------------------------------------------
+
+
+def test_merge_rejects_empty_and_missing_fragments(tmp_path):
+    with pytest.raises(ShardError, match="no fragments"):
+        merge_fragments([])
+    missing = str(tmp_path / "nope.jsonl")
+    with pytest.raises(ShardError, match="does not exist"):
+        merge_fragments([missing])
+    empty = tmp_path / "empty.jsonl"
+    empty.write_bytes(b"")
+    with pytest.raises(ShardError, match="is empty"):
+        merge_fragments([str(empty)])
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_bytes(b'{"kind": "head')
+    with pytest.raises(ShardError, match="corrupt header"):
+        merge_fragments([str(corrupt)])
+    headerless = tmp_path / "headerless.jsonl"
+    headerless.write_bytes(b'{"kind": "run", "point": 1}\n')
+    with pytest.raises(ShardError, match="does not start with a header"):
+        merge_fragments([str(headerless)])
+
+
+def test_merge_names_differing_header_keys(tmp_path):
+    paths = _run_all_shards(tmp_path, 2)
+    other = str(tmp_path / "other.jsonl")
+    run_shard(program_by_name(APP), 1, 2, other, stride=2)
+    with pytest.raises(ShardError) as excinfo:
+        merge_fragments([paths[0], other])
+    message = str(excinfo.value)
+    assert "different campaign" in message
+    assert "stride=2 (expected 1)" in message
+
+
+def test_merge_requires_full_shard_coverage(tmp_path):
+    paths = _run_all_shards(tmp_path, 3)
+    with pytest.raises(ShardError, match="exactly"):
+        merge_fragments(paths[:2])  # missing shard 2
+    with pytest.raises(ShardError, match="exactly"):
+        merge_fragments(paths + [paths[0]])  # shard 0 twice
+
+
+def test_merge_rejects_point_outside_assigned_range(tmp_path):
+    paths = _run_all_shards(tmp_path, 2)
+    lines = open(paths[1], encoding="utf-8").read().splitlines()
+    stolen = json.loads(lines[-1])
+    stolen["point"] = 1  # belongs to shard 0
+    with open(paths[1], "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(stolen) + "\n")
+    with pytest.raises(ShardError, match="outside its assigned range"):
+        merge_fragments(paths)
+
+
+def test_merge_rejects_diverged_profiles(tmp_path):
+    paths = _run_all_shards(tmp_path, 2)
+    lines = open(paths[1], encoding="utf-8").read().splitlines()
+    profile = json.loads(lines[1])
+    assert profile["kind"] == "profile"
+    first_method = profile["log"]["methods_seen"][0]
+    profile["log"]["call_counts"][first_method] += 1
+    lines[1] = json.dumps(profile, sort_keys=True)
+    with open(paths[1], "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ShardError, match="not\\s+deterministic"):
+        merge_fragments(paths)
+
+
+def test_merge_rejects_fragment_without_profile(tmp_path):
+    paths = _run_all_shards(tmp_path, 2)
+    lines = open(paths[1], encoding="utf-8").read().splitlines()
+    without = [l for l in lines if '"kind": "profile"' not in l]
+    assert len(without) == len(lines) - 1
+    with open(paths[1], "w", encoding="utf-8") as handle:
+        handle.write("\n".join(without) + "\n")
+    with pytest.raises(ShardError, match="missing their profile line"):
+        merge_fragments(paths)

@@ -1,0 +1,354 @@
+"""Tests for the campaign service (``repro.service``).
+
+The contract under test (see ``docs/GUIDE.md`` §"Campaign service"):
+
+* campaign configs are canonicalized — defaults filled, values coerced,
+  unknown keys rejected — before they reach the digest, so equivalent
+  submissions share a cache entry;
+* a repeat submission of the same source + config is answered from the
+  result cache with **zero** subject executions (telemetry-verified);
+* the queue is bounded: when it is full, submissions get an immediate
+  503 instead of unbounded buffering;
+* the HTTP front end speaks plain HTTP/1.1 with NDJSON progress
+  streams, and the service's campaign result is bit-identical to
+  running the same subject through ``run_app_campaign`` directly.
+"""
+
+import asyncio
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import run_app_campaign
+from repro.service import (
+    CampaignService,
+    ResultCache,
+    ServiceServer,
+    SubmissionError,
+    build_subject,
+    canonical_config,
+    subject_factory,
+    submission_digest,
+)
+
+SOURCE = """
+class Box:
+    def __init__(self):
+        self.count = 0
+        self.items = []
+
+    def bump(self):
+        self.count = self.count + 1
+        self.items = self.items + [self.count]
+
+    def drain(self):
+        self.items = []
+        self.count = 0
+
+
+def workload():
+    box = Box()
+    for _ in range(3):
+        box.bump()
+    box.drain()
+"""
+
+
+# ---------------------------------------------------------------------------
+# config canonicalization + digests
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_config_fills_defaults():
+    cfg = canonical_config(None)
+    assert cfg["stride"] == 1
+    assert cfg["state_backend"] == "graph"
+    assert cfg["workers"] is None
+    assert canonical_config({}) == cfg
+
+
+def test_canonical_config_coerces_and_validates():
+    cfg = canonical_config({"stride": "2", "static_prune": 1, "timeout": "5"})
+    assert cfg["stride"] == 2
+    assert cfg["static_prune"] is True
+    assert cfg["timeout"] == 5.0
+    with pytest.raises(SubmissionError, match="unknown config keys"):
+        canonical_config({"bogus": 1})
+    with pytest.raises(SubmissionError, match="stride"):
+        canonical_config({"stride": 0})
+    with pytest.raises(SubmissionError, match="workers"):
+        canonical_config({"workers": 0})
+    with pytest.raises(SubmissionError, match="bad config value"):
+        canonical_config({"stride": "many"})
+    with pytest.raises(SubmissionError):
+        canonical_config({"state_backend": "quantum"})
+
+
+def test_digest_is_canonical_and_content_sensitive():
+    a = submission_digest(SOURCE, canonical_config({"stride": 2}))
+    b = submission_digest(SOURCE, canonical_config({"stride": "2"}))
+    assert a == b
+    assert a != submission_digest(SOURCE, canonical_config({}))
+    assert a != submission_digest(SOURCE + "#", canonical_config({"stride": 2}))
+    assert len(a) == 32  # blake2b-128 hex
+
+
+def test_result_cache_lru_and_counters():
+    cache = ResultCache(capacity=2)
+    assert cache.get("a") is None
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") == {"v": 1}  # refreshes a
+    cache.put("c", {"v": 3})  # evicts b (least recently used)
+    assert cache.peek("b") is None
+    assert cache.peek("a") == {"v": 1}
+    assert cache.stats() == {
+        "entries": 2, "capacity": 2, "hits": 1, "misses": 1,
+    }
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# subject compilation
+# ---------------------------------------------------------------------------
+
+
+def test_build_subject_compiles_classes_and_workload():
+    program = build_subject(SOURCE, "box")
+    assert program.name == "box"
+    assert [cls.__name__ for cls in program.classes] == ["Box"]
+    assert program.classes[0].__module__ == "repro_service_subject"
+    program()  # the workload runs
+
+
+def test_build_subject_rejects_bad_submissions():
+    with pytest.raises(SubmissionError, match="does not compile"):
+        build_subject("def workload(:\n", "x")
+    with pytest.raises(SubmissionError, match="definition time"):
+        build_subject("raise RuntimeError('boom')", "x")
+    with pytest.raises(SubmissionError, match="workload"):
+        build_subject("class A:\n    pass\n", "x")
+    with pytest.raises(SubmissionError, match="no classes"):
+        build_subject("def workload():\n    pass\n", "x")
+
+
+def test_subject_factory_is_picklable():
+    factory = subject_factory(SOURCE, "box")
+    rebuilt = pickle.loads(pickle.dumps(factory))
+    program = rebuilt()
+    assert program.name == "box"
+    assert [cls.__name__ for cls in program.classes] == ["Box"]
+
+
+# ---------------------------------------------------------------------------
+# the service core: queue, worker, cache
+# ---------------------------------------------------------------------------
+
+
+def test_submit_run_and_cache_hit_with_zero_executions():
+    service = CampaignService(queue_size=4)
+    payload, status = service.submit(SOURCE, {"stride": 1}, name="box")
+    assert status == 202 and payload["status"] == "queued"
+
+    record = service.process_one()
+    assert record.status == "done"
+    result = record.result
+    assert result["runs_executed"] > 0
+    assert result["telemetry"]["result_cache_misses"] == 1
+    assert result["telemetry"]["result_cache_hits"] == 0
+    executed_before = service.runs_executed_total
+    assert executed_before == result["runs_executed"]
+
+    # repeat submission: served from cache, zero subject executions
+    hit, status = service.submit(SOURCE, {"stride": 1}, name="box")
+    assert status == 200
+    assert hit["cached"] is True
+    assert hit["telemetry"]["result_cache_hits"] == 1
+    assert hit["telemetry"]["result_cache_misses"] == 0
+    assert service.runs_executed_total == executed_before
+    assert service.process_one() is None  # nothing was enqueued
+    assert hit["log"] == result["log"]
+    assert service.cache.stats()["hits"] == 1
+
+    # a different canonical config is a different campaign
+    other, status = service.submit(SOURCE, {"stride": 2}, name="box")
+    assert status == 202
+
+
+def test_service_result_matches_direct_campaign():
+    service = CampaignService()
+    service.submit(SOURCE, {"state_backend": "fingerprint"}, name="box")
+    record = service.process_one()
+    direct = run_app_campaign(
+        build_subject(SOURCE, "box"), state_backend="fingerprint"
+    )
+    assert record.result["log"] == json.loads(direct.detection.log.to_json())
+    assert record.result["classification"] == json.loads(
+        direct.classification.to_json()
+    )
+
+
+def test_backpressure_returns_503():
+    service = CampaignService(queue_size=1)
+    _, status = service.submit(SOURCE, {}, name="a")
+    assert status == 202
+    payload, status = service.submit(SOURCE, {"stride": 2}, name="b")
+    assert status == 503
+    assert "queue" in payload["error"]
+    # draining frees the slot
+    service.process_one()
+    _, status = service.submit(SOURCE, {"stride": 2}, name="b")
+    assert status == 202
+
+
+def test_invalid_submissions_raise_before_enqueueing():
+    service = CampaignService(queue_size=1)
+    with pytest.raises(SubmissionError):
+        service.submit("", {}, name="empty")
+    with pytest.raises(SubmissionError):
+        service.submit(SOURCE, {"bogus": True}, name="box")
+    with pytest.raises(SubmissionError):
+        service.submit("class A:\n    pass\n", {}, name="noworkload")
+    assert service.queue.qsize() == 0
+
+
+def test_failed_campaign_is_reported_not_cached():
+    source = (
+        "class Flaky:\n"
+        "    def __init__(self):\n"
+        "        self.x = 0\n"
+        "\n"
+        "def workload():\n"
+        "    raise RuntimeError('workload exploded')\n"
+    )
+    service = CampaignService()
+    _, status = service.submit(source, {}, name="flaky")
+    assert status == 202
+    record = service.process_one()
+    assert record.status == "failed"
+    assert "workload exploded" in record.error
+    assert record.events[-1]["event"] == "failed"
+    # a failure is not cached: resubmission queues a fresh attempt
+    _, status = service.submit(source, {}, name="flaky")
+    assert status == 202
+
+
+def test_events_trace_the_campaign_lifecycle():
+    service = CampaignService()
+    service.submit(SOURCE, {}, name="box")
+    record = service.process_one()
+    kinds = [event["event"] for event in record.events]
+    assert kinds[0] == "queued"
+    assert kinds[1] == "started"
+    assert kinds[-1] == "completed"
+    progress = [e for e in record.events if e["event"] == "progress"]
+    assert progress
+    assert progress[-1]["runs_done"] == progress[-1]["runs_total"]
+
+
+# ---------------------------------------------------------------------------
+# the HTTP layer
+# ---------------------------------------------------------------------------
+
+
+async def _request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"Content-Length: {len(data)}\r\n\r\n"
+        ).encode("latin-1")
+        + data
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), payload
+
+
+def test_http_end_to_end():
+    async def scenario():
+        server = ServiceServer(queue_size=4)
+        port = await server.start()
+        try:
+            body = {"source": SOURCE, "config": {}, "name": "box"}
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            assert status == 202
+            submitted = json.loads(payload)
+
+            # the NDJSON stream runs to the terminal event and closes
+            status, stream = await _request(
+                port, "GET", f"/campaigns/{submitted['id']}/events"
+            )
+            assert status == 200
+            events = [
+                json.loads(line)
+                for line in stream.splitlines()
+                if line.strip()
+            ]
+            assert events[0]["event"] == "queued"
+            assert events[-1]["event"] == "completed"
+
+            status, payload = await _request(
+                port, "GET", f"/campaigns/{submitted['id']}"
+            )
+            done = json.loads(payload)
+            assert status == 200 and done["status"] == "done"
+            assert done["result"]["runs_executed"] > 0
+
+            status, payload = await _request(port, "GET", "/stats")
+            stats = json.loads(payload)
+            executed = stats["runs_executed_total"]
+            assert executed == done["result"]["runs_executed"]
+
+            # repeat submission: 200 from cache, counter unchanged
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            hit = json.loads(payload)
+            assert status == 200 and hit["cached"] is True
+            status, payload = await _request(port, "GET", "/stats")
+            assert json.loads(payload)["runs_executed_total"] == executed
+
+            # error paths
+            status, _ = await _request(
+                port, "POST", "/campaigns",
+                {"source": SOURCE, "config": {"bogus": 1}},
+            )
+            assert status == 400
+            status, _ = await _request(port, "GET", "/campaigns/ghost")
+            assert status == 404
+            status, _ = await _request(port, "GET", "/nothing")
+            assert status == 404
+            status, _ = await _request(port, "DELETE", "/stats")
+            assert status == 405
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_backpressure_503():
+    async def scenario():
+        # no worker: the queue cannot drain, so it fills deterministically
+        service = CampaignService(queue_size=1)
+        server = ServiceServer(service)
+        server._server = await asyncio.start_server(
+            server._handle, "127.0.0.1", 0
+        )
+        port = server._server.sockets[0].getsockname()[1]
+        try:
+            body = {"source": SOURCE, "config": {}, "name": "box"}
+            status, _ = await _request(port, "POST", "/campaigns", body)
+            assert status == 202
+            body["config"] = {"stride": 2}
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            assert status == 503
+            assert "queue" in json.loads(payload)["error"]
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+
+    asyncio.run(scenario())
