@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants bench-shard bench-instrument fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
+.PHONY: install test test-slow bench bench-smoke bench-state bench-static bench-trace bench-trace-full bench-variants bench-shard bench-resilience bench-instrument chaos-smoke fuzz-smoke fuzz-prune-smoke fuzz-trace-smoke fuzz-variant-smoke docs-check reproduce examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -72,6 +72,28 @@ bench-variants:
 bench-shard:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_shard.py --benchmark-only -s
+
+# Chaos resilience: seeded fault plans (worker kills, torn journal
+# writes, IO errors, hung runs) against the supervised sharded campaign
+# — the merged result must stay bit-identical to the fault-free
+# sequential engine — plus the persistent-cache restart oracle (a
+# recreated service answers repeats with zero executions).  Emits
+# BENCH_resilience.json (and a *_reproducer_seed*.json on divergence;
+# CI uploads it).
+bench-resilience:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_resilience.py --benchmark-only -s
+
+# Fast seeded chaos gate: two supervised campaigns under the standard
+# fault plan (plain and prune+trace+fingerprint) must converge
+# bit-identical to the fault-free engine.  Leaves chaos-report.json
+# behind as the reproducer; CI uploads it on failure.
+chaos-smoke:
+	$(PYTHON) -m repro chaos LLMap --seed 20260808 --shards 3 \
+		--report-out chaos-report.json
+	$(PYTHON) -m repro chaos LLMap --seed 20260808 --shards 3 \
+		--state-backend fingerprint --static-prune --trace-derive \
+		--report-out chaos-report.json
 
 # Instrumentation backends (weave vs sys.monitoring where available) on
 # the Table-1 smoke sweep: run logs and classifications must be

@@ -27,6 +27,11 @@ Subcommands::
     python -m repro merge s0.jsonl s1.jsonl s2.jsonl s3.jsonl
                                              coordinator merge of fragments
     python -m repro serve --port 8642        campaign service (queue + cache)
+    python -m repro serve --cache-path cache.jsonl --policy shed-oldest
+                                             persistent cache + load shedding
+    python -m repro chaos LLMap --seed 7 --shards 3
+                                             seeded fault injection: supervised
+                                             campaign must converge bit-identical
     python -m repro fuzz --seed 7 --programs 200
                                              differential fuzzing vs oracle
     python -m repro fuzz --self-check        plant defects, assert caught
@@ -196,8 +201,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.port,
         queue_size=args.queue_size,
         cache_capacity=args.cache_capacity,
+        cache_path=args.cache_path,
+        policy=args.policy,
+        max_pending_cost=args.max_pending_cost,
+        max_body_bytes=args.max_body_bytes,
     )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+
+    from repro.experiments import program_by_name, run_chaos_campaign
+    from repro.experiments.supervise import ShardSupervisor
+
+    program_by_name(args.app)  # fail fast on a bad name
+    supervisor = ShardSupervisor(
+        max_attempts=args.max_attempts,
+        heartbeat_timeout=args.heartbeat_timeout,
+        seed=args.seed,
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos_campaign(
+        lambda: program_by_name(args.app),
+        workdir,
+        seed=args.seed,
+        shard_count=args.shards,
+        supervisor=supervisor,
+        stride=args.stride,
+        timeout=args.timeout,
+        retries=args.retries,
+        state_backend=args.state_backend,
+        static_prune=args.static_prune,
+        trace_derive=args.trace_derive,
+        instrumentor=args.instrumentor,
+        hang_seconds=args.hang_seconds,
+    )
+    print(report.summary())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos report written to {args.report_out}")
+    return 0 if report.converged else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -731,7 +778,65 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-capacity", type=int, default=128,
         help="campaign results kept in the LRU result cache")
+    serve.add_argument(
+        "--cache-path", default=None,
+        help="persist the result cache to this JSONL journal so a "
+             "restarted server answers repeats without re-running")
+    serve.add_argument(
+        "--policy", choices=["reject", "shed-oldest", "cost-aware"],
+        default="reject",
+        help="load-shedding policy when the queue is full: reject the "
+             "newcomer (503), shed the oldest queued campaign, or admit "
+             "by estimated cost")
+    serve.add_argument(
+        "--max-pending-cost", type=int, default=None,
+        help="pending-work budget for --policy cost-aware (statically "
+             "estimated injection points across queued campaigns)")
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=1_048_576,
+        help="largest request body accepted (413 beyond it)")
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection against the campaign "
+             "infrastructure itself: kills, torn journal writes, IO "
+             "errors and hangs must not change the merged result",
+    )
+    chaos.add_argument("app", help="application name (see `apps`)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seeds the fault plan and the retry jitter")
+    chaos.add_argument("--shards", type=int, default=3,
+                       help="shard count for the supervised campaign")
+    chaos.add_argument("--stride", type=int, default=1)
+    chaos.add_argument(
+        "--timeout", type=float, default=0.25,
+        help="per-run wall-clock budget (hung runs blow it and crash)")
+    chaos.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per timed-out point before marking it crashed")
+    chaos.add_argument(
+        "--hang-seconds", type=float, default=1.0,
+        help="how long an injected hang stalls a run")
+    chaos.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="supervisor attempts per shard before giving up")
+    chaos.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="seconds without shard progress before the supervisor "
+             "kills the worker")
+    chaos.add_argument(
+        "--workdir", default=None,
+        help="directory for shard fragments (default: temp dir)")
+    chaos.add_argument(
+        "--report-out", default=None,
+        help="write the full chaos report (plan, fault log, verdict) "
+             "as JSON — the reproducer artifact CI uploads on failure")
+    _add_state_backend_flag(chaos)
+    _add_static_prune_flag(chaos)
+    _add_trace_derive_flag(chaos)
+    _add_instrumentor_flag(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     validate = sub.add_parser(
         "validate", help="detect, mask, and re-detect one application"

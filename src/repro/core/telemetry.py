@@ -66,6 +66,15 @@ class CampaignTelemetry:
             cache instead of re-running the campaign.
         result_cache_misses: campaign submissions the result cache had
             to run for real.
+        cache_persist_hits: result-cache lookups answered by an entry
+            that was replayed from the on-disk cache journal — i.e.
+            campaigns a *restarted* server never re-ran.
+        faults_injected: chaos faults the armed
+            :class:`~repro.resilience.chaos.FaultPlan` fired during the
+            campaign (0 outside ``repro chaos``).
+        shard_retries: shard attempts the supervisor restarted after a
+            crash, hang, or incomplete fragment (distinct from
+            ``retries``, which counts per-point re-runs).
         runs_crashed: points marked ``crashed`` after exhausting retries.
         retries: total retry attempts across all points.
         wall_seconds: end-to-end campaign duration.
@@ -105,6 +114,9 @@ class CampaignTelemetry:
     fingerprint_cache_misses: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    cache_persist_hits: int = 0
+    faults_injected: int = 0
+    shard_retries: int = 0
     wall_seconds: float = 0.0
     runs_per_second: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -139,6 +151,9 @@ class CampaignTelemetry:
             "fingerprint_cache_misses": self.fingerprint_cache_misses,
             "result_cache_hits": self.result_cache_hits,
             "result_cache_misses": self.result_cache_misses,
+            "cache_persist_hits": self.cache_persist_hits,
+            "faults_injected": self.faults_injected,
+            "shard_retries": self.shard_retries,
             "wall_seconds": self.wall_seconds,
             "runs_per_second": self.runs_per_second,
             "phase_seconds": dict(self.phase_seconds),
@@ -182,6 +197,9 @@ class CampaignTelemetry:
             ),
             result_cache_hits=int(data.get("result_cache_hits", 0)),
             result_cache_misses=int(data.get("result_cache_misses", 0)),
+            cache_persist_hits=int(data.get("cache_persist_hits", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            shard_retries=int(data.get("shard_retries", 0)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
             runs_per_second=float(data.get("runs_per_second", 0.0)),
             phase_seconds={
@@ -244,9 +262,18 @@ class CampaignTelemetry:
                 f"{self.fingerprint_cache_misses} miss(es)"
             )
         if self.result_cache_hits or self.result_cache_misses:
-            lines.append(
+            line = (
                 f"result cache: {self.result_cache_hits} hit(s), "
                 f"{self.result_cache_misses} miss(es)"
+            )
+            if self.cache_persist_hits:
+                line += f", {self.cache_persist_hits} from disk"
+            lines.append(line)
+        if self.faults_injected or self.shard_retries:
+            lines.append(
+                f"chaos: {self.faults_injected} fault(s) injected, "
+                f"{self.shard_retries} shard retr"
+                + ("y" if self.shard_retries == 1 else "ies")
             )
         if self.state_captures or self.state_fingerprints or self.state_compares:
             lines.append(

@@ -52,6 +52,13 @@ from .shard import (
     shard_points,
 )
 from .reportall import reproduce_all
+from .supervise import (
+    ChaosReport,
+    ShardSupervisor,
+    SupervisedCampaign,
+    SupervisorError,
+    run_chaos_campaign,
+)
 from .synthetic import GROUND_TRUTH, synthetic_program
 from .validation import MaskingValidation, validate_masking
 from .tables import (
@@ -88,6 +95,11 @@ __all__ = [
     "merge_fragments",
     "run_shard",
     "shard_points",
+    "ChaosReport",
+    "ShardSupervisor",
+    "SupervisedCampaign",
+    "SupervisorError",
+    "run_chaos_campaign",
     "table1",
     "figure2",
     "figure3",

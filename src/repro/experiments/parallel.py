@@ -60,6 +60,7 @@ from repro.core.staticpass import StaticPruner, call_through_boundary
 from repro.core.telemetry import CampaignTelemetry
 from repro.core.tracepass import TraceDeriver, TraceRecorder
 from repro.core.detector import DetectionResult
+from repro.resilience.chaos import fire as _fault_site
 
 __all__ = [
     "ProgramRef",
@@ -68,6 +69,8 @@ __all__ = [
     "ParallelDetector",
     "run_parallel_detection",
     "run_point_with_timeout",
+    "scan_jsonl",
+    "repair_jsonl_tail",
 ]
 
 #: Journal schema version; bump when the line format changes.
@@ -76,6 +79,53 @@ JOURNAL_VERSION = 1
 
 class JournalError(ValueError):
     """Raised when a campaign journal cannot be used for a resume."""
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe JSONL machinery (shared with the persistent result cache)
+# ---------------------------------------------------------------------------
+
+
+def scan_jsonl(data: bytes) -> Tuple[List[Dict[str, Any]], int]:
+    """Leniently parse append-only JSONL that may end in a torn write.
+
+    Returns ``(entries, valid_end)``: every fully-written dict line in
+    order, plus the byte offset of the end of the last complete line —
+    the truncation point :func:`repair_jsonl_tail` restores the file
+    to.  The file is scanned as bytes because a worker killed inside
+    ``write(2)`` can tear a line in the middle of a multi-byte UTF-8
+    sequence, not just between characters.
+    """
+    entries: List[Dict[str, Any]] = []
+    valid_end = 0
+    for raw, kept in zip(data.splitlines(), data.splitlines(keepends=True)):
+        if not raw.strip():
+            valid_end += len(kept)
+            continue
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break  # torn tail: everything before it still counts
+        if not isinstance(entry, dict):
+            break  # a torn tail can decode to a bare JSON scalar
+        entries.append(entry)
+        valid_end += len(kept)
+    return entries, valid_end
+
+
+def repair_jsonl_tail(path: str, data: bytes, valid_end: int) -> None:
+    """Durably drop a torn JSONL tail so subsequent appends stay clean.
+
+    Truncates *path* back to *valid_end* (the end of the last
+    fully-parsed line) and restores the trailing newline if the tear
+    landed exactly on a line boundary without one.
+    """
+    if valid_end < len(data):
+        with open(path, "rb+") as handle:
+            handle.truncate(valid_end)
+    elif data and not data.endswith(b"\n"):
+        with open(path, "ab") as handle:
+            handle.write(b"\n")
 
 
 # ---------------------------------------------------------------------------
@@ -175,10 +225,15 @@ class CampaignJournal:
             },
             sort_keys=True,
         )
+        # Chaos seams (no-ops unless a FaultPlan is armed): an armed
+        # ioerror fires before the write, a kill/torn fault after it —
+        # the on-disk states a real ENOSPC or mid-write SIGKILL leaves.
+        _fault_site("journal.append", self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        _fault_site("journal.appended", self.path)
 
     # -- reading -----------------------------------------------------
 
@@ -257,12 +312,7 @@ class CampaignJournal:
         fully-parsed line) and restores the trailing newline if the
         tear landed exactly on a line boundary without one.
         """
-        if valid_end < len(data):
-            with open(self.path, "rb+") as handle:
-                handle.truncate(valid_end)
-        elif data and not data.endswith(b"\n"):
-            with open(self.path, "ab") as handle:
-                handle.write(b"\n")
+        repair_jsonl_tail(self.path, data, valid_end)
 
     def _parse_header(self, raw: bytes) -> Optional[Dict[str, Any]]:
         """Parse the first journal line.
@@ -471,6 +521,10 @@ def run_point_with_timeout(
         )
         try:
             with guard:
+                # Chaos seam: an armed hang fault sleeps here, inside
+                # the watchdog's budget window, so "a run that stopped
+                # making progress" exercises the timeout/retry path.
+                _fault_site("run.exec")
                 record, failure = run_injection_point(
                     program,
                     campaign,

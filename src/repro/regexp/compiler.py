@@ -118,18 +118,21 @@ class Compiler:
     def _emit_star(self, body: Node, greedy: bool) -> None:
         """``e*``: split / mark / body / progress / jump-back.
 
-        The MARK/PROGRESS pair fails the looping branch when an iteration
-        consumed no input, so stars over empty-matching bodies (``(a?)*``)
-        terminate by falling out to the exit alternative.
+        The MARK/PROGRESS pair ends the loop when an iteration consumed
+        no input: PROGRESS jumps straight to the exit instead of looping,
+        matching CPython's rule that a repeat stops after an empty body
+        match without trying the body's remaining alternatives first.
+        Stars over empty-matching bodies (``(a?)*``) therefore terminate.
         """
         mark = self.program.new_mark()
         split = self.program.emit(Instruction(OP_SPLIT))
         body_start = len(self.program)
         self.program.emit(Instruction(OP_MARK, slot=mark))
         self._emit_node(body)
-        self.program.emit(Instruction(OP_PROGRESS, slot=mark))
+        progress = self.program.emit(Instruction(OP_PROGRESS, slot=mark))
         self.program.emit(Instruction(OP_JUMP, target=split))
         after = len(self.program)
+        self.program.patch(progress, target=after)
         if greedy:
             self.program.patch(split, target=body_start, alt=after)
         else:

@@ -165,7 +165,11 @@ class Matcher:
                     if pos > marks[instruction.slot]:
                         pc += 1
                         continue
-                    break  # empty iteration: abandon the looping branch
+                    # empty iteration: end the loop here (CPython's rule),
+                    # leaving the iteration's alternatives as backtrack
+                    # points in case the continuation fails
+                    pc = instruction.target
+                    continue
                 if op == OP_WORDB:
                     before = pos > 0 and _is_word(text[pos - 1])
                     after = pos < len(text) and _is_word(text[pos])

@@ -8,9 +8,13 @@ non-match) run in linear time.
 
 Thread priority (list order) encodes the same greedy/leftmost preferences
 the backtracking engine explores depth-first, so both engines agree on
-the selected match.  The MARK/PROGRESS loop guards of the compiler are
-no-ops here: the per-position visited set already breaks empty-iteration
-cycles.
+the selected match.  The epsilon closure carries a bitmask of the loop
+MARKs executed at the current position, so PROGRESS can recognise an
+iteration that consumed no input and divert it to the loop exit — the
+same empty-iteration rule the backtracking engine (and CPython's ``re``)
+applies.  Only ``mark == pos`` matters (older marks all mean "progress
+was made"), so the mask resets whenever a thread consumes a character;
+closure states stay bounded by program size, preserving linear matching.
 """
 
 from __future__ import annotations
@@ -63,49 +67,71 @@ class PikeMatcher:
     def _add_thread(
         self,
         threads: List[_Thread],
-        visited: Set[int],
+        visited: Set[Tuple[int, int]],
         pc: int,
         pos: int,
         text: str,
         slots: Tuple[Optional[int], ...],
+        fresh_marks: int = 0,
     ) -> None:
-        """Add *pc* (and its epsilon closure) in priority order."""
-        stack = [(pc, slots)]
+        """Add *pc* (and its epsilon closure) in priority order.
+
+        *fresh_marks* is a bitmask of the loop marks executed at *pos*
+        within the current closure; a thread entering via character
+        consumption starts with 0 (all its marks predate *pos*).
+        """
+        stack = [(pc, slots, fresh_marks)]
         instructions = self.program.instructions
         while stack:
-            current_pc, current_slots = stack.pop()
-            if current_pc in visited:
+            current_pc, current_slots, current_fresh = stack.pop()
+            # key on (pc, fresh marks): the same pc reached with a
+            # different set of at-this-position marks is a different
+            # continuation — PROGRESS may loop for one and exit for the
+            # other — so neither may prune the other
+            key = (current_pc, current_fresh)
+            if key in visited:
                 continue
-            visited.add(current_pc)
+            visited.add(key)
             instruction = instructions[current_pc]
             op = instruction.op
             if op == OP_JUMP:
-                stack.append((instruction.target, current_slots))
+                stack.append((instruction.target, current_slots, current_fresh))
             elif op == OP_SPLIT:
                 # preserve priority: target first, alt second — push alt
                 # onto a recursive call so ordering matches depth-first
                 self._add_thread(
                     threads, visited, instruction.target, pos, text,
-                    current_slots,
+                    current_slots, current_fresh,
                 )
-                stack.append((instruction.alt, current_slots))
+                stack.append((instruction.alt, current_slots, current_fresh))
             elif op == OP_SAVE:
                 updated = list(current_slots)
                 updated[instruction.slot] = pos
-                stack.append((current_pc + 1, tuple(updated)))
-            elif op in (OP_MARK, OP_PROGRESS):
-                stack.append((current_pc + 1, current_slots))
+                stack.append((current_pc + 1, tuple(updated), current_fresh))
+            elif op == OP_MARK:
+                stack.append((
+                    current_pc + 1,
+                    current_slots,
+                    current_fresh | (1 << instruction.slot),
+                ))
+            elif op == OP_PROGRESS:
+                if current_fresh & (1 << instruction.slot):
+                    # empty iteration: divert to the loop exit at this
+                    # thread's priority (CPython's empty-repeat rule)
+                    stack.append((instruction.target, current_slots, current_fresh))
+                else:
+                    stack.append((current_pc + 1, current_slots, current_fresh))
             elif op == OP_BOL:
                 if pos == 0:
-                    stack.append((current_pc + 1, current_slots))
+                    stack.append((current_pc + 1, current_slots, current_fresh))
             elif op == OP_EOL:
                 if pos == len(text):
-                    stack.append((current_pc + 1, current_slots))
+                    stack.append((current_pc + 1, current_slots, current_fresh))
             elif op == OP_WORDB:
                 before = pos > 0 and _is_word(text[pos - 1])
                 after = pos < len(text) and _is_word(text[pos])
                 if (before != after) != instruction.negated:
-                    stack.append((current_pc + 1, current_slots))
+                    stack.append((current_pc + 1, current_slots, current_fresh))
             else:
                 threads.append(_Thread(current_pc, current_slots))
 
@@ -125,7 +151,7 @@ class PikeMatcher:
         while current:
             self.max_threads = max(self.max_threads, len(current))
             following: List[_Thread] = []
-            visited: Set[int] = set()
+            visited: Set[Tuple[int, int]] = set()
             char = text[pos] if pos < len(text) else None
             for thread in current:
                 instruction = instructions[thread.pc]

@@ -40,7 +40,7 @@ OP_MATCH = "match"    # accept
 OP_BOL = "bol"        # assert beginning of input
 OP_EOL = "eol"        # assert end of input
 OP_MARK = "mark"      # record current position into a loop mark
-OP_PROGRESS = "progress"  # fail the branch if the loop made no progress
+OP_PROGRESS = "progress"  # jump to target (loop exit) if no progress made
 OP_WORDB = "wordb"    # assert a word boundary (negated: non-boundary)
 
 _OPS = frozenset(
@@ -112,8 +112,10 @@ class Instruction:
             return f"jump -> {self.target}"
         if self.op == OP_SAVE:
             return f"save slot {self.slot}"
-        if self.op in (OP_MARK, OP_PROGRESS):
-            return f"{self.op} {self.slot}"
+        if self.op == OP_MARK:
+            return f"mark {self.slot}"
+        if self.op == OP_PROGRESS:
+            return f"progress {self.slot} -> {self.target}"
         if self.op == OP_WORDB:
             return "wordb (negated)" if self.negated else "wordb"
         return self.op
@@ -164,7 +166,7 @@ class Program:
     def seal(self) -> None:
         """Finish construction; verify every jump target is in range."""
         for address, instruction in enumerate(self.instructions):
-            if instruction.op in (OP_SPLIT, OP_JUMP):
+            if instruction.op in (OP_SPLIT, OP_JUMP, OP_PROGRESS):
                 if not 0 <= instruction.target <= len(self.instructions):
                     raise CompileError(
                         f"instruction {address}: target {instruction.target} "

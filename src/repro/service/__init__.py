@@ -11,18 +11,28 @@ The distributed story in three layers:
   results content-addressed by
   ``digest(source, canonical config)``;
 * :mod:`server <repro.service.server>` — the stdlib-asyncio HTTP loop
-  behind ``repro serve``: bounded backpressure, NDJSON progress
-  streams, and cache-served repeat submissions with zero subject
-  executions.
+  behind ``repro serve``: bounded backpressure with pluggable
+  load-shedding policies, NDJSON progress streams, bounded request
+  bodies, graceful SIGTERM/SIGINT drain, and cache-served repeat
+  submissions with zero subject executions — across restarts, when
+  the cache is given a journal path.
 """
 
 from .cache import ResultCache, submission_digest
-from .server import CampaignRecord, CampaignService, ServiceServer, serve
+from .server import (
+    DEFAULT_MAX_BODY_BYTES,
+    SHED_POLICIES,
+    CampaignRecord,
+    CampaignService,
+    ServiceServer,
+    serve,
+)
 from .subjects import (
     SERVICE_MODULE_NAME,
     SubmissionError,
     build_subject,
     canonical_config,
+    estimate_cost,
     subject_factory,
 )
 
@@ -33,9 +43,12 @@ __all__ = [
     "CampaignService",
     "ServiceServer",
     "serve",
+    "DEFAULT_MAX_BODY_BYTES",
+    "SHED_POLICIES",
     "SERVICE_MODULE_NAME",
     "SubmissionError",
     "build_subject",
     "canonical_config",
+    "estimate_cost",
     "subject_factory",
 ]

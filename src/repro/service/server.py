@@ -17,7 +17,27 @@ protocol surface is four routes), designed around three properties:
   of the same source + canonical config is answered from the cache
   with *zero* subject executions, verifiable via
   ``runs_executed_total`` in ``GET /stats`` and the
-  ``result_cache_hits`` telemetry field of the response.
+  ``result_cache_hits`` telemetry field of the response.  With
+  ``cache_path=`` the cache persists across restarts (crash-safe JSONL
+  journal — see :mod:`repro.service.cache`), so even a *restarted*
+  server answers repeats without re-running anything.
+
+Overload and shutdown behavior (the robustness layer):
+
+* a full queue is handled by a pluggable **load-shedding policy** —
+  ``reject`` (503 the newcomer, the default), ``shed-oldest`` (drop the
+  oldest queued campaign with a terminal ``shed`` event and admit the
+  newcomer), or ``cost-aware`` (admit only while the statically
+  estimated pending work fits ``max_pending_cost``; see
+  :func:`~repro.service.subjects.estimate_cost`).  Every 503 carries a
+  ``Retry-After`` header derived from observed campaign wall times;
+* request bodies are bounded: a ``POST`` without ``Content-Length`` is
+  ``411``, one larger than ``max_body_bytes`` is ``413`` — the server
+  never trusts the client with its memory;
+* ``SIGTERM``/``SIGINT`` trigger a **graceful drain**: admission stops
+  (503 + Retry-After; cache hits are still served), queued and running
+  campaigns finish and emit their terminal events (closing any open
+  ``/events`` streams), then the listener shuts down.
 
 Routes::
 
@@ -33,24 +53,41 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
+import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.campaign import run_app_campaign
 from repro.experiments.parallel import ProgramRef
+from repro.resilience.chaos import fire as _fault_site
 
 from .cache import ResultCache, submission_digest
-from .subjects import SubmissionError, build_subject, canonical_config, subject_factory
+from .subjects import (
+    SubmissionError,
+    build_subject,
+    canonical_config,
+    estimate_cost,
+    subject_factory,
+)
 
-__all__ = ["CampaignRecord", "CampaignService", "serve"]
+__all__ = ["CampaignRecord", "CampaignService", "ServiceServer", "serve"]
 
-#: Campaign states a record moves through (terminal: done/failed).
+#: Campaign states a record moves through (terminal: done/failed/shed).
 STATUS_QUEUED = "queued"
 STATUS_RUNNING = "running"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
-TERMINAL = frozenset({STATUS_DONE, STATUS_FAILED})
+STATUS_SHED = "shed"
+TERMINAL = frozenset({STATUS_DONE, STATUS_FAILED, STATUS_SHED})
+
+#: Load-shedding policies the service accepts.
+SHED_POLICIES = ("reject", "shed-oldest", "cost-aware")
+
+#: Default request-body bound (1 MiB — generous for source + config).
+DEFAULT_MAX_BODY_BYTES = 1_048_576
 
 _REASONS = {
     200: "OK",
@@ -58,6 +95,8 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -76,6 +115,7 @@ class CampaignRecord:
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
+    cost: int = 1
 
     def summary(self) -> Dict[str, Any]:
         out = {
@@ -102,19 +142,46 @@ class CampaignService:
     does the same draining in an executor thread.
     """
 
-    def __init__(self, *, queue_size: int = 8, cache_capacity: int = 128) -> None:
+    def __init__(
+        self,
+        *,
+        queue_size: int = 8,
+        cache_capacity: int = 128,
+        cache_path: Optional[str] = None,
+        policy: str = "reject",
+        max_pending_cost: Optional[int] = None,
+    ) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown load-shedding policy {policy!r} "
+                f"(known: {', '.join(SHED_POLICIES)})"
+            )
+        if max_pending_cost is not None and max_pending_cost < 1:
+            raise ValueError("max_pending_cost must be >= 1")
+        if policy == "cost-aware" and max_pending_cost is None:
+            raise ValueError("cost-aware policy needs max_pending_cost")
         self.queue: "asyncio.Queue[CampaignRecord]" = asyncio.Queue(
             maxsize=queue_size
         )
-        self.cache = ResultCache(cache_capacity)
+        self.cache = ResultCache(cache_capacity, path=cache_path)
+        self.policy = policy
+        self.max_pending_cost = max_pending_cost
         self.campaigns: Dict[str, CampaignRecord] = {}
         #: Subject executions performed by campaigns this service ran —
         #: the number a cache hit must leave untouched.
         self.runs_executed_total = 0
+        #: Campaigns dropped by the shed-oldest policy.
+        self.shed_total = 0
+        #: True once a graceful shutdown began: admission stops (503),
+        #: cache hits are still served, in-flight campaigns finish.
+        self.draining = False
         self._ids = itertools.count(1)
         self._events_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending_cost = 0
+        self._wall_ema: Optional[float] = None
 
     # -- submission --------------------------------------------------------
 
@@ -127,9 +194,13 @@ class CampaignService:
         """Accept one submission; returns ``(response payload, status)``.
 
         * cached result -> ``(payload, 200)`` with ``cached: true`` —
-          the campaign is *not* re-run;
+          the campaign is *not* re-run (even while draining);
         * accepted -> ``(queued summary, 202)``;
-        * queue full -> ``(error, 503)`` (bounded backpressure);
+        * draining, queue full (``reject``), or over the cost budget
+          (``cost-aware``) -> ``(error, 503)`` with a ``retry_after``
+          hint; under ``shed-oldest`` a full queue instead drops the
+          oldest queued campaign (terminal ``shed`` event) and admits
+          the newcomer;
         * invalid source/config -> :class:`SubmissionError` (the HTTP
           layer maps it to ``400``).
         """
@@ -142,30 +213,93 @@ class CampaignService:
         digest = submission_digest(source, cfg)
         cached = self.cache.get(digest)
         if cached is not None:
-            return self._cached_response(cached), 200
+            persisted = self.cache.is_persisted(digest)
+            return self._cached_response(cached, persisted=persisted), 200
+        if self.draining:
+            return self._unavailable("service is draining for shutdown"), 503
+        cost = estimate_cost(source, cfg)
+        if self.policy == "cost-aware":
+            with self._state_lock:
+                pending = self._pending_cost
+            # An idle service admits any single campaign, however big —
+            # the budget bounds *accumulation*, not ambition.
+            if pending > 0 and pending + cost > self.max_pending_cost:
+                return (
+                    self._unavailable(
+                        f"estimated cost {cost} does not fit the pending "
+                        f"budget ({pending}/{self.max_pending_cost})"
+                    ),
+                    503,
+                )
         record = CampaignRecord(
             id=f"c{next(self._ids)}",
             name=name,
             digest=digest,
             source=source,
             config=cfg,
+            cost=cost,
         )
         try:
             self.queue.put_nowait(record)
         except asyncio.QueueFull:
-            return (
-                {
-                    "error": "campaign queue is full, retry later",
-                    "queue_depth": self.queue.qsize(),
-                    "queue_capacity": self.queue.maxsize,
-                },
-                503,
-            )
+            if self.policy != "shed-oldest" or not self._shed_oldest():
+                return (
+                    self._unavailable("campaign queue is full, retry later"),
+                    503,
+                )
+            self.queue.put_nowait(record)
+        with self._state_lock:
+            self._pending_cost += cost
         self.campaigns[record.id] = record
         self._emit(record, {"event": "queued", "digest": digest})
         return record.summary(), 202
 
-    def _cached_response(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _shed_oldest(self) -> bool:
+        """Drop the oldest *queued* campaign to admit a newer one.
+
+        The shed record gets a terminal status and event (so pollers
+        and open ``/events`` streams see a definitive outcome, not a
+        silent disappearance) and its reserved cost is released.
+        """
+        try:
+            victim = self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return False  # everything queued is already running
+        self.queue.task_done()
+        with self._state_lock:
+            self._pending_cost = max(0, self._pending_cost - victim.cost)
+        self.shed_total += 1
+        victim.status = STATUS_SHED
+        victim.error = "shed under load (shed-oldest policy)"
+        self._emit(victim, {"event": "shed", "error": victim.error})
+        return True
+
+    def _unavailable(self, message: str) -> Dict[str, Any]:
+        """The body of every 503: why, plus how long to back off."""
+        payload: Dict[str, Any] = {
+            "error": message,
+            "queue_depth": self.queue.qsize(),
+            "queue_capacity": self.queue.maxsize,
+            "retry_after": self.retry_after_seconds(),
+        }
+        if self.draining:
+            payload["draining"] = True
+        return payload
+
+    def retry_after_seconds(self) -> int:
+        """A ``Retry-After`` estimate: observed mean campaign wall time
+        times the queue depth ahead of the client, clamped to [1, 120]."""
+        base = self._wall_ema if self._wall_ema is not None else 1.0
+        estimate = base * (self.queue.qsize() + 1)
+        return int(max(1, min(120, math.ceil(estimate))))
+
+    def begin_drain(self) -> None:
+        """Stop admitting new campaigns; already-queued work continues."""
+        self.draining = True
+
+    def _cached_response(
+        self, payload: Dict[str, Any], *, persisted: bool = False
+    ) -> Dict[str, Any]:
         # Deep copy via JSON so the cached entry stays pristine, then
         # mark the copy: this answer cost zero subject executions.
         response = json.loads(json.dumps(payload))
@@ -173,6 +307,10 @@ class CampaignService:
         telemetry = response.setdefault("telemetry", {})
         telemetry["result_cache_hits"] = 1
         telemetry["result_cache_misses"] = 0
+        if persisted:
+            # The entry survived a server restart on disk — this very
+            # lookup is what cache_persist_hits counts.
+            telemetry["cache_persist_hits"] = 1
         return response
 
     # -- execution ---------------------------------------------------------
@@ -183,7 +321,10 @@ class CampaignService:
             record = self.queue.get_nowait()
         except asyncio.QueueEmpty:
             return None
-        self._run(record)
+        try:
+            self._run(record)
+        finally:
+            self.queue.task_done()
         return record
 
     def _emit(self, record: CampaignRecord, event: Dict[str, Any]) -> None:
@@ -194,6 +335,20 @@ class CampaignService:
 
     def _run(self, record: CampaignRecord) -> None:
         """Run one campaign (called from the worker's executor thread)."""
+        started = time.perf_counter()
+        try:
+            self._run_inner(record)
+        finally:
+            with self._state_lock:
+                self._pending_cost = max(0, self._pending_cost - record.cost)
+                wall = time.perf_counter() - started
+                # EMA of campaign wall times feeds Retry-After.
+                if self._wall_ema is None:
+                    self._wall_ema = wall
+                else:
+                    self._wall_ema = 0.3 * wall + 0.7 * self._wall_ema
+
+    def _run_inner(self, record: CampaignRecord) -> None:
         record.status = STATUS_RUNNING
         self._emit(record, {"event": "started"})
         cfg = record.config
@@ -273,13 +428,22 @@ class CampaignService:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        with self._state_lock:
+            pending_cost = self._pending_cost
+        out = {
             "queue_depth": self.queue.qsize(),
             "queue_capacity": self.queue.maxsize,
             "campaigns": len(self.campaigns),
             "runs_executed_total": self.runs_executed_total,
             "result_cache": self.cache.stats(),
+            "policy": self.policy,
+            "draining": self.draining,
+            "shed_total": self.shed_total,
+            "pending_cost": pending_cost,
         }
+        if self.max_pending_cost is not None:
+            out["max_pending_cost"] = self.max_pending_cost
+        return out
 
     def snapshot_events(
         self, record: CampaignRecord, start: int
@@ -306,8 +470,17 @@ class _HttpError(Exception):
 class ServiceServer:
     """The asyncio HTTP/1.1 front end around a :class:`CampaignService`."""
 
-    def __init__(self, service: Optional[CampaignService] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        service: Optional[CampaignService] = None,
+        *,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        **kwargs,
+    ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self.service = service or CampaignService(**kwargs)
+        self.max_body_bytes = max_body_bytes
         self._server: Optional[asyncio.AbstractServer] = None
         self._worker: Optional[asyncio.Task] = None
 
@@ -331,6 +504,26 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain, then stop.
+
+        Stops admission (new submissions get 503 + Retry-After; cache
+        hits are still answered), waits for every queued and running
+        campaign to finish — their terminal events close any open
+        ``/events`` streams — then tears the listener and worker down.
+        A *timeout* bounds the drain; on expiry the remaining work is
+        abandoned (their journals, if any, allow a later resume).
+        """
+        self.service.begin_drain()
+        try:
+            if timeout is None:
+                await self.service.queue.join()
+            else:
+                await asyncio.wait_for(self.service.queue.join(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        await self.stop()
 
     async def _work(self) -> None:
         """Drain the queue forever, one campaign at a time.
@@ -358,7 +551,7 @@ class ServiceServer:
         try:
             try:
                 method, path, headers = await self._read_request_head(reader)
-                body = await self._read_body(reader, headers)
+                body = await self._read_body(reader, headers, method)
                 await self._route(method, path, body, writer)
             except _HttpError as exc:
                 await self._send_json(
@@ -391,10 +584,39 @@ class ServiceServer:
         return method, path, headers
 
     async def _read_body(
-        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+        self,
+        reader: asyncio.StreamReader,
+        headers: Dict[str, str],
+        method: str,
     ) -> bytes:
-        length = int(headers.get("content-length", "0") or "0")
-        if length <= 0:
+        """Read (and bound) the request body.
+
+        The declared length is not trusted: a body-bearing method must
+        declare one (``411`` otherwise), it must be a number (``400``),
+        and it must fit ``max_body_bytes`` (``413``) — checked *before*
+        a single body byte is read, so an oversized client costs the
+        server a request head, not a buffer.
+        """
+        raw = headers.get("content-length")
+        if raw is None or raw == "":
+            if method in ("POST", "PUT", "PATCH"):
+                raise _HttpError(
+                    411, f"{method} requires a Content-Length header"
+                )
+            return b""
+        try:
+            length = int(raw)
+        except ValueError:
+            raise _HttpError(400, f"invalid Content-Length {raw!r}")
+        if length < 0:
+            raise _HttpError(400, f"invalid Content-Length {raw!r}")
+        if length > self.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        if length == 0:
             return b""
         return await reader.readexactly(length)
 
@@ -444,7 +666,10 @@ class ServiceServer:
             )
         except SubmissionError as exc:
             raise _HttpError(400, str(exc))
-        await self._send_json(writer, status, payload)
+        headers = None
+        if status == 503 and "retry_after" in payload:
+            headers = {"Retry-After": str(payload["retry_after"])}
+        await self._send_json(writer, status, payload, headers=headers)
 
     async def _stream_events(
         self, campaign_id: str, writer: asyncio.StreamWriter
@@ -463,6 +688,11 @@ class ServiceServer:
         while True:
             events, status = self.service.snapshot_events(record, sent)
             for event in events:
+                # Chaos seam: an armed disconnect fault raises
+                # ConnectionResetError here, exactly like a subscriber
+                # vanishing mid-stream; _handle absorbs it and the
+                # campaign (and every other connection) carries on.
+                _fault_site("stream.write")
                 writer.write(
                     json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
                 )
@@ -475,14 +705,22 @@ class ServiceServer:
                 await asyncio.sleep(0.02)
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
         reason = _REASONS.get(status, "OK")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -496,20 +734,45 @@ def serve(
     *,
     queue_size: int = 8,
     cache_capacity: int = 128,
+    cache_path: Optional[str] = None,
+    policy: str = "reject",
+    max_pending_cost: Optional[int] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> None:
-    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point for ``repro serve``.
+
+    ``SIGTERM`` and ``SIGINT`` (Ctrl-C) both trigger a graceful drain:
+    admission stops, in-flight campaigns finish and emit their terminal
+    events, then the process exits.  A second Ctrl-C aborts the drain.
+    """
 
     async def _main() -> None:
         server = ServiceServer(
-            queue_size=queue_size, cache_capacity=cache_capacity
+            queue_size=queue_size,
+            cache_capacity=cache_capacity,
+            cache_path=cache_path,
+            policy=policy,
+            max_pending_cost=max_pending_cost,
+            max_body_bytes=max_body_bytes,
         )
         bound = await server.start(host, port)
         print(f"repro service listening on http://{host}:{bound}")
         print("POST /campaigns  GET /campaigns/<id>[/events]  GET /stats")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without handlers
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
         finally:
-            await server.stop()
+            depth = server.service.queue.qsize()
+            if depth:
+                print(f"draining {depth} queued campaign(s) ...")
+            await server.shutdown()
+            print("repro service stopped")
 
     try:
         asyncio.run(_main())

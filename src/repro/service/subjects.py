@@ -20,6 +20,7 @@ config differently.
 
 from __future__ import annotations
 
+import ast
 import functools
 import hashlib
 from typing import Any, Callable, Dict, Mapping, Optional
@@ -36,6 +37,7 @@ __all__ = [
     "SubmissionError",
     "canonical_config",
     "build_subject",
+    "estimate_cost",
     "subject_factory",
 ]
 
@@ -188,3 +190,37 @@ def subject_factory(
 ) -> "functools.partial[AppProgram]":
     """The picklable worker-side factory for a submission."""
     return functools.partial(build_subject, source, name)
+
+
+def estimate_cost(source: str, config: Mapping[str, Any]) -> int:
+    """A static proxy for a submission's compiled-plan point count.
+
+    The true point count needs a profiling run, which is exactly the
+    work cost-aware admission must avoid.  Instead, count the statements
+    inside method bodies of the submitted classes — every statement in a
+    woven method is a potential injection point — scale by ``rounds``
+    (the workload repeats) and divide by ``stride`` (the plan skips).
+    It over-counts unexecuted branches and under-counts loops, but it is
+    monotone in subject size, which is all an admission policy needs.
+
+    *config* should already be canonical; a source that does not parse
+    estimates to 1 (``build_subject`` rejects it with a 400 anyway).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return 1
+    statements = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for method in node.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                statements += sum(
+                    1
+                    for inner in ast.walk(method)
+                    if isinstance(inner, ast.stmt)
+                ) - 1  # the def node itself is not a point
+    rounds = int(config.get("rounds", 1) or 1)
+    stride = int(config.get("stride", 1) or 1)
+    return max(1, (statements * rounds) // max(1, stride))

@@ -194,6 +194,60 @@ def test_crashed_shard_resumes_from_fragment(sequential, tmp_path, count):
     _same_as_sequential(merged, sequential)
 
 
+def test_fragment_resume_tolerates_truncation_at_every_byte(tmp_path):
+    """A worker killed mid-``write`` tears the fragment at an arbitrary
+    byte.  For **every** byte prefix, ``load_done`` must return exactly
+    the fully-written run records, and must repair the file durably —
+    after the load no partial line survives on disk, so the resume's
+    appends never concatenate onto torn bytes."""
+    from repro.experiments.shard import ShardFragment
+
+    source = str(tmp_path / "full.jsonl")
+    run_shard(program_by_name(APP), 0, 2, source, stride=4)
+    data = open(source, "rb").read()
+    # a run line is durably recorded once its closing brace is on disk
+    # (the trailing newline is not needed to parse it)
+    complete_at = {}
+    offset = 0
+    for line in data.splitlines(keepends=True):
+        offset += len(line)
+        record = json.loads(line)
+        if record.get("kind") == "run":
+            complete_at[offset - 1] = record["point"]
+
+    torn = tmp_path / "torn.jsonl"
+    for cut in range(len(data) + 1):
+        torn.write_bytes(data[:cut])
+        done = ShardFragment(str(torn)).load_done({"program": APP})
+        expected = {p for end, p in complete_at.items() if cut >= end}
+        assert set(done) == expected, f"cut at byte {cut}"
+        repaired = torn.read_bytes()
+        assert data.startswith(repaired)  # repair only ever truncates
+        for survivor in repaired.splitlines():
+            json.loads(survivor)  # durable: no partial line remains
+
+
+def test_fragment_torn_mid_byte_resume_repairs_durably(
+    sequential, tmp_path
+):
+    """End-to-end: a fragment torn *inside* its final record (not at a
+    line boundary) resumes cleanly — the resume re-runs the lost point
+    and appends onto the repaired tail, leaving a fully replayable
+    fragment that merges bit-identical to the sequential engine."""
+    paths = _run_all_shards(tmp_path, 2)
+    data = open(paths[1], "rb").read()
+    with open(paths[1], "wb") as handle:
+        handle.write(data[:-9])  # mid-record, mid-line
+    result = run_shard(
+        program_by_name(APP), 1, 2, paths[1], resume=True
+    )
+    assert result.executed == 1  # exactly the torn record re-ran
+    for line in open(paths[1], "rb").read().splitlines():
+        json.loads(line)  # no concatenation corruption anywhere
+    merged = merge_fragments(paths)
+    _same_as_sequential(merged, sequential)
+
+
 def test_resume_with_complete_fragment_executes_nothing(tmp_path):
     path = str(tmp_path / "frag.jsonl")
     run_shard(program_by_name(APP), 0, 2, path)

@@ -1,0 +1,178 @@
+"""Tests for the seeded fault-injection layer (``repro.resilience.chaos``).
+
+The contract under test:
+
+* an unarmed :func:`fire` is a no-op — production code pays nothing;
+* an armed plan fires each spec at exactly the scheduled invocation,
+  for exactly ``count`` invocations, then is exhausted (bounded retry
+  always converges);
+* every fault kind has its documented effect (OSError with the chosen
+  errno, :class:`WorkerKilled`, a torn file tail, an interruptible
+  hang, :class:`ConnectionResetError`);
+* plans round-trip through dicts (the reproducer artifact) and
+  :func:`standard_plan` is deterministic in its seed.
+"""
+
+import errno
+import threading
+import time
+
+import pytest
+
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    WorkerKilled,
+    active_injector,
+    arm,
+    fire,
+    standard_plan,
+)
+
+
+def test_unarmed_fire_is_a_noop():
+    assert active_injector() is None
+    fire("journal.append", "/nowhere")  # must not raise
+    fire("anything")
+
+
+def test_fault_spec_validates():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("site", "meteor")
+    with pytest.raises(ValueError, match="count"):
+        FaultSpec("site", "kill", count=0)
+    with pytest.raises(ValueError, match="after"):
+        FaultSpec("site", "kill", after=-1)
+
+
+def test_spec_and_plan_round_trip():
+    plan = standard_plan(42)
+    rebuilt = FaultPlan.from_dict(plan.to_dict())
+    assert rebuilt.to_dict() == plan.to_dict()
+    assert rebuilt.seed == 42
+    assert rebuilt.kinds() == plan.kinds()
+    for spec in rebuilt.faults:
+        assert spec.kind in FAULT_KINDS
+
+
+def test_standard_plan_is_seed_deterministic():
+    assert standard_plan(7).to_dict() == standard_plan(7).to_dict()
+    assert standard_plan(7).to_dict() != standard_plan(8).to_dict()
+    # one of each required kind
+    assert standard_plan(7).kinds() == ["hang", "ioerror", "kill", "torn"]
+
+
+def test_armed_fault_fires_at_scheduled_invocation_then_exhausts():
+    plan = FaultPlan(faults=[FaultSpec("s", "kill", after=2, count=1)])
+    with arm(plan) as injector:
+        fire("s")  # invocation 0
+        fire("s")  # invocation 1
+        with pytest.raises(WorkerKilled):
+            fire("s")  # invocation 2: scheduled
+        fire("s")  # exhausted: retries run clean
+        fire("other")  # different site never matches
+        assert injector.faults_injected == 1
+        assert injector.injected_by_kind == {"kill": 1}
+        assert injector.site_invocations["s"] == 4
+        assert injector.log == [{"site": "s", "kind": "kill", "invocation": 2}]
+    assert active_injector() is None  # disarmed on exit
+    fire("s")  # and back to a no-op
+
+
+def test_count_fails_consecutive_invocations():
+    plan = FaultPlan(faults=[FaultSpec("s", "kill", after=0, count=2)])
+    with arm(plan):
+        with pytest.raises(WorkerKilled):
+            fire("s")
+        with pytest.raises(WorkerKilled):
+            fire("s")
+        fire("s")  # third invocation runs clean
+
+
+def test_ioerror_carries_chosen_errno_and_path():
+    plan = FaultPlan(
+        faults=[FaultSpec("w", "ioerror", errno_code=errno.ENOSPC)]
+    )
+    with arm(plan):
+        with pytest.raises(OSError) as excinfo:
+            fire("w", "/some/journal.jsonl")
+    assert excinfo.value.errno == errno.ENOSPC
+    assert "/some/journal.jsonl" in str(excinfo.value)
+
+
+def test_torn_fault_truncates_tail_then_kills(tmp_path):
+    path = tmp_path / "frag.jsonl"
+    path.write_bytes(b'{"kind": "run", "point": 1}\n')
+    size = path.stat().st_size
+    plan = FaultPlan(faults=[FaultSpec("j", "torn", torn_bytes=5)])
+    with arm(plan):
+        with pytest.raises(WorkerKilled):
+            fire("j", str(path))
+    assert path.stat().st_size == size - 5
+    assert not path.read_bytes().endswith(b"\n")  # mid-line, as promised
+
+
+def test_hang_sleeps_but_is_async_interruptible():
+    plan = FaultPlan(faults=[FaultSpec("h", "hang", seconds=30.0)])
+    state = {}
+
+    def worker():
+        try:
+            fire("h")
+            state["outcome"] = "slept through"
+        except WorkerKilled:
+            state["outcome"] = "interrupted"
+
+    with arm(plan):
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let it enter the sliced sleep
+        import ctypes
+
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread.ident), ctypes.py_object(WorkerKilled)
+        )
+        thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert state["outcome"] == "interrupted"
+
+
+def test_disconnect_raises_connection_reset():
+    plan = FaultPlan(faults=[FaultSpec("stream.write", "disconnect")])
+    with arm(plan):
+        with pytest.raises(ConnectionResetError):
+            fire("stream.write")
+
+
+def test_arming_is_exclusive():
+    plan = FaultPlan(faults=[])
+    with arm(plan):
+        with pytest.raises(RuntimeError, match="already armed"):
+            with arm(plan):
+                pass
+    # and release works even after the nested failure
+    with arm(plan):
+        pass
+
+
+def test_concurrent_claims_fire_one_shot_exactly_once():
+    plan = FaultPlan(faults=[FaultSpec("s", "kill", after=0, count=1)])
+    injector = FaultInjector(plan)
+    hits = []
+
+    def caller():
+        try:
+            injector.fire("s")
+        except WorkerKilled:
+            hits.append(1)
+
+    threads = [threading.Thread(target=caller) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sum(hits) == 1
+    assert injector.faults_injected == 1
+    assert injector.site_invocations["s"] == 8

@@ -21,6 +21,7 @@ import pickle
 import pytest
 
 from repro.experiments import run_app_campaign
+from repro.resilience import FaultPlan, FaultSpec, arm
 from repro.service import (
     CampaignService,
     ResultCache,
@@ -28,6 +29,7 @@ from repro.service import (
     SubmissionError,
     build_subject,
     canonical_config,
+    estimate_cost,
     subject_factory,
     submission_digest,
 )
@@ -330,6 +332,146 @@ def test_http_end_to_end():
     asyncio.run(scenario())
 
 
+# ---------------------------------------------------------------------------
+# cost estimation + load shedding
+# ---------------------------------------------------------------------------
+
+
+def test_estimate_cost_scales_with_statements_rounds_and_stride():
+    base = estimate_cost(SOURCE, canonical_config({}))
+    assert base == 6  # two statements in each of __init__/bump/drain
+    assert estimate_cost(SOURCE, canonical_config({"rounds": 2})) == 2 * base
+    assert estimate_cost(SOURCE, canonical_config({"stride": 4})) == base // 4
+    assert estimate_cost("def broken(:\n", canonical_config({})) == 1
+    assert estimate_cost("def workload():\n    pass\n", canonical_config({})) == 1
+
+
+def test_service_validates_shedding_configuration():
+    with pytest.raises(ValueError, match="policy"):
+        CampaignService(policy="coin-flip")
+    with pytest.raises(ValueError, match="max_pending_cost"):
+        CampaignService(policy="cost-aware")
+    with pytest.raises(ValueError, match="max_pending_cost"):
+        CampaignService(policy="cost-aware", max_pending_cost=0)
+
+
+def test_shed_oldest_policy_drops_the_oldest_queued_campaign():
+    service = CampaignService(queue_size=1, policy="shed-oldest")
+    old, status = service.submit(SOURCE, {}, name="old")
+    assert status == 202
+    new, status = service.submit(SOURCE, {"stride": 2}, name="new")
+    assert status == 202  # admitted by evicting the older submission
+
+    victim = service.campaigns[old["id"]]
+    assert victim.status == "shed"
+    assert victim.events[-1]["event"] == "shed"
+    assert "shed" in victim.error
+    assert service.shed_total == 1
+
+    record = service.process_one()
+    assert record.id == new["id"] and record.status == "done"
+    assert service.process_one() is None  # the victim never runs
+
+
+def test_cost_aware_policy_bounds_pending_work():
+    cost = estimate_cost(SOURCE, canonical_config({}))
+    service = CampaignService(
+        queue_size=8, policy="cost-aware", max_pending_cost=cost + 1
+    )
+    _, status = service.submit(SOURCE, {}, name="first")
+    assert status == 202  # an idle service admits any single campaign
+    payload, status = service.submit(SOURCE, {"stride": 2}, name="second")
+    assert status == 503
+    assert "budget" in payload["error"]
+    assert payload["retry_after"] >= 1
+    assert service.stats()["pending_cost"] == cost
+
+    service.process_one()  # draining releases the budget
+    assert service.stats()["pending_cost"] == 0
+    _, status = service.submit(SOURCE, {"stride": 2}, name="second")
+    assert status == 202
+
+
+def test_drain_stops_admission_but_serves_cache_hits():
+    service = CampaignService()
+    service.submit(SOURCE, {}, name="box")
+    service.process_one()
+    service.begin_drain()
+    payload, status = service.submit(SOURCE, {"stride": 2}, name="box")
+    assert status == 503 and payload["draining"] is True
+    hit, status = service.submit(SOURCE, {}, name="box")
+    assert status == 200 and hit["cached"] is True
+    assert service.stats()["draining"] is True
+
+
+# ---------------------------------------------------------------------------
+# persistent result cache
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_persists_across_instances(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    first = ResultCache(capacity=4, path=path)
+    first.put("aa", {"v": 1})
+    first.put("bb", {"v": 2})
+    first.put("aa", {"v": 3})  # re-put: the later journal line wins
+    assert not first.is_persisted("aa")  # computed here, not replayed
+
+    second = ResultCache(capacity=4, path=path)
+    assert second.peek("aa") == {"v": 3}
+    assert second.peek("bb") == {"v": 2}
+    assert second.is_persisted("aa") and second.is_persisted("bb")
+    assert second.get("aa") == {"v": 3}
+    stats = second.stats()
+    assert stats["persisted_entries"] == 2
+    assert stats["persist_hits"] == 1
+    assert stats["persist_errors"] == 0
+
+    # capacity applies to the replay too (oldest journal entries fall out)
+    tiny = ResultCache(capacity=1, path=path)
+    assert tiny.peek("bb") is None and tiny.peek("aa") == {"v": 3}
+
+
+def test_result_cache_repairs_torn_journal_tail(tmp_path):
+    path = str(tmp_path / "results.jsonl")
+    cache = ResultCache(path=path)
+    cache.put("aa", {"v": 1})
+    cache.put("bb", {"v": 2})
+    intact = (tmp_path / "results.jsonl").stat().st_size
+    with open(path, "ab") as handle:  # a crash mid-append: torn tail
+        handle.write(b'{"kind": "entry", "digest": "cc", "payl')
+
+    replayed = ResultCache(path=path)
+    assert replayed.peek("aa") == {"v": 1}
+    assert replayed.peek("bb") == {"v": 2}
+    assert replayed.peek("cc") is None  # the torn line is dropped...
+    assert (tmp_path / "results.jsonl").stat().st_size == intact  # ...durably
+
+    replayed.put("cc", {"v": 3})  # and the next append starts cleanly
+    third = ResultCache(path=path)
+    assert third.peek("cc") == {"v": 3}
+    assert len(third) == 3
+
+
+def test_result_cache_degrades_to_memory_on_persist_failure(tmp_path):
+    path = str(tmp_path / "no-such-dir" / "results.jsonl")
+    cache = ResultCache(path=path)
+    cache.put("aa", {"v": 1})  # the append fails; the entry survives
+    assert cache.get("aa") == {"v": 1}
+    assert cache.stats()["persist_errors"] == 1
+
+    # same degradation under an injected chaos fault
+    good = ResultCache(path=str(tmp_path / "results.jsonl"))
+    plan = FaultPlan(faults=[FaultSpec("cache.persist", "ioerror")])
+    with arm(plan):
+        good.put("bb", {"v": 2})
+    assert good.get("bb") == {"v": 2}
+    assert good.stats()["persist_errors"] == 1
+    good.put("cc", {"v": 3})  # fault exhausted: persistence resumes
+    assert ResultCache(path=good.path).peek("cc") == {"v": 3}
+    assert ResultCache(path=good.path).peek("bb") is None  # never journaled
+
+
 def test_http_backpressure_503():
     async def scenario():
         # no worker: the queue cannot drain, so it fills deterministically
@@ -352,3 +494,257 @@ def test_http_backpressure_503():
             await server._server.wait_closed()
 
     asyncio.run(scenario())
+
+
+async def _raw_request(port, raw):
+    """Send raw bytes; return ``(status, headers dict, body bytes)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(lines[0].split()[1]), headers, body
+
+
+async def _listener_only(server):
+    """Bind the HTTP layer without the worker (the queue never drains)."""
+    server._server = await asyncio.start_server(
+        server._handle, "127.0.0.1", 0
+    )
+    return server._server.sockets[0].getsockname()[1]
+
+
+def test_http_body_bounds_411_413_400():
+    async def scenario():
+        server = ServiceServer(CampaignService(), max_body_bytes=64)
+        port = await _listener_only(server)
+        try:
+            # POST without Content-Length: 411
+            status, _, body = await _raw_request(
+                port, b"POST /campaigns HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            assert status == 411
+            assert b"Content-Length" in body
+
+            # declared length over the bound: 413 before any body is read
+            status, _, body = await _raw_request(
+                port,
+                b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 100000\r\n\r\n",
+            )
+            assert status == 413
+            assert b"64-byte limit" in body
+
+            # unparseable / negative lengths: 400
+            for bogus in (b"abc", b"-5"):
+                status, _, _ = await _raw_request(
+                    port,
+                    b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: " + bogus + b"\r\n\r\n",
+                )
+                assert status == 400
+
+            # GET needs no Content-Length
+            status, _, _ = await _raw_request(
+                port, b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            assert status == 200
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_http_503_carries_retry_after_header():
+    async def scenario():
+        server = ServiceServer(CampaignService(queue_size=1))
+        port = await _listener_only(server)
+        try:
+            body = json.dumps(
+                {"source": SOURCE, "config": {}, "name": "box"}
+            ).encode("utf-8")
+            request = (
+                b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body) + body
+            )
+            status, _, _ = await _raw_request(port, request)
+            assert status == 202
+            body2 = json.dumps(
+                {"source": SOURCE, "config": {"stride": 2}, "name": "box"}
+            ).encode("utf-8")
+            status, headers, payload = await _raw_request(
+                port,
+                b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body2) + body2,
+            )
+            assert status == 503
+            assert int(headers["retry-after"]) >= 1
+            assert json.loads(payload)["retry_after"] == int(
+                headers["retry-after"]
+            )
+        finally:
+            server._server.close()
+            await server._server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_http_graceful_shutdown_drains_in_flight_campaigns():
+    async def scenario():
+        server = ServiceServer(queue_size=4)
+        port = await server.start()
+        body = {"source": SOURCE, "config": {}, "name": "box"}
+        status, payload = await _request(port, "POST", "/campaigns", body)
+        assert status == 202
+        submitted = json.loads(payload)
+
+        shutdown = asyncio.ensure_future(server.shutdown())
+        await asyncio.sleep(0)  # let the drain flag land
+        assert server.service.draining
+
+        # new work is refused while draining (if the listener is still
+        # up — the in-flight campaign may finish, and the listener
+        # close, at any moment; a connection caught in that teardown
+        # gets no response at all, hence the timeout guard)
+        try:
+            status, payload = await asyncio.wait_for(
+                _request(
+                    port, "POST", "/campaigns",
+                    {"source": SOURCE, "config": {"stride": 2}, "name": "box"},
+                ),
+                timeout=5.0,
+            )
+            assert status == 503
+            assert json.loads(payload)["draining"] is True
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            pass
+        await shutdown
+
+        # the queued campaign ran to its terminal event before the stop
+        record = server.service.campaigns[submitted["id"]]
+        assert record.status == "done"
+        assert record.events[-1]["event"] == "completed"
+        # cache hits are still served during (and after) a drain
+        hit, status = server.service.submit(SOURCE, {}, name="box")
+        assert status == 200 and hit["cached"] is True
+
+    asyncio.run(scenario())
+
+
+def test_http_client_disconnect_mid_stream_leaves_service_healthy():
+    async def scenario():
+        server = ServiceServer(queue_size=4)
+        port = await server.start()
+        try:
+            body = {"source": SOURCE, "config": {}, "name": "box"}
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            assert status == 202
+            cid = json.loads(payload)["id"]
+
+            # subscribe, read the head + first event, vanish mid-stream
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                f"GET /campaigns/{cid}/events HTTP/1.1\r\n"
+                f"Host: t\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            while (await reader.readline()).strip():
+                pass  # response head
+            first = await reader.readline()
+            assert json.loads(first)["event"] == "queued"
+            writer.transport.abort()  # RST, not a polite FIN
+
+            # the campaign still completes and the server still serves
+            status, payload = await _request(port, "GET", f"/campaigns/{cid}")
+            done = json.loads(payload)
+            while done["status"] not in ("done", "failed"):
+                await asyncio.sleep(0.05)
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}"
+                )
+                done = json.loads(payload)
+            assert done["status"] == "done"
+
+            # same story with the *injected* disconnect: the chaos fault
+            # severs the first stream write server-side
+            plan = FaultPlan(
+                faults=[FaultSpec("stream.write", "disconnect")]
+            )
+            with arm(plan) as injector:
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/events"
+                )
+                assert injector.faults_injected == 1
+            assert status == 200  # head was sent before the fault
+            assert payload == b""  # then the connection died
+
+            # fault exhausted: the next subscriber gets the full stream
+            status, stream = await _request(
+                port, "GET", f"/campaigns/{cid}/events"
+            )
+            events = [
+                json.loads(line)
+                for line in stream.splitlines()
+                if line.strip()
+            ]
+            assert events[-1]["event"] == "completed"
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_http_persistent_cache_survives_server_recreation(tmp_path):
+    cache_path = str(tmp_path / "results.jsonl")
+    body = {"source": SOURCE, "config": {}, "name": "box"}
+
+    async def first_life():
+        server = ServiceServer(queue_size=4, cache_path=cache_path)
+        port = await server.start()
+        try:
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            assert status == 202
+            cid = json.loads(payload)["id"]
+            # stream to the terminal event => the result is journaled
+            status, stream = await _request(
+                port, "GET", f"/campaigns/{cid}/events"
+            )
+            assert stream.splitlines()
+            status, payload = await _request(port, "GET", f"/campaigns/{cid}")
+            done = json.loads(payload)
+            assert done["status"] == "done"
+            return done["result"]
+        finally:
+            await server.stop()
+
+    async def second_life():
+        # a brand-new server process state: only the journal survives
+        server = ServiceServer(queue_size=4, cache_path=cache_path)
+        port = await server.start()
+        try:
+            status, payload = await _request(port, "POST", "/campaigns", body)
+            hit = json.loads(payload)
+            assert status == 200 and hit["cached"] is True
+            assert hit["telemetry"]["result_cache_hits"] == 1
+            assert hit["telemetry"]["cache_persist_hits"] == 1
+            status, payload = await _request(port, "GET", "/stats")
+            stats = json.loads(payload)
+            assert stats["runs_executed_total"] == 0
+            assert stats["result_cache"]["persisted_entries"] == 1
+            assert stats["result_cache"]["persist_hits"] == 1
+            return hit
+        finally:
+            await server.stop()
+
+    result = asyncio.run(first_life())
+    assert result["runs_executed"] > 0
+    hit = asyncio.run(second_life())
+    assert hit["log"] == result["log"]
+    assert hit["classification"] == result["classification"]
